@@ -1,0 +1,42 @@
+"""Helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.report import print_figure, shape_checks
+
+
+def run_figure(benchmark, figure_fn, scale, capsys=None) -> FigureResult:
+    """Execute one figure sweep once under pytest-benchmark and report it.
+
+    The report is the benchmark's product, so when ``capsys`` is passed
+    its capture is disabled around the printing — the tables reach the
+    terminal (and tee'd logs) even without ``pytest -s``.
+    """
+    result = benchmark.pedantic(
+        figure_fn, args=(scale,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    guard = capsys.disabled() if capsys is not None else contextlib.nullcontext()
+    with guard:
+        print_figure(result)
+        print(ascii_chart(result))
+    assert result.xs, f"{result.figure_id}: empty sweep"
+    for label, values in result.series.items():
+        assert len(values) == len(result.xs), (
+            f"{result.figure_id}: series {label!r} incomplete"
+        )
+        assert all(v == v for v in values), (
+            f"{result.figure_id}: series {label!r} contains NaN"
+        )
+    return result
+
+
+def passed_fraction(result: FigureResult) -> float:
+    """Fraction of the paper's shape checks that hold for this run."""
+    checks = shape_checks(result)
+    if not checks:
+        return 1.0
+    return sum(c.passed for c in checks) / len(checks)

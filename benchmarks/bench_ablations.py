@@ -1,0 +1,40 @@
+"""Ablations beyond the paper's figures.
+
+These probe design choices the paper argues in prose:
+
+* Section 4.2.2 — dropping the overlap-enlargement heuristic from
+  ChooseSubtree does not hurt query performance;
+* Section 5.1 — sensitivity to the buffer-pool size;
+* Section 5.4 — lazy purging leaves only a very small fraction of
+  expired entries in the index.
+"""
+
+from repro.experiments.figures import (
+    ablation_buffer_size,
+    ablation_lazy_purge,
+    ablation_overlap_heuristic,
+)
+
+from _util import run_figure
+
+
+def test_overlap_heuristic(benchmark, scale, capsys):
+    result = run_figure(benchmark, ablation_overlap_heuristic, scale, capsys)
+    with_overlap = sum(result.series["with overlap"])
+    without = sum(result.series["without overlap"])
+    # The paper: "using overlap enlargement ... does not improve query
+    # performance"; allow generous noise at reduced scale.
+    assert without <= 1.5 * with_overlap
+
+
+def test_buffer_size(benchmark, scale, capsys):
+    result = run_figure(benchmark, ablation_buffer_size, scale, capsys)
+    values = result.series["Rexp-tree"]
+    # More buffer can never be much worse.
+    assert values[-1] <= values[0] * 1.2
+
+
+def test_lazy_purge_fraction(benchmark, scale, capsys):
+    result = run_figure(benchmark, ablation_lazy_purge, scale, capsys)
+    values = result.series["Rexp-tree"]
+    assert max(values) < 0.25, f"expired fraction too high: {values}"

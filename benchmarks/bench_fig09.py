@@ -1,0 +1,13 @@
+"""Figure 9: Search I/O for varying ExpT — four flavours of TPBR expiration recording and ChooseSubtree.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure9
+
+from _util import run_figure
+
+
+def test_figure9(benchmark, scale, capsys):
+    run_figure(benchmark, figure9, scale, capsys)

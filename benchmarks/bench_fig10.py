@@ -1,0 +1,13 @@
+"""Figure 10: Search I/O for varying update interval UI — same four flavours.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure10
+
+from _util import run_figure
+
+
+def test_figure10(benchmark, scale, capsys):
+    run_figure(benchmark, figure10, scale, capsys)

@@ -1,0 +1,13 @@
+"""Figure 11: Search I/O on uniform data for varying ExpT — five TPBR types.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure11
+
+from _util import run_figure
+
+
+def test_figure11(benchmark, scale, capsys):
+    run_figure(benchmark, figure11, scale, capsys)

@@ -1,0 +1,13 @@
+"""Figure 12: Search I/O for varying expiration distance ExpD — five TPBR types.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure12
+
+from _util import run_figure
+
+
+def test_figure12(benchmark, scale, capsys):
+    run_figure(benchmark, figure12, scale, capsys)

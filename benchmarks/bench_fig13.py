@@ -1,0 +1,13 @@
+"""Figure 13: Search I/O for varying ExpD — R^exp vs TPR vs scheduled deletions.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure13
+
+from _util import run_figure
+
+
+def test_figure13(benchmark, scale, capsys):
+    run_figure(benchmark, figure13, scale, capsys)

@@ -1,0 +1,13 @@
+"""Figure 14: Search I/O for varying NewOb — four index architectures.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure14
+
+from _util import run_figure
+
+
+def test_figure14(benchmark, scale, capsys):
+    run_figure(benchmark, figure14, scale, capsys)

@@ -1,0 +1,13 @@
+"""Figure 15: Index size in pages for varying NewOb.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure15
+
+from _util import run_figure
+
+
+def test_figure15(benchmark, scale, capsys):
+    run_figure(benchmark, figure15, scale, capsys)

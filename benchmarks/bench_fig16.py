@@ -1,0 +1,13 @@
+"""Figure 16: Update I/O for varying NewOb.
+
+Regenerates the paper's figure at the scale selected by REPRO_SCALE and
+prints the series plus the paper's qualitative shape checks.
+"""
+
+from repro.experiments.figures import figure16
+
+from _util import run_figure
+
+
+def test_figure16(benchmark, scale, capsys):
+    run_figure(benchmark, figure16, scale, capsys)

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the core operations.
+
+Unlike the figure sweeps (measured in simulated I/O), these measure real
+wall time of the hot paths: TPBR construction, tree insertion, query
+evaluation and B+-tree maintenance.
+"""
+
+import random
+
+from repro.btree import BPlusTree
+from repro.core import MovingObjectTree, SimulationClock, rexp_config
+from repro.geometry import (
+    BoundingKind,
+    MovingPoint,
+    Rect,
+    TimesliceQuery,
+    compute_tpbr,
+)
+
+
+def _random_points(n, rng, t_exp_span=120.0):
+    points = []
+    for _ in range(n):
+        pos = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+        vel = (rng.uniform(-3, 3), rng.uniform(-3, 3))
+        points.append(MovingPoint(pos, vel, 0.0, rng.uniform(1.0, t_exp_span)))
+    return points
+
+
+def test_tpbr_near_optimal(benchmark):
+    rng = random.Random(0)
+    points = _random_points(100, rng)
+    benchmark(
+        compute_tpbr, points, 0.0, BoundingKind.NEAR_OPTIMAL,
+        horizon=60.0, rng=rng,
+    )
+
+
+def test_tpbr_optimal(benchmark):
+    rng = random.Random(0)
+    points = _random_points(100, rng)
+    benchmark(
+        compute_tpbr, points, 0.0, BoundingKind.OPTIMAL, horizon=60.0
+    )
+
+
+def test_tpbr_conservative(benchmark):
+    rng = random.Random(0)
+    points = _random_points(100, rng)
+    benchmark(compute_tpbr, points, 0.0, BoundingKind.CONSERVATIVE)
+
+
+def _loaded_tree(n=1500, seed=0):
+    rng = random.Random(seed)
+    clock = SimulationClock()
+    tree = MovingObjectTree(
+        rexp_config(page_size=1024, buffer_pages=16, default_ui=60.0), clock
+    )
+    t = 0.0
+    for oid, point in enumerate(_random_points(n, rng)):
+        t += 60.0 / n
+        clock.advance_to(t)
+        tree.insert(
+            oid,
+            MovingPoint(point.pos, point.vel, t, t + rng.uniform(30.0, 240.0)),
+        )
+    return tree, clock, rng
+
+
+def test_tree_insert(benchmark):
+    tree, clock, rng = _loaded_tree()
+    state = {"oid": 10_000_000, "t": clock.time}
+
+    def insert_one():
+        state["oid"] += 1
+        state["t"] += 0.001
+        clock.advance_to(state["t"])
+        pos = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+        vel = (rng.uniform(-3, 3), rng.uniform(-3, 3))
+        tree.insert(
+            state["oid"],
+            MovingPoint(pos, vel, state["t"], state["t"] + 120.0),
+        )
+
+    benchmark(insert_one)
+
+
+def test_tree_timeslice_query(benchmark):
+    tree, clock, rng = _loaded_tree()
+
+    def query_one():
+        x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+        q = TimesliceQuery(
+            Rect((x, y), (x + 50, y + 50)), clock.time + rng.uniform(0, 30)
+        )
+        return tree.query(q)
+
+    benchmark(query_one)
+
+
+def test_btree_insert_delete(benchmark):
+    rng = random.Random(1)
+    tree = BPlusTree(page_size=1024, buffer_pages=16)
+    for i in range(2000):
+        tree.insert((rng.uniform(0, 1e6), i), i)
+    state = {"i": 10_000_000}
+
+    def churn():
+        state["i"] += 1
+        key = (rng.uniform(0, 1e6), state["i"])
+        tree.insert(key, state["i"])
+        tree.delete(key)
+
+    benchmark(churn)

@@ -1,0 +1,47 @@
+"""Table 1: the workload parameters and their values.
+
+The paper's only table.  This benchmark verifies the parameter grid the
+other benchmarks sweep, and times a representative workload generation
+(the generator itself is part of the reproduced system).
+"""
+
+from repro.workloads import (
+    FixedPeriod,
+    NetworkParams,
+    PAPER_PARAMETERS,
+    generate_network_workload,
+)
+
+
+def _print_table() -> None:
+    print("\nTable 1: Workload Parameters")
+    print(f"{'Parameter':<8} {'Description':<52} {'Values (standard in *)'}")
+    for spec in PAPER_PARAMETERS:
+        values = ", ".join(
+            f"*{v:g}*" if v == spec.standard else f"{v:g}"
+            for v in spec.values
+        )
+        print(f"{spec.name:<8} {spec.description:<52} {values}")
+
+
+def test_table1(benchmark, scale, capsys):
+    def generate():
+        params = NetworkParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=60.0,
+            seed=0,
+        )
+        return generate_network_workload(params, FixedPeriod(120.0))
+
+    workload = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert workload.insertion_count == scale.insertions
+    assert workload.query_count >= scale.insertions // 100 - 1
+    with capsys.disabled():
+        _print_table()
+        print(
+            f"generated {len(workload)} operations "
+            f"({workload.insertion_count} insertions, "
+            f"{workload.query_count} queries) over "
+            f"{workload.ops[-1].time:.0f} simulated minutes"
+        )

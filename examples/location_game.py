@@ -1,0 +1,97 @@
+"""A BotFighters-style location game (the paper's motivating scenario).
+
+Players roam a city and can "shoot" other players within range of their
+predicted position.  Phones lose coverage or are switched off without
+notice, so every position report expires: a player who has not reported
+for a while silently drops out of range queries — exactly the implicit
+update the R^exp-tree is built for.
+
+Run:  python examples/location_game.py
+"""
+
+import random
+
+from repro import (
+    MovingObjectTree,
+    MovingPoint,
+    Rect,
+    SimulationClock,
+    TimesliceQuery,
+    rexp_config,
+)
+
+CITY = 1000.0          # city side length, meters-scale units
+SHOT_RANGE = 60.0      # players inside this box around you can be shot
+REPORT_VALIDITY = 8.0  # minutes until a report expires
+N_PLAYERS = 400
+ROUNDS = 25
+
+
+def random_report(rng: random.Random, now: float) -> MovingPoint:
+    pos = (rng.uniform(0, CITY), rng.uniform(0, CITY))
+    angle_speed = rng.uniform(0.0, 4.0)
+    vel = (rng.uniform(-1, 1) * angle_speed, rng.uniform(-1, 1) * angle_speed)
+    return MovingPoint(pos, vel, now, now + REPORT_VALIDITY)
+
+
+def main() -> None:
+    rng = random.Random(2002)
+    clock = SimulationClock()
+    tree = MovingObjectTree(rexp_config(), clock)
+
+    reports = {}
+    for player in range(N_PLAYERS):
+        reports[player] = random_report(rng, 0.0)
+        tree.insert(player, reports[player])
+
+    scores = {p: 0 for p in range(N_PLAYERS)}
+    offline = set()
+
+    for round_no in range(1, ROUNDS + 1):
+        now = round_no * 1.0
+        clock.advance_to(now)
+
+        # A handful of players drop offline without notice each round;
+        # nobody tells the index - their reports just expire.
+        for _ in range(rng.randrange(0, 8)):
+            offline.add(rng.randrange(N_PLAYERS))
+
+        # Online players re-report when their data is about to go stale.
+        for player, report in list(reports.items()):
+            if player in offline:
+                continue
+            if report.t_exp - now < 2.0:
+                fresh = random_report(rng, now)
+                tree.update(player, report, fresh)
+                reports[player] = fresh
+
+        # Each round a few players fire: a range query around their own
+        # predicted position, answered from the index.
+        shooters = rng.sample(sorted(set(reports) - offline), 5)
+        for shooter in shooters:
+            me = reports[shooter].position_at(now)
+            zone = Rect(
+                (max(me[0] - SHOT_RANGE, 0.0), max(me[1] - SHOT_RANGE, 0.0)),
+                (min(me[0] + SHOT_RANGE, CITY), min(me[1] + SHOT_RANGE, CITY)),
+            )
+            in_range = [
+                p for p in tree.query(TimesliceQuery(zone, now))
+                if p != shooter
+            ]
+            scores[shooter] += len(in_range)
+            if in_range:
+                print(f"t={now:4.0f}  player {shooter:3d} hits "
+                      f"{len(in_range)} target(s): {sorted(in_range)[:6]}"
+                      f"{'...' if len(in_range) > 6 else ''}")
+
+    audit = tree.audit()
+    top = sorted(scores.items(), key=lambda kv: -kv[1])[:5]
+    print("\nfinal leaderboard:", ", ".join(f"p{p}={s}" for p, s in top))
+    print(f"{len(offline)} players went dark; the index purged itself down "
+          f"to {audit.leaf_entries} stored reports "
+          f"({audit.expired_fraction:.1%} awaiting lazy purge) on "
+          f"{tree.page_count} pages")
+
+
+if __name__ == "__main__":
+    main()

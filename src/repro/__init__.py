@@ -1,0 +1,55 @@
+"""repro — a reproduction of the R^exp-tree.
+
+Indexing of Moving Objects for Location-Based Services
+(Simonas Saltenis and Christian S. Jensen, TimeCenter TR-63 / ICDE 2002).
+
+Quickstart::
+
+    from repro import MovingObjectTree, MovingPoint, TimesliceQuery, Rect
+
+    tree = MovingObjectTree()
+    tree.clock.advance_to(0.0)
+    tree.insert(1, MovingPoint(pos=(10.0, 20.0), vel=(0.5, -0.25),
+                               t_ref=0.0, t_exp=120.0))
+    hits = tree.query(TimesliceQuery(Rect((0.0, 0.0), (50.0, 50.0)), t=30.0))
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the figure-by-figure reproduction.
+"""
+
+from .core import (
+    MovingObjectTree,
+    ScheduledDeletionIndex,
+    SimulationClock,
+    TreeConfig,
+    rexp_config,
+    tpr_config,
+)
+from .geometry import (
+    TPBR,
+    BoundingKind,
+    MovingPoint,
+    MovingQuery,
+    Rect,
+    TimesliceQuery,
+    WindowQuery,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingKind",
+    "MovingObjectTree",
+    "MovingPoint",
+    "MovingQuery",
+    "Rect",
+    "ScheduledDeletionIndex",
+    "SimulationClock",
+    "TPBR",
+    "TimesliceQuery",
+    "TreeConfig",
+    "WindowQuery",
+    "__version__",
+    "rexp_config",
+    "tpr_config",
+]

@@ -1,0 +1,5 @@
+"""Disk-based B+-tree used as the scheduled-deletion queue (Section 3)."""
+
+from .bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,371 @@
+"""A disk-based B+-tree.
+
+Section 3 of the paper argues that scheduling deletions of expiring
+objects requires a secondary disk-resident structure — "a B-tree on the
+composite key of the expiration time and the object id" — supporting
+efficient minimum extraction (the next due deletion) plus point inserts
+and deletes (objects updated before they expire).  This module provides
+that structure on the same simulated paged store, so its I/O can be
+charged next to the primary index's (the paper shows this roughly
+doubles update cost).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..storage.buffer import BufferPool
+from ..storage.disk import INVALID_PAGE, DiskManager, PageId
+from ..storage.stats import IOStats
+
+Key = Tuple[Any, ...]
+
+#: Per-node bookkeeping bytes.
+_HEADER = 16
+#: Bytes per (key, value/child) slot: composite key (8 + 4) + pointer 4.
+_SLOT = 16
+
+
+class _BNode:
+    """One B+-tree node; leaves carry values and a next-leaf link."""
+
+    __slots__ = ("leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Key] = []
+        self.values: List[Any] = []          # leaf payloads
+        self.children: List[PageId] = []     # internal children
+        self.next_leaf: PageId = INVALID_PAGE
+
+
+class BPlusTree:
+    """Order-by-page-size B+-tree with duplicate-free composite keys.
+
+    Keys must be tuples with a total order (the paper's use case is
+    ``(t_exp, object_id)``, which is unique per live object).
+    """
+
+    def __init__(self, page_size: int = 4096, buffer_pages: int = 50):
+        self.stats = IOStats()
+        self.disk = DiskManager(page_size, self.stats)
+        self.buffer = BufferPool(self.disk, buffer_pages)
+        self.capacity = max(4, (page_size - _HEADER) // _SLOT)
+        self._size = 0
+        self.root_pid = self._new_node(_BNode(leaf=True))
+        self.buffer.pin(self.root_pid)
+
+    # -- node I/O --------------------------------------------------------------
+
+    def _new_node(self, node: _BNode) -> PageId:
+        pid = self.disk.allocate()
+        self.buffer.put_new(pid, node)
+        return pid
+
+    def _load(self, pid: PageId) -> _BNode:
+        return self.buffer.get(pid)
+
+    def _touch(self, pid: PageId, node: _BNode) -> None:
+        self.buffer.mark_dirty(pid, node)
+
+    @property
+    def _min_keys(self) -> int:
+        return self.capacity // 2
+
+    # -- public API --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def page_count(self) -> int:
+        return self.disk.allocated_pages
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self._load(self.root_pid)
+        while not node.leaf:
+            node = self._load(node.children[0])
+            h += 1
+        return h
+
+    def get(self, key: Key) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        node = self._load(self.root_pid)
+        while not node.leaf:
+            node = self._load(node.children[self._child_index(node, key)])
+        i = bisect.bisect_left(node.keys, key)
+        value = None
+        if i < len(node.keys) and node.keys[i] == key:
+            value = node.values[i]
+        self.buffer.flush_all()
+        return value
+
+    def insert(self, key: Key, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        split = self._insert_rec(self.root_pid, key, value)
+        if split is not None:
+            sep, right_pid = split
+            old_root = self._load(self.root_pid)
+            moved = self._new_node(old_root)
+            new_root = _BNode(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [moved, right_pid]
+            self._touch(self.root_pid, new_root)
+        self.buffer.flush_all()
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns False if absent."""
+        removed = self._delete_rec(self.root_pid, key)
+        root = self._load(self.root_pid)
+        if not root.leaf and len(root.children) == 1:
+            child = self._load(root.children[0])
+            self._touch(self.root_pid, child)
+            self.buffer.discard(root.children[0])
+            self.disk.free(root.children[0])
+        if removed:
+            self._size -= 1
+        self.buffer.flush_all()
+        return removed
+
+    def min_item(self) -> Optional[Tuple[Key, Any]]:
+        """The smallest (key, value), or None when empty."""
+        node = self._load(self.root_pid)
+        while not node.leaf:
+            node = self._load(node.children[0])
+        result = (node.keys[0], node.values[0]) if node.keys else None
+        self.buffer.flush_all()
+        return result
+
+    def pop_min(self) -> Optional[Tuple[Key, Any]]:
+        """Remove and return the smallest (key, value)."""
+        item = self.min_item()
+        if item is None:
+            return None
+        self.delete(item[0])
+        return item
+
+    def items(
+        self, lo: Optional[Key] = None, hi: Optional[Key] = None
+    ) -> Iterator[Tuple[Key, Any]]:
+        """All (key, value) pairs with lo <= key < hi, in key order."""
+        node = self._load(self.root_pid)
+        while not node.leaf:
+            idx = self._child_index(node, lo) if lo is not None else 0
+            node = self._load(node.children[idx])
+        while True:
+            for key, value in zip(node.keys, node.values):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, value
+            if node.next_leaf == INVALID_PAGE:
+                return
+            node = self._load(node.next_leaf)
+
+    # -- insertion internals -------------------------------------------------------
+
+    @staticmethod
+    def _child_index(node: _BNode, key: Key) -> int:
+        return bisect.bisect_right(node.keys, key)
+
+    def _insert_rec(
+        self, pid: PageId, key: Key, value: Any
+    ) -> Optional[Tuple[Key, PageId]]:
+        node = self._load(pid)
+        if node.leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+            else:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self._size += 1
+            self._touch(pid, node)
+            if len(node.keys) > self.capacity:
+                return self._split_leaf(pid, node)
+            return None
+        idx = self._child_index(node, key)
+        split = self._insert_rec(node.children[idx], key, value)
+        if split is not None:
+            sep, right_pid = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right_pid)
+            self._touch(pid, node)
+            if len(node.children) > self.capacity:
+                return self._split_internal(pid, node)
+        return None
+
+    def _split_leaf(self, pid: PageId, node: _BNode) -> Tuple[Key, PageId]:
+        mid = len(node.keys) // 2
+        right = _BNode(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right_pid = self._new_node(right)
+        node.next_leaf = right_pid
+        self._touch(pid, node)
+        return right.keys[0], right_pid
+
+    def _split_internal(self, pid: PageId, node: _BNode) -> Tuple[Key, PageId]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _BNode(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        right_pid = self._new_node(right)
+        self._touch(pid, node)
+        return sep, right_pid
+
+    # -- deletion internals ----------------------------------------------------------
+
+    def _delete_rec(self, pid: PageId, key: Key) -> bool:
+        node = self._load(pid)
+        if node.leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if i >= len(node.keys) or node.keys[i] != key:
+                return False
+            del node.keys[i]
+            del node.values[i]
+            self._touch(pid, node)
+            return True
+        idx = self._child_index(node, key)
+        removed = self._delete_rec(node.children[idx], key)
+        if removed:
+            self._rebalance(pid, node, idx)
+        return removed
+
+    def _rebalance(self, pid: PageId, node: _BNode, idx: int) -> None:
+        child_pid = node.children[idx]
+        child = self._load(child_pid)
+        underfull = (
+            len(child.keys) < self._min_keys
+            if child.leaf
+            else len(child.children) < self._min_keys
+        )
+        if not underfull:
+            return
+        left_idx = idx - 1 if idx > 0 else None
+        right_idx = idx + 1 if idx + 1 < len(node.children) else None
+
+        if left_idx is not None:
+            left_pid = node.children[left_idx]
+            left = self._load(left_pid)
+            if self._can_lend(left):
+                self._borrow_from_left(node, left, child, left_idx, idx)
+                self._touch(left_pid, left)
+                self._touch(child_pid, child)
+                self._touch(pid, node)
+                return
+        if right_idx is not None:
+            right_pid = node.children[right_idx]
+            right = self._load(right_pid)
+            if self._can_lend(right):
+                self._borrow_from_right(node, child, right, idx)
+                self._touch(right_pid, right)
+                self._touch(child_pid, child)
+                self._touch(pid, node)
+                return
+        # Merge with a sibling.
+        if left_idx is not None:
+            left_pid = node.children[left_idx]
+            left = self._load(left_pid)
+            self._merge(node, left, child, left_idx)
+            self._touch(left_pid, left)
+            self.buffer.discard(child_pid)
+            self.disk.free(child_pid)
+        else:
+            right_pid = node.children[right_idx]
+            right = self._load(right_pid)
+            self._merge(node, child, right, idx)
+            self._touch(child_pid, child)
+            self.buffer.discard(right_pid)
+            self.disk.free(right_pid)
+        self._touch(pid, node)
+
+    def _can_lend(self, node: _BNode) -> bool:
+        if node.leaf:
+            return len(node.keys) > self._min_keys
+        return len(node.children) > self._min_keys
+
+    @staticmethod
+    def _borrow_from_left(
+        parent: _BNode, left: _BNode, child: _BNode, left_idx: int, idx: int
+    ) -> None:
+        if child.leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[left_idx] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[left_idx])
+            parent.keys[left_idx] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    @staticmethod
+    def _borrow_from_right(
+        parent: _BNode, child: _BNode, right: _BNode, idx: int
+    ) -> None:
+        if child.leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    @staticmethod
+    def _merge(
+        parent: _BNode, left: _BNode, right: _BNode, left_key_idx: int
+    ) -> None:
+        """Fold ``right`` into ``left``; removes the separator from parent."""
+        if left.leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_key_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[left_key_idx]
+        del parent.children[left_key_idx + 1]
+
+    # -- validation (used by tests) ---------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is violated."""
+        count = self._walk(self.root_pid, None, None, is_root=True)
+        assert count == self._size, f"size {self._size} != walked {count}"
+        keys = [k for k, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(set(keys)) == len(keys), "duplicate keys"
+
+    def _walk(
+        self, pid: PageId, lo: Optional[Key], hi: Optional[Key], is_root: bool
+    ) -> int:
+        node = self._load(pid)
+        for key in node.keys:
+            assert lo is None or key >= lo, "key below subtree bound"
+            assert hi is None or key < hi, "key above subtree bound"
+        assert node.keys == sorted(node.keys), "unsorted node"
+        if node.leaf:
+            if not is_root:
+                assert len(node.keys) >= self._min_keys, "underfull leaf"
+            assert len(node.keys) <= self.capacity, "overfull leaf"
+            return len(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.children) >= self._min_keys, "underfull internal"
+        assert len(node.children) <= self.capacity, "overfull internal"
+        total = 0
+        bounds = [lo] + node.keys + [hi]
+        for i, child in enumerate(node.children):
+            total += self._walk(child, bounds[i], bounds[i + 1], is_root=False)
+        return total

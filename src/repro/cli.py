@@ -1,0 +1,266 @@
+"""Command-line interface for the reproduction.
+
+::
+
+    python -m repro figures fig13            # reproduce one figure
+    python -m repro figures all --scale tiny # the whole evaluation
+    python -m repro table1                   # workload parameter grid
+    python -m repro workload --expt 120      # generate + summarize
+    python -m repro compare                  # quick R^exp vs TPR duel
+    python -m repro layout --page-size 4096  # node fan-outs
+
+Figure sweeps honour the same cache as the benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.presets import rexp_config, tpr_config
+from .experiments.adapters import TreeAdapter
+from .experiments.figures import ALL_FIGURES
+from .experiments.report import format_checks, format_figure, shape_checks
+from .experiments.runner import run_workload
+from .experiments.scale import DEFAULT_SCALE, SCALES, Scale
+from .storage.layout import EntryLayout
+from .workloads.expiration import FixedDistance, FixedPeriod, NeverExpire
+from .workloads.network import NetworkParams, generate_network_workload
+from .workloads.parameters import PAPER_PARAMETERS
+from .workloads.uniform import UniformParams, generate_uniform_workload
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=DEFAULT_SCALE,
+        help="experiment scale preset",
+    )
+    parser.add_argument(
+        "--population", type=int, default=None,
+        help="override the scale's target population",
+    )
+    parser.add_argument(
+        "--insertions", type=int, default=None,
+        help="override the scale's insertion count",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_scale(args: argparse.Namespace) -> Scale:
+    base = SCALES[args.scale]
+    population = args.population or base.target_population
+    insertions = args.insertions or base.insertions
+    if (population, insertions) == (base.target_population, base.insertions):
+        return base
+    return Scale(
+        name=f"{base.name}-custom{population}x{insertions}",
+        target_population=population,
+        insertions=insertions,
+        page_size=base.page_size,
+        buffer_pages=base.buffer_pages,
+        queue_buffer_pages=base.queue_buffer_pages,
+    )
+
+
+def _expiration_policy(args: argparse.Namespace):
+    if getattr(args, "expd", None):
+        return FixedDistance(args.expd)
+    if getattr(args, "expt", None):
+        return FixedPeriod(args.expt)
+    if getattr(args, "no_expiry", False):
+        return NeverExpire()
+    return None
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = args.figures
+    if names == ["all"]:
+        names = sorted(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ALL_FIGURES))} or 'all'",
+              file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args)
+    failures = 0
+    for name in names:
+        figure = ALL_FIGURES[name](scale, seed=args.seed)
+        print(format_figure(figure))
+        if args.chart:
+            from .experiments.plotting import ascii_chart
+
+            print(ascii_chart(figure))
+        checks = shape_checks(figure)
+        if checks:
+            print("shape checks:")
+            print(format_checks(checks))
+            failures += sum(1 for c in checks if not c.passed)
+        print()
+    return 1 if failures and args.strict else 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print("Table 1: Workload Parameters (standard values starred)")
+    print(f"{'Parameter':<10} {'Description':<55} Values")
+    for spec in PAPER_PARAMETERS:
+        values = ", ".join(
+            f"*{v:g}*" if v == spec.standard else f"{v:g}"
+            for v in spec.values
+        )
+        print(f"{spec.name:<10} {spec.description:<55} {values}")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(2.0 * args.ui)
+    if args.kind == "network":
+        workload = generate_network_workload(
+            NetworkParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                new_object_fraction=args.newob,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    else:
+        workload = generate_uniform_workload(
+            UniformParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    workload.validate()
+    if args.save:
+        from .workloads.io import save_workload
+
+        save_workload(workload, args.save)
+        print(f"saved trace to {args.save}")
+    duration = workload.ops[-1].time if workload.ops else 0.0
+    print(f"workload {workload.name}")
+    for key, value in sorted(workload.params.items()):
+        print(f"  {key:<22} {value}")
+    print(f"  {'operations':<22} {len(workload)}")
+    print(f"  {'insertions':<22} {workload.insertion_count}")
+    print(f"  {'queries':<22} {workload.query_count}")
+    print(f"  {'duration (simulated)':<22} {duration:.1f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    workload = generate_network_workload(
+        NetworkParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=args.ui,
+            seed=args.seed,
+        ),
+        policy,
+    )
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    print(f"replaying {workload.name} at scale {scale.name} ...")
+    results = []
+    for name, config in (
+        ("Rexp-tree", rexp_config(**sizing)),
+        ("TPR-tree", tpr_config(**sizing)),
+    ):
+        result = run_workload(TreeAdapter(name, config), workload)
+        results.append(result)
+        print(result.summary())
+    if results[0].avg_search_io > 0.0:
+        ratio = results[1].avg_search_io / results[0].avg_search_io
+        print(f"search I/O advantage of the R^exp-tree: {ratio:.2f}x")
+    else:
+        print("index fits entirely in the buffer pool at this scale; "
+              "increase --population for a meaningful comparison")
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
+    combos = [
+        ("TPBRs with velocities + expiration times", True, True),
+        ("TPBRs with velocities, no expiration times", True, False),
+        ("static TPBRs + expiration times", False, True),
+        ("static TPBRs, no expiration times", False, False),
+    ]
+    for label, velocities, expiration in combos:
+        layout = EntryLayout(
+            page_size=args.page_size,
+            dims=args.dims,
+            store_velocities=velocities,
+            store_br_expiration=expiration,
+        )
+        print(f"{label:<42} {layout.leaf_capacity:>6} "
+              f"{layout.internal_capacity:>9}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the R^exp-tree (Saltenis & Jensen, "
+        "ICDE 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="reproduce the paper's figures")
+    p.add_argument("figures", nargs="+",
+                   help="figure ids (fig9..fig16) or 'all'")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any shape check misses")
+    p.add_argument("--chart", action="store_true",
+                   help="also render an ASCII chart per figure")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("table1", help="print the workload parameter grid")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("workload", help="generate a workload and summarize it")
+    p.add_argument("--kind", choices=("network", "uniform"), default="network")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--no-expiry", action="store_true")
+    p.add_argument("--newob", type=float, default=0.0)
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="write the generated trace to a JSONL file")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("compare", help="R^exp-tree vs TPR-tree on one workload")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("layout", help="node fan-outs for a page size")
+    p.add_argument("--page-size", type=int, default=4096)
+    p.add_argument("--dims", type=int, default=2)
+    p.set_defaults(func=cmd_layout)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

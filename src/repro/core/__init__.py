@@ -1,0 +1,21 @@
+"""The paper's contribution: the R^exp-tree and its configuration space."""
+
+from .clock import SimulationClock
+from .config import TreeConfig
+from .horizon import HorizonTracker
+from .presets import bounding_config, flavor_config, rexp_config, tpr_config
+from .scheduled import ScheduledDeletionIndex
+from .tree import MovingObjectTree, TreeAudit
+
+__all__ = [
+    "HorizonTracker",
+    "MovingObjectTree",
+    "ScheduledDeletionIndex",
+    "SimulationClock",
+    "TreeAudit",
+    "TreeConfig",
+    "bounding_config",
+    "flavor_config",
+    "rexp_config",
+    "tpr_config",
+]

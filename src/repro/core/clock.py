@@ -1,0 +1,31 @@
+"""The simulation clock.
+
+The paper's workloads simulate index usage across a period of time; the
+indexes, the horizon tracker and the workload runner all share one
+monotone clock driven by workload timestamps.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """A monotone simulated time source."""
+
+    def __init__(self, start: float = 0.0):
+        self._time = float(start)
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def now(self) -> float:
+        """Current simulation time (callable form for metric providers)."""
+        return self._time
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward; moving backwards is a no-op."""
+        if t > self._time:
+            self._time = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock({self._time})"

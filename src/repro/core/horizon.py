@@ -1,0 +1,107 @@
+"""Online maintenance of the time horizon H (Section 4.2.3).
+
+The insertion heuristics integrate objectives over ``[now, now + H]``
+with ``H = UI + W``: the average update interval plus the querying
+window.  The R^exp-tree estimates UI by timing every batch of ``b``
+insertions (``b`` = entries per node) against the current leaf count,
+derives ``W = alpha * UI``, and scales UI per tree level for bounding-
+rectangle recomputation (a level-l rectangle is recomputed whenever any
+entry below it is updated, so its effective horizon is shorter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class HorizonTracker:
+    """Tracks UI, per-level UI_l, W and H from the insertion stream.
+
+    Args:
+        now: the simulation clock.
+        batch_size: insertions per UI re-estimation (the paper uses the
+            node capacity ``b``).
+        alpha: querying-window factor, W = alpha * UI.
+        default_ui: UI estimate before the first batch completes.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        batch_size: int,
+        alpha: float = 0.5,
+        default_ui: float = 60.0,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._now = now
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self._ui = default_ui
+        self._batch_start = now()
+        self._batch_count = 0
+        self._leaf_entries = 0
+        self._node_counts: Dict[int, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def record_insertion(self) -> None:
+        """Note one top-level insertion (drives the UI estimate)."""
+        self._batch_count += 1
+        if self._batch_count < self.batch_size:
+            return
+        elapsed = self._now() - self._batch_start
+        if elapsed > 0.0 and self._leaf_entries > 0:
+            # UI = (elapsed / b) * N: with N live entries updating once
+            # per UI on average, insertions arrive every UI / N.
+            self._ui = (elapsed / self.batch_size) * self._leaf_entries
+        self._batch_start = self._now()
+        self._batch_count = 0
+
+    def leaf_entries_changed(self, delta: int) -> None:
+        """Adjust the tracked number of leaf-level entries (N)."""
+        self._leaf_entries = max(0, self._leaf_entries + delta)
+
+    def node_count_changed(self, level: int, delta: int) -> None:
+        """Adjust the number of nodes at a tree level.
+
+        The number of entries at level l+1 equals the number of nodes at
+        level l, which gives the per-level N_l of Section 4.2.3.
+        """
+        self._node_counts[level] = max(0, self._node_counts.get(level, 0) + delta)
+
+    # -- estimates --------------------------------------------------------------
+
+    @property
+    def leaf_entries(self) -> int:
+        return self._leaf_entries
+
+    @property
+    def update_interval(self) -> float:
+        """UI — the estimated average time between updates of one object."""
+        return self._ui
+
+    @property
+    def querying_window(self) -> float:
+        """W = alpha * UI."""
+        return self.alpha * self._ui
+
+    def insertion_horizon(self) -> float:
+        """H = UI + W, used by the insertion-decision integrals."""
+        return self._ui + self.querying_window
+
+    def bounding_horizon(self, node_level: int) -> float:
+        """Horizon for a rectangle bounding a node at ``node_level``.
+
+        Such a rectangle is a level-(node_level+1) entry; it is
+        recomputed roughly every ``UI_l = UI * N_l / N`` time units
+        (entries per node below it update independently), so its horizon
+        is ``UI_l + W``.
+        """
+        entries_above = self._node_counts.get(node_level, 0)
+        if self._leaf_entries > 0 and entries_above > 0:
+            ui_l = self._ui * entries_above / self._leaf_entries
+            ui_l = min(ui_l, self._ui)
+        else:
+            ui_l = self._ui
+        return ui_l + self.querying_window

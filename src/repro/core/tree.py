@@ -1,0 +1,600 @@
+"""The R^exp-tree (and, by configuration, the TPR-tree).
+
+A balanced R-tree over the current and anticipated future positions of
+moving point objects.  Leaf entries are (moving point, object id) pairs;
+internal entries are (TPBR, child page) pairs.  The tree follows the
+paper's Section 4:
+
+* insertion heuristics are the R*-tree's with time-integral objectives
+  (Equation 1) and a self-tuned horizon H = UI + W;
+* bounding rectangles are recomputed by the configured algorithm
+  whenever a node is modified;
+* expired entries are purged *lazily*: whenever a modified node is about
+  to be written, its expired entries are dropped (whole subtrees are
+  deallocated for expired internal entries), and the insertion/deletion
+  algorithms handle nodes that thereby become underfull through a shared
+  CondenseTree/PropagateUp pass with an orphans list (Figure 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..geometry.bounding import compute_tpbr
+from ..geometry.intersection import region_intersects_tpbr, region_matches_point
+from ..geometry.kinematics import NEVER, MovingPoint
+from ..geometry.queries import SpatioTemporalQuery
+from ..geometry.tpbr import TPBR
+from ..rstar.heuristics import choose_child, choose_split, reinsert_candidates
+from ..rstar.metrics import KineticMetrics
+from ..rstar.node import Node
+from ..storage.buffer import BufferPool
+from ..storage.disk import DiskManager, PageId
+from ..storage.stats import IOStats
+from .clock import SimulationClock
+from .config import TreeConfig
+from .horizon import HorizonTracker
+
+#: Tolerance for the point-in-rectangle pruning used by deletions.
+_DELETE_EPS = 1e-6
+
+LeafEntry = Tuple[MovingPoint, int]
+Orphan = Tuple[Tuple[object, object], int]  # ((region, value), level)
+
+
+@dataclass(frozen=True)
+class TreeAudit:
+    """Structural census produced by :meth:`MovingObjectTree.audit`."""
+
+    height: int
+    nodes: int
+    leaf_entries: int
+    expired_leaf_entries: int
+    internal_entries: int
+    expired_internal_entries: int
+
+    @property
+    def expired_fraction(self) -> float:
+        if self.leaf_entries == 0:
+            return 0.0
+        return self.expired_leaf_entries / self.leaf_entries
+
+
+class MovingObjectTree:
+    """Disk-based index over expiring moving points.
+
+    With the default :class:`TreeConfig` this is the paper's R^exp-tree;
+    see :mod:`repro.core.presets` for the TPR-tree and the Section 5
+    experiment flavours.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TreeConfig] = None,
+        clock: Optional[SimulationClock] = None,
+    ):
+        self.config = config if config is not None else TreeConfig()
+        self.clock = clock if clock is not None else SimulationClock()
+        self.stats = IOStats()
+        self.disk = DiskManager(self.config.page_size, self.stats)
+        self.buffer = BufferPool(self.disk, self.config.buffer_pages)
+        layout = self.config.layout()
+        self.leaf_capacity = layout.leaf_capacity
+        self.internal_capacity = layout.internal_capacity
+        self._rng = random.Random(self.config.seed)
+        self.horizon = HorizonTracker(
+            now=self.clock.now,
+            batch_size=self.leaf_capacity,
+            alpha=self.config.horizon_alpha,
+            default_ui=self.config.default_ui,
+        )
+        # Real-expiration metrics drive splits, reinserts and bound
+        # recomputation; the choose metrics may ignore expiration times
+        # (the "algs w/o exp.t." flavour).
+        self._metrics = KineticMetrics(
+            self.config.bounding,
+            now=self.clock.now,
+            horizon=self.horizon.insertion_horizon,
+            rng=self._rng,
+            ignore_expiration=False,
+        )
+        self._choose_metrics = KineticMetrics(
+            self.config.bounding,
+            now=self.clock.now,
+            horizon=self.horizon.insertion_horizon,
+            rng=self._rng,
+            ignore_expiration=self.config.choose_ignores_expiration,
+        )
+        self.root_pid = self._new_node(Node(0))
+        self.buffer.pin(self.root_pid)
+        self.buffer.flush_all()
+
+    # ------------------------------------------------------------------ API --
+
+    @property
+    def now(self) -> float:
+        return self.clock.time
+
+    def insert(self, oid: int, point: MovingPoint) -> None:
+        """Index a (new or re-appearing) object's reported movement."""
+        if point.dims != self.config.dims:
+            raise ValueError(
+                f"expected {self.config.dims}-d point, got {point.dims}-d"
+            )
+        if not self.config.store_leaf_expiration and point.t_exp != NEVER:
+            point = MovingPoint(point.pos, point.vel, point.t_ref, NEVER)
+        orphans: List[Orphan] = []
+        reinserted: set = set()
+        self._insert_entry_at_level((point, oid), 0, orphans, reinserted)
+        self._process_orphans(orphans, reinserted)
+        self._shrink_root()
+        self.horizon.record_insertion()
+        self.buffer.flush_all()
+
+    def delete(self, oid: int, point: MovingPoint) -> bool:
+        """Remove an object's entry, locating it via its last report.
+
+        Follows the paper's deletion discipline: the regular search
+        procedure is used and does not "see" expired entries, so deleting
+        an already-expired (or lazily purged) object fails and returns
+        False — which is harmless, as the entry is or will be purged.
+        """
+        found = self._find_leaf_entry(oid, point)
+        if found is None:
+            self.buffer.flush_all()
+            return False
+        path, entry_idx = found
+        leaf = self._load(path[-1])
+        del leaf.entries[entry_idx]
+        self.horizon.leaf_entries_changed(-1)
+        self._touch(path[-1], leaf)
+        orphans: List[Orphan] = []
+        reinserted: set = set()
+        self._condense_path(path, orphans, reinserted)
+        self._process_orphans(orphans, reinserted)
+        self._shrink_root()
+        self.buffer.flush_all()
+        return True
+
+    def update(
+        self, oid: int, old_point: MovingPoint, new_point: MovingPoint
+    ) -> bool:
+        """Delete the old report and insert the new one.
+
+        Returns:
+            True if the old entry was found (it may have expired).
+        """
+        existed = self.delete(oid, old_point)
+        self.insert(oid, new_point)
+        return existed
+
+    def query(self, query: SpatioTemporalQuery) -> List[int]:
+        """Object ids matching a timeslice/window/moving query.
+
+        Expired information never qualifies: intersection tests clip the
+        query window at each entry's expiration time (Section 4.1.5).
+        """
+        region = query.region()
+        results: List[int] = []
+        stack = [self.root_pid]
+        while stack:
+            node = self._load(stack.pop())
+            if node.is_leaf:
+                for point, oid in node.entries:
+                    if region_matches_point(region, point):
+                        results.append(oid)
+            else:
+                for br, child_pid in node.entries:
+                    if region_intersects_tpbr(region, br):
+                        stack.append(child_pid)
+        self.buffer.flush_all()
+        return results
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self.disk.peek(self.root_pid).level + 1
+
+    @property
+    def page_count(self) -> int:
+        """Index size in disk pages (Figure 15's metric)."""
+        return self.disk.allocated_pages
+
+    @property
+    def leaf_entry_count(self) -> int:
+        """Physical leaf entries currently stored (live plus expired)."""
+        return self.horizon.leaf_entries
+
+    def audit(self) -> TreeAudit:
+        """Walk the whole tree without charging I/O and count entries."""
+        now = self.now
+        nodes = 0
+        leaf_entries = expired_leaf = 0
+        internal_entries = expired_internal = 0
+        stack = [self.root_pid]
+        while stack:
+            node = self.disk.peek(stack.pop())
+            nodes += 1
+            if node.is_leaf:
+                leaf_entries += len(node.entries)
+                expired_leaf += sum(
+                    1 for point, _ in node.entries if point.t_exp < now
+                )
+            else:
+                internal_entries += len(node.entries)
+                for br, child in node.entries:
+                    if br.t_exp < now:
+                        expired_internal += 1
+                    stack.append(child)
+        return TreeAudit(
+            height=self.height,
+            nodes=nodes,
+            leaf_entries=leaf_entries,
+            expired_leaf_entries=expired_leaf,
+            internal_entries=internal_entries,
+            expired_internal_entries=expired_internal,
+        )
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on structural violations (test helper)."""
+        self._check_node(self.root_pid, expected_level=None, bound=None)
+        seen = self._reachable_pages()
+        assert seen == set(self.disk.page_ids()), (
+            "orphaned pages: "
+            f"{set(self.disk.page_ids()) - seen} unreachable"
+        )
+
+    # -- node bookkeeping ---------------------------------------------------------
+
+    def _new_node(self, node: Node) -> PageId:
+        pid = self.disk.allocate()
+        self.buffer.put_new(pid, node)
+        self.horizon.node_count_changed(node.level, +1)
+        return pid
+
+    def _free_node(self, pid: PageId, node: Node) -> None:
+        self.horizon.node_count_changed(node.level, -1)
+        self.buffer.discard(pid)
+        self.disk.free(pid)
+
+    def _load(self, pid: PageId) -> Node:
+        return self.buffer.get(pid)
+
+    def _touch(self, pid: PageId, node: Node) -> None:
+        self.buffer.mark_dirty(pid, node)
+
+    def _set_root(self, new_root: Node) -> None:
+        old = self._load(self.root_pid)
+        self.horizon.node_count_changed(old.level, -1)
+        self.horizon.node_count_changed(new_root.level, +1)
+        self._touch(self.root_pid, new_root)
+
+    def _capacity(self, node: Node) -> int:
+        return self.leaf_capacity if node.is_leaf else self.internal_capacity
+
+    def _min_entries(self, node: Node) -> int:
+        return max(2, int(self._capacity(node) * self.config.min_fill))
+
+    # -- liveness -------------------------------------------------------------------
+
+    def _is_live(self, region) -> bool:
+        if not self.config.lazy_expiry:
+            return True
+        return not region.t_exp < self.now
+
+    def _live_count(self, node: Node) -> int:
+        if not self.config.lazy_expiry:
+            return len(node.entries)
+        now = self.now
+        return sum(1 for region, _ in node.entries if not region.t_exp < now)
+
+    # -- bounds ------------------------------------------------------------------------
+
+    def _bound_node(self, node: Node) -> TPBR:
+        """Recompute the stored bounding rectangle of a node's entries."""
+        items = node.regions()
+        br = compute_tpbr(
+            items,
+            self.now,
+            self.config.bounding,
+            horizon=self.horizon.bounding_horizon(node.level),
+            rng=self._rng,
+        )
+        if not self.config.store_br_expiration:
+            # The expiration time is not stored on the page; only the
+            # derivable zero-extent time of a shrinking rectangle remains
+            # available to the algorithms (Section 4.1.1).
+            br = TPBR(
+                br.lo, br.hi, br.vlo, br.vhi, br.t_ref, br.derived_expiration()
+            )
+        return br
+
+    # -- insertion ----------------------------------------------------------------------
+
+    def _insert_entry_at_level(
+        self,
+        entry: Tuple[object, object],
+        level: int,
+        orphans: List[Orphan],
+        reinserted: set,
+    ) -> None:
+        root = self._load(self.root_pid)
+        if not root.entries:
+            # CT3.1: the root emptied out; restart it at this entry's level.
+            self._set_root(Node(level, [entry]))
+            if level == 0:
+                self.horizon.leaf_entries_changed(+1)
+            self._condense_path([self.root_pid], orphans, reinserted)
+            return
+        if level > root.level:
+            raise RuntimeError(
+                f"cannot place a level-{level} entry under a level-"
+                f"{root.level} root"
+            )
+        path = [self.root_pid]
+        node = root
+        while node.level > level:
+            idx = self._choose_child_index(node, entry[0], level)
+            child_pid = node.entries[idx][1]
+            path.append(child_pid)
+            node = self._load(child_pid)
+        node.entries.append(entry)
+        if level == 0:
+            self.horizon.leaf_entries_changed(+1)
+        self._touch(path[-1], node)
+        self._condense_path(path, orphans, reinserted)
+
+    def _choose_child_index(self, node: Node, region, target_level: int) -> int:
+        candidates = [
+            i for i, (r, _) in enumerate(node.entries) if self._is_live(r)
+        ]
+        if not candidates:
+            candidates = list(range(len(node.entries)))
+        use_overlap = (
+            self.config.use_overlap_in_choose
+            and node.level == target_level + 1
+        )
+        regions = [node.entries[i][0] for i in candidates]
+        pick = choose_child(self._choose_metrics, regions, region, use_overlap)
+        return candidates[pick]
+
+    def _process_orphans(self, orphans: List[Orphan], reinserted: set) -> None:
+        # CT3: reinsert orphans, highest tree levels first.
+        while orphans:
+            best = max(range(len(orphans)), key=lambda i: orphans[i][1])
+            entry, level = orphans.pop(best)
+            self._insert_entry_at_level(entry, level, orphans, reinserted)
+
+    # -- the shared condense/propagate pass (Section 4.3) -----------------------------------
+
+    def _condense_path(
+        self, path: List[PageId], orphans: List[Orphan], reinserted: set
+    ) -> None:
+        """PropagateUp from the modified node to the root.
+
+        At each node: purge expired entries, resolve overflow (forced
+        reinsert or split), resolve underflow (move live entries to the
+        orphans list and deallocate), and refresh the parent's bounding
+        rectangle.
+        """
+        for depth in range(len(path) - 1, -1, -1):
+            pid = path[depth]
+            node = self._load(pid)
+            if self.config.lazy_expiry:
+                self._purge_node(node)
+            is_root = depth == 0
+            split_entry = None
+            if len(node.entries) > self._capacity(node):
+                split_entry = self._overflow(
+                    pid, node, is_root, orphans, reinserted
+                )
+            if is_root:
+                self._touch(pid, node)
+                if split_entry is not None:
+                    self._grow_root(split_entry)
+                continue
+            parent_pid = path[depth - 1]
+            parent = self._load(parent_pid)
+            child_idx = next(
+                i for i, (_, c) in enumerate(parent.entries) if c == pid
+            )
+            underfull = self._live_count(node) < self._min_entries(node)
+            has_room = len(orphans) < self.config.max_orphans
+            if underfull and (has_room or not node.entries):
+                # PU2: orphan the live entries and drop the node.
+                for entry in node.entries:
+                    if self._is_live(entry[0]):
+                        orphans.append((entry, node.level))
+                if node.is_leaf:
+                    self.horizon.leaf_entries_changed(-len(node.entries))
+                del parent.entries[child_idx]
+                self._free_node(pid, node)
+            else:
+                parent.entries[child_idx] = (self._bound_node(node), pid)
+                if split_entry is not None:
+                    parent.entries.append(split_entry)
+                self._touch(pid, node)
+            self._touch(parent_pid, parent)
+
+    def _overflow(
+        self,
+        pid: PageId,
+        node: Node,
+        is_root: bool,
+        orphans: List[Orphan],
+        reinserted: set,
+    ) -> Optional[Tuple[TPBR, PageId]]:
+        """PU1: forced reinsert once per level per operation, else split."""
+        can_reinsert = (
+            not is_root
+            and self.config.reinsert_fraction > 0.0
+            and node.level not in reinserted
+            and len(orphans) < self.config.max_orphans
+        )
+        if can_reinsert:
+            reinserted.add(node.level)
+            count = max(1, int(len(node.entries) * self.config.reinsert_fraction))
+            evicted = reinsert_candidates(self._metrics, node.regions(), count)
+            evicted_set = set(evicted)
+            for i in evicted:
+                orphans.append((node.entries[i], node.level))
+            node.entries = [
+                e for i, e in enumerate(node.entries) if i not in evicted_set
+            ]
+            if node.is_leaf:
+                self.horizon.leaf_entries_changed(-len(evicted))
+            return None
+        return self._split(node)
+
+    def _split(self, node: Node) -> Tuple[TPBR, PageId]:
+        result = choose_split(
+            self._metrics, node.regions(), self._min_entries(node)
+        )
+        entries = node.entries
+        node.entries = [entries[i] for i in result.group_a]
+        sibling = Node(node.level, [entries[i] for i in result.group_b])
+        sibling_pid = self._new_node(sibling)
+        return (self._bound_node(sibling), sibling_pid)
+
+    def _grow_root(self, split_entry: Tuple[TPBR, PageId]) -> None:
+        old_root = self._load(self.root_pid)
+        moved_pid = self._new_node(Node(old_root.level, old_root.entries))
+        moved_bound = self._bound_node(self._load(moved_pid))
+        self._set_root(
+            Node(old_root.level + 1, [(moved_bound, moved_pid), split_entry])
+        )
+
+    def _shrink_root(self) -> None:
+        root = self._load(self.root_pid)
+        while not root.is_leaf and len(root.entries) == 1:
+            # CT4: a single-entry root adds a pointless level.
+            child_pid = root.entries[0][1]
+            child = self._load(child_pid)
+            self._set_root(Node(child.level, child.entries))
+            self._free_node(child_pid, child)
+            root = self._load(self.root_pid)
+        if not root.is_leaf and not root.entries:
+            self._set_root(Node(0))
+
+    # -- expiry --------------------------------------------------------------------------
+
+    def _purge_node(self, node: Node) -> None:
+        """Drop expired entries from a node that is being modified."""
+        now = self.now
+        kept = []
+        dead_children: List[PageId] = []
+        dead_leaves = 0
+        for entry in node.entries:
+            region, value = entry
+            if region.t_exp < now:
+                if node.is_leaf:
+                    dead_leaves += 1
+                else:
+                    dead_children.append(value)
+            else:
+                kept.append(entry)
+        if not dead_children and not dead_leaves:
+            return
+        node.entries = kept
+        if dead_leaves:
+            self.horizon.leaf_entries_changed(-dead_leaves)
+        for child_pid in dead_children:
+            self._deallocate_subtree(child_pid)
+
+    def _deallocate_subtree(self, pid: PageId) -> None:
+        """Free a whole expired subtree (charging the reads to find it)."""
+        stack = [pid]
+        while stack:
+            page = stack.pop()
+            node = self._load(page)
+            if node.is_leaf:
+                self.horizon.leaf_entries_changed(-len(node.entries))
+            else:
+                stack.extend(node.child_ids())
+            self._free_node(page, node)
+
+    # -- deletion search --------------------------------------------------------------------
+
+    def _find_leaf_entry(
+        self, oid: int, point: MovingPoint
+    ) -> Optional[Tuple[List[PageId], int]]:
+        """Regular containment search for the leaf entry of ``oid``.
+
+        Descends only live internal entries whose rectangle covers the
+        object's current predicted position, as the search procedure
+        would; hence expired entries are never found.
+        """
+        now = self.now
+        position = point.position_at(now)
+        stack: List[List[PageId]] = [[self.root_pid]]
+        while stack:
+            path = stack.pop()
+            node = self._load(path[-1])
+            if node.is_leaf:
+                for i, (candidate, value) in enumerate(node.entries):
+                    if value == oid and self._is_live(candidate):
+                        return path, i
+                continue
+            for br, child_pid in node.entries:
+                if not self._is_live(br):
+                    continue
+                if self._covers_position(br, position, now):
+                    stack.append(path + [child_pid])
+        return None
+
+    @staticmethod
+    def _covers_position(
+        br: TPBR, position: Sequence[float], now: float
+    ) -> bool:
+        for d, x in enumerate(position):
+            if x < br.lower_at(d, now) - _DELETE_EPS:
+                return False
+            if x > br.upper_at(d, now) + _DELETE_EPS:
+                return False
+        return True
+
+    # -- invariant checking -------------------------------------------------------------------
+
+    def _reachable_pages(self) -> set:
+        seen = set()
+        stack = [self.root_pid]
+        while stack:
+            pid = stack.pop()
+            seen.add(pid)
+            node = self.disk.peek(pid)
+            if not node.is_leaf:
+                stack.extend(node.child_ids())
+        return seen
+
+    def _check_node(
+        self, pid: PageId, expected_level: Optional[int], bound: Optional[TPBR]
+    ) -> None:
+        node = self.disk.peek(pid)
+        if expected_level is not None:
+            assert node.level == expected_level, (
+                f"node {pid} at level {node.level}, expected {expected_level}"
+            )
+        is_root = pid == self.root_pid
+        assert len(node.entries) <= self._capacity(node), f"node {pid} overfull"
+        if not is_root:
+            # Unmodified nodes may be underfull of *live* entries (the
+            # lazy strategy tolerates that), but never physically empty.
+            assert node.entries, f"node {pid} is empty"
+        if bound is not None:
+            for region, _ in node.entries:
+                assert bound.contains_tpbr(
+                    self._as_region_tpbr(region), bound.t_ref, tol=1e-5
+                ), f"entry of node {pid} escapes its parent bound"
+        if node.is_leaf:
+            return
+        for br, child_pid in node.entries:
+            self._check_node(child_pid, node.level - 1, br)
+
+    @staticmethod
+    def _as_region_tpbr(region) -> TPBR:
+        if isinstance(region, TPBR):
+            return region
+        return TPBR.from_moving_point(region, region.t_ref)

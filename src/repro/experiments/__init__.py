@@ -1,0 +1,52 @@
+"""Experiment harness: adapters, runner, scales, figure reproductions."""
+
+from .adapters import IndexAdapter, ScheduledAdapter, TreeAdapter
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    ablation_buffer_size,
+    ablation_lazy_purge,
+    ablation_overlap_heuristic,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+from .plotting import ascii_chart
+from .report import ShapeCheck, format_figure, print_figure, shape_checks
+from .runner import RunResult, run_workload
+from .scale import DEFAULT_SCALE, SCALES, Scale, current_scale
+
+__all__ = [
+    "ALL_FIGURES",
+    "DEFAULT_SCALE",
+    "FigureResult",
+    "IndexAdapter",
+    "RunResult",
+    "SCALES",
+    "Scale",
+    "ScheduledAdapter",
+    "ShapeCheck",
+    "TreeAdapter",
+    "ablation_buffer_size",
+    "ascii_chart",
+    "ablation_lazy_purge",
+    "ablation_overlap_heuristic",
+    "current_scale",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "format_figure",
+    "print_figure",
+    "run_workload",
+    "shape_checks",
+]

@@ -1,0 +1,78 @@
+"""Disk cache for experiment runs.
+
+Replaying a workload takes seconds to minutes depending on scale; the
+figure benchmarks share many runs (Figures 14-16 are three views of the
+same sweep), so completed runs are cached as JSON keyed by a hash of the
+workload signature, the adapter flavour and the scale.
+
+Set ``REPRO_CACHE_DIR`` to relocate the cache, or ``REPRO_NO_CACHE=1``
+to disable it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from .runner import RunResult
+
+_CACHE_VERSION = 3
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    return Path(root)
+
+
+def run_key(adapter_label: str, workload_signature: dict, scale_name: str) -> str:
+    """Stable key identifying one (workload, adapter, scale) run."""
+    blob = json.dumps(
+        {
+            "version": _CACHE_VERSION,
+            "adapter": adapter_label,
+            "workload": workload_signature,
+            "scale": scale_name,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def load_result(key: str) -> Optional[RunResult]:
+    """Fetch a cached run, or None."""
+    if not cache_enabled():
+        return None
+    path = cache_dir() / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    field_names = {f.name for f in dataclasses.fields(RunResult)}
+    filtered = {k: v for k, v in payload.items() if k in field_names}
+    try:
+        return RunResult(**filtered)
+    except TypeError:
+        return None
+
+
+def store_result(key: str, result: RunResult) -> None:
+    """Persist a run result."""
+    if not cache_enabled():
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = dataclasses.asdict(result)
+    (directory / f"{key}.json").write_text(
+        json.dumps(payload, default=str, indent=1)
+    )

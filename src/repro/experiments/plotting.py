@@ -1,0 +1,76 @@
+"""Dependency-free ASCII charts of reproduced figures.
+
+The benchmarks print series tables; this module renders the same
+:class:`~repro.experiments.figures.FigureResult` as a rough line chart so
+the *shape* — crossings, divergence, flatness — is visible in a terminal
+without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .figures import FigureResult
+
+#: Series glyphs, assigned in insertion order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    fig: FigureResult, width: int = 64, height: int = 18
+) -> str:
+    """Render all series of a figure into one ASCII chart.
+
+    Args:
+        fig: a populated figure result.
+        width: chart width in characters (x-axis resolution).
+        height: chart height in rows (y-axis resolution).
+
+    Returns:
+        A multi-line string: chart, axes and legend.
+    """
+    if not fig.series or not fig.xs:
+        return f"{fig.figure_id}: (no data)"
+    values = [v for series in fig.series.values() for v in series]
+    y_min = min(values)
+    y_max = max(values)
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = fig.xs[0], fig.xs[-1]
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((1.0 - (y - y_min) / (y_max - y_min)) * (height - 1))
+        current = grid[row][col]
+        grid[row][col] = "!" if current not in (" ", glyph) else glyph
+
+    legend = []
+    for i, (label, series) in enumerate(fig.series.items()):
+        glyph = _GLYPHS[i % len(_GLYPHS)]
+        legend.append(f"  {glyph}  {label}")
+        # Linear interpolation between sweep points for visible lines.
+        for (x0, y0), (x1, y1) in zip(
+            zip(fig.xs, series), zip(fig.xs[1:], series[1:])
+        ):
+            steps = max(2, width // max(1, len(fig.xs) - 1))
+            for s in range(steps + 1):
+                t = s / steps
+                plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, glyph)
+        if len(fig.xs) == 1:
+            plot(fig.xs[0], series[0], glyph)
+
+    lines = [f"{fig.figure_id}: {fig.title}"]
+    lines.append(f"{y_max:10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.2f} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<10g}{fig.x_label:^{max(0, width - 20)}}{x_max:>10g}"
+    )
+    lines.append(f"({fig.y_label}; '!' marks overlapping series)")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Textual reporting of reproduced figures, with shape checks.
+
+The reproduction target is the *shape* of each figure — which flavour
+wins, by roughly what factor, and how series move along the x-axis — not
+the paper's absolute I/O numbers (their substrate is a C++/GiST testbed;
+ours is a Python page simulation).  ``shape_checks`` encodes the paper's
+qualitative claims per figure so benchmarks can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .figures import FigureResult
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative expectation from the paper."""
+
+    description: str
+    passed: bool
+    detail: str
+
+
+def format_figure(fig: FigureResult) -> str:
+    """Render a figure's series as an aligned text table."""
+    labels = list(fig.series)
+    width = max(24, max((len(label) for label in labels), default=24) + 2)
+    header = f"{fig.figure_id}: {fig.title}  [scale={fig.scale_name}]"
+    lines = [header, "-" * len(header)]
+    x_cells = "".join(f"{x:>10g}" for x in fig.xs)
+    lines.append(f"{fig.x_label:<{width}}{x_cells}")
+    for label in labels:
+        cells = "".join(f"{v:>10.2f}" for v in fig.series[label])
+        lines.append(f"{label:<{width}}{cells}")
+    lines.append(f"(y = {fig.y_label})")
+    return "\n".join(lines)
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def shape_checks(fig: FigureResult) -> List[ShapeCheck]:
+    """The paper's qualitative claims for one figure."""
+    checks: List[ShapeCheck] = []
+
+    def add(description: str, passed: bool, detail: str) -> None:
+        checks.append(ShapeCheck(description, passed, detail))
+
+    series = fig.series
+    if fig.figure_id in ("fig9", "fig10"):
+        best = "BRs w/o exp.t., algs with exp.t."
+        add(
+            "not recording TPBR expiration times is competitive "
+            "(within 20% of the best flavour on average)",
+            _mean(series[best]) <= 1.2 * min(_mean(v) for v in series.values()),
+            f"mean({best}) = {_mean(series[best]):.2f}",
+        )
+        best_without = min(
+            _mean(v) for k, v in series.items() if "BRs w/o exp.t." in k
+        )
+        best_with = min(
+            _mean(v) for k, v in series.items() if "BRs with exp.t." in k
+        )
+        add(
+            "dropping stored TPBR expiration times costs little search "
+            "I/O (<= 25%) while buying internal fan-out",
+            best_without <= 1.25 * best_with,
+            f"best without {best_without:.2f} vs best with {best_with:.2f}",
+        )
+    elif fig.figure_id in ("fig11", "fig12"):
+        near = _mean(series["Near-optimal"])
+        optimal = _mean(series["Optimal"])
+        static = _mean(series["Static"])
+        add(
+            "near-optimal TPBRs are competitive with every other type "
+            "(within 25% of the best)",
+            near <= 1.25 * min(_mean(v) for v in series.values()),
+            f"mean near-optimal = {near:.2f}",
+        )
+        add(
+            "optimal TPBRs do not improve on near-optimal ones "
+            "(non-associativity; within 25%)",
+            optimal >= 0.75 * near,
+            f"optimal {optimal:.2f} vs near-optimal {near:.2f}",
+        )
+        if fig.figure_id == "fig11":
+            last = len(fig.xs) - 1
+            add(
+                "static TPBRs degrade fastest as ExpT grows and are the "
+                "worst type at the largest ExpT",
+                series["Static"][last]
+                >= max(v[last] for k, v in series.items() if k != "Static"),
+                f"static at ExpT={fig.xs[last]:g}: {series['Static'][last]:.2f}",
+            )
+        else:
+            add(
+                "static TPBRs are respectable with speed-dependent "
+                "expiration (within 2x of near-optimal)",
+                static <= 2.0 * near,
+                f"static {static:.2f} vs near-optimal {near:.2f}",
+            )
+    elif fig.figure_id in ("fig13", "fig14"):
+        rexp = series["Rexp-tree"]
+        tpr = series["TPR-tree"]
+        sched = series["Rexp-tree with scheduled deletions"]
+        add(
+            "the R^exp-tree beats the TPR-tree on search",
+            _mean(rexp) < _mean(tpr),
+            f"mean Rexp {_mean(rexp):.2f} vs TPR {_mean(tpr):.2f}",
+        )
+        if fig.figure_id == "fig13":
+            add(
+                "the advantage is largest at short expiration distances "
+                "(>= 1.3x at the smallest ExpD)",
+                tpr[0] >= 1.3 * rexp[0],
+                f"at ExpD={fig.xs[0]:g}: TPR {tpr[0]:.2f} vs Rexp {rexp[0]:.2f}",
+            )
+        else:
+            add(
+                "the TPR-tree degrades as turned-off objects accumulate",
+                tpr[-1] > tpr[0],
+                f"TPR at NewOb={fig.xs[0]:g}: {tpr[0]:.2f} -> "
+                f"NewOb={fig.xs[-1]:g}: {tpr[-1]:.2f}",
+            )
+        add(
+            "lazy purging is only slightly worse than scheduled deletions",
+            _mean(rexp) <= 1.5 * _mean(sched),
+            f"Rexp {_mean(rexp):.2f} vs scheduled {_mean(sched):.2f}",
+        )
+    elif fig.figure_id == "fig15":
+        rexp = series["Rexp-tree"]
+        tpr = series["TPR-tree"]
+        sched = series["Rexp-tree with scheduled deletions"]
+        add(
+            "TPR-tree size grows with the fraction of new objects",
+            tpr[-1] > 1.3 * tpr[0],
+            f"TPR pages {tpr[0]:.0f} -> {tpr[-1]:.0f}",
+        )
+        add(
+            "R^exp-tree size stays near the scheduled-deletion variant",
+            rexp[-1] <= 1.3 * sched[-1],
+            f"Rexp {rexp[-1]:.0f} vs scheduled {sched[-1]:.0f} at NewOb=2",
+        )
+        add(
+            "the R^exp-tree stays much smaller than the TPR-tree at NewOb=2",
+            rexp[-1] < tpr[-1],
+            f"Rexp {rexp[-1]:.0f} vs TPR {tpr[-1]:.0f}",
+        )
+    elif fig.figure_id == "fig16":
+        rexp = series["Rexp-tree"]
+        tpr = series["TPR-tree"]
+        add(
+            "lazy removal does not blow up update cost "
+            "(R^exp within 2x of the TPR-tree)",
+            _mean(rexp) <= 2.0 * _mean(tpr),
+            f"Rexp {_mean(rexp):.2f} vs TPR {_mean(tpr):.2f}",
+        )
+    elif fig.figure_id == "ablation-lazy":
+        values = series["Rexp-tree"]
+        add(
+            "lazy purging keeps the expired fraction small (< 15%)",
+            max(values) < 0.15,
+            f"max expired fraction {max(values):.1%}",
+        )
+    return checks
+
+
+def format_checks(checks: List[ShapeCheck]) -> str:
+    lines = []
+    for check in checks:
+        flag = "PASS" if check.passed else "MISS"
+        lines.append(f"  [{flag}] {check.description} ({check.detail})")
+    return "\n".join(lines)
+
+
+def print_figure(fig: FigureResult, file=None) -> None:
+    """Print the reproduced figure and its shape checks.
+
+    Args:
+        fig: the figure to report.
+        file: output stream (defaults to stdout; the benchmarks pass the
+            un-captured stream so reports survive pytest's capture).
+    """
+    print(file=file)
+    print(format_figure(fig), file=file)
+    checks = shape_checks(fig)
+    if checks:
+        print("shape checks:", file=file)
+        print(format_checks(checks), file=file)

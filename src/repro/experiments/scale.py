@@ -1,0 +1,86 @@
+"""Experiment scales: paper-size and laptop-size reproductions.
+
+The paper runs 100,000-object workloads of one million insertions on a
+C++ implementation; a pure-Python replay of the full grid would take
+days.  Scaled-down presets keep the quantities that drive the *relative*
+I/O behaviour comparable:
+
+* tree height >= 3 (page size shrinks with the population);
+* the buffer-to-index-size ratio near the paper's ~8 % (50 pages against
+  a ~600-page index), so searches actually pay for misses;
+* all *temporal* parameters (UI, ExpT, ExpD, W) exactly as in the paper —
+  simulated minutes are free.
+
+Select a scale with the ``REPRO_SCALE`` environment variable
+(``tiny`` | ``small`` | ``medium`` | ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Size knobs for one experiment run."""
+
+    name: str
+    target_population: int
+    insertions: int
+    page_size: int
+    buffer_pages: int
+    queue_buffer_pages: int = 50
+
+    @property
+    def queries(self) -> int:
+        """Approximate query count (one per 100 insertions)."""
+        return self.insertions // 100
+
+
+SCALES = {
+    "tiny": Scale(
+        name="tiny",
+        target_population=300,
+        insertions=4_000,
+        page_size=512,
+        buffer_pages=4,
+        queue_buffer_pages=8,
+    ),
+    "small": Scale(
+        name="small",
+        target_population=1_500,
+        insertions=15_000,
+        page_size=1024,
+        buffer_pages=6,
+        queue_buffer_pages=12,
+    ),
+    "medium": Scale(
+        name="medium",
+        target_population=8_000,
+        insertions=80_000,
+        page_size=2048,
+        buffer_pages=12,
+        queue_buffer_pages=25,
+    ),
+    "paper": Scale(
+        name="paper",
+        target_population=100_000,
+        insertions=1_000_000,
+        page_size=4096,
+        buffer_pages=50,
+        queue_buffer_pages=50,
+    ),
+}
+
+DEFAULT_SCALE = "tiny"
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default: small)."""
+    name = os.environ.get("REPRO_SCALE", DEFAULT_SCALE).strip().lower()
+    if name not in SCALES:
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]

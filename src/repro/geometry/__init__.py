@@ -1,0 +1,71 @@
+"""Geometry of moving objects: trajectories, TPBRs, queries, integrals."""
+
+from .bounding import (
+    BoundingKind,
+    compute_tpbr,
+    conservative_tpbr,
+    lemma42_median,
+    near_optimal_tpbr,
+    optimal_tpbr,
+    static_tpbr,
+    update_minimum_tpbr,
+)
+from .hull import bridge_edge, bridge_line, line_through, lower_hull, upper_hull
+from .integrals import (
+    area_integral,
+    center_distance_sq_integral,
+    integration_end,
+    margin_integral,
+    overlap_integral,
+)
+from .intersection import (
+    feasible_window,
+    region_intersects_tpbr,
+    region_matches_point,
+    tpbrs_intersect,
+)
+from .kinematics import NEVER, MovingPoint
+from .queries import (
+    MovingQuery,
+    QueryRegion,
+    SpatioTemporalQuery,
+    TimesliceQuery,
+    WindowQuery,
+)
+from .rect import Rect
+from .tpbr import TPBR, Boundable
+
+__all__ = [
+    "Boundable",
+    "BoundingKind",
+    "MovingPoint",
+    "MovingQuery",
+    "NEVER",
+    "QueryRegion",
+    "Rect",
+    "SpatioTemporalQuery",
+    "TPBR",
+    "TimesliceQuery",
+    "WindowQuery",
+    "area_integral",
+    "bridge_edge",
+    "bridge_line",
+    "center_distance_sq_integral",
+    "compute_tpbr",
+    "conservative_tpbr",
+    "feasible_window",
+    "integration_end",
+    "lemma42_median",
+    "line_through",
+    "lower_hull",
+    "margin_integral",
+    "near_optimal_tpbr",
+    "optimal_tpbr",
+    "overlap_integral",
+    "region_intersects_tpbr",
+    "region_matches_point",
+    "static_tpbr",
+    "tpbrs_intersect",
+    "update_minimum_tpbr",
+    "upper_hull",
+]

@@ -1,0 +1,446 @@
+"""Construction of time-parameterized bounding rectangles (Section 4.1).
+
+Five candidate bounding-region types are studied by the paper:
+
+* ``CONSERVATIVE`` — tight at computation time, edges move with the
+  extreme member velocities (the TPR-tree's rectangles; the only sound
+  choice when members never expire).
+* ``STATIC`` — zero edge velocities; bounds each member over its whole
+  remaining lifetime.  Velocities need not be stored, nearly doubling
+  internal fan-out.
+* ``UPDATE_MINIMUM`` — tight at computation time like conservative ones,
+  but the edge speeds are relaxed as far as the members' expiration
+  times allow (Figure 4).
+* ``NEAR_OPTIMAL`` — per dimension, the minimal-integral bound is the
+  line through the convex-hull *bridge* edge at a median line
+  (Lemma 4.1); later dimensions shift their median using the already
+  computed ones (Lemma 4.2); dimensions are visited in random order.
+* ``OPTIMAL`` — exact minimal volume-integral TPBR found by sweeping the
+  median over hull-edge combinations in the first d-1 dimensions and
+  placing the last dimension by Lemma 4.2.
+
+All algorithms handle members with infinite expiration times by imposing
+velocity floors/ceilings on the computed bounds (the generalization the
+paper mentions at the end of Section 4.1.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from .hull import (
+    Line,
+    Point2,
+    bridge_edge,
+    line_through,
+    lower_hull,
+    supporting_line,
+    upper_hull,
+)
+from .kinematics import NEVER, MovingPoint
+from .tpbr import TPBR, Boundable
+
+#: Smallest horizon used when every member has already expired.
+_MIN_DELTA = 1e-9
+
+
+class BoundingKind(str, Enum):
+    """The bounding-region types compared in Section 5."""
+
+    CONSERVATIVE = "conservative"
+    STATIC = "static"
+    UPDATE_MINIMUM = "update_minimum"
+    NEAR_OPTIMAL = "near_optimal"
+    OPTIMAL = "optimal"
+
+
+@dataclass
+class _DimensionData:
+    """Endpoint sets and velocity constraints for one dimension."""
+
+    upper_points: List[Point2] = field(default_factory=list)
+    lower_points: List[Point2] = field(default_factory=list)
+    x_ref_min: float = math.inf
+    x_ref_max: float = -math.inf
+    vel_min: float = math.inf
+    vel_max: float = -math.inf
+    inf_vel_min: Optional[float] = None  # ceiling for the lower bound slope
+    inf_vel_max: Optional[float] = None  # floor for the upper bound slope
+
+
+def _item_bounds(item: Boundable, dim: int, t: float) -> Tuple[float, float]:
+    """(lower, upper) coordinate of an item in one dimension at time t."""
+    if isinstance(item, MovingPoint):
+        x = item.coordinate_at(dim, t)
+        return x, x
+    return item.lower_at(dim, t), item.upper_at(dim, t)
+
+
+def _item_velocities(item: Boundable, dim: int) -> Tuple[float, float]:
+    """(lower-bound, upper-bound) velocity of an item in one dimension."""
+    if isinstance(item, MovingPoint):
+        return item.vel[dim], item.vel[dim]
+    return item.vlo[dim], item.vhi[dim]
+
+
+def _collect(items: Sequence[Boundable], dims: int, t_ref: float) -> List[_DimensionData]:
+    """Build per-dimension endpoint sets P (Section 4.1.3).
+
+    P contains, per dimension, the extreme coordinates at the computation
+    time plus each member's bound evaluated at its expiration time.
+    Members that never expire contribute velocity constraints instead of
+    endpoints.
+    """
+    data = [_DimensionData() for _ in range(dims)]
+    for item in items:
+        t_exp = item.t_exp
+        finite = not math.isinf(t_exp)
+        t_end = max(t_exp, t_ref) if finite else t_ref
+        for d in range(dims):
+            dd = data[d]
+            lo_ref, hi_ref = _item_bounds(item, d, t_ref)
+            dd.x_ref_min = min(dd.x_ref_min, lo_ref)
+            dd.x_ref_max = max(dd.x_ref_max, hi_ref)
+            v_lo, v_hi = _item_velocities(item, d)
+            dd.vel_min = min(dd.vel_min, v_lo)
+            dd.vel_max = max(dd.vel_max, v_hi)
+            if finite:
+                if t_end > t_ref:
+                    lo_end, hi_end = _item_bounds(item, d, t_end)
+                    dd.upper_points.append((t_end, hi_end))
+                    dd.lower_points.append((t_end, lo_end))
+            else:
+                if dd.inf_vel_max is None or v_hi > dd.inf_vel_max:
+                    dd.inf_vel_max = v_hi
+                if dd.inf_vel_min is None or v_lo < dd.inf_vel_min:
+                    dd.inf_vel_min = v_lo
+    for dd in data:
+        dd.upper_points.append((t_ref, dd.x_ref_max))
+        dd.lower_points.append((t_ref, dd.x_ref_min))
+    return data
+
+
+def _constrain_upper(line: Line, dd: _DimensionData) -> Line:
+    """Raise the upper bound's slope to cover never-expiring members."""
+    if dd.inf_vel_max is not None and line[1] < dd.inf_vel_max:
+        return supporting_line(dd.upper_points, dd.inf_vel_max, upper=True)
+    return line
+
+def _constrain_lower(line: Line, dd: _DimensionData) -> Line:
+    """Lower the lower bound's slope to cover never-expiring members."""
+    if dd.inf_vel_min is not None and line[1] > dd.inf_vel_min:
+        return supporting_line(dd.lower_points, dd.inf_vel_min, upper=False)
+    return line
+
+
+def _assemble(
+    lines: Sequence[Tuple[Line, Line]], t_ref: float, t_exp: float
+) -> TPBR:
+    """Turn per-dimension (lower, upper) lines into a TPBR at ``t_ref``."""
+    lo, hi, vlo, vhi = [], [], [], []
+    for lower, upper in lines:
+        low = lower[0] + lower[1] * t_ref
+        high = upper[0] + upper[1] * t_ref
+        if high < low:  # numerical noise on degenerate inputs
+            low = high = (low + high) / 2.0
+        lo.append(low)
+        hi.append(high)
+        vlo.append(lower[1])
+        vhi.append(upper[1])
+    return TPBR(tuple(lo), tuple(hi), tuple(vlo), tuple(vhi), t_ref, t_exp)
+
+
+def _horizon_delta(t_ref: float, horizon: Optional[float], t_exp: float) -> float:
+    """Integration length: min(H, t_exp - t_ref), per Section 4.1.1."""
+    delta = math.inf if horizon is None else horizon
+    if not math.isinf(t_exp):
+        delta = min(delta, t_exp - t_ref)
+    return max(delta, _MIN_DELTA)
+
+
+def lemma42_median(
+    computed: Sequence[Tuple[float, float]], delta: float
+) -> float:
+    """Median-line offset for the next dimension (Lemma 4.2).
+
+    Args:
+        computed: (extent, extent-velocity) of each already-fixed dimension.
+        delta: integration length.
+
+    Returns:
+        The offset ``m`` from the computation time, in ``[0, delta]``.
+    """
+    # Coefficients of the product polynomial prod_i (h_i + w_i * tau).
+    coeffs = [1.0]
+    for h, w in computed:
+        nxt = [0.0] * (len(coeffs) + 1)
+        for k, c in enumerate(coeffs):
+            nxt[k] += c * h
+            nxt[k + 1] += c * w
+        coeffs = nxt
+    numerator = sum(
+        c * delta ** (k + 2) / (k + 2) for k, c in enumerate(coeffs)
+    )
+    denominator = sum(
+        c * delta ** (k + 1) / (k + 1) for k, c in enumerate(coeffs)
+    )
+    if denominator <= 0.0:
+        return delta / 2.0
+    return min(max(numerator / denominator, 0.0), delta)
+
+
+def _volume_integral(
+    spans: Sequence[Tuple[float, float]], delta: float
+) -> float:
+    """Integral over [0, delta] of prod_i (h_i + w_i * tau)."""
+    coeffs = [1.0]
+    for h, w in spans:
+        nxt = [0.0] * (len(coeffs) + 1)
+        for k, c in enumerate(coeffs):
+            nxt[k] += c * h
+            nxt[k + 1] += c * w
+        coeffs = nxt
+    return sum(c * delta ** (k + 1) / (k + 1) for k, c in enumerate(coeffs))
+
+
+def _bridge_pair(
+    dd: _DimensionData, median_t: float
+) -> Tuple[Line, Line]:
+    """(lower, upper) bridge lines at a median, with infinity constraints."""
+    upper = line_through(*bridge_edge(upper_hull(dd.upper_points), median_t))
+    lower = line_through(*bridge_edge(lower_hull(dd.lower_points), median_t))
+    return _constrain_lower(lower, dd), _constrain_upper(upper, dd)
+
+
+# ---------------------------------------------------------------------------
+# The five algorithms
+# ---------------------------------------------------------------------------
+
+
+def conservative_tpbr(
+    items: Sequence[Boundable], t_ref: float
+) -> TPBR:
+    """Tight at ``t_ref``; edges move with the extreme member velocities."""
+    dims = _dims_of(items)
+    data = _collect(items, dims, t_ref)
+    lines = []
+    for dd in data:
+        lower = (dd.x_ref_min - dd.vel_min * t_ref, dd.vel_min)
+        upper = (dd.x_ref_max - dd.vel_max * t_ref, dd.vel_max)
+        lines.append((lower, upper))
+    return _assemble(lines, t_ref, _max_expiration(items))
+
+
+def static_tpbr(items: Sequence[Boundable], t_ref: float) -> TPBR:
+    """Zero-velocity bound over every member's remaining lifetime.
+
+    Raises:
+        ValueError: if some member never expires — a static rectangle
+            cannot bound an unbounded trajectory.
+    """
+    dims = _dims_of(items)
+    data = _collect(items, dims, t_ref)
+    lines = []
+    for dd in data:
+        if dd.inf_vel_max is not None and dd.inf_vel_max > 0.0:
+            raise ValueError(
+                "static bounding rectangles require finite expiration times"
+            )
+        if dd.inf_vel_min is not None and dd.inf_vel_min < 0.0:
+            raise ValueError(
+                "static bounding rectangles require finite expiration times"
+            )
+        lower = (min(x for _, x in dd.lower_points), 0.0)
+        upper = (max(x for _, x in dd.upper_points), 0.0)
+        lines.append((lower, upper))
+    return _assemble(lines, t_ref, _max_expiration(items))
+
+
+def update_minimum_tpbr(items: Sequence[Boundable], t_ref: float) -> TPBR:
+    """Tight at ``t_ref`` with edge speeds relaxed by expiration times.
+
+    The upper bound passes through the maximum coordinate at ``t_ref``
+    with the smallest slope that still covers every member until it
+    expires (Figure 4); symmetrically for the lower bound.
+    """
+    dims = _dims_of(items)
+    data = _collect(items, dims, t_ref)
+    lines = []
+    for dd in data:
+        up_slope = 0.0
+        lo_slope = 0.0
+        for t, x in dd.upper_points:
+            if t > t_ref:
+                up_slope = max(up_slope, (x - dd.x_ref_max) / (t - t_ref))
+        for t, x in dd.lower_points:
+            if t > t_ref:
+                lo_slope = min(lo_slope, (x - dd.x_ref_min) / (t - t_ref))
+        if dd.inf_vel_max is not None:
+            up_slope = max(up_slope, dd.inf_vel_max)
+        if dd.inf_vel_min is not None:
+            lo_slope = min(lo_slope, dd.inf_vel_min)
+        upper = (dd.x_ref_max - up_slope * t_ref, up_slope)
+        lower = (dd.x_ref_min - lo_slope * t_ref, lo_slope)
+        lines.append((lower, upper))
+    return _assemble(lines, t_ref, _max_expiration(items))
+
+
+def near_optimal_tpbr(
+    items: Sequence[Boundable],
+    t_ref: float,
+    horizon: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> TPBR:
+    """Bridge-based bound with Lemma 4.2 medians, dimensions in random order.
+
+    Expected running time O(d * |P|) with a linear bridge algorithm; this
+    implementation uses the Graham-scan based variant the paper's authors
+    also chose.
+    """
+    dims = _dims_of(items)
+    t_exp = _max_expiration(items)
+    delta = _horizon_delta(t_ref, horizon, t_exp)
+    if math.isinf(delta):
+        # An unbounded horizon admits no finite-integral trapezoid other
+        # than the conservative one.
+        return conservative_tpbr(items, t_ref)
+    data = _collect(items, dims, t_ref)
+    order = list(range(dims))
+    if rng is not None:
+        rng.shuffle(order)
+    lines: List[Optional[Tuple[Line, Line]]] = [None] * dims
+    computed: List[Tuple[float, float]] = []
+    for d in order:
+        if computed:
+            median = lemma42_median(computed, delta)
+        else:
+            median = delta / 2.0
+        lower, upper = _bridge_pair(data[d], t_ref + median)
+        lines[d] = (lower, upper)
+        h = (upper[0] + upper[1] * t_ref) - (lower[0] + lower[1] * t_ref)
+        computed.append((max(h, 0.0), upper[1] - lower[1]))
+    return _assemble([ln for ln in lines if ln is not None], t_ref, t_exp)
+
+
+def optimal_tpbr(
+    items: Sequence[Boundable],
+    t_ref: float,
+    horizon: Optional[float] = None,
+) -> TPBR:
+    """Exact minimal volume-integral TPBR (Section 4.1.4).
+
+    Sweeps the median line over hull-edge combinations in the first d-1
+    dimensions; the last dimension's median follows from Lemma 4.2.
+    Worst-case O(|P|^(d-1) log |P|).
+    """
+    dims = _dims_of(items)
+    t_exp = _max_expiration(items)
+    delta = _horizon_delta(t_ref, horizon, t_exp)
+    if math.isinf(delta):
+        return conservative_tpbr(items, t_ref)
+    data = _collect(items, dims, t_ref)
+
+    def candidates(dd: _DimensionData) -> List[Tuple[Line, Line]]:
+        """Distinct (lower, upper) bridge pairs as the median sweeps (0, delta)."""
+        breakpoints = {0.0, delta}
+        for chain in (upper_hull(dd.upper_points), lower_hull(dd.lower_points)):
+            for t, _ in chain:
+                offset = t - t_ref
+                if 0.0 < offset < delta:
+                    breakpoints.add(offset)
+        cuts = sorted(breakpoints)
+        pairs = []
+        seen = set()
+        for a, b in zip(cuts, cuts[1:]):
+            median = t_ref + (a + b) / 2.0
+            pair = _bridge_pair(dd, median)
+            key = (pair[0], pair[1])
+            if key not in seen:
+                seen.add(key)
+                pairs.append(pair)
+        return pairs
+
+    head_candidates = [candidates(dd) for dd in data[:-1]]
+    best: Optional[List[Tuple[Line, Line]]] = None
+    best_value = math.inf
+    for combo in itertools.product(*head_candidates) if head_candidates else [()]:
+        spans = []
+        for lower, upper in combo:
+            h = (upper[0] + upper[1] * t_ref) - (lower[0] + lower[1] * t_ref)
+            spans.append((max(h, 0.0), upper[1] - lower[1]))
+        median = lemma42_median(spans, delta) if spans else delta / 2.0
+        last = _bridge_pair(data[-1], t_ref + median)
+        h_last = (last[1][0] + last[1][1] * t_ref) - (last[0][0] + last[0][1] * t_ref)
+        value = _volume_integral(
+            spans + [(max(h_last, 0.0), last[1][1] - last[0][1])], delta
+        )
+        if value < best_value:
+            best_value = value
+            best = list(combo) + [last]
+    assert best is not None
+    return _assemble(best, t_ref, t_exp)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+def compute_tpbr(
+    items: Sequence[Boundable],
+    t_ref: float,
+    kind: BoundingKind = BoundingKind.NEAR_OPTIMAL,
+    horizon: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> TPBR:
+    """Compute a bounding rectangle of the requested kind.
+
+    Args:
+        items: moving points and/or child TPBRs to enclose.
+        t_ref: computation time (the rectangle is valid from here on).
+        kind: which of the five algorithms to use.
+        horizon: the time horizon H — how far into the future queries are
+            expected to look at this rectangle (used by the near-optimal
+            and optimal kinds).
+        rng: randomness source for the near-optimal dimension order.
+
+    Returns:
+        A TPBR bounding every item from ``t_ref`` until the item expires.
+    """
+    if not items:
+        raise ValueError("cannot bound an empty set of items")
+    if kind is BoundingKind.CONSERVATIVE:
+        return conservative_tpbr(items, t_ref)
+    if kind is BoundingKind.STATIC:
+        return static_tpbr(items, t_ref)
+    if kind is BoundingKind.UPDATE_MINIMUM:
+        return update_minimum_tpbr(items, t_ref)
+    if kind is BoundingKind.NEAR_OPTIMAL:
+        return near_optimal_tpbr(items, t_ref, horizon, rng)
+    if kind is BoundingKind.OPTIMAL:
+        return optimal_tpbr(items, t_ref, horizon)
+    raise ValueError(f"unknown bounding kind: {kind!r}")
+
+
+def _dims_of(items: Sequence[Boundable]) -> int:
+    if not items:
+        raise ValueError("cannot bound an empty set of items")
+    dims = items[0].dims
+    for item in items:
+        if item.dims != dims:
+            raise ValueError("items differ in dimensionality")
+    return dims
+
+
+def _max_expiration(items: Sequence[Boundable]) -> float:
+    t = -math.inf
+    for item in items:
+        t = max(t, item.t_exp)
+        if math.isinf(t):
+            return NEVER
+    return t

@@ -1,0 +1,117 @@
+"""Convex hulls and bridge edges in the (t, x)-plane.
+
+The optimal one-dimensional time-parameterized bound is the line through
+the convex-hull edge that crosses the median line ``t = t_upd + delta/2``
+(Lemma 4.1).  The paper finds such "bridges" with a Graham-scan based
+algorithm, which is what this module implements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point2 = Tuple[float, float]
+#: A line x(t) = intercept + slope * t.
+Line = Tuple[float, float]
+
+
+def _cross(o: Point2, a: Point2, b: Point2) -> float:
+    """Cross product of OA and OB; positive for a counter-clockwise turn."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _dedupe_columns(points: Sequence[Point2], keep_max: bool) -> List[Point2]:
+    """Sort by t and keep one point per t (max or min x)."""
+    best: dict = {}
+    for t, x in points:
+        if t not in best:
+            best[t] = x
+        elif keep_max:
+            best[t] = max(best[t], x)
+        else:
+            best[t] = min(best[t], x)
+    return sorted(best.items())
+
+
+def upper_hull(points: Sequence[Point2]) -> List[Point2]:
+    """Upper convex hull, left to right.
+
+    The returned chain bounds all points from above: every point lies on
+    or below every line through a chain edge.
+    """
+    if not points:
+        raise ValueError("hull of no points")
+    pts = _dedupe_columns(points, keep_max=True)
+    hull: List[Point2] = []
+    for p in pts:
+        while len(hull) >= 2 and _cross(hull[-2], hull[-1], p) >= 0.0:
+            hull.pop()
+        hull.append(p)
+    return hull
+
+
+def lower_hull(points: Sequence[Point2]) -> List[Point2]:
+    """Lower convex hull, left to right (bounds all points from below)."""
+    if not points:
+        raise ValueError("hull of no points")
+    pts = _dedupe_columns(points, keep_max=False)
+    hull: List[Point2] = []
+    for p in pts:
+        while len(hull) >= 2 and _cross(hull[-2], hull[-1], p) <= 0.0:
+            hull.pop()
+        hull.append(p)
+    return hull
+
+
+def bridge_edge(hull: Sequence[Point2], median_t: float) -> Tuple[Point2, Point2]:
+    """The hull edge crossed by the vertical line ``t = median_t``.
+
+    The median is clamped into the hull's t-range.  When the median
+    coincides with a vertex, either adjacent edge yields a minimum-area
+    trapezoid (the paper notes both interpretations are equivalent); the
+    edge to the right is returned.  A single-vertex hull yields a
+    degenerate horizontal "edge".
+    """
+    if not hull:
+        raise ValueError("bridge of empty hull")
+    if len(hull) == 1:
+        return hull[0], hull[0]
+    m = min(max(median_t, hull[0][0]), hull[-1][0])
+    for left, right in zip(hull, hull[1:]):
+        if left[0] <= m <= right[0]:
+            return left, right
+    return hull[-2], hull[-1]
+
+
+def line_through(p: Point2, q: Point2) -> Line:
+    """The line through two hull points as (intercept, slope).
+
+    A degenerate (single-point) edge yields a horizontal line.
+    """
+    if q[0] == p[0]:
+        return (max(p[1], q[1]), 0.0)
+    slope = (q[1] - p[1]) / (q[0] - p[0])
+    return (p[1] - slope * p[0], slope)
+
+
+def bridge_line(points: Sequence[Point2], median_t: float, upper: bool) -> Line:
+    """Convenience: hull + bridge + line in one call."""
+    chain = upper_hull(points) if upper else lower_hull(points)
+    p, q = bridge_edge(chain, median_t)
+    return line_through(p, q)
+
+
+def supporting_line(points: Sequence[Point2], slope: float, upper: bool) -> Line:
+    """The minimal line of fixed slope bounding all points.
+
+    Used when infinite-expiration members impose a velocity floor (upper
+    bound) or ceiling (lower bound) on the computed bound — the paper's
+    generalization to entries that never expire.
+    """
+    if not points:
+        raise ValueError("supporting line of no points")
+    if upper:
+        intercept = max(x - slope * t for t, x in points)
+    else:
+        intercept = min(x - slope * t for t, x in points)
+    return (intercept, slope)

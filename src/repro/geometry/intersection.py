@@ -1,0 +1,150 @@
+"""Intersection tests between queries, trajectories and TPBRs.
+
+Everything in this index is linear in time, so "does the query trapezoid
+intersect this bounding rectangle / trajectory?" reduces to the
+feasibility of a system of linear inequalities in the single variable
+``t``, clipped to the query's time interval and the participants'
+expiration times (Section 4.1.5: intersection is checked between
+``t1`` and ``min(t2, t_exp)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+from .kinematics import MovingPoint
+from .queries import QueryRegion
+from .tpbr import TPBR
+
+#: Numerical slack for touching intersections.
+EPS = 1e-9
+
+#: A linear function of absolute time: value(t) = offset + slope * t.
+Linear = Tuple[float, float]
+
+
+def make_linear(value_at_ref: float, slope: float, t_ref: float) -> Linear:
+    """Express ``value_at_ref + slope*(t - t_ref)`` as offset + slope*t."""
+    return (value_at_ref - slope * t_ref, slope)
+
+
+def feasible_window(
+    constraints: Iterable[Linear], t_start: float, t_end: float
+) -> Optional[Tuple[float, float]]:
+    """Sub-interval of [t_start, t_end] where every constraint is >= 0.
+
+    Args:
+        constraints: linear functions required to be non-negative.
+        t_start: interval start.
+        t_end: interval end (may be ``inf``).
+
+    Returns:
+        The feasible (possibly degenerate) time window, or None if empty.
+    """
+    a, b = t_start, t_end
+    if b < a:
+        return None
+    for offset, slope in constraints:
+        # Constraints are enforced with EPS slack so that touching
+        # configurations count as intersecting.
+        slack = offset + EPS
+        if slope == 0.0:
+            if slack < 0.0:
+                return None
+            continue
+        root = -slack / slope
+        if slope > 0.0:
+            a = max(a, root)
+        else:
+            b = min(b, root)
+        if b < a:
+            return None
+    return (a, b)
+
+
+def _pair_constraints(
+    q_lo: Linear, q_hi: Linear, s_lo: Linear, s_hi: Linear
+) -> Tuple[Linear, Linear]:
+    """Constraints for 1-d overlap: s_hi >= q_lo and q_hi >= s_lo."""
+    lower = (s_hi[0] - q_lo[0], s_hi[1] - q_lo[1])
+    upper = (q_hi[0] - s_lo[0], q_hi[1] - s_lo[1])
+    return lower, upper
+
+
+def region_intersects_tpbr(region: QueryRegion, br: TPBR) -> bool:
+    """Does the query trapezoid intersect the TPBR while both are valid?
+
+    The time window is the query's [t1, t2] clipped at the rectangle's
+    expiration time; an expired rectangle intersects nothing.
+    """
+    t_end = min(region.t2, br.t_exp)
+    if t_end < region.t1:
+        return False
+    constraints = []
+    for d in range(region.dims):
+        q_lo = make_linear(region.lo[d], region.vlo[d], region.t1)
+        q_hi = make_linear(region.hi[d], region.vhi[d], region.t1)
+        b_lo = make_linear(br.lo[d], br.vlo[d], br.t_ref)
+        b_hi = make_linear(br.hi[d], br.vhi[d], br.t_ref)
+        constraints.extend(_pair_constraints(q_lo, q_hi, b_lo, b_hi))
+    return feasible_window(constraints, region.t1, t_end) is not None
+
+
+def region_matches_point(region: QueryRegion, point: MovingPoint) -> bool:
+    """Does the trajectory pass through the query region before expiring?"""
+    t_end = min(region.t2, point.t_exp)
+    if t_end < region.t1:
+        return False
+    constraints = []
+    for d in range(region.dims):
+        q_lo = make_linear(region.lo[d], region.vlo[d], region.t1)
+        q_hi = make_linear(region.hi[d], region.vhi[d], region.t1)
+        p = make_linear(point.pos[d], point.vel[d], point.t_ref)
+        constraints.extend(_pair_constraints(q_lo, q_hi, p, p))
+    return feasible_window(constraints, region.t1, t_end) is not None
+
+
+def tpbrs_intersect(a: TPBR, b: TPBR, t_start: float, t_end: float) -> bool:
+    """Do two TPBRs overlap at some time in the given window?
+
+    The window is additionally clipped at both expiration times.
+    """
+    t_end = min(t_end, a.t_exp, b.t_exp)
+    if t_end < t_start:
+        return False
+    constraints = []
+    for d in range(a.dims):
+        a_lo = make_linear(a.lo[d], a.vlo[d], a.t_ref)
+        a_hi = make_linear(a.hi[d], a.vhi[d], a.t_ref)
+        b_lo = make_linear(b.lo[d], b.vlo[d], b.t_ref)
+        b_hi = make_linear(b.hi[d], b.vhi[d], b.t_ref)
+        constraints.extend(_pair_constraints(a_lo, a_hi, b_lo, b_hi))
+    return feasible_window(constraints, t_start, t_end) is not None
+
+
+def sample_region_match(
+    region: QueryRegion, point: MovingPoint, samples: int = 256
+) -> bool:
+    """Brute-force oracle: sample the time window densely.
+
+    Used only by tests to validate :func:`region_matches_point`.  Sampling
+    can miss grazing intersections, so tests treat this as a one-sided
+    check (if sampling finds a hit, the analytic test must agree).
+    """
+    t_end = min(region.t2, point.t_exp)
+    if t_end < region.t1:
+        return False
+    if math.isinf(t_end):
+        t_end = region.t1 + 1.0
+    span = t_end - region.t1
+    for i in range(samples + 1):
+        t = region.t1 + span * i / samples if samples else region.t1
+        x = point.position_at(t)
+        inside = all(
+            region.lower_at(d, t) - EPS <= x[d] <= region.upper_at(d, t) + EPS
+            for d in range(region.dims)
+        )
+        if inside:
+            return True
+    return False

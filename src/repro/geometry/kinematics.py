@@ -1,0 +1,81 @@
+"""Moving points: linear trajectories with expiration times.
+
+An object's position is modeled as ``x(t) = x(t_ref) + v * (t - t_ref)``
+(Section 2.1 of the paper).  The recorded information is considered valid
+only until the object's expiration time ``t_exp``; afterwards the object
+"expires" and must be ignored by queries and eventually purged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+Vector = Tuple[float, ...]
+
+#: Expiration time meaning "never expires" (plain TPR-tree behaviour).
+NEVER = math.inf
+
+
+@dataclass(frozen=True)
+class MovingPoint:
+    """A d-dimensional point moving linearly, valid until ``t_exp``.
+
+    Attributes:
+        pos: reference position, i.e. the position at ``t_ref``.
+        vel: velocity vector.
+        t_ref: reference time of ``pos``.
+        t_exp: expiration time; ``math.inf`` if the object never expires.
+    """
+
+    pos: Vector
+    vel: Vector
+    t_ref: float = 0.0
+    t_exp: float = NEVER
+
+    def __post_init__(self) -> None:
+        if len(self.pos) != len(self.vel):
+            raise ValueError(
+                f"pos has {len(self.pos)} dims but vel has {len(self.vel)}"
+            )
+        if not self.pos:
+            raise ValueError("zero-dimensional moving point")
+        if self.t_exp < self.t_ref:
+            raise ValueError(
+                f"t_exp {self.t_exp} precedes reference time {self.t_ref}"
+            )
+
+    @property
+    def dims(self) -> int:
+        return len(self.pos)
+
+    def position_at(self, t: float) -> Vector:
+        """Predicted position at time ``t`` (extrapolates beyond ``t_exp``)."""
+        dt = t - self.t_ref
+        return tuple(p + v * dt for p, v in zip(self.pos, self.vel))
+
+    def coordinate_at(self, dim: int, t: float) -> float:
+        """Predicted coordinate in one dimension at time ``t``."""
+        return self.pos[dim] + self.vel[dim] * (t - self.t_ref)
+
+    def is_expired(self, now: float) -> bool:
+        """True if the recorded information is stale at time ``now``.
+
+        An entry is *live* at its exact expiration instant, so that a
+        deletion scheduled for ``t_exp`` always finds it.
+        """
+        return self.t_exp < now
+
+    def with_reference_time(self, t_ref: float) -> "MovingPoint":
+        """Re-express the same trajectory relative to a new reference time.
+
+        The paper keeps all reference positions at a single index-wide
+        reference time; this is the conversion it describes ("such a
+        reference position can always be computed").
+        """
+        return MovingPoint(self.position_at(t_ref), self.vel, t_ref, self.t_exp)
+
+    def speed(self) -> float:
+        """Euclidean length of the velocity vector."""
+        return math.sqrt(sum(v * v for v in self.vel))

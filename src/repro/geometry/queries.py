@@ -1,0 +1,127 @@
+"""The three query types of Section 2.1.
+
+* Type 1, *timeslice*: a rectangle R at a single time point t.
+* Type 2, *window*: a rectangle R covering a time interval [t1, t2].
+* Type 3, *moving*: the trapezoid connecting R1 at t1 to R2 at t2.
+
+All three are normalized to a :class:`QueryRegion` — per dimension, a
+pair of linear-in-time bounds over [t1, t2] — so the index needs a single
+intersection routine (Section 4.1.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .rect import Rect
+
+Vector = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class QueryRegion:
+    """A (d+1)-dimensional trapezoid: linear bounds per dimension over time.
+
+    In dimension ``i`` the query occupies
+    ``[lo[i] + vlo[i]*(t - t1), hi[i] + vhi[i]*(t - t1)]`` for
+    ``t in [t1, t2]``.
+    """
+
+    lo: Vector
+    hi: Vector
+    vlo: Vector
+    vhi: Vector
+    t1: float
+    t2: float
+
+    def __post_init__(self) -> None:
+        if self.t2 < self.t1:
+            raise ValueError(f"query interval end {self.t2} precedes start {self.t1}")
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    def lower_at(self, dim: int, t: float) -> float:
+        return self.lo[dim] + self.vlo[dim] * (t - self.t1)
+
+    def upper_at(self, dim: int, t: float) -> float:
+        return self.hi[dim] + self.vhi[dim] * (t - self.t1)
+
+    def rect_at(self, t: float) -> Rect:
+        return Rect(
+            tuple(self.lower_at(d, t) for d in range(self.dims)),
+            tuple(self.upper_at(d, t) for d in range(self.dims)),
+        )
+
+
+@dataclass(frozen=True)
+class TimesliceQuery:
+    """Type 1: objects inside ``rect`` at time ``t``."""
+
+    rect: Rect
+    t: float
+
+    @property
+    def t1(self) -> float:
+        return self.t
+
+    @property
+    def t2(self) -> float:
+        return self.t
+
+    def region(self) -> QueryRegion:
+        zeros = (0.0,) * self.rect.dims
+        return QueryRegion(self.rect.lo, self.rect.hi, zeros, zeros, self.t, self.t)
+
+
+@dataclass(frozen=True)
+class WindowQuery:
+    """Type 2: objects inside ``rect`` at some time in [t1, t2]."""
+
+    rect: Rect
+    t1: float
+    t2: float
+
+    def __post_init__(self) -> None:
+        if self.t2 < self.t1:
+            raise ValueError(f"window end {self.t2} precedes start {self.t1}")
+
+    def region(self) -> QueryRegion:
+        zeros = (0.0,) * self.rect.dims
+        return QueryRegion(self.rect.lo, self.rect.hi, zeros, zeros, self.t1, self.t2)
+
+
+@dataclass(frozen=True)
+class MovingQuery:
+    """Type 3: the trapezoid from ``rect1`` at t1 to ``rect2`` at t2."""
+
+    rect1: Rect
+    rect2: Rect
+    t1: float
+    t2: float
+
+    def __post_init__(self) -> None:
+        if self.t2 < self.t1:
+            raise ValueError(f"moving query end {self.t2} precedes start {self.t1}")
+        if self.rect1.dims != self.rect2.dims:
+            raise ValueError("moving query rectangles differ in dimensionality")
+
+    def region(self) -> QueryRegion:
+        span = self.t2 - self.t1
+        if span <= 0.0:
+            # Degenerate to a timeslice over the union of the rectangles.
+            rect = self.rect1.union(self.rect2)
+            zeros = (0.0,) * rect.dims
+            return QueryRegion(rect.lo, rect.hi, zeros, zeros, self.t1, self.t2)
+        vlo = tuple(
+            (b - a) / span for a, b in zip(self.rect1.lo, self.rect2.lo)
+        )
+        vhi = tuple(
+            (b - a) / span for a, b in zip(self.rect1.hi, self.rect2.hi)
+        )
+        return QueryRegion(self.rect1.lo, self.rect1.hi, vlo, vhi, self.t1, self.t2)
+
+
+SpatioTemporalQuery = Union[TimesliceQuery, WindowQuery, MovingQuery]

@@ -1,0 +1,111 @@
+"""Static axis-parallel hyper-rectangles.
+
+Used for the spatial parts of queries, for the classic R*-tree substrate,
+and as the time-slice evaluation of time-parameterized rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A d-dimensional rectangle given by its lower and upper corners."""
+
+    lo: Vector
+    hi: Vector
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(
+                f"lo has {len(self.lo)} dims but hi has {len(self.hi)}"
+            )
+        if not self.lo:
+            raise ValueError("zero-dimensional rectangle")
+        for low, high in zip(self.lo, self.hi):
+            if low > high:
+                raise ValueError(f"degenerate rectangle: lo {low} > hi {high}")
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        p = tuple(point)
+        return cls(p, p)
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Smallest rectangle enclosing all given rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("union of no rectangles")
+        lo = tuple(min(r.lo[i] for r in rects) for i in range(rects[0].dims))
+        hi = tuple(max(r.hi[i] for r in rects) for i in range(rects[0].dims))
+        return cls(lo, hi)
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    @property
+    def area(self) -> float:
+        """Hyper-volume (area in 2-d, length in 1-d)."""
+        result = 1.0
+        for low, high in zip(self.lo, self.hi):
+            result *= high - low
+        return result
+
+    @property
+    def margin(self) -> float:
+        """Sum of edge lengths (the R*-tree margin heuristic)."""
+        return sum(high - low for low, high in zip(self.lo, self.hi))
+
+    @property
+    def center(self) -> Vector:
+        return tuple((low + high) / 2.0 for low, high in zip(self.lo, self.hi))
+
+    def extent(self, dim: int) -> float:
+        return self.hi[dim] - self.lo[dim]
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return all(
+            slo <= ohi and olo <= shi
+            for slo, shi, olo, ohi in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Hyper-volume of the intersection (0 if disjoint)."""
+        result = 1.0
+        for slo, shi, olo, ohi in zip(self.lo, self.hi, other.lo, other.hi):
+            side = min(shi, ohi) - max(slo, olo)
+            if side <= 0.0:
+                return 0.0
+            result *= side
+        return result
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(
+            low <= p <= high for low, p, high in zip(self.lo, point, self.hi)
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return all(
+            slo <= olo and ohi <= shi
+            for slo, shi, olo, ohi in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def center_distance(self, other: "Rect") -> float:
+        return math.dist(self.center, other.center)

@@ -1,0 +1,202 @@
+"""Time-parameterized bounding rectangles (TPBRs).
+
+A TPBR is a rectangle whose edges move linearly: in each dimension the
+lower bound follows ``lo_i + vlo_i * (t - t_ref)`` and the upper bound
+``hi_i + vhi_i * (t - t_ref)``.  A TPBR additionally carries an
+expiration time — the paper's key extension — beyond which the rectangle
+(and the subtree it summarizes) contains no live information
+(Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .kinematics import NEVER, MovingPoint
+from .rect import Rect
+
+Vector = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class TPBR:
+    """A time-parameterized bounding rectangle valid for ``t >= t_ref``.
+
+    Attributes:
+        lo: lower corner at the reference time.
+        hi: upper corner at the reference time.
+        vlo: velocities of the lower bounds.
+        vhi: velocities of the upper bounds.
+        t_ref: time at which ``lo``/``hi`` hold (the computation time).
+        t_exp: expiration time — the maximum expiration time of the
+            enclosed entries; ``math.inf`` when some entry never expires.
+    """
+
+    lo: Vector
+    hi: Vector
+    vlo: Vector
+    vhi: Vector
+    t_ref: float = 0.0
+    t_exp: float = NEVER
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.lo), len(self.hi), len(self.vlo), len(self.vhi)}
+        if len(lengths) != 1:
+            raise ValueError("inconsistent dimensionality in TPBR components")
+        if not self.lo:
+            raise ValueError("zero-dimensional TPBR")
+        for low, high in zip(self.lo, self.hi):
+            if low > high + 1e-9:
+                raise ValueError(f"degenerate TPBR: lo {low} > hi {high}")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_moving_point(cls, point: MovingPoint, t_ref: float) -> "TPBR":
+        """Degenerate TPBR tracing a single moving point from ``t_ref`` on."""
+        pos = point.position_at(t_ref)
+        return cls(pos, pos, point.vel, point.vel, t_ref, point.t_exp)
+
+    @classmethod
+    def static(cls, rect: Rect, t_ref: float = 0.0, t_exp: float = NEVER) -> "TPBR":
+        """A non-moving TPBR (zero edge velocities)."""
+        zeros = (0.0,) * rect.dims
+        return cls(rect.lo, rect.hi, zeros, zeros, t_ref, t_exp)
+
+    # -- evaluation -----------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    def lower_at(self, dim: int, t: float) -> float:
+        return self.lo[dim] + self.vlo[dim] * (t - self.t_ref)
+
+    def upper_at(self, dim: int, t: float) -> float:
+        return self.hi[dim] + self.vhi[dim] * (t - self.t_ref)
+
+    def rect_at(self, t: float) -> Rect:
+        """The (static) rectangle occupied at time ``t``.
+
+        Bounds that have crossed (a shrinking rectangle evaluated past the
+        crossing instant) are collapsed to their midpoint.
+        """
+        lo = []
+        hi = []
+        for d in range(self.dims):
+            low = self.lower_at(d, t)
+            high = self.upper_at(d, t)
+            if low > high:
+                mid = (low + high) / 2.0
+                low = high = mid
+            lo.append(low)
+            hi.append(high)
+        return Rect(tuple(lo), tuple(hi))
+
+    def extent_at(self, dim: int, t: float) -> float:
+        """Edge length in one dimension at time ``t`` (clamped at 0)."""
+        return max(0.0, self.upper_at(dim, t) - self.lower_at(dim, t))
+
+    def area_at(self, t: float) -> float:
+        result = 1.0
+        for d in range(self.dims):
+            result *= self.extent_at(d, t)
+        return result
+
+    def margin_at(self, t: float) -> float:
+        return sum(self.extent_at(d, t) for d in range(self.dims))
+
+    def center_at(self, t: float) -> Vector:
+        return tuple(
+            (self.lower_at(d, t) + self.upper_at(d, t)) / 2.0
+            for d in range(self.dims)
+        )
+
+    # -- expiration -----------------------------------------------------------
+
+    def is_expired(self, now: float) -> bool:
+        """True if every enclosed entry has expired by ``now``."""
+        return self.t_exp < now
+
+    def derived_expiration(self) -> float:
+        """The "natural" expiration time of a shrinking TPBR.
+
+        When expiration times are not recorded in internal entries the
+        paper notes that a finite bound can still be derived for
+        rectangles that shrink in some dimension: the time their extent
+        reaches zero (Section 4.1.1).
+        """
+        t = NEVER
+        for d in range(self.dims):
+            closing = self.vlo[d] - self.vhi[d]
+            if closing > 0.0:
+                gap = self.hi[d] - self.lo[d]
+                t = min(t, self.t_ref + gap / closing)
+        return t
+
+    def without_expiration(self) -> "TPBR":
+        """Copy with ``t_exp`` erased (the "BRs w/o exp.t." flavour)."""
+        if self.t_exp is NEVER:
+            return self
+        return TPBR(self.lo, self.hi, self.vlo, self.vhi, self.t_ref, NEVER)
+
+    # -- containment ----------------------------------------------------------
+
+    def contains_point(
+        self, point: MovingPoint, from_t: float, tol: float = 1e-7
+    ) -> bool:
+        """Does this TPBR bound ``point`` from ``from_t`` until expiry?
+
+        Checked at the interval endpoints; both trajectories are linear so
+        endpoint containment implies containment throughout.
+        """
+        to_t = min(point.t_exp, self.t_exp)
+        if to_t < from_t:
+            return True  # nothing left to bound
+        to_t = self._finite_probe(from_t, to_t)
+        for t in (from_t, to_t):
+            for d in range(self.dims):
+                x = point.coordinate_at(d, t)
+                if x < self.lower_at(d, t) - tol or x > self.upper_at(d, t) + tol:
+                    return False
+        if math.isinf(min(point.t_exp, self.t_exp)):
+            # Infinite lifetime: velocities must also be bounded.
+            for d in range(self.dims):
+                if point.vel[d] < self.vlo[d] - tol or point.vel[d] > self.vhi[d] + tol:
+                    return False
+        return True
+
+    def contains_tpbr(
+        self, other: "TPBR", from_t: float, tol: float = 1e-7
+    ) -> bool:
+        """Does this TPBR bound ``other`` from ``from_t`` until expiry?"""
+        to_t = min(other.t_exp, self.t_exp)
+        if to_t < from_t:
+            return True
+        to_t = self._finite_probe(from_t, to_t)
+        for t in (from_t, to_t):
+            for d in range(self.dims):
+                if other.lower_at(d, t) < self.lower_at(d, t) - tol:
+                    return False
+                if other.upper_at(d, t) > self.upper_at(d, t) + tol:
+                    return False
+        if math.isinf(min(other.t_exp, self.t_exp)):
+            for d in range(self.dims):
+                if other.vlo[d] < self.vlo[d] - tol:
+                    return False
+                if other.vhi[d] > self.vhi[d] + tol:
+                    return False
+        return True
+
+    @staticmethod
+    def _finite_probe(from_t: float, to_t: float) -> float:
+        """A finite endpoint to probe when the lifetime is unbounded."""
+        if math.isinf(to_t):
+            return from_t + 1.0
+        return to_t
+
+
+#: Anything a TPBR can be asked to bound.
+Boundable = Union[MovingPoint, TPBR]

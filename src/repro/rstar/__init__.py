@@ -1,0 +1,24 @@
+"""Classic R*-tree substrate and the generic R* heuristics."""
+
+from .heuristics import (
+    Metrics,
+    SplitResult,
+    choose_child,
+    choose_split,
+    reinsert_candidates,
+)
+from .metrics import KineticMetrics, RectMetrics
+from .node import Node
+from .tree import RStarTree
+
+__all__ = [
+    "KineticMetrics",
+    "Metrics",
+    "Node",
+    "RStarTree",
+    "RectMetrics",
+    "SplitResult",
+    "choose_child",
+    "choose_split",
+    "reinsert_candidates",
+]

@@ -1,0 +1,177 @@
+"""Generic R*-tree insertion heuristics (Beckmann et al., adapted).
+
+The paper states that the ChooseSubtree, Split and RemoveTop algorithms
+of the R^exp-tree are *the same* as the TPR-tree's, which in turn are the
+R*-tree's with the area/margin/overlap objectives replaced by their time
+integrals (Equation 1).  This module therefore implements the heuristics
+once, parameterized over a :class:`Metrics` provider:
+
+* plain rectangle geometry  -> the classic R*-tree substrate;
+* time-integral geometry    -> the TPR-tree and the R^exp-tree.
+
+One deviation, taken from the paper: the R^exp-tree's ChooseSubtree does
+*not* use overlap enlargement ("This simplifies the algorithm, making it
+linear instead of quadratic"), so overlap use is a provider/caller flag.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generic, List, Sequence, Tuple, TypeVar
+
+Region = TypeVar("Region")
+
+
+class Metrics(ABC, Generic[Region]):
+    """Geometry oracle the generic heuristics are written against."""
+
+    @abstractmethod
+    def bound(self, regions: Sequence[Region]) -> Region:
+        """Bounding region of the given regions."""
+
+    @abstractmethod
+    def area(self, region: Region) -> float:
+        """Area objective (plain area, or its time integral)."""
+
+    @abstractmethod
+    def margin(self, region: Region) -> float:
+        """Margin objective (perimeter, or its time integral)."""
+
+    @abstractmethod
+    def overlap(self, a: Region, b: Region) -> float:
+        """Overlap objective (shared area, or its time integral)."""
+
+    @abstractmethod
+    def center_distance(self, a: Region, b: Region) -> float:
+        """Distance objective used by forced reinsertion."""
+
+    @abstractmethod
+    def split_sort_keys(self, region: Region) -> Sequence[float]:
+        """Per-region sort keys, one per candidate split ordering.
+
+        For rectangles: lower and upper value per axis.  For TPBRs the
+        TPR-tree additionally sorts by the bound velocities.
+        """
+
+    def enlargement(self, region: Region, addition: Region) -> float:
+        """Area growth of ``region`` when extended to cover ``addition``."""
+        return self.area(self.bound([region, addition])) - self.area(region)
+
+
+def choose_child(
+    metrics: Metrics[Region],
+    child_regions: Sequence[Region],
+    new_region: Region,
+    use_overlap: bool,
+) -> int:
+    """Pick the child to descend into (R*-tree ChooseSubtree).
+
+    With ``use_overlap`` (children are leaves, R*/TPR behaviour), the
+    child whose extension least increases the summed overlap with its
+    siblings wins; ties by area enlargement, then area.  Without it (the
+    R^exp-tree's linear variant) area enlargement decides directly.
+    """
+    if not child_regions:
+        raise ValueError("choose_child on empty node")
+    best = 0
+    best_key: Tuple[float, ...] = ()
+    for i, region in enumerate(child_regions):
+        extended = metrics.bound([region, new_region])
+        enlargement = metrics.area(extended) - metrics.area(region)
+        if use_overlap:
+            overlap_delta = 0.0
+            for j, other in enumerate(child_regions):
+                if j == i:
+                    continue
+                overlap_delta += metrics.overlap(extended, other)
+                overlap_delta -= metrics.overlap(region, other)
+            key = (overlap_delta, enlargement, metrics.area(region))
+        else:
+            key = (enlargement, metrics.area(region))
+        if i == 0 or key < best_key:
+            best = i
+            best_key = key
+    return best
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Index sets of the two groups produced by a node split."""
+
+    group_a: Tuple[int, ...]
+    group_b: Tuple[int, ...]
+
+
+def choose_split(
+    metrics: Metrics[Region],
+    regions: Sequence[Region],
+    min_entries: int,
+) -> SplitResult:
+    """R*-tree topological split over all candidate sort orderings.
+
+    The ordering (axis/bound/velocity) with the smallest summed margin of
+    its candidate distributions is chosen; within it, the distribution
+    with the least overlap between the two groups wins, ties broken by
+    total area.
+    """
+    n = len(regions)
+    if n < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {n} entries with min fill {min_entries}"
+        )
+    key_count = len(metrics.split_sort_keys(regions[0]))
+    all_keys = [metrics.split_sort_keys(r) for r in regions]
+
+    best_ordering: List[int] = []
+    best_margin = float("inf")
+    for k in range(key_count):
+        order = sorted(range(n), key=lambda i: all_keys[i][k])
+        margin_sum = 0.0
+        for split_at in range(min_entries, n - min_entries + 1):
+            left = metrics.bound([regions[i] for i in order[:split_at]])
+            right = metrics.bound([regions[i] for i in order[split_at:]])
+            margin_sum += metrics.margin(left) + metrics.margin(right)
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_ordering = order
+
+    best_split = min_entries
+    best_key = (float("inf"), float("inf"))
+    for split_at in range(min_entries, n - min_entries + 1):
+        left = metrics.bound([regions[i] for i in best_ordering[:split_at]])
+        right = metrics.bound([regions[i] for i in best_ordering[split_at:]])
+        key = (
+            metrics.overlap(left, right),
+            metrics.area(left) + metrics.area(right),
+        )
+        if key < best_key:
+            best_key = key
+            best_split = split_at
+    return SplitResult(
+        tuple(best_ordering[:best_split]), tuple(best_ordering[best_split:])
+    )
+
+
+def reinsert_candidates(
+    metrics: Metrics[Region],
+    regions: Sequence[Region],
+    count: int,
+) -> List[int]:
+    """Indices to evict for forced reinsertion (R*-tree RemoveTop).
+
+    The ``count`` entries whose centers lie farthest from the node
+    bound's center are evicted; they are returned farthest-last, i.e. in
+    the "close reinsert" order the R*-tree authors found superior.
+    """
+    if count <= 0:
+        return []
+    bound = metrics.bound(regions)
+    order = sorted(
+        range(len(regions)),
+        key=lambda i: metrics.center_distance(regions[i], bound),
+        reverse=True,
+    )
+    evicted = order[:count]
+    evicted.reverse()
+    return evicted

@@ -1,0 +1,41 @@
+"""Node representation shared by the disk-based trees."""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..storage.disk import PageId
+
+
+class Node:
+    """A tree node stored on one disk page.
+
+    ``level`` 0 is a leaf.  Leaf entries are ``(region, payload)`` pairs;
+    internal entries are ``(region, child_page_id)`` pairs.  The region
+    type is ``Rect`` for the static R*-tree and ``TPBR`` for the moving
+    trees.
+    """
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int, entries: List[Tuple[Any, Any]] = None):
+        self.level = level
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def regions(self) -> List[Any]:
+        return [region for region, _ in self.entries]
+
+    def child_ids(self) -> List[PageId]:
+        if self.is_leaf:
+            raise ValueError("leaf nodes have no children")
+        return [child for _, child in self.entries]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(level={self.level}, entries={len(self.entries)})"

@@ -1,0 +1,302 @@
+"""A disk-based R*-tree over static rectangles.
+
+This is the substrate access method the R^exp-tree builds on (Beckmann
+et al. [5] in the paper).  It exercises the same generic ChooseSubtree /
+Split / forced-reinsert machinery the moving-object trees use, against
+plain rectangle geometry, and runs on the simulated paged store so all
+of its I/O is accounted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..geometry.rect import Rect
+from ..storage.buffer import BufferPool
+from ..storage.disk import DiskManager, PageId
+from ..storage.layout import EntryLayout
+from ..storage.stats import IOStats
+from .heuristics import choose_child, choose_split, reinsert_candidates
+from .metrics import RectMetrics
+from .node import Node
+
+
+class RStarTree:
+    """Classic R*-tree with forced reinsertion, on simulated disk pages.
+
+    Args:
+        page_size: disk page size in bytes (one node per page).
+        buffer_pages: LRU buffer pool capacity.
+        dims: dimensionality of the indexed rectangles.
+        min_fill: minimum node fill fraction (R*-tree default 0.4).
+        reinsert_fraction: fraction of entries evicted by forced
+            reinsertion on the first overflow per level (default 0.3).
+    """
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        buffer_pages: int = 50,
+        dims: int = 2,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ):
+        self.dims = dims
+        self.min_fill = min_fill
+        self.reinsert_fraction = reinsert_fraction
+        self.stats = IOStats()
+        self.disk = DiskManager(page_size, self.stats)
+        self.buffer = BufferPool(self.disk, buffer_pages)
+        layout = EntryLayout(
+            page_size=page_size,
+            dims=dims,
+            store_velocities=False,
+            store_br_expiration=False,
+            store_leaf_expiration=False,
+        )
+        self.leaf_capacity = layout.leaf_capacity
+        self.internal_capacity = layout.internal_capacity
+        self.metrics = RectMetrics()
+        self._size = 0
+        self.root_pid = self._new_node(Node(0))
+        self.buffer.pin(self.root_pid)
+
+    # -- public API -----------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: Any) -> None:
+        """Insert a rectangle (or point rectangle) with its payload."""
+        if rect.dims != self.dims:
+            raise ValueError(f"expected {self.dims}-d rectangle, got {rect.dims}-d")
+        self._insert_entry((rect, payload), level=0, allow_reinsert=True)
+        self._size += 1
+        self.buffer.flush_all()
+
+    def delete(self, rect: Rect, payload: Any) -> bool:
+        """Delete one entry matching the rectangle and payload exactly.
+
+        Returns:
+            True if an entry was found and removed.
+        """
+        path = self._find_leaf(rect, payload)
+        if path is None:
+            self.buffer.flush_all()
+            return False
+        self._remove_at(path, rect, payload)
+        self._size -= 1
+        self.buffer.flush_all()
+        return True
+
+    def search(self, rect: Rect) -> List[Any]:
+        """Payloads of all entries whose rectangles intersect ``rect``."""
+        results: List[Any] = []
+        stack = [self.root_pid]
+        while stack:
+            node = self._load(stack.pop())
+            for region, value in node.entries:
+                if region.intersects(rect):
+                    if node.is_leaf:
+                        results.append(value)
+                    else:
+                        stack.append(value)
+        self.buffer.flush_all()
+        return results
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        return self._load(self.root_pid).level + 1
+
+    @property
+    def page_count(self) -> int:
+        return self.disk.allocated_pages
+
+    def iter_entries(self) -> Iterator[Tuple[Rect, Any]]:
+        """All leaf entries (test/inspection helper; charges I/O)."""
+        stack = [self.root_pid]
+        while stack:
+            node = self._load(stack.pop())
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.child_ids())
+
+    # -- node I/O helpers ------------------------------------------------------
+
+    def _new_node(self, node: Node) -> PageId:
+        pid = self.disk.allocate()
+        self.buffer.put_new(pid, node)
+        return pid
+
+    def _load(self, pid: PageId) -> Node:
+        return self.buffer.get(pid)
+
+    def _touch(self, pid: PageId, node: Node) -> None:
+        self.buffer.mark_dirty(pid, node)
+
+    def _capacity(self, node: Node) -> int:
+        return self.leaf_capacity if node.is_leaf else self.internal_capacity
+
+    def _min_entries(self, node: Node) -> int:
+        return max(2, int(self._capacity(node) * self.min_fill))
+
+    # -- insertion -------------------------------------------------------------
+
+    def _insert_entry(
+        self, entry: Tuple[Rect, Any], level: int, allow_reinsert: bool
+    ) -> None:
+        pending: List[Tuple[Tuple[Rect, Any], int]] = [(entry, level)]
+        reinserted_levels: set = set() if allow_reinsert else None
+        while pending:
+            item, item_level = pending.pop()
+            split = self._insert_rec(
+                self.root_pid, item, item_level, reinserted_levels, pending
+            )
+            if split is not None:
+                self._grow_root(split)
+
+    def _insert_rec(
+        self,
+        pid: PageId,
+        entry: Tuple[Rect, Any],
+        target_level: int,
+        reinserted_levels: Optional[set],
+        pending: List[Tuple[Tuple[Rect, Any], int]],
+    ) -> Optional[Tuple[Rect, PageId]]:
+        """Insert ``entry`` at ``target_level``; return a new sibling entry
+        for the caller to install if this node was split."""
+        node = self._load(pid)
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            use_overlap = node.level == target_level + 1 and target_level == 0
+            idx = choose_child(
+                self.metrics, node.regions(), entry[0], use_overlap
+            )
+            child_pid = node.entries[idx][1]
+            split = self._insert_rec(
+                child_pid, entry, target_level, reinserted_levels, pending
+            )
+            child = self._load(child_pid)
+            node.entries[idx] = (self.metrics.bound(child.regions()), child_pid)
+            if split is not None:
+                node.entries.append(split)
+        if len(node.entries) > self._capacity(node):
+            result = self._overflow(pid, node, reinserted_levels, pending)
+            self._touch(pid, node)
+            return result
+        self._touch(pid, node)
+        return None
+
+    def _overflow(
+        self,
+        pid: PageId,
+        node: Node,
+        reinserted_levels: Optional[set],
+        pending: List[Tuple[Tuple[Rect, Any], int]],
+    ) -> Optional[Tuple[Rect, PageId]]:
+        is_root = pid == self.root_pid
+        can_reinsert = (
+            reinserted_levels is not None
+            and not is_root
+            and node.level not in reinserted_levels
+        )
+        if can_reinsert:
+            reinserted_levels.add(node.level)
+            count = max(1, int(len(node.entries) * self.reinsert_fraction))
+            evicted = reinsert_candidates(self.metrics, node.regions(), count)
+            evicted_set = set(evicted)
+            for i in evicted:
+                pending.append((node.entries[i], node.level))
+            node.entries = [
+                e for i, e in enumerate(node.entries) if i not in evicted_set
+            ]
+            return None
+        return self._split(node)
+
+    def _split(self, node: Node) -> Tuple[Rect, PageId]:
+        result = choose_split(
+            self.metrics, node.regions(), self._min_entries(node)
+        )
+        entries = node.entries
+        node.entries = [entries[i] for i in result.group_a]
+        sibling = Node(node.level, [entries[i] for i in result.group_b])
+        sibling_pid = self._new_node(sibling)
+        return (self.metrics.bound(sibling.regions()), sibling_pid)
+
+    def _grow_root(self, split: Tuple[Rect, PageId]) -> None:
+        old_root = self._load(self.root_pid)
+        old_entries_bound = self.metrics.bound(old_root.regions())
+        moved_pid = self._new_node(Node(old_root.level, old_root.entries))
+        new_root = Node(old_root.level + 1, [
+            (old_entries_bound, moved_pid),
+            split,
+        ])
+        self._touch(self.root_pid, new_root)
+
+    # -- deletion ---------------------------------------------------------------
+
+    def _find_leaf(
+        self, rect: Rect, payload: Any
+    ) -> Optional[List[Tuple[PageId, int]]]:
+        """DFS for the leaf holding the entry; returns (pid, child index)
+        pairs from the root down to the leaf entry."""
+        stack: List[List[Tuple[PageId, int]]] = [[(self.root_pid, -1)]]
+        while stack:
+            path = stack.pop()
+            pid = path[-1][0]
+            node = self._load(pid)
+            for i, (region, value) in enumerate(node.entries):
+                if node.is_leaf:
+                    if value == payload and region == rect:
+                        return path[:-1] + [(pid, i)]
+                elif region.contains_rect(rect):
+                    stack.append(path[:-1] + [(pid, -1), (value, -1)])
+        return None
+
+    def _remove_at(
+        self, path: List[Tuple[PageId, int]], rect: Rect, payload: Any
+    ) -> None:
+        leaf_pid, entry_idx = path[-1]
+        leaf = self._load(leaf_pid)
+        del leaf.entries[entry_idx]
+        self._touch(leaf_pid, leaf)
+        orphans: List[Tuple[Tuple[Rect, Any], int]] = []
+        # Walk back up, dropping underfull nodes and fixing bounds.
+        for depth in range(len(path) - 1, 0, -1):
+            pid = path[depth][0]
+            parent_pid = path[depth - 1][0]
+            node = self._load(pid)
+            parent = self._load(parent_pid)
+            child_idx = next(
+                i for i, (_, v) in enumerate(parent.entries) if v == pid
+            )
+            if len(node.entries) < self._min_entries(node):
+                for entry in node.entries:
+                    orphans.append((entry, node.level))
+                del parent.entries[child_idx]
+                self.buffer.discard(pid)
+                self.disk.free(pid)
+            else:
+                parent.entries[child_idx] = (
+                    self.metrics.bound(node.regions()),
+                    pid,
+                )
+            self._touch(parent_pid, parent)
+        # Reinsert orphans, highest levels first.
+        orphans.sort(key=lambda pair: -pair[1])
+        for entry, level in orphans:
+            self._insert_entry(entry, level, allow_reinsert=False)
+        self._shrink_root()
+
+    def _shrink_root(self) -> None:
+        root = self._load(self.root_pid)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_pid = root.entries[0][1]
+            child = self._load(child_pid)
+            self._touch(self.root_pid, Node(child.level, child.entries))
+            self.buffer.discard(child_pid)
+            self.disk.free(child_pid)
+            root = self._load(self.root_pid)

@@ -1,0 +1,26 @@
+"""Simulated paged storage: disk manager, LRU buffer pool, I/O accounting.
+
+This is the substrate the paper's experiments measure against — every
+figure's y-axis is a count of page reads/writes through this layer.
+"""
+
+from .buffer import BufferPool
+from .disk import INVALID_PAGE, DiskManager, PageError, PageId
+from .layout import NODE_HEADER_BYTES, EntryLayout
+from .serial import CodecError, NodeCodec
+from .stats import IOSnapshot, IOStats, OperationStats
+
+__all__ = [
+    "BufferPool",
+    "CodecError",
+    "DiskManager",
+    "EntryLayout",
+    "INVALID_PAGE",
+    "IOSnapshot",
+    "IOStats",
+    "NODE_HEADER_BYTES",
+    "NodeCodec",
+    "OperationStats",
+    "PageError",
+    "PageId",
+]

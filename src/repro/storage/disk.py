@@ -1,0 +1,101 @@
+"""Simulated disk: a flat page store with allocation and I/O accounting.
+
+The paper measures index quality in disk-page reads and writes against a
+4 KB page store.  This module provides that store.  Pages hold arbitrary
+Python payloads (tree nodes); byte-accuracy is enforced one level up by
+:mod:`repro.storage.layout`, which derives how many entries fit a page,
+so the simulation charges exactly the I/O a byte-level implementation
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from .stats import IOStats
+
+PageId = int
+
+INVALID_PAGE: PageId = -1
+
+
+class PageError(Exception):
+    """Raised on invalid page accesses (double free, missing page, ...)."""
+
+
+class DiskManager:
+    """A simulated disk of fixed-size pages.
+
+    Pages are identified by dense integer ids.  Freed page ids are recycled
+    (a free list), matching what a real page file does and keeping the
+    "index size in pages" statistic of Figure 15 honest.
+    """
+
+    def __init__(self, page_size: int = 4096, stats: Optional[IOStats] = None):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: Dict[PageId, Any] = {}
+        self._free: List[PageId] = []
+        self._next_id: PageId = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self) -> PageId:
+        """Allocate a fresh page and return its id (no I/O charged)."""
+        if self._free:
+            pid = self._free.pop()
+        else:
+            pid = self._next_id
+            self._next_id += 1
+        self._pages[pid] = None
+        self.stats.allocations += 1
+        return pid
+
+    def free(self, pid: PageId) -> None:
+        """Return a page to the free list."""
+        if pid not in self._pages:
+            raise PageError(f"free of unallocated page {pid}")
+        del self._pages[pid]
+        self._free.append(pid)
+        self.stats.frees += 1
+
+    # -- I/O ----------------------------------------------------------------
+
+    def read(self, pid: PageId) -> Any:
+        """Read a page from disk, charging one read I/O."""
+        if pid not in self._pages:
+            raise PageError(f"read of unallocated page {pid}")
+        self.stats.reads += 1
+        return self._pages[pid]
+
+    def write(self, pid: PageId, payload: Any) -> None:
+        """Write a page to disk, charging one write I/O."""
+        if pid not in self._pages:
+            raise PageError(f"write of unallocated page {pid}")
+        self.stats.writes += 1
+        self._pages[pid] = payload
+
+    def peek(self, pid: PageId) -> Any:
+        """Read a page without charging I/O.
+
+        For tests, invariant checks and audits only — never for index
+        operations, which must account their page traffic.
+        """
+        if pid not in self._pages:
+            raise PageError(f"peek of unallocated page {pid}")
+        return self._pages[pid]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def allocated_pages(self) -> int:
+        """Number of live pages (the index-size metric of Figure 15)."""
+        return len(self._pages)
+
+    def is_allocated(self, pid: PageId) -> bool:
+        return pid in self._pages
+
+    def page_ids(self) -> Iterator[PageId]:
+        return iter(self._pages.keys())

@@ -1,0 +1,126 @@
+"""I/O statistics collection.
+
+Every figure in the paper reports disk I/O operations (page reads and
+writes).  :class:`IOStats` is the single accounting object shared by the
+disk manager and the buffer pool; the experiment runner snapshots it
+around each index operation to attribute I/O to searches versus updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Running counters of simulated disk activity.
+
+    Attributes:
+        reads: number of pages fetched from disk (buffer misses).
+        writes: number of pages written back to disk.
+        allocations: number of pages ever allocated.
+        frees: number of pages deallocated.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/O operations (reads plus writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOSnapshot":
+        """Capture the current counter values."""
+        return IOSnapshot(self.reads, self.writes, self.allocations, self.frees)
+
+    def since(self, snap: "IOSnapshot") -> "IOSnapshot":
+        """Return the delta between now and an earlier :meth:`snapshot`."""
+        return IOSnapshot(
+            self.reads - snap.reads,
+            self.writes - snap.writes,
+            self.allocations - snap.allocations,
+            self.frees - snap.frees,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """Immutable view of :class:`IOStats` counters at one point in time."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/O operations (reads plus writes)."""
+        return self.reads + self.writes
+
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.allocations + other.allocations,
+            self.frees + other.frees,
+        )
+
+
+@dataclass
+class OperationStats:
+    """Aggregate per-operation-class I/O tallies for one experiment run.
+
+    The paper reports *average* search I/O per query and *average* update
+    I/O per insertion or deletion; this accumulator produces both.
+    """
+
+    search_io: int = 0
+    search_ops: int = 0
+    update_io: int = 0
+    update_ops: int = 0
+    auxiliary_io: int = 0
+    _search_io_samples: list = field(default_factory=list)
+
+    def record_search(self, io: int) -> None:
+        self.search_io += io
+        self.search_ops += 1
+        self._search_io_samples.append(io)
+
+    def record_update(self, io: int) -> None:
+        self.update_io += io
+        self.update_ops += 1
+
+    def record_auxiliary(self, io: int) -> None:
+        """I/O charged to side structures (e.g. the scheduled-deletion B-tree)."""
+        self.auxiliary_io += io
+
+    @property
+    def avg_search_io(self) -> float:
+        """Average I/O per query (the y-axis of Figures 9-14)."""
+        if self.search_ops == 0:
+            return 0.0
+        return self.search_io / self.search_ops
+
+    @property
+    def avg_update_io(self) -> float:
+        """Average I/O per insert/delete (the y-axis of Figure 16)."""
+        if self.update_ops == 0:
+            return 0.0
+        return self.update_io / self.update_ops
+
+    @property
+    def avg_update_io_with_auxiliary(self) -> float:
+        """Update I/O including side-structure costs the paper excludes."""
+        if self.update_ops == 0:
+            return 0.0
+        return (self.update_io + self.auxiliary_io) / self.update_ops

@@ -1,0 +1,51 @@
+"""Synthetic workload generation (Section 5.1)."""
+
+from .base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp, Workload
+from .expiration import (
+    ExpirationPolicy,
+    FixedDistance,
+    FixedPeriod,
+    NeverExpire,
+    estimate_live_fraction,
+)
+from .io import load_workload, save_workload
+from .network import (
+    NetworkParams,
+    RouteNetwork,
+    SPEED_GROUPS,
+    generate_network_workload,
+)
+from .parameters import PAPER_PARAMETERS, ParameterSpec, parameter, querying_window
+from .queries import QueryGenerator, QueryProfile
+from .stream import StreamParams, build_stream
+from .uniform import UniformParams, generate_uniform_workload
+
+__all__ = [
+    "DeleteOp",
+    "ExpirationPolicy",
+    "FixedDistance",
+    "FixedPeriod",
+    "InsertOp",
+    "NetworkParams",
+    "NeverExpire",
+    "Operation",
+    "PAPER_PARAMETERS",
+    "ParameterSpec",
+    "QueryGenerator",
+    "QueryOp",
+    "QueryProfile",
+    "RouteNetwork",
+    "SPEED_GROUPS",
+    "StreamParams",
+    "UniformParams",
+    "UpdateOp",
+    "Workload",
+    "build_stream",
+    "estimate_live_fraction",
+    "generate_network_workload",
+    "generate_uniform_workload",
+    "load_workload",
+    "parameter",
+    "save_workload",
+    "querying_window",
+]

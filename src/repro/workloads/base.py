@@ -1,0 +1,90 @@
+"""Workloads: timestamped operation streams (Section 5.1).
+
+A workload intermixes insertions, updates (a deletion immediately
+followed by an insertion) and queries, "simulating index usage across a
+period of time".  Workload generators produce these streams; the
+experiment runner replays them against index adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Union
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import SpatioTemporalQuery
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """An object reports its first position (or re-appears)."""
+
+    time: float
+    oid: int
+    point: MovingPoint
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """An object reports fresh parameters: delete old, insert new."""
+
+    time: float
+    oid: int
+    old_point: MovingPoint
+    new_point: MovingPoint
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """An object explicitly leaves the service."""
+
+    time: float
+    oid: int
+    point: MovingPoint
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """A timeslice/window/moving query issued at ``time``."""
+
+    time: float
+    query: SpatioTemporalQuery
+
+
+Operation = Union[InsertOp, UpdateOp, DeleteOp, QueryOp]
+
+
+@dataclass
+class Workload:
+    """A generated operation stream plus its generation parameters."""
+
+    name: str
+    ops: List[Operation] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def insertion_count(self) -> int:
+        """Insertions in the paper's sense: inserts plus update-inserts."""
+        return sum(
+            1 for op in self.ops if isinstance(op, (InsertOp, UpdateOp))
+        )
+
+    @property
+    def query_count(self) -> int:
+        return sum(1 for op in self.ops if isinstance(op, QueryOp))
+
+    def validate(self) -> None:
+        """Check timestamps are sorted and points are well-formed."""
+        last = float("-inf")
+        for op in self.ops:
+            if op.time < last:
+                raise ValueError(
+                    f"operation at {op.time} precedes earlier {last}"
+                )
+            last = op.time

@@ -1,0 +1,117 @@
+"""Expiration-time assignment policies (Section 5.1).
+
+Two approaches are evaluated by the paper:
+
+* **ExpT** — a fixed expiration *period*: ``t_exp = t_upd + ExpT`` for
+  every object (most experiments use ExpT = 2·UI).
+* **ExpD** — a fixed expiration *distance*: fast objects expire sooner,
+  ``t_exp = t_upd + ExpD / v`` where ``v`` is the reported speed.
+
+A third policy (never expire) feeds the plain TPR-tree comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..geometry.kinematics import NEVER
+
+
+class ExpirationPolicy(ABC):
+    """Maps an update's time and reported speed to an expiration time."""
+
+    @abstractmethod
+    def expiration(self, t_upd: float, speed: float) -> float:
+        """Expiration time for a report issued at ``t_upd``."""
+
+    @abstractmethod
+    def mean_validity(self, mean_speed: float) -> float:
+        """Expected validity duration (for population-size estimation)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short label for reports."""
+
+
+@dataclass(frozen=True)
+class FixedPeriod(ExpirationPolicy):
+    """ExpT: every report is valid for the same duration."""
+
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError(f"expiration period must be positive: {self.period}")
+
+    def expiration(self, t_upd: float, speed: float) -> float:
+        return t_upd + self.period
+
+    def mean_validity(self, mean_speed: float) -> float:
+        return self.period
+
+    def describe(self) -> str:
+        return f"ExpT={self.period:g}"
+
+
+@dataclass(frozen=True)
+class FixedDistance(ExpirationPolicy):
+    """ExpD: a report is valid until the object travels ``distance``.
+
+    Stationary (or nearly stationary) objects would never expire; their
+    validity is capped via ``min_speed``.
+    """
+
+    distance: float
+    min_speed: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0.0:
+            raise ValueError(f"expiration distance must be positive: {self.distance}")
+        if self.min_speed <= 0.0:
+            raise ValueError(f"min_speed must be positive: {self.min_speed}")
+
+    def expiration(self, t_upd: float, speed: float) -> float:
+        return t_upd + self.distance / max(speed, self.min_speed)
+
+    def mean_validity(self, mean_speed: float) -> float:
+        return self.distance / max(mean_speed, self.min_speed)
+
+    def describe(self) -> str:
+        return f"ExpD={self.distance:g}"
+
+
+@dataclass(frozen=True)
+class NeverExpire(ExpirationPolicy):
+    """Reports stay valid forever (classic TPR-tree data)."""
+
+    def expiration(self, t_upd: float, speed: float) -> float:
+        return NEVER
+
+    def mean_validity(self, mean_speed: float) -> float:
+        return math.inf
+
+    def describe(self) -> str:
+        return "no-expiry"
+
+
+def estimate_live_fraction(
+    policy: ExpirationPolicy, update_interval: float, mean_speed: float
+) -> float:
+    """Expected fraction of objects whose last report is still valid.
+
+    Assuming times between successive updates uniform on (0, 2·UI) — the
+    paper's assumption when compensating for expired-but-not-updated
+    objects — an object whose report lives for T is present for
+    ``min(T, u)`` of each inter-update gap ``u``, giving the fraction
+    ``E[min(T, u)] / E[u] = (T - T^2 / (4·UI)) / UI`` for T < 2·UI.
+    """
+    validity = policy.mean_validity(mean_speed)
+    if math.isinf(validity):
+        return 1.0
+    two_ui = 2.0 * update_interval
+    if validity >= two_ui:
+        return 1.0
+    expected_presence = validity - validity * validity / (2.0 * two_ui)
+    return max(0.05, min(1.0, expected_presence / update_interval))

@@ -1,0 +1,170 @@
+"""Workload persistence: save/load operation streams as JSON lines.
+
+Large workloads are expensive to generate (and, at paper scale, big); a
+saved trace lets experiments re-run against the exact same stream —
+useful for regression comparisons and for sharing workloads between
+machines.  The format is line-delimited JSON: a header line with the
+workload name and parameters, then one line per operation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Union
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import (
+    MovingQuery,
+    SpatioTemporalQuery,
+    TimesliceQuery,
+    WindowQuery,
+)
+from ..geometry.rect import Rect
+from .base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp, Workload
+
+_FORMAT_VERSION = 1
+
+
+def _encode_float(value: float):
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+def _point_to_json(point: MovingPoint) -> dict:
+    return {
+        "pos": list(point.pos),
+        "vel": list(point.vel),
+        "t_ref": point.t_ref,
+        "t_exp": _encode_float(point.t_exp),
+    }
+
+
+def _point_from_json(data: dict) -> MovingPoint:
+    return MovingPoint(
+        tuple(data["pos"]),
+        tuple(data["vel"]),
+        data["t_ref"],
+        _decode_float(data["t_exp"]),
+    )
+
+
+def _query_to_json(query: SpatioTemporalQuery) -> dict:
+    if isinstance(query, TimesliceQuery):
+        return {
+            "kind": "timeslice",
+            "lo": list(query.rect.lo), "hi": list(query.rect.hi),
+            "t": query.t,
+        }
+    if isinstance(query, WindowQuery):
+        return {
+            "kind": "window",
+            "lo": list(query.rect.lo), "hi": list(query.rect.hi),
+            "t1": query.t1, "t2": query.t2,
+        }
+    if isinstance(query, MovingQuery):
+        return {
+            "kind": "moving",
+            "lo1": list(query.rect1.lo), "hi1": list(query.rect1.hi),
+            "lo2": list(query.rect2.lo), "hi2": list(query.rect2.hi),
+            "t1": query.t1, "t2": query.t2,
+        }
+    raise TypeError(f"unknown query type {type(query).__name__}")
+
+
+def _query_from_json(data: dict) -> SpatioTemporalQuery:
+    kind = data["kind"]
+    if kind == "timeslice":
+        return TimesliceQuery(
+            Rect(tuple(data["lo"]), tuple(data["hi"])), data["t"]
+        )
+    if kind == "window":
+        return WindowQuery(
+            Rect(tuple(data["lo"]), tuple(data["hi"])),
+            data["t1"], data["t2"],
+        )
+    if kind == "moving":
+        return MovingQuery(
+            Rect(tuple(data["lo1"]), tuple(data["hi1"])),
+            Rect(tuple(data["lo2"]), tuple(data["hi2"])),
+            data["t1"], data["t2"],
+        )
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+def _op_to_json(op: Operation) -> dict:
+    if isinstance(op, InsertOp):
+        return {"op": "insert", "time": op.time, "oid": op.oid,
+                "point": _point_to_json(op.point)}
+    if isinstance(op, UpdateOp):
+        return {"op": "update", "time": op.time, "oid": op.oid,
+                "old": _point_to_json(op.old_point),
+                "new": _point_to_json(op.new_point)}
+    if isinstance(op, DeleteOp):
+        return {"op": "delete", "time": op.time, "oid": op.oid,
+                "point": _point_to_json(op.point)}
+    if isinstance(op, QueryOp):
+        return {"op": "query", "time": op.time,
+                "query": _query_to_json(op.query)}
+    raise TypeError(f"unknown operation type {type(op).__name__}")
+
+
+def _op_from_json(data: dict) -> Operation:
+    kind = data["op"]
+    if kind == "insert":
+        return InsertOp(data["time"], data["oid"],
+                        _point_from_json(data["point"]))
+    if kind == "update":
+        return UpdateOp(data["time"], data["oid"],
+                        _point_from_json(data["old"]),
+                        _point_from_json(data["new"]))
+    if kind == "delete":
+        return DeleteOp(data["time"], data["oid"],
+                        _point_from_json(data["point"]))
+    if kind == "query":
+        return QueryOp(data["time"], _query_from_json(data["query"]))
+    raise ValueError(f"unknown operation kind {kind!r}")
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to a JSON-lines trace file."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {
+            "format": "repro-workload",
+            "version": _FORMAT_VERSION,
+            "name": workload.name,
+            "params": {k: str(v) if not isinstance(v, (int, float, bool))
+                       else v for k, v in workload.params.items()},
+        }
+        handle.write(json.dumps(header) + "\n")
+        for op in workload.ops:
+            handle.write(json.dumps(_op_to_json(op)) + "\n")
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload back from a JSON-lines trace file."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty workload file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-workload":
+            raise ValueError(f"{path}: not a repro workload trace")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        ops = [_op_from_json(json.loads(line)) for line in handle if line.strip()]
+    return Workload(header["name"], ops, dict(header.get("params", {})))

@@ -1,0 +1,226 @@
+"""The network-based workload of Section 5.1.
+
+Objects ("cars") move between twenty uniformly placed destinations
+("cities") connected by 380 one-way routes (a fully connected digraph)
+in a 1000 km x 1000 km space.  Each object belongs to one of three speed
+groups (0.75, 1.5 or 3 km/min).  Over the first sixth of a route it
+accelerates from standstill to its maximum speed, cruises for the middle
+two thirds, and decelerates over the last sixth.  Reports are issued at
+the start of each route and during the acceleration and deceleration
+stretches, in numbers chosen so the mean inter-report gap approximates
+the target update interval UI.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .base import Workload
+from .expiration import ExpirationPolicy, FixedPeriod, estimate_live_fraction
+from .queries import QueryProfile
+from .stream import Report, StreamParams, build_stream
+
+Point = Tuple[float, float]
+
+#: The paper's three maximum speeds in km/min (45, 90, 180 km/h).
+SPEED_GROUPS = (0.75, 1.5, 3.0)
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Knobs of the network workload generator.
+
+    ``target_population`` is the desired *average number of leaf
+    entries*; when expirations outpace updates the generator simulates
+    proportionally more objects, as the paper's generator does.
+    """
+
+    target_population: int = 100_000
+    insertions: int = 1_000_000
+    update_interval: float = 60.0
+    querying_window: Optional[float] = None  # defaults to UI / 2
+    new_object_fraction: float = 0.0
+    space: float = 1000.0
+    destinations: int = 20
+    speed_groups: Tuple[float, ...] = SPEED_GROUPS
+    queries_per_insertions: int = 100
+    seed: int = 0
+
+    @property
+    def window(self) -> float:
+        if self.querying_window is not None:
+            return self.querying_window
+        return self.update_interval / 2.0
+
+
+class RouteNetwork:
+    """Destinations plus the derived fully connected route graph."""
+
+    def __init__(self, params: NetworkParams, rng: random.Random):
+        self.space = params.space
+        self.destinations: List[Point] = [
+            (rng.uniform(0, params.space), rng.uniform(0, params.space))
+            for _ in range(params.destinations)
+        ]
+
+    @property
+    def route_count(self) -> int:
+        """One-way routes in the fully connected digraph (20 -> 380)."""
+        n = len(self.destinations)
+        return n * (n - 1)
+
+    def random_route(self, rng: random.Random) -> Tuple[Point, Point]:
+        n = len(self.destinations)
+        i = rng.randrange(n)
+        j = rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        return self.destinations[i], self.destinations[j]
+
+    def random_destination(
+        self, rng: random.Random, exclude: Point
+    ) -> Point:
+        while True:
+            d = self.destinations[rng.randrange(len(self.destinations))]
+            if d != exclude:
+                return d
+
+
+def _route_reports(
+    t_start: float,
+    origin: Point,
+    dest: Point,
+    vmax: float,
+    update_interval: float,
+) -> Iterator[Report]:
+    """Reports along one route: start-of-route plus accel/decel updates.
+
+    The speed profile is the paper's: linear acceleration over the first
+    sixth of the route, cruising over the middle two thirds, linear
+    deceleration over the last sixth.  Updates are spread over the
+    acceleration and deceleration stretches; their count targets a mean
+    inter-report gap of the update interval.
+    """
+    dx = dest[0] - origin[0]
+    dy = dest[1] - origin[1]
+    length = math.hypot(dx, dy)
+    if length <= 1e-9:
+        return
+    ux, uy = dx / length, dy / length
+    t_accel = length / (3.0 * vmax)   # covers length/6 from standstill
+    t_cruise = 2.0 * length / (3.0 * vmax)
+    total = 2.0 * t_accel + t_cruise
+    # The start-of-route report counts toward the budget, so a route of
+    # duration T carries about T / UI reports in total.
+    updates = max(1, round(total / update_interval) - 1)
+    n_accel = (updates + 1) // 2
+    n_decel = updates - n_accel
+
+    def at(t_offset: float) -> Report:
+        if t_offset <= t_accel:
+            speed = vmax * t_offset / t_accel
+            dist = 0.5 * vmax * t_offset * t_offset / t_accel
+        elif t_offset <= t_accel + t_cruise:
+            speed = vmax
+            dist = length / 6.0 + vmax * (t_offset - t_accel)
+        else:
+            into = t_offset - t_accel - t_cruise
+            speed = vmax * (1.0 - into / t_accel)
+            dist = 5.0 * length / 6.0 + vmax * into - 0.5 * vmax * into * into / t_accel
+        pos = (origin[0] + ux * dist, origin[1] + uy * dist)
+        vel = (ux * speed, uy * speed)
+        return (t_start + t_offset, pos, vel, speed)
+
+    yield at(0.0)
+    # Acceleration-stretch updates; the last lands exactly at cruise
+    # start, making the cruise prediction exact.
+    for i in range(n_accel):
+        yield at(t_accel * (i + 1) / n_accel)
+    decel_start = t_accel + t_cruise
+    for i in range(n_decel):
+        yield at(decel_start + t_accel * (i + 0.5) / n_decel)
+
+
+def network_journey_factory(params: NetworkParams, network: RouteNetwork):
+    """Journey factory: endless route-to-route travel for one object."""
+
+    def factory(rng: random.Random, start_time: float) -> Iterator[Report]:
+        vmax = params.speed_groups[rng.randrange(len(params.speed_groups))]
+
+        def journey() -> Iterator[Report]:
+            origin, dest = network.random_route(rng)
+            # First placement: a random position along a random route;
+            # the object drives the remainder of that route.
+            frac = rng.random()
+            origin = (
+                origin[0] + (dest[0] - origin[0]) * frac,
+                origin[1] + (dest[1] - origin[1]) * frac,
+            )
+            t = start_time
+            while True:
+                last_t = t
+                for report in _route_reports(
+                    t, origin, dest, vmax, params.update_interval
+                ):
+                    last_t = report[0]
+                    yield report
+                # Arrive and immediately head for a new destination.
+                length = math.dist(origin, dest)
+                t = t + 4.0 * length / (3.0 * vmax)
+                t = max(t, last_t)
+                origin, dest = dest, network.random_destination(rng, dest)
+
+        return journey()
+
+    return factory
+
+
+def mean_reported_speed(params: NetworkParams) -> float:
+    """Mean of the group maxima, discounted for accel/decel stretches."""
+    # Time-weighted mean speed over a route: distance L in time 4L/(3v)
+    # gives an average of 0.75 * vmax.
+    return 0.75 * sum(params.speed_groups) / len(params.speed_groups)
+
+
+def generate_network_workload(
+    params: NetworkParams,
+    policy: Optional[ExpirationPolicy] = None,
+) -> Workload:
+    """Build the full network workload (Section 5.1).
+
+    Args:
+        params: generator knobs; defaults reproduce the paper's setup.
+        policy: expiration policy; defaults to ExpT = 2 * UI.
+    """
+    if policy is None:
+        policy = FixedPeriod(2.0 * params.update_interval)
+    rng = random.Random(params.seed)
+    network = RouteNetwork(params, rng)
+    fraction = estimate_live_fraction(
+        policy, params.update_interval, mean_reported_speed(params)
+    )
+    population = max(1, math.ceil(params.target_population / fraction))
+    stream = StreamParams(
+        population=population,
+        insertions=params.insertions,
+        update_interval=params.update_interval,
+        querying_window=params.window,
+        new_object_fraction=params.new_object_fraction,
+        queries_per_insertions=params.queries_per_insertions,
+        seed=params.seed,
+    )
+    profile = QueryProfile(space=params.space)
+    workload = build_stream(
+        name=f"network[{policy.describe()},UI={params.update_interval:g},"
+        f"NewOb={params.new_object_fraction:g}]",
+        params=stream,
+        journey_factory=network_journey_factory(params, network),
+        policy=policy,
+        query_profile=profile,
+    )
+    workload.params["kind"] = "network"
+    workload.params["routes"] = network.route_count
+    return workload

@@ -1,0 +1,106 @@
+"""Query generation (Section 5.1).
+
+Timeslice, window and moving queries are generated with probabilities
+0.6 / 0.2 / 0.2.  Temporal parts fall in a window of length W starting
+at the current time; the spatial part of each query is a square covering
+0.25 % of the space.  Timeslice and window queries land at random
+locations; a moving query's center follows the trajectory of one of the
+points currently in the index.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import (
+    MovingQuery,
+    SpatioTemporalQuery,
+    TimesliceQuery,
+    WindowQuery,
+)
+from ..geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Shape parameters of the generated query mix."""
+
+    space: float = 1000.0
+    area_fraction: float = 0.0025
+    timeslice_probability: float = 0.6
+    window_probability: float = 0.2
+    moving_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = (
+            self.timeslice_probability
+            + self.window_probability
+            + self.moving_probability
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"query probabilities sum to {total}, not 1")
+
+    @property
+    def side(self) -> float:
+        """Side length of the square query region."""
+        return self.space * math.sqrt(self.area_fraction)
+
+
+class QueryGenerator:
+    """Draws queries per the paper's mix."""
+
+    def __init__(self, profile: QueryProfile, rng: random.Random):
+        self.profile = profile
+        self.rng = rng
+
+    def _square_at(self, cx: float, cy: float) -> Rect:
+        half = self.profile.side / 2.0
+        space = self.profile.space
+        lo_x = min(max(cx - half, 0.0), space - 2 * half)
+        lo_y = min(max(cy - half, 0.0), space - 2 * half)
+        return Rect((lo_x, lo_y), (lo_x + 2 * half, lo_y + 2 * half))
+
+    def _random_square(self) -> Rect:
+        side = self.profile.side
+        space = self.profile.space
+        x = self.rng.uniform(0.0, space - side)
+        y = self.rng.uniform(0.0, space - side)
+        return Rect((x, y), (x + side, y + side))
+
+    def generate(
+        self,
+        now: float,
+        window: float,
+        tracked: Optional[Sequence[MovingPoint]] = None,
+    ) -> SpatioTemporalQuery:
+        """One query with temporal parts in [now, now + window].
+
+        Args:
+            now: query issue time.
+            window: the querying-window length W.
+            tracked: points currently in the index; a moving query's
+                center follows one of them.  When absent, moving queries
+                degrade to window queries.
+        """
+        rng = self.rng
+        roll = rng.random()
+        t_a = now + rng.uniform(0.0, window)
+        t_b = now + rng.uniform(0.0, window)
+        t1, t2 = min(t_a, t_b), max(t_a, t_b)
+        if roll < self.profile.timeslice_probability:
+            return TimesliceQuery(self._random_square(), t1)
+        if (
+            roll < self.profile.timeslice_probability + self.profile.window_probability
+            or not tracked
+        ):
+            return WindowQuery(self._random_square(), t1, t2)
+        target = rng.choice(tracked)
+        c1 = target.position_at(t1)
+        c2 = target.position_at(t2)
+        return MovingQuery(
+            self._square_at(*c1), self._square_at(*c2), t1, t2
+        )

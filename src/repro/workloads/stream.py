@@ -1,0 +1,211 @@
+"""Shared machinery turning per-object journeys into operation streams.
+
+Both workload families (network-based and uniform, Section 5.1) simulate
+a population of objects that periodically report (position, velocity)
+samples.  This module merges per-object report streams into a single
+time-ordered operation stream, interleaves queries (one per 100
+insertions), assigns expiration times, and implements the "turned off"
+objects of the NewOb experiments: a turned-off object silently stops
+reporting and a replacement object is introduced in its place.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..geometry.kinematics import MovingPoint
+from .base import InsertOp, Operation, QueryOp, UpdateOp, Workload
+from .expiration import ExpirationPolicy
+from .queries import QueryGenerator, QueryProfile
+
+#: One report: (time, position, velocity, speed).
+Report = Tuple[float, Tuple[float, float], Tuple[float, float], float]
+
+#: Produces an endless report stream for one object.
+JourneyFactory = Callable[[random.Random, float], Iterator[Report]]
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Parameters of the merged operation stream.
+
+    Attributes:
+        population: number of simultaneously simulated objects.
+        insertions: total insertions to generate (inserts + update-inserts);
+            the paper uses one million.
+        update_interval: target mean time between an object's reports (UI).
+        querying_window: W — how far queries look into the future.
+        new_object_fraction: NewOb — fraction of the population silently
+            replaced by new objects over the course of the workload.
+        queries_per_insertions: one query per this many insertions.
+        start_ramp: objects send their first positions at times uniform
+            in [0, start_ramp] ("the index is populated gradually").
+        seed: RNG seed.
+    """
+
+    population: int
+    insertions: int
+    update_interval: float
+    querying_window: float
+    new_object_fraction: float = 0.0
+    queries_per_insertions: int = 100
+    start_ramp: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be at least 1")
+        if self.insertions < 1:
+            raise ValueError("insertions must be at least 1")
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if self.new_object_fraction < 0:
+            raise ValueError("new_object_fraction must be non-negative")
+
+    @property
+    def ramp(self) -> float:
+        if self.start_ramp is not None:
+            return self.start_ramp
+        return self.update_interval
+
+    @property
+    def estimated_duration(self) -> float:
+        """Rough workload length: reports arrive at rate N / UI."""
+        return self.insertions * self.update_interval / self.population
+
+
+class _ObjectState:
+    __slots__ = ("oid", "journey", "last_point", "alive")
+
+    def __init__(self, oid: int, journey: Iterator[Report]):
+        self.oid = oid
+        self.journey = journey
+        self.last_point: Optional[MovingPoint] = None
+        self.alive = True
+
+
+def build_stream(
+    name: str,
+    params: StreamParams,
+    journey_factory: JourneyFactory,
+    policy: ExpirationPolicy,
+    query_profile: QueryProfile,
+) -> Workload:
+    """Merge object journeys into a time-ordered workload."""
+    rng = random.Random(params.seed)
+    query_gen = QueryGenerator(query_profile, random.Random(params.seed + 1))
+    ops: List[Operation] = []
+
+    heap: List[Tuple[float, int, _ObjectState]] = []
+    seq = 0
+    alive_oids: List[int] = []
+    alive_pos: Dict[int, int] = {}
+    states: Dict[int, _ObjectState] = {}
+    current_points: Dict[int, MovingPoint] = {}
+    next_oid = 0
+
+    def spawn(start_time: float) -> None:
+        nonlocal next_oid, seq
+        oid = next_oid
+        next_oid += 1
+        state = _ObjectState(oid, journey_factory(rng, start_time))
+        states[oid] = state
+        alive_pos[oid] = len(alive_oids)
+        alive_oids.append(oid)
+        try:
+            report = next(state.journey)
+        except StopIteration:  # pragma: no cover - journeys are endless
+            return
+        heapq.heappush(heap, (report[0], seq, (state, report)))
+        seq += 1
+
+    def kill_random(now: float) -> None:
+        if not alive_oids:
+            return
+        victim = alive_oids[rng.randrange(len(alive_oids))]
+        _remove_alive(victim)
+        states[victim].alive = False
+        spawn(now)
+
+    def _remove_alive(oid: int) -> None:
+        pos = alive_pos.pop(oid)
+        last = alive_oids[-1]
+        alive_oids[pos] = last
+        alive_oids.pop()
+        if last != oid:
+            alive_pos[last] = pos
+
+    for _ in range(params.population):
+        spawn(rng.uniform(0.0, params.ramp))
+
+    turnoffs = sorted(
+        rng.uniform(0.0, params.estimated_duration)
+        for _ in range(round(params.new_object_fraction * params.population))
+    )
+    turnoff_idx = 0
+
+    insertions = 0
+    since_query = 0
+    while insertions < params.insertions and heap:
+        t, _, (state, report) = heapq.heappop(heap)
+        while turnoff_idx < len(turnoffs) and turnoffs[turnoff_idx] <= t:
+            turnoff_idx += 1
+            kill_random(t)
+        if not state.alive:
+            current_points.pop(state.oid, None)
+            continue
+        _, pos, vel, speed = report
+        point = MovingPoint(pos, vel, t, policy.expiration(t, speed))
+        if state.last_point is None:
+            ops.append(InsertOp(t, state.oid, point))
+        else:
+            ops.append(UpdateOp(t, state.oid, state.last_point, point))
+        state.last_point = point
+        current_points[state.oid] = point
+        insertions += 1
+        since_query += 1
+        if since_query >= params.queries_per_insertions:
+            since_query = 0
+            tracked = _sample_points(rng, alive_oids, current_points)
+            ops.append(
+                QueryOp(t, query_gen.generate(t, params.querying_window, tracked))
+            )
+        try:
+            nxt = next(state.journey)
+        except StopIteration:  # pragma: no cover - journeys are endless
+            continue
+        heapq.heappush(heap, (nxt[0], seq, (state, nxt)))
+        seq += 1
+
+    workload = Workload(name=name, ops=ops)
+    workload.params = {
+        "population": params.population,
+        "insertions": insertions,
+        "update_interval": params.update_interval,
+        "querying_window": params.querying_window,
+        "new_object_fraction": params.new_object_fraction,
+        "expiration": policy.describe(),
+        "seed": params.seed,
+    }
+    return workload
+
+
+def _sample_points(
+    rng: random.Random,
+    alive_oids: List[int],
+    current_points: Dict[int, MovingPoint],
+    attempts: int = 8,
+) -> List[MovingPoint]:
+    """A few currently indexed points for moving-query targets."""
+    picks: List[MovingPoint] = []
+    for _ in range(attempts):
+        if not alive_oids:
+            break
+        oid = alive_oids[rng.randrange(len(alive_oids))]
+        point = current_points.get(oid)
+        if point is not None:
+            picks.append(point)
+    return picks

@@ -1,0 +1,108 @@
+"""The uniform workload of Section 5.1.
+
+Initial coordinates are uniform in the space; velocity directions are
+random (initially and on every update) with speeds uniform in
+[0, 3 km/min]; the time between successive updates of an object is
+uniform in (0, 2*UI].  Objects follow their reported predictions exactly
+between reports and bounce off the space boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .base import Workload
+from .expiration import ExpirationPolicy, FixedPeriod, estimate_live_fraction
+from .queries import QueryProfile
+from .stream import Report, StreamParams, build_stream
+
+
+@dataclass(frozen=True)
+class UniformParams:
+    """Knobs of the uniform workload generator."""
+
+    target_population: int = 100_000
+    insertions: int = 1_000_000
+    update_interval: float = 60.0
+    querying_window: Optional[float] = None  # defaults to UI / 2
+    new_object_fraction: float = 0.0
+    space: float = 1000.0
+    max_speed: float = 3.0
+    queries_per_insertions: int = 100
+    seed: int = 0
+
+    @property
+    def window(self) -> float:
+        if self.querying_window is not None:
+            return self.querying_window
+        return self.update_interval / 2.0
+
+
+def uniform_journey_factory(params: UniformParams):
+    """Endless uniform random motion for one object."""
+
+    space = params.space
+
+    def factory(rng: random.Random, start_time: float) -> Iterator[Report]:
+        def journey() -> Iterator[Report]:
+            t = start_time
+            x = rng.uniform(0.0, space)
+            y = rng.uniform(0.0, space)
+            while True:
+                speed = rng.uniform(0.0, params.max_speed)
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                vx = speed * math.cos(angle)
+                vy = speed * math.sin(angle)
+                yield (t, (x, y), (vx, vy), speed)
+                gap = rng.uniform(0.0, 2.0 * params.update_interval)
+                gap = max(gap, 1e-6)
+                t += gap
+                x, vx = _bounce(x + vx * gap, space)
+                y, vy_dummy = _bounce(y + vy * gap, space)
+        return journey()
+
+    return factory
+
+
+def _bounce(coord: float, space: float) -> Tuple[float, float]:
+    """Reflect a coordinate back into [0, space]."""
+    if coord < 0.0:
+        return -coord % space, 0.0
+    if coord > space:
+        return space - (coord - space) % space, 0.0
+    return coord, 0.0
+
+
+def generate_uniform_workload(
+    params: UniformParams,
+    policy: Optional[ExpirationPolicy] = None,
+) -> Workload:
+    """Build the uniform workload (used by Figure 11)."""
+    if policy is None:
+        policy = FixedPeriod(2.0 * params.update_interval)
+    fraction = estimate_live_fraction(
+        policy, params.update_interval, params.max_speed / 2.0
+    )
+    population = max(1, math.ceil(params.target_population / fraction))
+    stream = StreamParams(
+        population=population,
+        insertions=params.insertions,
+        update_interval=params.update_interval,
+        querying_window=params.window,
+        new_object_fraction=params.new_object_fraction,
+        queries_per_insertions=params.queries_per_insertions,
+        seed=params.seed,
+    )
+    profile = QueryProfile(space=params.space)
+    workload = build_stream(
+        name=f"uniform[{policy.describe()},UI={params.update_interval:g}]",
+        params=stream,
+        journey_factory=uniform_journey_factory(params),
+        policy=policy,
+        query_profile=profile,
+    )
+    workload.params["kind"] = "uniform"
+    return workload

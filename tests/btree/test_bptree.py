@@ -1,0 +1,145 @@
+"""Tests for the disk-based B+-tree (the scheduled-deletion queue)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bptree import BPlusTree
+
+
+def make_tree(page_size=256, buffer_pages=8):
+    return BPlusTree(page_size=page_size, buffer_pages=buffer_pages)
+
+
+def test_insert_get():
+    tree = make_tree()
+    tree.insert((5.0, 1), "a")
+    tree.insert((3.0, 2), "b")
+    assert tree.get((5.0, 1)) == "a"
+    assert tree.get((3.0, 2)) == "b"
+    assert tree.get((9.0, 9)) is None
+    assert len(tree) == 2
+
+
+def test_insert_overwrites():
+    tree = make_tree()
+    tree.insert((1.0, 1), "a")
+    tree.insert((1.0, 1), "b")
+    assert tree.get((1.0, 1)) == "b"
+    assert len(tree) == 1
+
+
+def test_min_item_and_pop_min():
+    tree = make_tree()
+    keys = [(3.0, 1), (1.0, 2), (2.0, 3)]
+    for k in keys:
+        tree.insert(k, k[1])
+    assert tree.min_item() == ((1.0, 2), 2)
+    assert tree.pop_min() == ((1.0, 2), 2)
+    assert tree.min_item() == ((2.0, 3), 3)
+
+
+def test_pop_min_empty():
+    assert make_tree().pop_min() is None
+    assert make_tree().min_item() is None
+
+
+def test_items_ordered_and_ranged():
+    tree = make_tree()
+    rng = random.Random(0)
+    keys = [(rng.uniform(0, 100), i) for i in range(300)]
+    for k in keys:
+        tree.insert(k, None)
+    ordered = [k for k, _ in tree.items()]
+    assert ordered == sorted(keys)
+    lo, hi = sorted(keys)[50], sorted(keys)[250]
+    ranged = [k for k, _ in tree.items(lo, hi)]
+    assert ranged == [k for k in sorted(keys) if lo <= k < hi]
+
+
+def test_delete_missing_returns_false():
+    tree = make_tree()
+    tree.insert((1.0, 1), "a")
+    assert not tree.delete((2.0, 2))
+    assert len(tree) == 1
+
+
+def test_grows_and_shrinks():
+    tree = make_tree()
+    rng = random.Random(1)
+    keys = [(rng.uniform(0, 1000), i) for i in range(800)]
+    for k in keys:
+        tree.insert(k, None)
+    assert tree.height >= 2
+    tree.check_invariants()
+    peak = tree.page_count
+    for k in keys:
+        assert tree.delete(k)
+    tree.check_invariants()
+    assert len(tree) == 0
+    assert tree.page_count < peak
+
+
+def test_invariants_under_mixed_churn():
+    tree = make_tree()
+    rng = random.Random(2)
+    alive = set()
+    for i in range(2000):
+        if alive and rng.random() < 0.45:
+            key = rng.choice(list(alive))
+            alive.discard(key)
+            assert tree.delete(key)
+        else:
+            key = (rng.uniform(0, 100), i)
+            alive.add(key)
+            tree.insert(key, i)
+        if i % 500 == 499:
+            tree.check_invariants()
+    tree.check_invariants()
+    assert len(tree) == len(alive)
+    assert [k for k, _ in tree.items()] == sorted(alive)
+
+
+def test_io_accounting():
+    tree = make_tree(buffer_pages=2)
+    for i in range(300):
+        tree.insert((float(i), i), i)
+    assert tree.stats.reads > 0
+    assert tree.stats.writes > 0
+
+
+def test_composite_key_ordering_matches_expiration_semantics():
+    """(t_exp, oid) keys: earliest expiration pops first; ids break ties."""
+    tree = make_tree()
+    tree.insert((5.0, 9), "later")
+    tree.insert((5.0, 1), "tie-lower-id")
+    tree.insert((1.0, 100), "soonest")
+    assert tree.pop_min()[1] == "soonest"
+    assert tree.pop_min()[1] == "tie-lower-id"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.integers(0, 20)),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_behaves_like_sorted_dict(operations):
+    """Insert/delete churn mirrors a dict; iteration mirrors sorted()."""
+    tree = make_tree()
+    model = {}
+    for value, op in operations:
+        key = (float(value % 50), value % 7)
+        if op % 3 == 0 and key in model:
+            del model[key]
+            assert tree.delete(key)
+        else:
+            model[key] = value
+            tree.insert(key, value)
+    assert len(tree) == len(model)
+    assert [(k, v) for k, v in tree.items()] == sorted(model.items())
+    tree.check_invariants()

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.kinematics import MovingPoint
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_point(
+    rng: random.Random,
+    dims: int = 2,
+    space: float = 100.0,
+    max_speed: float = 3.0,
+    t_ref: float = 0.0,
+    max_life: float = 50.0,
+    infinite_probability: float = 0.0,
+) -> MovingPoint:
+    """A random moving point for tests."""
+    pos = tuple(rng.uniform(0.0, space) for _ in range(dims))
+    vel = tuple(rng.uniform(-max_speed, max_speed) for _ in range(dims))
+    if infinite_probability and rng.random() < infinite_probability:
+        t_exp = float("inf")
+    else:
+        t_exp = t_ref + rng.uniform(0.0, max_life)
+    return MovingPoint(pos, vel, t_ref, t_exp)
+
+
+def random_points(rng: random.Random, n: int, **kwargs):
+    return [random_point(rng, **kwargs) for _ in range(n)]

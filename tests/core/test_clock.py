@@ -1,0 +1,27 @@
+"""Tests for the simulation clock."""
+
+from repro.core.clock import SimulationClock
+
+
+def test_starts_at_given_time():
+    assert SimulationClock(5.0).time == 5.0
+    assert SimulationClock().time == 0.0
+
+
+def test_advance_moves_forward():
+    clock = SimulationClock()
+    clock.advance_to(10.0)
+    assert clock.time == 10.0
+
+
+def test_advance_backwards_is_noop():
+    clock = SimulationClock(10.0)
+    clock.advance_to(5.0)
+    assert clock.time == 10.0
+
+
+def test_now_is_callable_view():
+    clock = SimulationClock(1.0)
+    now = clock.now
+    clock.advance_to(2.5)
+    assert now() == 2.5

@@ -1,0 +1,78 @@
+"""Tests for tree configuration and presets."""
+
+import pytest
+
+from repro.core.config import TreeConfig
+from repro.core.presets import (
+    bounding_config,
+    flavor_config,
+    rexp_config,
+    tpr_config,
+)
+from repro.geometry.bounding import BoundingKind
+
+
+def test_default_config_is_the_papers_best_rexp_flavor():
+    config = rexp_config()
+    assert config.bounding is BoundingKind.NEAR_OPTIMAL
+    assert not config.store_br_expiration
+    assert config.store_leaf_expiration
+    assert not config.choose_ignores_expiration
+    assert not config.use_overlap_in_choose
+    assert config.lazy_expiry
+
+
+def test_tpr_preset_indexes_infinite_lines():
+    config = tpr_config()
+    assert config.bounding is BoundingKind.CONSERVATIVE
+    assert not config.store_leaf_expiration
+    assert not config.lazy_expiry
+    assert config.use_overlap_in_choose
+
+
+def test_flavor_config_combinations():
+    both = flavor_config(True, True)
+    assert both.store_br_expiration and not both.choose_ignores_expiration
+    neither = flavor_config(False, False)
+    assert not neither.store_br_expiration and neither.choose_ignores_expiration
+
+
+def test_bounding_config_sets_kind():
+    config = bounding_config(BoundingKind.STATIC, algs_with_expiration=False)
+    assert config.bounding is BoundingKind.STATIC
+    assert config.choose_ignores_expiration
+
+
+def test_layout_reflects_static_bounding():
+    static = bounding_config(BoundingKind.STATIC).layout()
+    moving = rexp_config().layout()
+    assert not static.store_velocities
+    assert moving.store_velocities
+    assert static.internal_capacity > moving.internal_capacity
+
+
+def test_layout_reflects_br_expiration_recording():
+    with_exp = flavor_config(True, True).layout()
+    without = flavor_config(False, True).layout()
+    assert with_exp.internal_capacity < without.internal_capacity
+
+
+def test_with_overrides():
+    config = rexp_config().with_(page_size=1024, buffer_pages=7)
+    assert config.page_size == 1024
+    assert config.buffer_pages == 7
+    # Original values preserved elsewhere.
+    assert config.bounding is BoundingKind.NEAR_OPTIMAL
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        TreeConfig(min_fill=0.6)
+    with pytest.raises(ValueError):
+        TreeConfig(min_fill=0.0)
+    with pytest.raises(ValueError):
+        TreeConfig(reinsert_fraction=1.0)
+    with pytest.raises(ValueError):
+        TreeConfig(horizon_alpha=-0.1)
+    with pytest.raises(ValueError):
+        TreeConfig(default_ui=0.0)

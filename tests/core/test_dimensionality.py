@@ -1,0 +1,90 @@
+"""The index works in 1, 2 and 3 dimensions (like the TPR-tree).
+
+The paper's TPR-tree "indexes points that move in one, two, or three
+dimensions"; the R^exp-tree inherits that.  These tests run the full
+insert/update/query cycle in 1-d and 3-d against a brute-force oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.presets import rexp_config
+from repro.core.tree import MovingObjectTree
+from repro.geometry.intersection import region_matches_point
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+
+
+def make_tree(dims):
+    clock = SimulationClock()
+    config = rexp_config(
+        dims=dims, page_size=512, buffer_pages=8, default_ui=10.0
+    )
+    return MovingObjectTree(config, clock), clock
+
+
+def random_point(rng, dims, t, life=20.0):
+    return MovingPoint(
+        tuple(rng.uniform(0, 100) for _ in range(dims)),
+        tuple(rng.uniform(-2, 2) for _ in range(dims)),
+        t,
+        t + rng.uniform(0.5, life),
+    )
+
+
+@pytest.mark.parametrize("dims", [1, 3])
+def test_query_parity_with_oracle(dims):
+    tree, clock = make_tree(dims)
+    rng = random.Random(dims)
+    live = {}
+    t = 0.0
+    for step in range(600):
+        t += 0.03
+        clock.advance_to(t)
+        if live and rng.random() < 0.4:
+            oid = rng.choice(list(live))
+            new = random_point(rng, dims, t)
+            tree.update(oid, live[oid], new)
+            live[oid] = new
+        else:
+            p = random_point(rng, dims, t)
+            tree.insert(step, p)
+            live[step] = p
+    tree.check_invariants()
+    for _ in range(40):
+        lo = tuple(rng.uniform(0, 85) for _ in range(dims))
+        hi = tuple(c + 15.0 for c in lo)
+        q = WindowQuery(Rect(lo, hi), t, t + rng.uniform(0, 8))
+        got = sorted(tree.query(q))
+        want = sorted(
+            oid for oid, p in live.items()
+            if region_matches_point(q.region(), p)
+        )
+        assert got == want
+
+
+def test_one_dimensional_figure1_scenario():
+    """The paper's Figure 1: cars on a road, expiring and updating."""
+    tree, clock = make_tree(1)
+    # o1: moving up, updated at time 2, new report expires at 9.
+    o1_first = MovingPoint((-15.0,), (5.0,), 0.0, 2.5)
+    tree.insert(1, o1_first)
+    clock.advance_to(2.0)
+    o1_second = MovingPoint((-3.0,), (4.0,), 2.0, 9.0)
+    tree.update(1, o1_first, o1_second)
+    # Q1 at time 4 around the predicted position of o1.
+    q1 = TimesliceQuery(Rect((0.0,), (10.0,)), 4.0)
+    assert tree.query(q1) == [1]
+    # After o1's expiration no query reports it.
+    q_late = TimesliceQuery(Rect((-50.0,), (50.0,)), 9.5)
+    assert tree.query(q_late) == []
+
+
+def test_three_dimensional_capacities_shrink():
+    tree2, _ = make_tree(2)
+    tree3, _ = make_tree(3)
+    assert tree3.leaf_capacity < tree2.leaf_capacity
+    assert tree3.internal_capacity < tree2.internal_capacity

@@ -1,0 +1,97 @@
+"""Tests for the self-tuning time horizon (Section 4.2.3)."""
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.horizon import HorizonTracker
+
+
+def make_tracker(batch=10, alpha=0.5, default_ui=60.0):
+    clock = SimulationClock()
+    tracker = HorizonTracker(
+        clock.now, batch_size=batch, alpha=alpha, default_ui=default_ui
+    )
+    return clock, tracker
+
+
+def test_default_ui_before_first_batch():
+    _, tracker = make_tracker(default_ui=42.0)
+    assert tracker.update_interval == 42.0
+    assert tracker.querying_window == 21.0
+    assert tracker.insertion_horizon() == 63.0
+
+
+def test_ui_estimated_from_insertion_rate():
+    """UI = (elapsed / b) * N: N objects updating once per UI produce
+    insertions every UI / N."""
+    clock, tracker = make_tracker(batch=10)
+    tracker.leaf_entries_changed(+100)
+    # 100 objects, each updating every 50 time units -> an insertion
+    # every 0.5 time units.
+    for i in range(10):
+        clock.advance_to((i + 1) * 0.5)
+        tracker.record_insertion()
+    assert tracker.update_interval == pytest.approx(50.0)
+
+
+def test_ui_reestimated_every_batch():
+    clock, tracker = make_tracker(batch=5)
+    tracker.leaf_entries_changed(+10)
+    for i in range(5):
+        clock.advance_to((i + 1) * 1.0)
+        tracker.record_insertion()
+    first = tracker.update_interval
+    # Rate doubles: insertions every 0.5 time units.
+    for i in range(5):
+        clock.advance_to(5.0 + (i + 1) * 0.5)
+        tracker.record_insertion()
+    assert tracker.update_interval == pytest.approx(first / 2.0)
+
+
+def test_partial_batch_does_not_update_estimate():
+    clock, tracker = make_tracker(batch=10, default_ui=60.0)
+    tracker.leaf_entries_changed(+100)
+    for i in range(9):
+        clock.advance_to((i + 1) * 0.001)
+        tracker.record_insertion()
+    assert tracker.update_interval == 60.0
+
+
+def test_leaf_entry_counting_clamps_at_zero():
+    _, tracker = make_tracker()
+    tracker.leaf_entries_changed(+5)
+    tracker.leaf_entries_changed(-10)
+    assert tracker.leaf_entries == 0
+
+
+def test_bounding_horizon_shrinks_with_level_population():
+    """UI_l = UI * N_l / N: rectangles over populous levels are
+    recomputed more often than the leaf update interval suggests."""
+    _, tracker = make_tracker(default_ui=60.0, alpha=0.5)
+    tracker.leaf_entries_changed(+1000)
+    tracker.node_count_changed(0, +50)   # 50 leaves -> 50 level-1 entries
+    tracker.node_count_changed(1, +5)    # 5 level-1 nodes
+    w = tracker.querying_window
+    leaf_node_horizon = tracker.bounding_horizon(0)
+    upper_node_horizon = tracker.bounding_horizon(1)
+    assert leaf_node_horizon == pytest.approx(60.0 * 50 / 1000 + w)
+    assert upper_node_horizon == pytest.approx(60.0 * 5 / 1000 + w)
+    assert upper_node_horizon < leaf_node_horizon
+
+
+def test_bounding_horizon_defaults_to_ui_when_untracked():
+    _, tracker = make_tracker(default_ui=60.0, alpha=0.5)
+    assert tracker.bounding_horizon(3) == pytest.approx(60.0 + 30.0)
+
+
+def test_bounding_horizon_never_exceeds_insertion_horizon():
+    _, tracker = make_tracker(default_ui=60.0)
+    tracker.leaf_entries_changed(+10)
+    tracker.node_count_changed(0, +500)  # pathological bookkeeping
+    assert tracker.bounding_horizon(0) <= tracker.insertion_horizon()
+
+
+def test_invalid_batch_size_rejected():
+    clock = SimulationClock()
+    with pytest.raises(ValueError):
+        HorizonTracker(clock.now, batch_size=0)

@@ -1,0 +1,120 @@
+"""Tests for the scheduled-deletion architecture (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.presets import rexp_config, tpr_config
+from repro.core.scheduled import ScheduledDeletionIndex
+from repro.core.tree import MovingObjectTree
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery
+from repro.geometry.rect import Rect
+
+
+def make_index(config=None):
+    clock = SimulationClock()
+    base = (config if config is not None else rexp_config()).with_(
+        page_size=512, buffer_pages=8, default_ui=10.0
+    )
+    tree = MovingObjectTree(base, clock)
+    return ScheduledDeletionIndex(tree, queue_buffer_pages=8), clock
+
+
+def point(x, y, t_ref=0.0, t_exp=10.0):
+    return MovingPoint((x, y), (0.0, 0.0), t_ref, t_exp)
+
+
+def test_insert_schedules_event():
+    index, clock = make_index()
+    index.insert(1, point(5.0, 5.0, t_exp=10.0))
+    assert index.pending_events == 1
+
+
+def test_infinite_expiration_not_scheduled():
+    index, clock = make_index()
+    index.insert(1, MovingPoint((1.0, 1.0), (0.0, 0.0), 0.0, math.inf))
+    assert index.pending_events == 0
+
+
+def test_due_deletion_fires_on_time_advance():
+    index, clock = make_index()
+    index.insert(1, point(5.0, 5.0, t_exp=10.0))
+    index.advance_time(9.0)
+    assert index.scheduled_deletions == 0
+    index.advance_time(10.5)
+    assert index.scheduled_deletions == 1
+    assert index.pending_events == 0
+    assert index.tree.audit().leaf_entries == 0
+
+
+def test_deletions_fire_at_exact_expiration_instant():
+    """The clock must land exactly on t_exp so the entry is still live
+    and still inside its bounding rectangles."""
+    index, clock = make_index()
+    index.insert(1, point(5.0, 5.0, t_exp=10.0))
+    index.insert(2, point(7.0, 7.0, t_exp=12.0))
+    index.advance_time(100.0)
+    assert index.scheduled_deletions == 2
+    assert clock.time == 100.0
+    assert index.tree.audit().leaf_entries == 0
+
+
+def test_update_reschedules_event():
+    index, clock = make_index()
+    old = point(5.0, 5.0, t_exp=10.0)
+    index.insert(1, old)
+    clock.advance_to(1.0)
+    new = point(6.0, 6.0, t_ref=1.0, t_exp=20.0)
+    assert index.update(1, old, new)
+    assert index.pending_events == 1
+    index.advance_time(15.0)
+    # The old event is gone; the object still lives until 20.
+    assert index.scheduled_deletions == 0
+    assert index.query(
+        TimesliceQuery(Rect((5.5, 5.5), (6.5, 6.5)), 16.0)
+    ) == [1]
+
+
+def test_delete_removes_pending_event():
+    index, clock = make_index()
+    p = point(5.0, 5.0, t_exp=10.0)
+    index.insert(1, p)
+    assert index.delete(1, p)
+    assert index.pending_events == 0
+    index.advance_time(50.0)
+    assert index.scheduled_deletions == 0
+
+
+def test_works_for_tpr_tree_too():
+    """'TPR-tree with scheduled deletions' of Section 5.4: the tree
+    itself has no expiration support, the queue does the cleanup."""
+    index, clock = make_index(config=tpr_config())
+    index.insert(1, point(5.0, 5.0, t_exp=10.0))
+    q = TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 50.0)
+    assert index.query(q) == [1]  # infinite-line semantics before cleanup
+    index.advance_time(11.0)
+    assert index.scheduled_deletions == 1
+    assert index.query(
+        TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 50.0)
+    ) == []
+
+
+def test_queue_io_accounted_separately():
+    index, clock = make_index()
+    for oid in range(100):
+        index.insert(oid, point(float(oid), float(oid), t_exp=5.0 + oid))
+    assert index.queue.stats.total > 0
+    assert index.queue_page_count > 0
+    assert index.page_count > 0
+
+
+def test_scheduled_deletion_hook_reports_tree_io():
+    index, clock = make_index()
+    deltas = []
+    index.on_scheduled_deletion(lambda d: deltas.append(d.total))
+    index.insert(1, point(5.0, 5.0, t_exp=10.0))
+    index.advance_time(20.0)
+    assert len(deltas) == 1
+    assert deltas[0] >= 0

@@ -1,0 +1,329 @@
+"""Behavioural tests for the R^exp-tree / moving-object tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import TreeConfig
+from repro.core.presets import bounding_config, rexp_config, tpr_config
+from repro.core.tree import MovingObjectTree
+from repro.geometry.bounding import BoundingKind
+from repro.geometry.intersection import region_matches_point
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+
+
+def make_tree(config=None, **overrides):
+    clock = SimulationClock()
+    base = config if config is not None else rexp_config()
+    defaults = dict(page_size=512, buffer_pages=8, default_ui=10.0)
+    defaults.update(overrides)
+    return MovingObjectTree(base.with_(**defaults), clock), clock
+
+
+def make_point(x, y, vx=0.0, vy=0.0, t_ref=0.0, t_exp=math.inf):
+    return MovingPoint((x, y), (vx, vy), t_ref, t_exp)
+
+
+def random_point(rng, t, life=20.0):
+    return MovingPoint(
+        (rng.uniform(0, 100), rng.uniform(0, 100)),
+        (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+        t,
+        t + rng.uniform(0.5, life),
+    )
+
+
+# -- basic behaviour -------------------------------------------------------------
+
+
+def test_timeslice_query_finds_predicted_position():
+    tree, clock = make_tree()
+    tree.insert(1, make_point(0.0, 0.0, vx=1.0, vy=1.0, t_exp=100.0))
+    hit = TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 5.0)
+    miss = TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 8.0)
+    assert tree.query(hit) == [1]
+    assert tree.query(miss) == []
+
+
+def test_window_and_moving_queries():
+    tree, clock = make_tree()
+    tree.insert(1, make_point(0.0, 5.0, vx=1.0, t_exp=100.0))
+    window = WindowQuery(Rect((9.0, 4.0), (10.0, 6.0)), 0.0, 20.0)
+    assert tree.query(window) == [1]
+    moving = MovingQuery(
+        Rect((-1.0, 4.0), (1.0, 6.0)), Rect((19.0, 4.0), (21.0, 6.0)),
+        0.0, 20.0,
+    )
+    assert tree.query(moving) == [1]
+
+
+def test_expired_object_not_reported():
+    """The paper's core semantics: queries after t_exp ignore the entry."""
+    tree, clock = make_tree()
+    tree.insert(1, make_point(5.0, 5.0, t_exp=10.0))
+    q_before = TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 9.0)
+    q_after = TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 11.0)
+    assert tree.query(q_before) == [1]
+    assert tree.query(q_after) == []
+
+
+def test_query_window_clipped_at_expiry():
+    tree, clock = make_tree()
+    tree.insert(1, make_point(5.0, 5.0, t_exp=10.0))
+    q = WindowQuery(Rect((4.0, 4.0), (6.0, 6.0)), 8.0, 50.0)
+    assert tree.query(q) == [1]  # matched within [8, 10]
+
+
+def test_delete_live_entry():
+    tree, clock = make_tree()
+    p = make_point(5.0, 5.0, t_exp=10.0)
+    tree.insert(1, p)
+    assert tree.delete(1, p)
+    assert tree.query(TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 1.0)) == []
+
+
+def test_delete_of_expired_entry_fails():
+    """Section 4.3: the deletion search does not see expired entries."""
+    tree, clock = make_tree()
+    p = make_point(5.0, 5.0, t_exp=10.0)
+    tree.insert(1, p)
+    clock.advance_to(11.0)
+    assert not tree.delete(1, p)
+
+
+def test_delete_at_exact_expiration_instant_succeeds():
+    """Scheduled deletions fire at t_exp and must find the entry."""
+    tree, clock = make_tree()
+    p = make_point(5.0, 5.0, t_exp=10.0)
+    tree.insert(1, p)
+    clock.advance_to(10.0)
+    assert tree.delete(1, p)
+
+
+def test_delete_unknown_oid_fails():
+    tree, clock = make_tree()
+    tree.insert(1, make_point(5.0, 5.0, t_exp=10.0))
+    assert not tree.delete(2, make_point(5.0, 5.0, t_exp=10.0))
+
+
+def test_update_replaces_report():
+    tree, clock = make_tree()
+    old = make_point(5.0, 5.0, t_exp=10.0)
+    tree.insert(1, old)
+    clock.advance_to(1.0)
+    new = make_point(50.0, 50.0, t_ref=1.0, t_exp=11.0)
+    assert tree.update(1, old, new)
+    assert tree.query(TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 2.0)) == []
+    assert tree.query(TimesliceQuery(Rect((49.0, 49.0), (51.0, 51.0)), 2.0)) == [1]
+
+
+def test_wrong_dimensionality_rejected():
+    tree, clock = make_tree()
+    with pytest.raises(ValueError):
+        tree.insert(1, MovingPoint((0.0,), (0.0,), 0.0, 1.0))
+
+
+# -- structure under churn ----------------------------------------------------------
+
+
+def test_growth_and_invariants_under_inserts():
+    tree, clock = make_tree()
+    rng = random.Random(0)
+    for oid in range(400):
+        clock.advance_to(oid * 0.01)
+        tree.insert(oid, random_point(rng, clock.time, life=1000.0))
+    assert tree.height >= 3
+    tree.check_invariants()
+
+
+def test_query_parity_with_oracle_under_churn():
+    tree, clock = make_tree()
+    rng = random.Random(1)
+    live = {}
+    t = 0.0
+    for step in range(1200):
+        t += 0.02
+        clock.advance_to(t)
+        roll = rng.random()
+        if live and roll < 0.3:
+            oid = rng.choice(list(live))
+            old = live[oid]
+            new = random_point(rng, t)
+            tree.update(oid, old, new)
+            live[oid] = new
+        elif live and roll < 0.4:
+            oid = rng.choice(list(live))
+            tree.delete(oid, live.pop(oid))
+        else:
+            point = random_point(rng, t)
+            tree.insert(step, point)
+            live[step] = point
+    tree.check_invariants()
+    for _ in range(60):
+        x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+        q = WindowQuery(Rect((x, y), (x + 10, y + 10)), t, t + rng.uniform(0, 10))
+        got = sorted(tree.query(q))
+        want = sorted(
+            oid for oid, p in live.items()
+            if region_matches_point(q.region(), p)
+        )
+        assert got == want
+
+
+def test_lazy_purge_removes_expired_entries():
+    """Section 5.4: ongoing updates purge almost all expired entries."""
+    tree, clock = make_tree()
+    rng = random.Random(2)
+    t = 0.0
+    for oid in range(300):
+        t += 0.05
+        clock.advance_to(t)
+        tree.insert(oid, random_point(rng, t, life=3.0))
+    # Everything inserted long ago has expired; keep inserting to purge.
+    t += 50.0
+    for oid in range(300, 500):
+        t += 0.05
+        clock.advance_to(t)
+        tree.insert(oid, random_point(rng, t, life=3.0))
+    audit = tree.audit()
+    assert audit.expired_fraction < 0.35
+    tree.check_invariants()
+
+
+def test_mass_expiry_then_insert_shrinks_tree():
+    """The Figure 8 scenario: one insertion purges expired subtrees."""
+    tree, clock = make_tree()
+    rng = random.Random(3)
+    for oid in range(300):
+        tree.insert(oid, random_point(rng, 0.0, life=5.0))
+    pages_before = tree.page_count
+    clock.advance_to(100.0)  # everything expires
+    for oid in range(300, 340):
+        tree.insert(oid, random_point(rng, 100.0, life=5.0))
+    assert tree.page_count < pages_before
+    audit = tree.audit()
+    assert audit.leaf_entries <= 340 - 300 + 60  # mostly fresh entries
+    tree.check_invariants()
+
+
+def test_tree_never_purges_when_lazy_expiry_off():
+    tree, clock = make_tree(config=tpr_config())
+    rng = random.Random(4)
+    for oid in range(100):
+        tree.insert(oid, random_point(rng, 0.0, life=1.0))
+    clock.advance_to(50.0)
+    for oid in range(100, 140):
+        tree.insert(oid, random_point(rng, 50.0, life=1.0))
+    assert tree.audit().leaf_entries == 140
+
+
+def test_tpr_preset_strips_expiration_times():
+    tree, clock = make_tree(config=tpr_config())
+    tree.insert(1, make_point(5.0, 5.0, t_exp=10.0))
+    audit = tree.audit()
+    assert audit.leaf_entries == 1
+    assert audit.expired_leaf_entries == 0
+    clock.advance_to(100.0)
+    # Still reported: the TPR-tree treats trajectories as infinite.
+    assert tree.query(
+        TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 100.0)
+    ) == [1]
+
+
+def test_static_bounding_tree_works_with_finite_expirations():
+    config = bounding_config(BoundingKind.STATIC)
+    tree, clock = make_tree(config=config)
+    rng = random.Random(5)
+    for oid in range(200):
+        clock.advance_to(oid * 0.01)
+        tree.insert(oid, random_point(rng, clock.time, life=10.0))
+    tree.check_invariants()
+    assert tree.leaf_entry_count > 0
+
+
+@pytest.mark.parametrize("kind", list(BoundingKind))
+def test_all_bounding_kinds_pass_invariants_under_churn(kind):
+    config = bounding_config(kind)
+    tree, clock = make_tree(config=config)
+    rng = random.Random(hash(kind) & 0xFFFF)
+    live = {}
+    t = 0.0
+    for step in range(400):
+        t += 0.03
+        clock.advance_to(t)
+        if live and rng.random() < 0.4:
+            oid = rng.choice(list(live))
+            old = live[oid]
+            new = random_point(rng, t)
+            tree.update(oid, old, new)
+            live[oid] = new
+        else:
+            point = random_point(rng, t)
+            tree.insert(step, point)
+            live[step] = point
+    tree.check_invariants()
+
+
+def test_expired_subtree_deallocated_when_br_expiration_stored():
+    config = rexp_config(store_br_expiration=True)
+    tree, clock = make_tree(config=config)
+    rng = random.Random(6)
+    for oid in range(300):
+        tree.insert(oid, random_point(rng, 0.0, life=2.0))
+    pages = tree.page_count
+    clock.advance_to(1000.0)
+    tree.insert(9999, random_point(rng, 1000.0, life=2.0))
+    assert tree.page_count < pages
+    tree.check_invariants()
+
+
+def test_root_shrinks_back_to_single_leaf():
+    tree, clock = make_tree()
+    rng = random.Random(7)
+    points = {oid: random_point(rng, 0.0, life=1000.0) for oid in range(300)}
+    for oid, p in points.items():
+        tree.insert(oid, p)
+    assert tree.height >= 2
+    for oid, p in points.items():
+        assert tree.delete(oid, p)
+    assert tree.height == 1
+    assert tree.leaf_entry_count == 0
+    tree.check_invariants()
+
+
+def test_page_count_tracks_tree_size():
+    tree, clock = make_tree()
+    rng = random.Random(8)
+    assert tree.page_count == 1
+    for oid in range(250):
+        tree.insert(oid, random_point(rng, 0.0, life=1000.0))
+    assert tree.page_count > 5
+
+
+def test_audit_counts_expired_entries():
+    tree, clock = make_tree()
+    tree.insert(1, make_point(1.0, 1.0, t_exp=5.0))
+    tree.insert(2, make_point(2.0, 2.0, t_exp=50.0))
+    clock.advance_to(10.0)
+    audit = tree.audit()
+    assert audit.leaf_entries == 2
+    assert audit.expired_leaf_entries == 1
+    assert audit.expired_fraction == pytest.approx(0.5)
+
+
+def test_duplicate_oid_after_failed_delete_is_harmless():
+    """An object re-appearing after its old report expired may leave a
+    stale duplicate; queries never return it."""
+    tree, clock = make_tree()
+    old = make_point(5.0, 5.0, t_exp=1.0)
+    tree.insert(1, old)
+    clock.advance_to(2.0)
+    assert not tree.delete(1, old)  # expired: delete fails, per the paper
+    new = make_point(5.0, 5.0, t_ref=2.0, t_exp=10.0)
+    tree.insert(1, new)
+    answer = tree.query(TimesliceQuery(Rect((4.0, 4.0), (6.0, 6.0)), 3.0))
+    assert answer == [1]

@@ -1,0 +1,118 @@
+"""Stateful property testing of the R^exp-tree against an oracle model.
+
+Hypothesis drives random interleavings of inserts, updates, deletes,
+clock advances and queries; after every query the tree's answer must
+match a brute-force evaluation over the model of live reports, and the
+structural invariants must hold at the end of every run.
+"""
+
+import math
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.clock import SimulationClock
+from repro.core.presets import rexp_config
+from repro.core.tree import MovingObjectTree
+from repro.geometry.intersection import region_matches_point
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+vels = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+lives = st.floats(min_value=0.1, max_value=15.0, allow_nan=False)
+steps = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+
+
+class RexpTreeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.clock = SimulationClock()
+        self.tree = MovingObjectTree(
+            rexp_config(page_size=512, buffer_pages=4, default_ui=5.0),
+            self.clock,
+        )
+        self.model = {}
+        self.next_oid = 0
+
+    def _make_point(self, x, y, vx, vy, life):
+        t = self.clock.time
+        return MovingPoint((x, y), (vx, vy), t, t + life)
+
+    @rule(x=coords, y=coords, vx=vels, vy=vels, life=lives)
+    def insert(self, x, y, vx, vy, life):
+        point = self._make_point(x, y, vx, vy, life)
+        oid = self.next_oid
+        self.next_oid += 1
+        self.tree.insert(oid, point)
+        self.model[oid] = point
+
+    @rule(x=coords, y=coords, vx=vels, vy=vels, life=lives, pick=st.randoms())
+    def update(self, x, y, vx, vy, life, pick):
+        if not self.model:
+            return
+        oid = pick.choice(sorted(self.model))
+        new = self._make_point(x, y, vx, vy, life)
+        self.tree.update(oid, self.model[oid], new)
+        self.model[oid] = new
+
+    @rule(pick=st.randoms())
+    def delete(self, pick):
+        if not self.model:
+            return
+        oid = pick.choice(sorted(self.model))
+        point = self.model.pop(oid)
+        removed = self.tree.delete(oid, point)
+        # Deletion must succeed exactly when the entry is still live.
+        if not point.is_expired(self.clock.time):
+            assert removed, f"live entry {oid} not found by delete"
+
+    @rule(dt=steps)
+    def advance(self, dt):
+        self.clock.advance_to(self.clock.time + dt)
+
+    @rule(x=coords, y=coords, side=st.floats(1.0, 20.0), ahead=steps,
+          span=steps)
+    def query(self, x, y, side, ahead, span):
+        t1 = self.clock.time + ahead
+        q = WindowQuery(Rect((x, y), (x + side, y + side)), t1, t1 + span)
+        got = sorted(self.tree.query(q))
+        want = sorted(
+            oid for oid, p in self.model.items()
+            if region_matches_point(q.region(), p)
+        )
+        assert got == want, f"query mismatch: {got} != {want}"
+
+    @rule(x=coords, y=coords, side=st.floats(1.0, 20.0), ahead=steps)
+    def timeslice(self, x, y, side, ahead):
+        t = self.clock.time + ahead
+        q = TimesliceQuery(Rect((x, y), (x + side, y + side)), t)
+        got = set(self.tree.query(q))
+        want = {
+            oid for oid, p in self.model.items()
+            if region_matches_point(q.region(), p)
+        }
+        assert got == want
+
+    @invariant()
+    def leaf_count_never_negative(self):
+        if hasattr(self, "tree"):
+            assert self.tree.leaf_entry_count >= 0
+
+    def teardown(self):
+        if hasattr(self, "tree"):
+            self.tree.check_invariants()
+
+
+TestRexpTreeStateful = RexpTreeMachine.TestCase
+TestRexpTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,167 @@
+"""Edge-case and configuration-variant tests for the moving-object tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.presets import rexp_config
+from repro.core.tree import MovingObjectTree
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery
+from repro.geometry.rect import Rect
+
+
+def make_tree(**overrides):
+    clock = SimulationClock()
+    config = rexp_config(page_size=512, buffer_pages=8, default_ui=10.0).with_(
+        **overrides
+    )
+    return MovingObjectTree(config, clock), clock
+
+
+def random_point(rng, t, life=20.0):
+    return MovingPoint(
+        (rng.uniform(0, 100), rng.uniform(0, 100)),
+        (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+        t,
+        t + rng.uniform(0.5, life),
+    )
+
+
+def churn(tree, clock, rng, steps=400, life=3.0):
+    live = {}
+    t = clock.time
+    for step in range(steps):
+        t += 0.05
+        clock.advance_to(t)
+        if live and rng.random() < 0.4:
+            oid = rng.choice(list(live))
+            new = random_point(rng, t, life)
+            tree.update(oid, live[oid], new)
+            live[oid] = new
+        else:
+            p = random_point(rng, t, life)
+            tree.insert(step, p)
+            live[step] = p
+    return live
+
+
+def test_zero_max_orphans_skips_underfull_handling():
+    """The paper's safeguard: a bounded orphans list degrades gracefully
+    by tolerating underfull nodes instead of growing the list."""
+    tree, clock = make_tree(max_orphans=0)
+    rng = random.Random(0)
+    churn(tree, clock, rng)
+    clock.advance_to(clock.time + 100.0)  # mass expiry
+    for oid in range(10_000, 10_050):
+        tree.insert(oid, random_point(rng, clock.time, life=5.0))
+    # No invariant check on fill here (underfull nodes are allowed), but
+    # queries must still be correct and the tree navigable.
+    audit = tree.audit()
+    assert audit.leaf_entries >= 50
+
+
+def test_no_reinsert_configuration():
+    tree, clock = make_tree(reinsert_fraction=0.0)
+    rng = random.Random(1)
+    churn(tree, clock, rng, steps=300, life=1000.0)
+    tree.check_invariants()
+
+
+def test_small_min_fill():
+    tree, clock = make_tree(min_fill=0.25)
+    rng = random.Random(2)
+    churn(tree, clock, rng, steps=300, life=1000.0)
+    tree.check_invariants()
+
+
+def test_insertion_into_fully_expired_tree():
+    """ChooseSubtree must still descend when every entry has expired."""
+    tree, clock = make_tree()
+    rng = random.Random(3)
+    for oid in range(150):
+        tree.insert(oid, random_point(rng, 0.0, life=1.0))
+    clock.advance_to(500.0)
+    tree.insert(9999, random_point(rng, 500.0, life=10.0))
+    tree.check_invariants()
+    hits = tree.query(
+        TimesliceQuery(Rect((0.0, 0.0), (100.0, 100.0)), 500.5)
+    )
+    assert hits == [9999]
+
+
+def test_query_on_empty_tree():
+    tree, clock = make_tree()
+    assert tree.query(TimesliceQuery(Rect((0.0, 0.0), (1.0, 1.0)), 0.0)) == []
+
+
+def test_delete_on_empty_tree():
+    tree, clock = make_tree()
+    assert not tree.delete(1, MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, 1.0))
+
+
+def test_infinite_expiration_points_in_rexp_tree():
+    """R^exp-trees accept never-expiring objects (t_exp = infinity)."""
+    tree, clock = make_tree()
+    rng = random.Random(4)
+    for oid in range(100):
+        p = MovingPoint(
+            (rng.uniform(0, 100), rng.uniform(0, 100)),
+            (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+            0.0,
+            math.inf if oid % 3 == 0 else rng.uniform(1.0, 10.0),
+        )
+        tree.insert(oid, p)
+    clock.advance_to(100.0)
+    hits = tree.query(TimesliceQuery(Rect((-500.0, -500.0), (600.0, 600.0)), 100.0))
+    # Only the infinite-expiry third survives.
+    assert len(hits) == len([o for o in range(100) if o % 3 == 0])
+    tree.check_invariants()
+
+
+def test_bounding_horizon_levels_used_during_growth():
+    tree, clock = make_tree()
+    rng = random.Random(5)
+    churn(tree, clock, rng, steps=500, life=1000.0)
+    assert tree.height >= 3
+    # Upper levels see shorter recomputation horizons than UI + W.
+    assert tree.horizon.bounding_horizon(
+        tree.height - 1
+    ) <= tree.horizon.insertion_horizon() + 1e-9
+
+
+def test_ui_estimate_converges_during_run():
+    tree, clock = make_tree(default_ui=1000.0)
+    rng = random.Random(6)
+    # 100 live objects, each updating every ~2 time units.
+    live = {}
+    t = 0.0
+    for oid in range(100):
+        p = random_point(rng, t, life=1000.0)
+        tree.insert(oid, p)
+        live[oid] = p
+    for step in range(800):
+        t += 0.02
+        clock.advance_to(t)
+        oid = rng.choice(list(live))
+        new = random_point(rng, t, life=1000.0)
+        tree.update(oid, live[oid], new)
+        live[oid] = new
+    # True UI = 100 objects * 0.02 per update = 2.0.
+    assert tree.horizon.update_interval == pytest.approx(2.0, rel=0.3)
+
+
+def test_stats_reset_between_operations_not_needed():
+    """I/O counters are cumulative; snapshots isolate operations."""
+    tree, clock = make_tree()
+    rng = random.Random(7)
+    before = tree.stats.snapshot()
+    tree.insert(1, random_point(rng, 0.0))
+    first = tree.stats.since(before)
+    before2 = tree.stats.snapshot()
+    tree.insert(2, random_point(rng, 0.0))
+    second = tree.stats.since(before2)
+    assert first.total >= 1
+    assert second.total >= 1

@@ -1,0 +1,66 @@
+"""Tests for the I/O-accounted index adapters."""
+
+from repro.core.presets import rexp_config, tpr_config
+from repro.experiments.adapters import ScheduledAdapter, TreeAdapter
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery
+from repro.geometry.rect import Rect
+
+CONFIG = rexp_config(page_size=512, buffer_pages=4, default_ui=10.0)
+
+
+def point(x, y, t_ref=0.0, t_exp=20.0):
+    return MovingPoint((x, y), (0.0, 0.0), t_ref, t_exp)
+
+
+def test_tree_adapter_accounts_updates_and_searches():
+    adapter = TreeAdapter("t", CONFIG)
+    for oid in range(80):
+        adapter.insert(oid, point(float(oid % 10) * 10, float(oid // 10) * 10))
+    assert adapter.op_stats.update_ops == 80
+    assert adapter.op_stats.update_io > 0
+    adapter.query(TimesliceQuery(Rect((0.0, 0.0), (100.0, 100.0)), 1.0))
+    assert adapter.op_stats.search_ops == 1
+    assert adapter.op_stats.search_io > 0
+
+
+def test_tree_adapter_update_counts_two_operations():
+    """Paper metric: I/O per *single insertion or deletion* operation."""
+    adapter = TreeAdapter("t", CONFIG)
+    p0 = point(1.0, 1.0)
+    adapter.insert(1, p0)
+    ops_before = adapter.op_stats.update_ops
+    adapter.advance_time(1.0)
+    adapter.update(1, p0, point(2.0, 2.0, t_ref=1.0))
+    assert adapter.op_stats.update_ops == ops_before + 2
+
+
+def test_tree_adapter_exact_semantics_flag():
+    assert TreeAdapter("r", rexp_config()).exact_semantics
+    assert not TreeAdapter("t", tpr_config()).exact_semantics
+
+
+def test_scheduled_adapter_separates_queue_io():
+    adapter = ScheduledAdapter("s", CONFIG, queue_buffer_pages=4)
+    for oid in range(50):
+        adapter.insert(oid, point(float(oid), float(oid), t_exp=5.0 + oid))
+    assert adapter.op_stats.auxiliary_io > 0
+    tree_only = adapter.op_stats.avg_update_io
+    with_queue = adapter.op_stats.avg_update_io_with_auxiliary
+    assert with_queue > tree_only
+    assert adapter.aux_page_count > 0
+
+
+def test_scheduled_adapter_counts_scheduled_deletions_as_updates():
+    adapter = ScheduledAdapter("s", CONFIG, queue_buffer_pages=4)
+    adapter.insert(1, point(5.0, 5.0, t_exp=10.0))
+    ops_before = adapter.op_stats.update_ops
+    adapter.advance_time(50.0)
+    assert adapter.op_stats.update_ops == ops_before + 1
+    assert adapter.audit().leaf_entries == 0
+
+
+def test_adapter_page_counts():
+    adapter = TreeAdapter("t", CONFIG)
+    assert adapter.page_count >= 1
+    assert adapter.aux_page_count == 0

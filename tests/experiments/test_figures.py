@@ -1,0 +1,109 @@
+"""Smoke tests for the figure definitions at micro scale.
+
+These run the real sweep machinery end to end (workload generation,
+adapters, caching) against a deliberately minuscule scale so the whole
+file stays fast; the full-size sweeps live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import figures as F
+from repro.experiments.scale import Scale
+
+MICRO = Scale(
+    name="micro-test",
+    target_population=60,
+    insertions=600,
+    page_size=512,
+    buffer_pages=4,
+    queue_buffer_pages=4,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+
+def test_figure13_micro_runs_and_caches(tmp_path):
+    fig = F.figure13(MICRO)
+    assert fig.xs == F.EXPD_VALUES
+    assert set(fig.series) == {
+        "Rexp-tree",
+        "TPR-tree",
+        "Rexp-tree with scheduled deletions",
+        "TPR-tree with scheduled deletions",
+    }
+    for values in fig.series.values():
+        assert len(values) == len(fig.xs)
+        assert all(v >= 0.0 for v in values)
+    cached_files = list(tmp_path.glob("*.json"))
+    assert len(cached_files) == 20  # 4 series x 5 sweep points
+    # Second invocation is served from cache: identical values.
+    again = F.figure13(MICRO)
+    assert again.series == fig.series
+    assert len(list(tmp_path.glob("*.json"))) == 20
+
+
+def test_newob_figures_share_their_runs(tmp_path):
+    F.figure14(MICRO)
+    files_after_14 = len(list(tmp_path.glob("*.json")))
+    fig15 = F.figure15(MICRO)
+    fig16 = F.figure16(MICRO)
+    # Figures 15 and 16 are different views of the same sweep.
+    assert len(list(tmp_path.glob("*.json"))) == files_after_14
+    assert all(v >= 1.0 for v in fig15.series["Rexp-tree"])  # page counts
+    assert all(v >= 0.0 for v in fig16.series["Rexp-tree"])
+
+
+def test_figure9_micro_runs_all_flavors():
+    fig = F.figure9(MICRO)
+    assert len(fig.series) == 4
+    for values in fig.series.values():
+        assert len(values) == len(F.EXPT_VALUES)
+
+
+def test_figure11_micro_runs_all_bounding_kinds():
+    fig = F.figure11(MICRO)
+    assert len(fig.series) == 5
+    for label in ("Static", "Near-optimal", "Optimal"):
+        assert label in fig.series
+
+
+def test_ablation_lazy_purge_micro():
+    fig = F.ablation_lazy_purge(MICRO)
+    values = fig.series["Rexp-tree"]
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_flavor_adapter_labels_match_the_paper():
+    adapters = F.flavor_adapters_fig9(MICRO)
+    assert set(adapters) == {
+        "BRs with exp.t., algs with exp.t.",
+        "BRs w/o exp.t., algs with exp.t.",
+        "BRs with exp.t., algs w/o exp.t.",
+        "BRs w/o exp.t., algs w/o exp.t.",
+    }
+
+
+def test_bounding_adapter_labels_match_the_paper():
+    adapters = F.bounding_adapters(MICRO)
+    assert set(adapters) == {
+        "Static",
+        "Update-minimum, algs w/o exp.t.",
+        "Update-minimum, algs with exp.t.",
+        "Near-optimal",
+        "Optimal",
+    }
+
+
+def test_sweep_grids_match_table1():
+    assert F.EXPT_VALUES == [30.0, 60.0, 120.0, 180.0, 240.0]
+    assert F.UI_VALUES == [30.0, 60.0, 90.0, 120.0]
+    assert F.EXPD_VALUES == [45.0, 90.0, 180.0, 270.0, 360.0]
+    assert F.NEWOB_VALUES == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+
+def test_all_figures_registry_complete():
+    assert set(F.ALL_FIGURES) == {f"fig{i}" for i in range(9, 17)}

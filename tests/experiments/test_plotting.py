@@ -1,0 +1,54 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plotting import ascii_chart
+
+
+def make_fig():
+    fig = FigureResult("fig13", "Search Performance", "ExpD", "Search I/O",
+                       [45.0, 90.0, 180.0])
+    fig.series = {
+        "Rexp-tree": [1.0, 1.5, 2.0],
+        "TPR-tree": [4.0, 4.0, 3.5],
+    }
+    return fig
+
+
+def test_chart_contains_axes_and_legend():
+    text = ascii_chart(make_fig())
+    assert "fig13" in text
+    assert "Rexp-tree" in text and "TPR-tree" in text
+    assert "45" in text and "180" in text
+    assert "Search I/O" in text
+
+
+def test_series_glyphs_present():
+    text = ascii_chart(make_fig())
+    assert "o" in text  # first series glyph
+    assert "x" in text  # second series glyph
+
+
+def test_constant_series_does_not_crash():
+    fig = FigureResult("f", "t", "x", "y", [1.0, 2.0])
+    fig.series = {"s": [3.0, 3.0]}
+    text = ascii_chart(fig)
+    assert "s" in text
+
+
+def test_single_point_series():
+    fig = FigureResult("f", "t", "x", "y", [1.0])
+    fig.series = {"s": [3.0]}
+    assert "(y" in ascii_chart(fig)
+
+
+def test_empty_figure():
+    fig = FigureResult("f", "t", "x", "y", [])
+    assert "no data" in ascii_chart(fig)
+
+
+def test_custom_dimensions():
+    text = ascii_chart(make_fig(), width=30, height=8)
+    # 8 grid rows between the two axis lines.
+    lines = text.splitlines()
+    grid_rows = [l for l in lines if l.startswith(" " * 11 + "|")]
+    assert len(grid_rows) == 8

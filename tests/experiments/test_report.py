@@ -1,0 +1,63 @@
+"""Tests for figure formatting and shape checks."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_figure, shape_checks
+
+
+def fig13_like(rexp, tpr, rexp_sched, tpr_sched, xs=None):
+    xs = xs or [45.0, 90.0, 180.0]
+    fig = FigureResult(
+        "fig13", "Search Performance", "ExpD", "Search I/O", xs
+    )
+    fig.series = {
+        "Rexp-tree": rexp,
+        "TPR-tree": tpr,
+        "Rexp-tree with scheduled deletions": rexp_sched,
+        "TPR-tree with scheduled deletions": tpr_sched,
+    }
+    fig.scale_name = "test"
+    return fig
+
+
+def test_format_figure_contains_series_and_xs():
+    fig = fig13_like([1, 2, 3], [2, 4, 6], [1, 2, 3], [1, 2, 3])
+    text = format_figure(fig)
+    assert "fig13" in text
+    assert "Rexp-tree" in text
+    assert "45" in text and "180" in text
+
+
+def test_shape_checks_pass_on_paper_like_data():
+    """Series shaped like the paper's Figure 13 pass every check."""
+    fig = fig13_like(
+        rexp=[10.0, 12.0, 18.0],
+        tpr=[25.0, 25.0, 26.0],
+        rexp_sched=[9.0, 11.0, 17.0],
+        tpr_sched=[10.0, 12.0, 18.0],
+    )
+    checks = shape_checks(fig)
+    assert checks
+    assert all(c.passed for c in checks)
+
+
+def test_shape_checks_fail_on_inverted_data():
+    fig = fig13_like(
+        rexp=[30.0, 30.0, 30.0],
+        tpr=[10.0, 10.0, 10.0],
+        rexp_sched=[9.0, 9.0, 9.0],
+        tpr_sched=[10.0, 10.0, 10.0],
+    )
+    checks = shape_checks(fig)
+    assert any(not c.passed for c in checks)
+
+
+def test_best_series_at():
+    fig = fig13_like([1, 9, 9], [2, 2, 2], [3, 3, 1], [4, 4, 4])
+    assert fig.best_series_at(45.0) == "Rexp-tree"
+    assert fig.best_series_at(180.0) == "Rexp-tree with scheduled deletions"
+
+
+def test_unknown_figure_has_no_checks():
+    fig = FigureResult("figX", "t", "x", "y", [1.0])
+    fig.series = {"s": [1.0]}
+    assert shape_checks(fig) == []

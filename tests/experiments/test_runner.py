@@ -1,0 +1,82 @@
+"""Tests for the workload runner."""
+
+from repro.core.presets import rexp_config, tpr_config
+from repro.experiments.adapters import TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery
+from repro.geometry.rect import Rect
+from repro.workloads.base import (
+    DeleteOp,
+    InsertOp,
+    QueryOp,
+    UpdateOp,
+    Workload,
+)
+
+CONFIG = rexp_config(page_size=512, buffer_pages=4, default_ui=10.0)
+
+
+def point(x, y, t_ref=0.0, t_exp=100.0):
+    return MovingPoint((x, y), (0.0, 0.0), t_ref, t_exp)
+
+
+def tiny_workload():
+    ops = [
+        InsertOp(0.0, 1, point(5.0, 5.0)),
+        InsertOp(0.1, 2, point(50.0, 50.0)),
+        QueryOp(0.2, TimesliceQuery(Rect((0.0, 0.0), (10.0, 10.0)), 1.0)),
+        UpdateOp(1.0, 1, point(5.0, 5.0), point(60.0, 60.0, t_ref=1.0)),
+        QueryOp(1.1, TimesliceQuery(Rect((0.0, 0.0), (10.0, 10.0)), 2.0)),
+        DeleteOp(2.0, 2, point(50.0, 50.0)),
+        QueryOp(2.1, TimesliceQuery(Rect((40.0, 40.0), (70.0, 70.0)), 3.0)),
+    ]
+    return Workload("tiny", ops, {"kind": "manual"})
+
+
+def test_runner_executes_all_op_kinds():
+    adapter = TreeAdapter("t", CONFIG)
+    result = run_workload(adapter, tiny_workload(), verify=True)
+    assert result.search_ops == 3
+    # 2 inserts + (delete+insert) + 1 delete = 5 update operations.
+    assert result.update_ops == 5
+    assert result.oracle_mismatches == 0
+    assert result.page_count >= 1
+    assert result.params["kind"] == "manual"
+
+
+def test_runner_advances_clock():
+    adapter = TreeAdapter("t", CONFIG)
+    run_workload(adapter, tiny_workload())
+    assert adapter.clock.time == 2.1
+
+
+def test_runner_counts_failed_deletes():
+    ops = [
+        InsertOp(0.0, 1, point(5.0, 5.0, t_exp=1.0)),
+        DeleteOp(10.0, 1, point(5.0, 5.0, t_exp=1.0)),  # expired by now
+    ]
+    adapter = TreeAdapter("t", CONFIG)
+    result = run_workload(adapter, Workload("w", ops))
+    assert result.failed_deletes == 1
+
+
+def test_runner_verification_superset_for_tpr():
+    """The TPR-tree may answer with expired false drops (Section 3) but
+    must never miss a live match."""
+    config = tpr_config(page_size=512, buffer_pages=4, default_ui=10.0)
+    ops = [
+        InsertOp(0.0, 1, point(5.0, 5.0, t_exp=1.0)),  # expires quickly
+        InsertOp(0.1, 2, point(6.0, 6.0, t_exp=100.0)),
+        QueryOp(5.0, TimesliceQuery(Rect((0.0, 0.0), (10.0, 10.0)), 6.0)),
+    ]
+    adapter = TreeAdapter("tpr", config)
+    result = run_workload(adapter, Workload("w", ops), verify=True)
+    # Object 1 is a false drop for the TPR-tree, but that is allowed.
+    assert result.oracle_mismatches == 0
+
+
+def test_runner_measures_result_sizes():
+    adapter = TreeAdapter("t", CONFIG)
+    result = run_workload(adapter, tiny_workload())
+    assert result.avg_result_size > 0.0

@@ -1,0 +1,245 @@
+"""Tests for the five TPBR construction algorithms (Section 4.1).
+
+The load-bearing invariant for every kind: the computed rectangle bounds
+every member from the computation time until the member expires.
+Property-based tests drive that across random mixes of finite- and
+infinite-expiration points and child rectangles.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bounding import (
+    BoundingKind,
+    compute_tpbr,
+    lemma42_median,
+    near_optimal_tpbr,
+    optimal_tpbr,
+    static_tpbr,
+    update_minimum_tpbr,
+)
+from repro.geometry.integrals import area_integral
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.tpbr import TPBR
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_subnormal=False)
+speed = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_subnormal=False)
+life = st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_subnormal=False)
+
+
+@st.composite
+def moving_points(draw, dims=2, allow_infinite=True):
+    pos = tuple(draw(coord) for _ in range(dims))
+    vel = tuple(draw(speed) for _ in range(dims))
+    if allow_infinite and draw(st.booleans()) and draw(st.booleans()):
+        t_exp = math.inf
+    else:
+        t_exp = draw(life)
+    return MovingPoint(pos, vel, 0.0, t_exp)
+
+
+finite_point_lists = st.lists(
+    moving_points(allow_infinite=False), min_size=1, max_size=12
+)
+mixed_point_lists = st.lists(
+    moving_points(allow_infinite=True), min_size=1, max_size=12
+)
+
+ALL_KINDS = list(BoundingKind)
+FINITE_ONLY_KINDS = [BoundingKind.STATIC]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@given(points=finite_point_lists)
+@settings(max_examples=60, deadline=None)
+def test_bounds_finite_members(kind, points):
+    br = compute_tpbr(
+        points, 0.0, kind, horizon=20.0, rng=random.Random(7)
+    )
+    for p in points:
+        assert br.contains_point(p, 0.0, tol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "kind", [k for k in ALL_KINDS if k not in FINITE_ONLY_KINDS]
+)
+@given(points=mixed_point_lists)
+@settings(max_examples=60, deadline=None)
+def test_bounds_mixed_members(kind, points):
+    br = compute_tpbr(
+        points, 0.0, kind, horizon=20.0, rng=random.Random(7)
+    )
+    for p in points:
+        assert br.contains_point(p, 0.0, tol=1e-6)
+
+
+@given(points=finite_point_lists)
+@settings(max_examples=60, deadline=None)
+def test_bounds_child_rectangles(points):
+    """Parent rectangles must bound child TPBRs, not just points."""
+    children = [TPBR.from_moving_point(p, 0.0) for p in points]
+    br = compute_tpbr(
+        children, 1.0, BoundingKind.NEAR_OPTIMAL,
+        horizon=10.0, rng=random.Random(1),
+    )
+    for child in children:
+        assert br.contains_tpbr(child, 1.0, tol=1e-6)
+
+
+def test_empty_items_rejected():
+    with pytest.raises(ValueError):
+        compute_tpbr([], 0.0, BoundingKind.CONSERVATIVE)
+
+
+def test_dimension_mismatch_rejected():
+    a = MovingPoint((0.0,), (0.0,), 0.0, 1.0)
+    b = MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, 1.0)
+    with pytest.raises(ValueError):
+        compute_tpbr([a, b], 0.0, BoundingKind.CONSERVATIVE)
+
+
+def test_static_rejects_infinite_members():
+    p = MovingPoint((0.0,), (1.0,))
+    with pytest.raises(ValueError):
+        static_tpbr([p], 0.0)
+
+
+def test_static_allows_infinite_member_moving_away_from_bound():
+    """An infinite member with zero velocity is statically boundable."""
+    p = MovingPoint((1.0,), (0.0,))
+    br = static_tpbr([p], 0.0)
+    assert br.contains_point(p, 0.0)
+
+
+def test_conservative_is_tight_at_reference_time():
+    pts = [
+        MovingPoint((0.0, 0.0), (1.0, 0.0), 0.0, 10.0),
+        MovingPoint((4.0, 2.0), (-1.0, 1.0), 0.0, 5.0),
+    ]
+    br = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    assert br.rect_at(0.0).lo == (0.0, 0.0)
+    assert br.rect_at(0.0).hi == (4.0, 2.0)
+    assert br.vhi == (1.0, 1.0)
+    assert br.vlo == (-1.0, 0.0)
+
+
+def test_update_minimum_slower_than_conservative():
+    """Figure 4: expiration times let the bound edges move slower."""
+    pts = [
+        MovingPoint((5.0,), (0.0,), 0.0, 20.0),  # slow, defines the top
+        MovingPoint((0.0,), (3.0,), 0.0, 1.0),   # fast but expires soon
+    ]
+    cons = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    upd = update_minimum_tpbr(pts, 0.0)
+    # Conservative must move at the fast object's speed; update-minimum
+    # knows the fast object only reaches x=3 before expiring below the
+    # slow object's position, so the upper bound need not move at all.
+    assert cons.vhi[0] == 3.0
+    assert upd.vhi[0] == pytest.approx(0.0)
+    assert upd.contains_point(pts[1], 0.0)
+    # Both are minimal at the computation time.
+    assert upd.rect_at(0.0) == cons.rect_at(0.0)
+
+
+def test_near_optimal_no_worse_than_conservative_integral():
+    rng = random.Random(3)
+    pts = [
+        MovingPoint(
+            (rng.uniform(0, 10), rng.uniform(0, 10)),
+            (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+            0.0,
+            rng.uniform(1, 15),
+        )
+        for _ in range(20)
+    ]
+    horizon = 10.0
+    cons = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    near = near_optimal_tpbr(pts, 0.0, horizon=horizon, rng=rng)
+    assert area_integral(near, 0.0, horizon) <= area_integral(
+        cons, 0.0, horizon
+    ) * (1.0 + 1e-9)
+
+
+@given(points=finite_point_lists)
+@settings(max_examples=40, deadline=None)
+def test_optimal_minimizes_volume_integral(points):
+    """The optimal TPBR's integral is <= the near-optimal one's.
+
+    Integrals are compared without extent clamping (the objective both
+    algorithms minimize).
+    """
+    horizon = 12.0
+    t_exp = max(p.t_exp for p in points)
+    delta = min(horizon, t_exp)
+    near = near_optimal_tpbr(points, 0.0, horizon=horizon, rng=random.Random(5))
+    best = optimal_tpbr(points, 0.0, horizon=horizon)
+
+    def raw_integral(br):
+        import numpy as np
+
+        coeffs = np.poly1d([1.0])
+        for d in range(br.dims):
+            h = br.hi[d] - br.lo[d]
+            w = br.vhi[d] - br.vlo[d]
+            coeffs = coeffs * np.poly1d([w, h])
+        integ = coeffs.integ()
+        return float(integ(delta) - integ(0.0))
+
+    assert raw_integral(best) <= raw_integral(near) + 1e-6 * max(
+        1.0, abs(raw_integral(near))
+    )
+
+
+def test_optimal_one_dimension_matches_near_optimal():
+    pts = [
+        MovingPoint((float(i),), (float(i % 3 - 1),), 0.0, 2.0 + i)
+        for i in range(6)
+    ]
+    near = near_optimal_tpbr(pts, 0.0, horizon=8.0)
+    best = optimal_tpbr(pts, 0.0, horizon=8.0)
+    assert near.lo == pytest.approx(best.lo)
+    assert near.vhi == pytest.approx(best.vhi)
+
+
+def test_infinite_horizon_falls_back_to_conservative():
+    pts = [MovingPoint((0.0,), (1.0,)), MovingPoint((2.0,), (-1.0,))]
+    near = near_optimal_tpbr(pts, 0.0, horizon=None)
+    cons = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    assert near == cons
+
+
+def test_lemma42_median_matches_paper_example():
+    """k=1: m = Delta(3h + 2w*Delta) / (6h + 3w*Delta)."""
+    h, w, delta = 2.0, 0.5, 4.0
+    expected = delta * (3 * h + 2 * w * delta) / (6 * h + 3 * w * delta)
+    assert lemma42_median([(h, w)], delta) == pytest.approx(expected)
+
+
+def test_lemma42_median_with_no_computed_dims_is_midpoint():
+    assert lemma42_median([], 10.0) == pytest.approx(5.0)
+
+
+def test_lemma42_median_degenerate_extent():
+    assert lemma42_median([(0.0, 0.0)], 10.0) == pytest.approx(5.0)
+
+
+def test_expiration_time_is_max_of_members():
+    pts = [
+        MovingPoint((0.0,), (0.0,), 0.0, 3.0),
+        MovingPoint((1.0,), (0.0,), 0.0, 7.0),
+    ]
+    br = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    assert br.t_exp == 7.0
+
+
+def test_expiration_infinite_if_any_member_infinite():
+    pts = [
+        MovingPoint((0.0,), (0.0,), 0.0, 3.0),
+        MovingPoint((1.0,), (0.0,)),
+    ]
+    br = compute_tpbr(pts, 0.0, BoundingKind.CONSERVATIVE)
+    assert math.isinf(br.t_exp)

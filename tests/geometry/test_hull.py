@@ -1,0 +1,121 @@
+"""Tests for convex hulls and bridge finding (Lemma 4.1 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hull import (
+    bridge_edge,
+    bridge_line,
+    line_through,
+    lower_hull,
+    supporting_line,
+    upper_hull,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+, allow_subnormal=False)
+points_strategy = st.lists(st.tuples(finite, finite), min_size=1, max_size=40)
+
+
+def test_upper_hull_simple():
+    pts = [(0.0, 0.0), (1.0, 3.0), (2.0, 1.0), (3.0, 2.0)]
+    hull = upper_hull(pts)
+    assert hull[0] == (0.0, 0.0)
+    assert hull[-1] == (3.0, 2.0)
+    assert (1.0, 3.0) in hull
+    assert (2.0, 1.0) not in hull
+
+
+def test_lower_hull_simple():
+    pts = [(0.0, 0.0), (1.0, -3.0), (2.0, 1.0), (3.0, -1.0)]
+    hull = lower_hull(pts)
+    assert (1.0, -3.0) in hull
+    assert (2.0, 1.0) not in hull
+
+
+def test_duplicate_t_keeps_extreme():
+    pts = [(1.0, 0.0), (1.0, 5.0), (2.0, 1.0)]
+    assert upper_hull(pts)[0] == (1.0, 5.0)
+    assert lower_hull(pts)[0] == (1.0, 0.0)
+
+
+def test_single_point_hull():
+    assert upper_hull([(1.0, 2.0)]) == [(1.0, 2.0)]
+    p, q = bridge_edge([(1.0, 2.0)], 5.0)
+    assert p == q == (1.0, 2.0)
+
+
+def test_empty_hull_raises():
+    with pytest.raises(ValueError):
+        upper_hull([])
+
+
+@given(points_strategy)
+@settings(max_examples=200)
+def test_upper_hull_bounds_all_points(pts):
+    """Every line through a hull edge lies on or above all points."""
+    hull = upper_hull(pts)
+    for a, b in zip(hull, hull[1:]):
+        intercept, slope = line_through(a, b)
+        for t, x in pts:
+            assert intercept + slope * t >= x - 1e-6 * max(1.0, abs(x))
+
+
+@given(points_strategy)
+@settings(max_examples=200)
+def test_lower_hull_bounds_all_points(pts):
+    hull = lower_hull(pts)
+    for a, b in zip(hull, hull[1:]):
+        intercept, slope = line_through(a, b)
+        for t, x in pts:
+            assert intercept + slope * t <= x + 1e-6 * max(1.0, abs(x))
+
+
+@given(points_strategy, finite)
+@settings(max_examples=200)
+def test_bridge_line_bounds_all_points(pts, median):
+    intercept, slope = bridge_line(pts, median, upper=True)
+    for t, x in pts:
+        assert intercept + slope * t >= x - 1e-6 * max(1.0, abs(x))
+
+
+def test_bridge_edge_straddles_median():
+    pts = [(0.0, 0.0), (1.0, 2.0), (2.0, 3.0), (3.0, 3.5), (4.0, 3.0)]
+    hull = upper_hull(pts)
+    p, q = bridge_edge(hull, 2.5)
+    assert p[0] <= 2.5 <= q[0]
+
+
+def test_bridge_median_clamped_to_range():
+    hull = upper_hull([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+    left = bridge_edge(hull, -10.0)
+    right = bridge_edge(hull, 10.0)
+    assert left[0] == (0.0, 0.0)
+    assert right[1] == (2.0, 0.0)
+
+
+def test_line_through_vertical_degenerates_horizontal():
+    intercept, slope = line_through((1.0, 2.0), (1.0, 5.0))
+    assert slope == 0.0
+    assert intercept == 5.0
+
+
+def test_supporting_line_with_fixed_slope():
+    pts = [(0.0, 0.0), (1.0, 3.0), (2.0, 1.0)]
+    intercept, slope = supporting_line(pts, 0.5, upper=True)
+    assert slope == 0.5
+    for t, x in pts:
+        assert intercept + slope * t >= x - 1e-12
+    # And it is tight: some point touches the line.
+    assert any(
+        abs(intercept + slope * t - x) < 1e-9 for t, x in pts
+    )
+
+
+def test_supporting_line_lower():
+    pts = [(0.0, 0.0), (1.0, -3.0), (2.0, 1.0)]
+    intercept, slope = supporting_line(pts, 0.0, upper=False)
+    for t, x in pts:
+        assert intercept <= x + 1e-12

@@ -1,0 +1,136 @@
+"""Tests for the time-integral objectives (Equation 1).
+
+Every analytic integral is validated against numerical quadrature of the
+corresponding pointwise quantity.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.integrals import (
+    area_integral,
+    center_distance_sq_integral,
+    integration_end,
+    margin_integral,
+    overlap_integral,
+)
+from repro.geometry.tpbr import TPBR
+
+
+def numeric(f, a, b, steps=4000):
+    """Simple composite midpoint quadrature."""
+    if b <= a:
+        return 0.0
+    h = (b - a) / steps
+    return sum(f(a + (i + 0.5) * h) for i in range(steps)) * h
+
+
+def random_tpbr(rng, dims=2, shrink=False):
+    lo = tuple(rng.uniform(-10, 0) for _ in range(dims))
+    hi = tuple(rng.uniform(0.5, 10) for _ in range(dims))
+    if shrink:
+        vlo = tuple(rng.uniform(0.0, 2.0) for _ in range(dims))
+        vhi = tuple(rng.uniform(-2.0, 0.0) for _ in range(dims))
+    else:
+        vlo = tuple(rng.uniform(-2, 2) for _ in range(dims))
+        vhi = tuple(rng.uniform(-2, 2) for _ in range(dims))
+    return TPBR(lo, hi, vlo, vhi, t_ref=rng.uniform(-1, 1), t_exp=20.0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_area_integral_matches_quadrature(seed):
+    rng = random.Random(seed)
+    br = random_tpbr(rng, shrink=seed % 2 == 0)
+    a, b = 0.0, 8.0
+    expected = numeric(lambda t: br.area_at(t), a, b)
+    assert area_integral(br, a, b) == pytest.approx(expected, rel=2e-3, abs=1e-3)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_margin_integral_matches_quadrature(seed):
+    rng = random.Random(seed + 100)
+    br = random_tpbr(rng, shrink=seed % 2 == 0)
+    a, b = 0.0, 8.0
+    expected = numeric(lambda t: br.margin_at(t), a, b)
+    assert margin_integral(br, a, b) == pytest.approx(expected, rel=2e-3, abs=1e-3)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_overlap_integral_matches_quadrature(seed):
+    rng = random.Random(seed + 200)
+    x = random_tpbr(rng)
+    y = random_tpbr(rng)
+    a, b = 0.0, 6.0
+
+    def pointwise(t):
+        area = 1.0
+        for d in range(x.dims):
+            lo = max(x.lower_at(d, t), y.lower_at(d, t))
+            hi = min(x.upper_at(d, t), y.upper_at(d, t))
+            if hi <= lo:
+                return 0.0
+            area *= hi - lo
+        return area
+
+    expected = numeric(pointwise, a, b)
+    assert overlap_integral(x, y, a, b) == pytest.approx(
+        expected, rel=2e-3, abs=1e-3
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_center_distance_sq_matches_quadrature(seed):
+    rng = random.Random(seed + 300)
+    x = random_tpbr(rng)
+    y = random_tpbr(rng)
+    a, b = 0.0, 5.0
+
+    def pointwise(t):
+        cx = x.center_at(t)
+        cy = y.center_at(t)
+        return sum((p - q) ** 2 for p, q in zip(cx, cy))
+
+    expected = numeric(pointwise, a, b)
+    assert center_distance_sq_integral(x, y, a, b) == pytest.approx(
+        expected, rel=2e-3, abs=1e-3
+    )
+
+
+def test_empty_interval_is_zero():
+    br = TPBR((0.0,), (1.0,), (0.0,), (0.0,), 0.0, 5.0)
+    assert area_integral(br, 3.0, 3.0) == 0.0
+    assert margin_integral(br, 4.0, 3.0) == 0.0
+    assert overlap_integral(br, br, 4.0, 3.0) == 0.0
+
+
+def test_shrinking_area_stops_contributing_after_collapse():
+    br = TPBR((0.0,), (2.0,), (1.0,), (-1.0,), 0.0, 10.0)  # collapses at t=1
+    full = area_integral(br, 0.0, 10.0)
+    early = area_integral(br, 0.0, 1.0)
+    assert full == pytest.approx(early)
+
+
+def test_disjoint_rectangles_have_zero_overlap():
+    x = TPBR((0.0,), (1.0,), (0.0,), (0.0,), 0.0, 10.0)
+    y = TPBR((5.0,), (6.0,), (0.0,), (0.0,), 0.0, 10.0)
+    assert overlap_integral(x, y, 0.0, 5.0) == 0.0
+
+
+def test_approaching_rectangles_gain_overlap():
+    x = TPBR((0.0,), (1.0,), (0.0,), (0.0,), 0.0, 10.0)
+    y = TPBR((2.0,), (3.0,), (-1.0,), (-1.0,), 0.0, 10.0)  # moving left
+    assert overlap_integral(x, y, 0.0, 1.0) == 0.0
+    assert overlap_integral(x, y, 0.0, 4.0) > 0.0
+
+
+def test_integration_end_clips_at_horizon_and_expiry():
+    assert integration_end(10.0, 5.0, [100.0]) == 15.0
+    assert integration_end(10.0, 50.0, [20.0]) == 20.0
+    assert integration_end(10.0, 5.0, [8.0]) == 10.0  # already expired
+
+
+def test_integration_end_unbounded_raises():
+    with pytest.raises(ValueError):
+        integration_end(0.0, None, [math.inf])

@@ -1,0 +1,66 @@
+"""Tests for moving points."""
+
+import math
+
+import pytest
+
+from repro.geometry.kinematics import NEVER, MovingPoint
+
+
+def test_position_extrapolation():
+    p = MovingPoint((1.0, 2.0), (0.5, -1.0), t_ref=10.0, t_exp=20.0)
+    assert p.position_at(10.0) == (1.0, 2.0)
+    assert p.position_at(12.0) == (2.0, 0.0)
+    assert p.coordinate_at(1, 12.0) == 0.0
+
+
+def test_expiry_boundary_is_inclusive():
+    """An entry is still live at its exact expiration instant, so a
+    deletion scheduled for t_exp always finds it."""
+    p = MovingPoint((0.0,), (1.0,), 0.0, 5.0)
+    assert not p.is_expired(5.0)
+    assert p.is_expired(5.0 + 1e-9)
+
+
+def test_never_expires():
+    p = MovingPoint((0.0,), (1.0,))
+    assert p.t_exp == NEVER
+    assert not p.is_expired(1e12)
+
+
+def test_reference_time_change_preserves_trajectory():
+    p = MovingPoint((1.0, 1.0), (2.0, -1.0), 0.0, 9.0)
+    q = p.with_reference_time(4.0)
+    assert q.t_ref == 4.0
+    assert q.t_exp == 9.0
+    for t in (4.0, 6.5, 9.0):
+        assert q.position_at(t) == pytest.approx(p.position_at(t))
+
+
+def test_speed():
+    p = MovingPoint((0.0, 0.0), (3.0, 4.0))
+    assert p.speed() == pytest.approx(5.0)
+
+
+def test_dimension_mismatch_rejected():
+    with pytest.raises(ValueError):
+        MovingPoint((0.0, 0.0), (1.0,))
+
+
+def test_zero_dimensional_rejected():
+    with pytest.raises(ValueError):
+        MovingPoint((), ())
+
+
+def test_expiry_before_reference_rejected():
+    with pytest.raises(ValueError):
+        MovingPoint((0.0,), (0.0,), t_ref=5.0, t_exp=4.0)
+
+
+def test_points_are_hashable_and_frozen():
+    p = MovingPoint((0.0,), (1.0,), 0.0, 1.0)
+    q = MovingPoint((0.0,), (1.0,), 0.0, 1.0)
+    assert p == q
+    assert hash(p) == hash(q)
+    with pytest.raises(AttributeError):
+        p.t_ref = 3.0

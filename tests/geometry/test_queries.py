@@ -1,0 +1,65 @@
+"""Tests for the three query types of Section 2.1."""
+
+import pytest
+
+from repro.geometry.queries import (
+    MovingQuery,
+    TimesliceQuery,
+    WindowQuery,
+)
+from repro.geometry.rect import Rect
+
+
+def test_timeslice_region_is_degenerate_window():
+    q = TimesliceQuery(Rect((0.0, 0.0), (2.0, 2.0)), 5.0)
+    region = q.region()
+    assert region.t1 == region.t2 == 5.0
+    assert region.rect_at(5.0) == q.rect
+    assert q.t1 == q.t2 == 5.0
+
+
+def test_window_region_is_constant_over_time():
+    q = WindowQuery(Rect((0.0, 0.0), (2.0, 2.0)), 1.0, 4.0)
+    region = q.region()
+    assert region.rect_at(1.0) == region.rect_at(4.0) == q.rect
+
+
+def test_moving_region_interpolates_linearly():
+    r1 = Rect((0.0, 0.0), (2.0, 2.0))
+    r2 = Rect((10.0, 0.0), (12.0, 4.0))
+    q = MovingQuery(r1, r2, 0.0, 10.0)
+    region = q.region()
+    assert region.rect_at(0.0) == r1
+    assert region.rect_at(10.0) == r2
+    mid = region.rect_at(5.0)
+    assert mid.lo == pytest.approx((5.0, 0.0))
+    assert mid.hi == pytest.approx((7.0, 3.0))
+
+
+def test_moving_query_with_zero_span_unions_rectangles():
+    r1 = Rect((0.0, 0.0), (1.0, 1.0))
+    r2 = Rect((2.0, 2.0), (3.0, 3.0))
+    q = MovingQuery(r1, r2, 5.0, 5.0)
+    region = q.region()
+    assert region.rect_at(5.0) == r1.union(r2)
+
+
+def test_query_region_bounds_evaluation():
+    r1 = Rect((0.0,), (2.0,))
+    r2 = Rect((4.0,), (6.0,))
+    region = MovingQuery(r1, r2, 0.0, 4.0).region()
+    assert region.lower_at(0, 2.0) == pytest.approx(2.0)
+    assert region.upper_at(0, 2.0) == pytest.approx(4.0)
+
+
+def test_reversed_interval_rejected():
+    r = Rect((0.0,), (1.0,))
+    with pytest.raises(ValueError):
+        WindowQuery(r, 5.0, 4.0)
+    with pytest.raises(ValueError):
+        MovingQuery(r, r, 5.0, 4.0)
+
+
+def test_moving_query_dimension_mismatch_rejected():
+    with pytest.raises(ValueError):
+        MovingQuery(Rect((0.0,), (1.0,)), Rect((0.0, 0.0), (1.0, 1.0)), 0.0, 1.0)

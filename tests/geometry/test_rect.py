@@ -1,0 +1,84 @@
+"""Tests for static rectangles."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+
+
+def test_area_and_margin():
+    r = Rect((0.0, 0.0), (2.0, 5.0))
+    assert r.area == 10.0
+    assert r.margin == 7.0
+
+
+def test_union():
+    a = Rect((0.0, 0.0), (1.0, 1.0))
+    b = Rect((2.0, -1.0), (3.0, 0.5))
+    u = a.union(b)
+    assert u == Rect((0.0, -1.0), (3.0, 1.0))
+
+
+def test_union_of_many():
+    rects = [Rect((i, i), (i + 1.0, i + 1.0)) for i in range(3)]
+    u = Rect.union_of(rects)
+    assert u == Rect((0.0, 0.0), (3.0, 3.0))
+
+
+def test_union_of_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.union_of([])
+
+
+def test_intersects_and_overlap():
+    a = Rect((0.0, 0.0), (2.0, 2.0))
+    b = Rect((1.0, 1.0), (3.0, 3.0))
+    c = Rect((5.0, 5.0), (6.0, 6.0))
+    assert a.intersects(b)
+    assert a.overlap_area(b) == 1.0
+    assert not a.intersects(c)
+    assert a.overlap_area(c) == 0.0
+
+
+def test_touching_rectangles_intersect_with_zero_overlap():
+    a = Rect((0.0, 0.0), (1.0, 1.0))
+    b = Rect((1.0, 0.0), (2.0, 1.0))
+    assert a.intersects(b)
+    assert a.overlap_area(b) == 0.0
+
+
+def test_contains():
+    outer = Rect((0.0, 0.0), (10.0, 10.0))
+    inner = Rect((1.0, 1.0), (2.0, 2.0))
+    assert outer.contains_rect(inner)
+    assert not inner.contains_rect(outer)
+    assert outer.contains_point((5.0, 5.0))
+    assert not outer.contains_point((11.0, 5.0))
+
+
+def test_enlargement():
+    a = Rect((0.0, 0.0), (1.0, 1.0))
+    b = Rect((2.0, 0.0), (3.0, 1.0))
+    assert a.enlargement(b) == pytest.approx(3.0 - 1.0)
+    assert a.enlargement(a) == 0.0
+
+
+def test_center_and_distance():
+    a = Rect((0.0, 0.0), (2.0, 2.0))
+    b = Rect((4.0, 0.0), (6.0, 2.0))
+    assert a.center == (1.0, 1.0)
+    assert a.center_distance(b) == pytest.approx(4.0)
+
+
+def test_point_rect():
+    p = Rect.from_point((3.0, 4.0))
+    assert p.area == 0.0
+    assert p.contains_point((3.0, 4.0))
+
+
+def test_degenerate_rejected():
+    with pytest.raises(ValueError):
+        Rect((1.0,), (0.0,))
+    with pytest.raises(ValueError):
+        Rect((), ())
+    with pytest.raises(ValueError):
+        Rect((0.0,), (1.0, 2.0))

@@ -1,0 +1,123 @@
+"""Tests for time-parameterized bounding rectangles."""
+
+import math
+
+import pytest
+
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.rect import Rect
+from repro.geometry.tpbr import TPBR
+
+
+def sample_tpbr():
+    return TPBR(
+        lo=(0.0, 0.0), hi=(4.0, 2.0),
+        vlo=(-1.0, 0.5), vhi=(1.0, 1.0),
+        t_ref=10.0, t_exp=20.0,
+    )
+
+
+def test_bounds_evaluation():
+    br = sample_tpbr()
+    assert br.lower_at(0, 10.0) == 0.0
+    assert br.lower_at(0, 12.0) == -2.0
+    assert br.upper_at(1, 12.0) == 4.0
+
+
+def test_rect_at_collapses_crossed_bounds():
+    br = TPBR((0.0,), (1.0,), (1.0,), (-1.0,), 0.0, 10.0)
+    r = br.rect_at(5.0)  # bounds crossed at t = 0.5
+    assert r.lo == r.hi
+
+
+def test_area_clamps_at_zero():
+    br = TPBR((0.0,), (1.0,), (1.0,), (-1.0,), 0.0, 10.0)
+    assert br.area_at(0.0) == 1.0
+    assert br.area_at(5.0) == 0.0
+
+
+def test_margin_and_center():
+    br = sample_tpbr()
+    assert br.margin_at(10.0) == pytest.approx(4.0 + 2.0)
+    assert br.center_at(10.0) == (2.0, 1.0)
+
+
+def test_expiry_boundary():
+    br = sample_tpbr()
+    assert not br.is_expired(20.0)
+    assert br.is_expired(20.0 + 1e-9)
+
+
+def test_derived_expiration_of_shrinking_rectangle():
+    """A rectangle whose extent reaches zero has a natural expiration
+    even when none is recorded (Section 4.1.1)."""
+    br = TPBR((0.0,), (2.0,), (1.0,), (-1.0,), 5.0)
+    assert br.derived_expiration() == pytest.approx(6.0)
+
+
+def test_derived_expiration_of_growing_rectangle_is_infinite():
+    br = TPBR((0.0,), (2.0,), (-1.0,), (1.0,), 0.0)
+    assert math.isinf(br.derived_expiration())
+
+
+def test_without_expiration():
+    br = sample_tpbr()
+    stripped = br.without_expiration()
+    assert math.isinf(stripped.t_exp)
+    assert stripped.lo == br.lo and stripped.vhi == br.vhi
+
+
+def test_from_moving_point_tracks_it():
+    p = MovingPoint((1.0, 2.0), (0.5, -0.5), 0.0, 8.0)
+    br = TPBR.from_moving_point(p, 2.0)
+    for t in (2.0, 5.0, 8.0):
+        x = p.position_at(t)
+        assert br.lower_at(0, t) == pytest.approx(x[0])
+        assert br.upper_at(1, t) == pytest.approx(x[1])
+    assert br.t_exp == 8.0
+
+
+def test_static_constructor():
+    br = TPBR.static(Rect((0.0, 0.0), (2.0, 2.0)), t_ref=1.0, t_exp=5.0)
+    assert br.rect_at(1.0) == br.rect_at(4.0)
+
+
+def test_contains_point_through_lifetime():
+    p = MovingPoint((1.0,), (2.0,), 0.0, 4.0)
+    good = TPBR((0.0,), (2.0,), (0.0,), (2.0,), 0.0, 4.0)
+    assert good.contains_point(p, 0.0)
+    # Too slow an upper bound loses the point before it expires.
+    bad = TPBR((0.0,), (2.0,), (0.0,), (1.0,), 0.0, 4.0)
+    assert not bad.contains_point(p, 0.0)
+
+
+def test_contains_point_ignores_expired_tail():
+    """Containment only matters until the point expires."""
+    p = MovingPoint((1.0,), (5.0,), 0.0, 1.0)
+    br = TPBR((0.0,), (6.5,), (0.0,), (0.0,), 0.0, 10.0)
+    assert br.contains_point(p, 0.0)  # escapes only after t_exp = 1
+
+
+def test_contains_infinite_point_requires_velocity_bounds():
+    p = MovingPoint((1.0,), (2.0,))
+    narrow = TPBR((0.0,), (2.0,), (0.0,), (1.0,), 0.0)
+    wide = TPBR((0.0,), (2.0,), (0.0,), (2.0,), 0.0)
+    assert not narrow.contains_point(p, 0.0)
+    assert wide.contains_point(p, 0.0)
+
+
+def test_contains_tpbr():
+    inner = TPBR((1.0,), (2.0,), (0.0,), (0.5,), 0.0, 5.0)
+    outer = TPBR((0.0,), (3.0,), (-0.1,), (0.5,), 0.0, 5.0)
+    assert outer.contains_tpbr(inner, 0.0)
+    assert not inner.contains_tpbr(outer, 0.0)
+
+
+def test_inconsistent_dimensionality_rejected():
+    with pytest.raises(ValueError):
+        TPBR((0.0,), (1.0, 2.0), (0.0,), (0.0,))
+
+
+def test_inverted_bounds_rejected():
+    with pytest.raises(ValueError):
+        TPBR((2.0,), (1.0,), (0.0,), (0.0,))

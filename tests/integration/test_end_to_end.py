@@ -1,0 +1,129 @@
+"""End-to-end integration: workloads replayed against every architecture.
+
+These use a micro scale (hundreds of objects) so the whole file runs in
+well under a minute, but they exercise the complete pipeline: workload
+generation -> adapters -> runner -> audits, with oracle verification of
+every query answer.
+"""
+
+import pytest
+
+from repro.core.presets import rexp_config, tpr_config
+from repro.experiments.adapters import ScheduledAdapter, TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.workloads.expiration import FixedDistance, FixedPeriod
+from repro.workloads.network import NetworkParams, generate_network_workload
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+PAGE = 512
+BUFFER = 4
+
+
+@pytest.fixture(scope="module")
+def network_workload():
+    params = NetworkParams(
+        target_population=150,
+        insertions=2500,
+        update_interval=20.0,
+        seed=11,
+    )
+    return generate_network_workload(params, FixedPeriod(40.0))
+
+
+@pytest.fixture(scope="module")
+def uniform_workload():
+    params = UniformParams(
+        target_population=150,
+        insertions=2500,
+        update_interval=20.0,
+        seed=12,
+    )
+    return generate_uniform_workload(params, FixedDistance(60.0))
+
+
+def _run(adapter, workload):
+    result = run_workload(adapter, workload, verify=True)
+    assert result.oracle_mismatches == 0, (
+        f"{adapter.name}: {result.oracle_mismatches} query answers "
+        "diverged from the brute-force oracle"
+    )
+    return result
+
+
+def test_rexp_tree_answers_exactly(network_workload):
+    adapter = TreeAdapter(
+        "Rexp", rexp_config(page_size=PAGE, buffer_pages=BUFFER)
+    )
+    result = _run(adapter, network_workload)
+    assert result.search_ops == network_workload.query_count
+    adapter.tree.check_invariants()
+    # Lazy purging keeps the expired fraction small (Section 5.4).
+    assert result.expired_fraction < 0.25
+
+
+def test_tpr_tree_superset_answers(network_workload):
+    adapter = TreeAdapter(
+        "TPR", tpr_config(page_size=PAGE, buffer_pages=BUFFER)
+    )
+    result = _run(adapter, network_workload)
+    adapter.tree.check_invariants()
+    assert result.expired_fraction == 0.0  # TPR never records expiry
+
+
+def test_scheduled_rexp_answers_exactly(network_workload):
+    adapter = ScheduledAdapter(
+        "Rexp+sched",
+        rexp_config(page_size=PAGE, buffer_pages=BUFFER),
+        queue_buffer_pages=4,
+    )
+    result = _run(adapter, network_workload)
+    adapter.tree.check_invariants()
+    # Eager deletion prevents accumulation entirely.
+    assert adapter.index.pending_events <= result.leaf_entries + 1
+
+
+def test_scheduled_tpr_cleans_up(network_workload):
+    adapter = ScheduledAdapter(
+        "TPR+sched",
+        tpr_config(page_size=PAGE, buffer_pages=BUFFER),
+        queue_buffer_pages=4,
+    )
+    result = _run(adapter, network_workload)
+    adapter.tree.check_invariants()
+    # Scheduled deletions keep the TPR-tree from growing without bound.
+    assert result.leaf_entries <= 2 * result.params["population"]
+
+
+def test_uniform_workload_all_architectures(uniform_workload):
+    for name, config in (
+        ("Rexp", rexp_config(page_size=PAGE, buffer_pages=BUFFER)),
+        ("TPR", tpr_config(page_size=PAGE, buffer_pages=BUFFER)),
+    ):
+        adapter = TreeAdapter(name, config)
+        _run(adapter, uniform_workload)
+        adapter.tree.check_invariants()
+
+
+def test_rexp_beats_tpr_on_search_io(network_workload):
+    """The headline claim, at micro scale: expiring-aware indexing wins."""
+    rexp = TreeAdapter(
+        "Rexp", rexp_config(page_size=PAGE, buffer_pages=BUFFER)
+    )
+    tpr = TreeAdapter("TPR", tpr_config(page_size=PAGE, buffer_pages=BUFFER))
+    r1 = run_workload(rexp, network_workload)
+    r2 = run_workload(tpr, network_workload)
+    assert r1.avg_search_io < r2.avg_search_io
+
+
+def test_deterministic_replay(network_workload):
+    a = run_workload(
+        TreeAdapter("a", rexp_config(page_size=PAGE, buffer_pages=BUFFER)),
+        network_workload,
+    )
+    b = run_workload(
+        TreeAdapter("b", rexp_config(page_size=PAGE, buffer_pages=BUFFER)),
+        network_workload,
+    )
+    assert a.avg_search_io == b.avg_search_io
+    assert a.avg_update_io == b.avg_update_io
+    assert a.page_count == b.page_count

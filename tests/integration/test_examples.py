@@ -1,0 +1,56 @@
+"""Every example in examples/ must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=240):
+    env = dict(os.environ, REPRO_EXAMPLE_FAST="1")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "timeslice @ t=10: [1, 3]" in out
+    assert "timeslice @ t=20: [1]" in out   # object 3 expired
+    assert "index:" in out
+
+
+def test_location_game():
+    out = run_example("location_game.py")
+    assert "final leaderboard" in out
+    assert "purged itself" in out
+
+
+def test_traffic_monitor():
+    out = run_example("traffic_monitor.py")
+    assert "index economics" in out
+    assert "x less I/O than the TPR-tree" in out
+
+
+def test_bounding_rectangles():
+    out = run_example("bounding_rectangles.py")
+    assert "ranking by area integral" in out
+    for kind in ("conservative", "static", "update_minimum",
+                 "near_optimal", "optimal"):
+        assert kind in out

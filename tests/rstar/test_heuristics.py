@@ -1,0 +1,90 @@
+"""Tests for the generic R* heuristics over plain rectangles."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rstar.heuristics import (
+    choose_child,
+    choose_split,
+    reinsert_candidates,
+)
+from repro.rstar.metrics import RectMetrics
+
+METRICS = RectMetrics()
+
+
+def square(x, y, side=1.0):
+    return Rect((x, y), (x + side, y + side))
+
+
+def test_choose_child_prefers_containing_region():
+    children = [square(0, 0, 4), square(10, 10, 4)]
+    new = square(1, 1)
+    assert choose_child(METRICS, children, new, use_overlap=False) == 0
+
+
+def test_choose_child_minimizes_enlargement():
+    children = [square(0, 0, 2), square(5, 0, 2)]
+    new = square(4.5, 0.5, 0.2)  # barely outside the second square
+    assert choose_child(METRICS, children, new, use_overlap=False) == 1
+
+
+def test_choose_child_overlap_heuristic_breaks_area_ties():
+    # Two children need equal enlargement, but extending the first would
+    # overlap its sibling.
+    a = Rect((0.0, 0.0), (4.0, 2.0))
+    b = Rect((5.0, 0.0), (9.0, 2.0))
+    new = square(4.4, 0.9, 0.2)
+    pick_plain = choose_child(METRICS, [a, b], new, use_overlap=False)
+    pick_overlap = choose_child(METRICS, [a, b], new, use_overlap=True)
+    assert pick_overlap == 1
+    assert pick_plain in (0, 1)
+
+
+def test_choose_child_empty_raises():
+    with pytest.raises(ValueError):
+        choose_child(METRICS, [], square(0, 0), use_overlap=False)
+
+
+def test_split_separates_clusters():
+    cluster_a = [square(0, 0), square(0.5, 0.5), square(1, 0)]
+    cluster_b = [square(50, 50), square(51, 50), square(50, 51)]
+    regions = cluster_a + cluster_b
+    result = choose_split(METRICS, regions, min_entries=2)
+    groups = {tuple(sorted(result.group_a)), tuple(sorted(result.group_b))}
+    assert groups == {(0, 1, 2), (3, 4, 5)}
+
+
+def test_split_respects_min_entries():
+    regions = [square(float(i), 0.0) for i in range(10)]
+    result = choose_split(METRICS, regions, min_entries=4)
+    assert len(result.group_a) >= 4
+    assert len(result.group_b) >= 4
+    assert sorted(result.group_a + result.group_b) == list(range(10))
+
+
+def test_split_too_few_entries_raises():
+    with pytest.raises(ValueError):
+        choose_split(METRICS, [square(0, 0), square(1, 1)], min_entries=2)
+
+
+def test_reinsert_candidates_picks_farthest():
+    regions = [square(0, 0), square(0.2, 0.2), square(0.4, 0.0), square(30, 30)]
+    evicted = reinsert_candidates(METRICS, regions, count=1)
+    bound = METRICS.bound(regions)
+    distances = [METRICS.center_distance(r, bound) for r in regions]
+    assert len(evicted) == 1
+    assert distances[evicted[0]] == pytest.approx(max(distances))
+
+
+def test_reinsert_candidates_close_reinsert_order():
+    """Evicted entries come farthest-last (R* 'close reinsert')."""
+    regions = [square(0, 0), square(10, 10), square(20, 20), square(-1, -1)]
+    evicted = reinsert_candidates(METRICS, regions, count=2)
+    bound = METRICS.bound(regions)
+    distances = [METRICS.center_distance(regions[i], bound) for i in evicted]
+    assert distances == sorted(distances)
+
+
+def test_reinsert_zero_count():
+    assert reinsert_candidates(METRICS, [square(0, 0)], count=0) == []

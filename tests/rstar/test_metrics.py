@@ -1,0 +1,115 @@
+"""Tests for the kinetic metric provider (Equation 1 objectives)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.bounding import BoundingKind
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.tpbr import TPBR
+from repro.rstar.metrics import KineticMetrics, as_tpbr, strip_expiration
+
+
+def make_metrics(kind=BoundingKind.CONSERVATIVE, now=0.0, horizon=10.0,
+                 ignore=False):
+    return KineticMetrics(
+        kind,
+        now=lambda: now,
+        horizon=lambda: horizon,
+        rng=random.Random(0),
+        ignore_expiration=ignore,
+    )
+
+
+def test_as_tpbr_wraps_moving_point():
+    p = MovingPoint((1.0, 2.0), (0.5, 0.0), 0.0, 5.0)
+    br = as_tpbr(p)
+    assert isinstance(br, TPBR)
+    assert br.lo == br.hi == (1.0, 2.0)
+    assert br.t_exp == 5.0
+    # TPBRs pass through untouched.
+    assert as_tpbr(br) is br
+
+
+def test_strip_expiration():
+    p = MovingPoint((1.0,), (0.0,), 0.0, 5.0)
+    assert math.isinf(strip_expiration(p).t_exp)
+    br = TPBR((0.0,), (1.0,), (0.0,), (0.0,), 0.0, 5.0)
+    assert math.isinf(strip_expiration(br).t_exp)
+    eternal = MovingPoint((1.0,), (0.0,))
+    assert strip_expiration(eternal) is eternal
+
+
+def test_area_of_point_region_is_zero():
+    metrics = make_metrics()
+    p = MovingPoint((1.0, 1.0), (0.0, 0.0), 0.0, 5.0)
+    assert metrics.area(p) == 0.0
+
+
+def test_growing_region_has_larger_area_integral():
+    metrics = make_metrics()
+    still = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 20.0)
+    growing = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (1.0, 1.0), 0.0, 20.0)
+    assert metrics.area(growing) > metrics.area(still)
+
+
+def test_expiration_shortens_integration_window():
+    metrics = make_metrics()
+    long_lived = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 20.0)
+    short_lived = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 2.0)
+    assert metrics.area(short_lived) < metrics.area(long_lived)
+
+
+def test_ignore_expiration_equalizes_windows():
+    metrics = make_metrics(ignore=True)
+    long_lived = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 20.0)
+    short_lived = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 2.0)
+    assert metrics.area(short_lived) == pytest.approx(metrics.area(long_lived))
+
+
+def test_bound_covers_members():
+    metrics = make_metrics(kind=BoundingKind.NEAR_OPTIMAL)
+    pts = [
+        MovingPoint((0.0, 0.0), (1.0, 0.0), 0.0, 5.0),
+        MovingPoint((3.0, 3.0), (-1.0, 0.5), 0.0, 8.0),
+    ]
+    bound = metrics.bound(pts)
+    for p in pts:
+        assert bound.contains_point(p, 0.0, tol=1e-6)
+
+
+def test_bound_with_ignore_expiration_degenerates_static_to_conservative():
+    """Static/update-minimum bounds require expiration times; when the
+    decision metrics pretend nothing expires they must fall back."""
+    metrics = make_metrics(kind=BoundingKind.STATIC, ignore=True)
+    pts = [
+        MovingPoint((0.0, 0.0), (1.0, 0.0), 0.0, 5.0),
+        MovingPoint((3.0, 3.0), (-1.0, 0.5), 0.0, 8.0),
+    ]
+    bound = metrics.bound(pts)  # must not raise
+    assert bound.vhi[0] == pytest.approx(1.0)
+
+
+def test_enlargement_nonnegative_for_outside_point():
+    metrics = make_metrics(kind=BoundingKind.CONSERVATIVE)
+    region = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 10.0)
+    outside = MovingPoint((5.0, 5.0), (0.0, 0.0), 0.0, 10.0)
+    assert metrics.enlargement(region, outside) > 0.0
+
+
+def test_split_sort_keys_cover_positions_and_velocities():
+    metrics = make_metrics(now=2.0)
+    br = TPBR((0.0, 0.0), (1.0, 2.0), (-1.0, 0.0), (1.0, 0.5), 0.0, 10.0)
+    keys = metrics.split_sort_keys(br)
+    # 2 dims x (lower, upper) positions + 2 dims x (vlo, vhi).
+    assert len(keys) == 8
+    assert keys[0] == pytest.approx(br.lower_at(0, 2.0))
+    assert keys[4:] == [-1.0, 1.0, 0.0, 0.5]
+
+
+def test_overlap_integral_symmetry():
+    metrics = make_metrics()
+    x = TPBR((0.0, 0.0), (2.0, 2.0), (0.0, 0.0), (0.5, 0.5), 0.0, 10.0)
+    y = TPBR((1.0, 1.0), (3.0, 3.0), (-0.5, 0.0), (0.0, 0.0), 0.0, 10.0)
+    assert metrics.overlap(x, y) == pytest.approx(metrics.overlap(y, x))

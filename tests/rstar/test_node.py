@@ -1,0 +1,28 @@
+"""Tests for the shared node representation."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rstar.node import Node
+
+
+def test_leaf_properties():
+    node = Node(0, [(Rect((0.0,), (1.0,)), "a")])
+    assert node.is_leaf
+    assert len(node) == 1
+    assert node.regions() == [Rect((0.0,), (1.0,))]
+    with pytest.raises(ValueError):
+        node.child_ids()
+
+
+def test_internal_children():
+    node = Node(1, [(Rect((0.0,), (1.0,)), 7), (Rect((2.0,), (3.0,)), 9)])
+    assert not node.is_leaf
+    assert node.child_ids() == [7, 9]
+
+
+def test_default_entries_are_independent():
+    a = Node(0)
+    b = Node(0)
+    a.entries.append((Rect((0.0,), (1.0,)), "x"))
+    assert len(b) == 0

@@ -1,0 +1,145 @@
+"""Tests for the classic R*-tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rstar.tree import RStarTree
+
+
+def small_tree(**kwargs):
+    defaults = dict(page_size=256, buffer_pages=16)
+    defaults.update(kwargs)
+    return RStarTree(**defaults)
+
+
+def random_rect(rng, space=100.0, max_side=2.0):
+    x, y = rng.uniform(0, space), rng.uniform(0, space)
+    return Rect((x, y), (x + rng.uniform(0, max_side), y + rng.uniform(0, max_side)))
+
+
+def test_insert_and_point_search():
+    tree = small_tree()
+    tree.insert(Rect((1.0, 1.0), (2.0, 2.0)), "a")
+    assert tree.search(Rect((0.0, 0.0), (3.0, 3.0))) == ["a"]
+    assert tree.search(Rect((5.0, 5.0), (6.0, 6.0))) == []
+
+
+def test_search_matches_brute_force():
+    rng = random.Random(1)
+    tree = small_tree()
+    items = []
+    for i in range(500):
+        r = random_rect(rng)
+        items.append((r, i))
+        tree.insert(r, i)
+    for _ in range(40):
+        q = random_rect(rng, space=90.0, max_side=12.0)
+        got = sorted(tree.search(q))
+        want = sorted(i for r, i in items if r.intersects(q))
+        assert got == want
+
+
+def test_tree_grows_in_height():
+    rng = random.Random(2)
+    tree = small_tree()
+    assert tree.height == 1
+    for i in range(300):
+        tree.insert(random_rect(rng), i)
+    assert tree.height >= 3
+    assert len(tree) == 300
+
+
+def test_delete_removes_exact_entry():
+    tree = small_tree()
+    r = Rect((1.0, 1.0), (2.0, 2.0))
+    tree.insert(r, "a")
+    tree.insert(r, "b")
+    assert tree.delete(r, "a")
+    assert tree.search(Rect((0.0, 0.0), (3.0, 3.0))) == ["b"]
+    assert not tree.delete(r, "a")  # already gone
+
+
+def test_delete_missing_returns_false():
+    tree = small_tree()
+    assert not tree.delete(Rect((0.0, 0.0), (1.0, 1.0)), "ghost")
+
+
+def test_mass_delete_shrinks_tree():
+    rng = random.Random(3)
+    tree = small_tree()
+    items = [(random_rect(rng), i) for i in range(400)]
+    for r, i in items:
+        tree.insert(r, i)
+    peak_pages = tree.page_count
+    for r, i in items[:360]:
+        assert tree.delete(r, i)
+    assert len(tree) == 40
+    assert tree.page_count < peak_pages
+    remaining = sorted(i for _, i in items[360:])
+    assert sorted(tree.search(Rect((0.0, 0.0), (110.0, 110.0)))) == remaining
+
+
+def test_delete_then_search_consistency():
+    rng = random.Random(4)
+    tree = small_tree()
+    alive = {}
+    for i in range(600):
+        if alive and rng.random() < 0.4:
+            key = rng.choice(list(alive))
+            r = alive.pop(key)
+            assert tree.delete(r, key)
+        else:
+            r = random_rect(rng)
+            alive[i] = r
+            tree.insert(r, i)
+    q = Rect((0.0, 0.0), (110.0, 110.0))
+    assert sorted(tree.search(q)) == sorted(alive)
+
+
+def test_io_is_charged_for_operations():
+    rng = random.Random(5)
+    tree = small_tree(buffer_pages=2)
+    for i in range(200):
+        tree.insert(random_rect(rng), i)
+    assert tree.stats.reads > 0
+    assert tree.stats.writes > 0
+
+
+def test_dimension_mismatch_rejected():
+    tree = small_tree()
+    with pytest.raises(ValueError):
+        tree.insert(Rect((0.0,), (1.0,)), "x")
+
+
+def test_paper_page_size_fanout():
+    tree = RStarTree(page_size=4096)
+    # Static rectangles: 2d coords * 4 bytes + 4-byte pointer = 20 bytes.
+    assert tree.leaf_capacity == tree.internal_capacity == 204
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=50, allow_nan=False, allow_subnormal=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False, allow_subnormal=False),
+    st.floats(min_value=0, max_value=3, allow_nan=False, allow_subnormal=False),
+    st.floats(min_value=0, max_value=3, allow_nan=False, allow_subnormal=False),
+), min_size=1, max_size=120))
+@settings(max_examples=25, deadline=None)
+def test_property_search_equals_brute_force(raw):
+    tree = small_tree()
+    items = []
+    for i, (x, y, w, h) in enumerate(raw):
+        r = Rect((x, y), (x + w, y + h))
+        items.append((r, i))
+        tree.insert(r, i)
+    for q in (
+        Rect((0.0, 0.0), (60.0, 60.0)),
+        Rect((10.0, 10.0), (20.0, 20.0)),
+        Rect((49.0, 49.0), (50.0, 50.0)),
+    ):
+        got = sorted(tree.search(q))
+        want = sorted(i for r, i in items if r.intersects(q))
+        assert got == want

@@ -1,0 +1,147 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager, PageError
+
+
+def make(capacity=3):
+    disk = DiskManager(page_size=256)
+    return disk, BufferPool(disk, capacity=capacity)
+
+
+def _page(disk, value):
+    pid = disk.allocate()
+    disk.write(pid, value)
+    return pid
+
+
+def test_hit_charges_no_io():
+    disk, pool = make()
+    pid = _page(disk, "a")
+    pool.get(pid)
+    reads = disk.stats.reads
+    pool.get(pid)
+    assert disk.stats.reads == reads  # second access is a buffer hit
+
+
+def test_miss_reads_from_disk():
+    disk, pool = make()
+    pid = _page(disk, "a")
+    assert pool.get(pid) == "a"
+    assert disk.stats.reads == 1
+
+
+def test_lru_eviction_order():
+    disk, pool = make(capacity=2)
+    a, b, c = (_page(disk, v) for v in "abc")
+    pool.get(a)
+    pool.get(b)
+    pool.get(a)      # a becomes most-recently-used
+    pool.get(c)      # evicts b
+    assert pool.is_resident(a)
+    assert not pool.is_resident(b)
+    assert pool.is_resident(c)
+
+
+def test_dirty_page_flushed_on_eviction():
+    disk, pool = make(capacity=1)
+    a = _page(disk, "a")
+    b = _page(disk, "b")
+    pool.get(a)
+    pool.mark_dirty(a, "a2")
+    pool.get(b)  # evicts a, must write it back
+    assert disk.peek(a) == "a2"
+    assert disk.stats.writes >= 2  # initial setup writes + eviction
+
+
+def test_pinned_page_never_evicted():
+    disk, pool = make(capacity=2)
+    a, b, c = (_page(disk, v) for v in "abc")
+    pool.get(a)
+    pool.pin(a)
+    pool.get(b)
+    pool.get(c)
+    assert pool.is_resident(a)
+
+
+def test_flush_all_writes_only_dirty_pages():
+    disk, pool = make()
+    a = _page(disk, "a")
+    b = _page(disk, "b")
+    pool.get(a)
+    pool.get(b)
+    pool.mark_dirty(a, "a2")
+    writes = disk.stats.writes
+    pool.flush_all()
+    assert disk.stats.writes == writes + 1
+    assert pool.dirty_pages == 0
+    pool.flush_all()  # nothing dirty, no writes
+    assert disk.stats.writes == writes + 1
+
+
+def test_put_new_costs_no_read():
+    disk, pool = make()
+    pid = disk.allocate()
+    pool.put_new(pid, "fresh")
+    assert disk.stats.reads == 0
+    assert pool.get(pid) == "fresh"
+    assert disk.stats.reads == 0
+
+
+def test_discard_drops_without_flush():
+    disk, pool = make()
+    pid = disk.allocate()
+    pool.put_new(pid, "junk")
+    writes = disk.stats.writes
+    pool.discard(pid)
+    assert disk.stats.writes == writes
+    assert not pool.is_resident(pid)
+
+
+def test_mark_dirty_unbuffered_without_payload_raises():
+    disk, pool = make()
+    pid = disk.allocate()
+    with pytest.raises(PageError):
+        pool.mark_dirty(pid)
+
+
+def test_mark_dirty_readmits_evicted_page():
+    """A write brings an evicted page back into the pool."""
+    disk, pool = make(capacity=1)
+    a = _page(disk, "a")
+    b = _page(disk, "b")
+    pool.get(a)
+    pool.get(b)  # evicts a
+    pool.mark_dirty(a, "a2")
+    assert pool.is_resident(a)
+    pool.flush_all()
+    assert disk.peek(a) == "a2"
+
+
+def test_over_admission_when_all_pinned():
+    disk, pool = make(capacity=1)
+    a = _page(disk, "a")
+    b = _page(disk, "b")
+    pool.get(a)
+    pool.pin(a)
+    pool.get(b)  # cannot evict a; pool over-admits rather than failing
+    assert pool.is_resident(a)
+    assert pool.is_resident(b)
+
+
+def test_invalid_capacity_rejected():
+    disk = DiskManager()
+    with pytest.raises(ValueError):
+        BufferPool(disk, capacity=0)
+
+
+def test_clear_flushes_and_empties():
+    disk, pool = make()
+    a = _page(disk, "a")
+    pool.get(a)
+    pool.mark_dirty(a, "a2")
+    pool.clear()
+    assert pool.resident_pages == 0
+    assert disk.peek(a) == "a2"

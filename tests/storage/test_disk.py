@@ -1,0 +1,79 @@
+"""Tests for the simulated disk manager."""
+
+import pytest
+
+from repro.storage.disk import DiskManager, PageError
+
+
+def test_allocate_returns_distinct_ids():
+    disk = DiskManager(page_size=512)
+    pids = {disk.allocate() for _ in range(10)}
+    assert len(pids) == 10
+    assert disk.allocated_pages == 10
+
+
+def test_read_write_charge_io():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.write(pid, "payload")
+    assert disk.read(pid) == "payload"
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 1
+
+
+def test_allocation_charges_no_io():
+    disk = DiskManager()
+    disk.allocate()
+    assert disk.stats.reads == 0
+    assert disk.stats.writes == 0
+    assert disk.stats.allocations == 1
+
+
+def test_free_recycles_page_ids():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.free(pid)
+    assert disk.allocated_pages == 0
+    assert disk.allocate() == pid
+
+
+def test_free_unallocated_raises():
+    disk = DiskManager()
+    with pytest.raises(PageError):
+        disk.free(42)
+
+
+def test_read_unallocated_raises():
+    disk = DiskManager()
+    with pytest.raises(PageError):
+        disk.read(7)
+
+
+def test_write_after_free_raises():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.free(pid)
+    with pytest.raises(PageError):
+        disk.write(pid, "x")
+
+
+def test_peek_charges_no_io():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.write(pid, "data")
+    before = disk.stats.reads
+    assert disk.peek(pid) == "data"
+    assert disk.stats.reads == before
+
+
+def test_invalid_page_size_rejected():
+    with pytest.raises(ValueError):
+        DiskManager(page_size=0)
+
+
+def test_page_ids_iterates_live_pages():
+    disk = DiskManager()
+    a = disk.allocate()
+    b = disk.allocate()
+    disk.free(a)
+    assert set(disk.page_ids()) == {b}

@@ -1,0 +1,64 @@
+"""Tests for the byte-accurate entry layout model."""
+
+import pytest
+
+from repro.storage.layout import EntryLayout
+
+
+def test_paper_fanouts_at_4k():
+    """The paper's 4 KB page yields 170 leaf / 102 internal entries."""
+    layout = EntryLayout(page_size=4096, dims=2)
+    assert layout.leaf_entry_bytes == 24
+    assert layout.internal_entry_bytes == 40
+    assert layout.leaf_capacity == 170
+    assert layout.internal_capacity == 102
+
+
+def test_static_brs_nearly_double_internal_fanout():
+    """Dropping stored velocities: 'almost a factor of two' (Section 4.1.2)."""
+    with_vel = EntryLayout(page_size=4096, dims=2, store_velocities=True)
+    without = EntryLayout(page_size=4096, dims=2, store_velocities=False)
+    ratio = without.internal_capacity / with_vel.internal_capacity
+    assert 1.5 <= ratio <= 2.0
+
+
+def test_dropping_br_expiration_increases_fanout():
+    with_exp = EntryLayout(page_size=4096, store_br_expiration=True)
+    without = EntryLayout(page_size=4096, store_br_expiration=False)
+    assert without.internal_capacity > with_exp.internal_capacity
+    assert without.leaf_capacity == with_exp.leaf_capacity
+
+
+def test_dropping_leaf_expiration_increases_leaf_fanout():
+    with_exp = EntryLayout(page_size=4096, store_leaf_expiration=True)
+    without = EntryLayout(page_size=4096, store_leaf_expiration=False)
+    assert without.leaf_capacity > with_exp.leaf_capacity
+
+
+def test_capacity_scales_with_page_size():
+    small = EntryLayout(page_size=1024)
+    large = EntryLayout(page_size=4096)
+    assert large.leaf_capacity > 3 * small.leaf_capacity
+
+
+def test_dimensionality_raises_entry_size():
+    d2 = EntryLayout(page_size=4096, dims=2)
+    d3 = EntryLayout(page_size=4096, dims=3)
+    assert d3.leaf_entry_bytes > d2.leaf_entry_bytes
+    assert d3.leaf_capacity < d2.leaf_capacity
+
+
+def test_too_small_page_rejected():
+    with pytest.raises(ValueError):
+        EntryLayout(page_size=64, dims=3)
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(ValueError):
+        EntryLayout(dims=0)
+
+
+def test_capacity_accessor():
+    layout = EntryLayout(page_size=4096)
+    assert layout.capacity(leaf=True) == layout.leaf_capacity
+    assert layout.capacity(leaf=False) == layout.internal_capacity

@@ -1,0 +1,142 @@
+"""Tests for byte-level node serialization."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.presets import rexp_config
+from repro.core.tree import MovingObjectTree
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.tpbr import TPBR
+from repro.rstar.node import Node
+from repro.storage.layout import EntryLayout
+from repro.storage.serial import CodecError, NodeCodec
+
+F32_REL = 1e-6
+
+
+def default_codec(**layout_kwargs):
+    return NodeCodec(EntryLayout(page_size=1024, **layout_kwargs))
+
+
+def test_empty_node_round_trip():
+    codec = default_codec()
+    page = codec.encode(Node(0), t_ref=5.0)
+    assert len(page) == 1024
+    node, t_ref = codec.decode(page)
+    assert node.is_leaf and len(node) == 0
+    assert t_ref == 5.0
+
+
+def test_leaf_round_trip_rebases_reference_time():
+    codec = default_codec()
+    p = MovingPoint((10.0, 20.0), (1.5, -0.5), t_ref=2.0, t_exp=30.0)
+    node = Node(0, [(p, 42)])
+    decoded, t_ref = codec.decode(codec.encode(node, t_ref=4.0))
+    q, oid = decoded.entries[0]
+    assert oid == 42
+    assert t_ref == 4.0
+    # Same trajectory, expressed at the node reference time.
+    for t in (4.0, 10.0, 30.0):
+        for d in range(2):
+            assert q.coordinate_at(d, t) == pytest.approx(
+                p.coordinate_at(d, t), rel=F32_REL, abs=1e-4
+            )
+    assert q.t_exp == pytest.approx(30.0, rel=F32_REL)
+
+
+def test_leaf_infinite_expiration_survives():
+    codec = default_codec()
+    p = MovingPoint((1.0, 2.0), (0.0, 0.0), 0.0, math.inf)
+    decoded, _ = codec.decode(codec.encode(Node(0, [(p, 1)]), 0.0))
+    assert math.isinf(decoded.entries[0][0].t_exp)
+
+
+def test_internal_round_trip():
+    codec = default_codec(store_br_expiration=True)
+    br = TPBR((0.0, 1.0), (4.0, 5.0), (-1.0, 0.0), (1.0, 2.0), 3.0, 17.0)
+    decoded, _ = codec.decode(codec.encode(Node(2, [(br, 9)]), t_ref=3.0))
+    got, child = decoded.entries[0]
+    assert child == 9
+    assert decoded.level == 2
+    for t in (3.0, 10.0, 17.0):
+        for d in range(2):
+            assert got.lower_at(d, t) == pytest.approx(
+                br.lower_at(d, t), rel=F32_REL, abs=1e-4
+            )
+            assert got.upper_at(d, t) == pytest.approx(
+                br.upper_at(d, t), rel=F32_REL, abs=1e-4
+            )
+    assert got.t_exp == pytest.approx(17.0, rel=F32_REL)
+
+
+def test_static_layout_drops_velocities():
+    codec = default_codec(store_velocities=False)
+    br = TPBR((0.0, 1.0), (4.0, 5.0), (0.0, 0.0), (0.0, 0.0), 0.0, 9.0)
+    decoded, _ = codec.decode(codec.encode(Node(1, [(br, 3)]), 0.0))
+    got, _ = decoded.entries[0]
+    assert got.vlo == got.vhi == (0.0, 0.0)
+
+
+def test_unstored_expiration_decodes_as_infinite():
+    codec = default_codec(store_br_expiration=False)
+    br = TPBR((0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0), 0.0, 7.0)
+    decoded, _ = codec.decode(codec.encode(Node(1, [(br, 3)]), 0.0))
+    assert math.isinf(decoded.entries[0][0].t_exp)
+
+
+def test_full_node_fills_exactly_one_page():
+    layout = EntryLayout(page_size=4096)
+    codec = NodeCodec(layout)
+    entries = [
+        (MovingPoint((float(i), 0.0), (0.0, 0.0), 0.0, 10.0), i)
+        for i in range(layout.leaf_capacity)  # the paper's 170
+    ]
+    page = codec.encode(Node(0, entries), 0.0)
+    assert len(page) == 4096
+    decoded, _ = codec.decode(page)
+    assert len(decoded) == 170
+
+
+def test_overfull_node_rejected():
+    layout = EntryLayout(page_size=512)
+    codec = NodeCodec(layout)
+    entries = [
+        (MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, 1.0), i)
+        for i in range(layout.leaf_capacity + 1)
+    ]
+    with pytest.raises(CodecError):
+        codec.encode(Node(0, entries), 0.0)
+
+
+def test_wrong_page_size_rejected():
+    codec = default_codec()
+    with pytest.raises(CodecError):
+        codec.decode(b"\0" * 100)
+
+
+def test_every_node_of_a_real_tree_fits_its_page():
+    """Build a real R^exp-tree and serialize every page it allocated."""
+    clock = SimulationClock()
+    config = rexp_config(page_size=1024, buffer_pages=8, default_ui=10.0)
+    tree = MovingObjectTree(config, clock)
+    codec = NodeCodec(config.layout())
+    rng = random.Random(0)
+    t = 0.0
+    for oid in range(500):
+        t += 0.02
+        clock.advance_to(t)
+        tree.insert(oid, MovingPoint(
+            (rng.uniform(0, 100), rng.uniform(0, 100)),
+            (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+            t, t + rng.uniform(1, 50),
+        ))
+    for pid in tree.disk.page_ids():
+        node = tree.disk.peek(pid)
+        page = codec.encode(node, t_ref=clock.time)
+        assert len(page) == 1024
+        decoded, _ = codec.decode(page)
+        assert len(decoded) == len(node)
+        assert decoded.level == node.level

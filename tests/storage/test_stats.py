@@ -1,0 +1,54 @@
+"""Tests for I/O statistics accounting."""
+
+from repro.storage.stats import IOSnapshot, IOStats, OperationStats
+
+
+def test_snapshot_delta():
+    stats = IOStats()
+    stats.reads = 5
+    snap = stats.snapshot()
+    stats.reads += 3
+    stats.writes += 2
+    delta = stats.since(snap)
+    assert delta.reads == 3
+    assert delta.writes == 2
+    assert delta.total == 5
+
+
+def test_reset():
+    stats = IOStats(reads=4, writes=2, allocations=1, frees=1)
+    stats.reset()
+    assert stats.total == 0
+    assert stats.allocations == 0
+
+
+def test_snapshot_addition():
+    a = IOSnapshot(reads=1, writes=2)
+    b = IOSnapshot(reads=3, writes=4, allocations=5)
+    c = a + b
+    assert (c.reads, c.writes, c.allocations) == (4, 6, 5)
+
+
+def test_operation_stats_averages():
+    ops = OperationStats()
+    ops.record_search(10)
+    ops.record_search(20)
+    ops.record_update(4)
+    assert ops.avg_search_io == 15.0
+    assert ops.avg_update_io == 4.0
+
+
+def test_operation_stats_empty_averages_are_zero():
+    ops = OperationStats()
+    assert ops.avg_search_io == 0.0
+    assert ops.avg_update_io == 0.0
+    assert ops.avg_update_io_with_auxiliary == 0.0
+
+
+def test_auxiliary_io_separated():
+    """The paper excludes B-tree costs from its graphs; we track both."""
+    ops = OperationStats()
+    ops.record_update(4)
+    ops.record_auxiliary(4)
+    assert ops.avg_update_io == 4.0
+    assert ops.avg_update_io_with_auxiliary == 8.0

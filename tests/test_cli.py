@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "ExpT" in out and "*120*" in out
+    assert "NewOb" in out
+
+
+def test_layout_prints_paper_fanouts(capsys):
+    assert main(["layout", "--page-size", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "102" in out  # internal fan-out with velocities + expiry
+    assert "170" in out  # leaf fan-out
+
+
+def test_workload_summary(capsys):
+    code = main([
+        "workload", "--kind", "network", "--expt", "40",
+        "--scale", "tiny", "--population", "80", "--insertions", "800",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "insertions" in out
+    assert "800" in out
+    assert "ExpT=40" in out
+
+
+def test_workload_uniform(capsys):
+    code = main([
+        "workload", "--kind", "uniform", "--expd", "90",
+        "--population", "60", "--insertions", "400",
+    ])
+    assert code == 0
+    assert "ExpD=90" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    code = main([
+        "compare", "--expt", "40",
+        "--population", "60", "--insertions", "600",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Rexp-tree" in out and "TPR-tree" in out
+    assert "advantage" in out
+
+
+def test_figures_micro(capsys):
+    code = main([
+        "figures", "fig16",
+        "--population", "50", "--insertions", "400",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig16" in out
+    assert "Rexp-tree" in out
+
+
+def test_figures_unknown_id(capsys):
+    assert main(["figures", "fig99"]) == 2
+    assert "unknown figures" in capsys.readouterr().err
+
+
+def test_figures_all_resolves(monkeypatch):
+    """'all' expands to every known figure (checked without running)."""
+    import repro.cli as cli
+
+    seen = []
+
+    def fake(name):
+        def run(scale, seed=0):
+            seen.append(name)
+            from repro.experiments.figures import FigureResult
+            # A figure id without shape checks keeps the fake minimal.
+            fig = FigureResult(f"fake-{name}", "t", "x", "y", [1.0])
+            fig.series = {"s": [1.0]}
+            return fig
+        return run
+
+    monkeypatch.setattr(
+        cli, "ALL_FIGURES", {f"fig{i}": fake(f"fig{i}") for i in (9, 10)}
+    )
+    assert cli.main(["figures", "all"]) == 0
+    assert seen == ["fig10", "fig9"]

@@ -1,0 +1,51 @@
+"""Tests for the operation-stream model."""
+
+import pytest
+
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import TimesliceQuery
+from repro.geometry.rect import Rect
+from repro.workloads.base import (
+    DeleteOp,
+    InsertOp,
+    QueryOp,
+    UpdateOp,
+    Workload,
+)
+
+
+def p(t=0.0):
+    return MovingPoint((0.0, 0.0), (1.0, 1.0), t, t + 10.0)
+
+
+def q(t=0.0):
+    return QueryOp(t, TimesliceQuery(Rect((0.0, 0.0), (1.0, 1.0)), t))
+
+
+def test_counts():
+    w = Workload("w", [
+        InsertOp(0.0, 1, p()),
+        UpdateOp(1.0, 1, p(), p(1.0)),
+        DeleteOp(2.0, 1, p(1.0)),
+        q(3.0),
+    ])
+    assert len(w) == 4
+    assert w.insertion_count == 2  # insert + update-insert
+    assert w.query_count == 1
+
+
+def test_validate_accepts_sorted():
+    w = Workload("w", [InsertOp(0.0, 1, p()), q(1.0), q(1.0)])
+    w.validate()
+
+
+def test_validate_rejects_unsorted():
+    w = Workload("w", [q(2.0), q(1.0)])
+    with pytest.raises(ValueError):
+        w.validate()
+
+
+def test_iteration_order():
+    ops = [InsertOp(0.0, 1, p()), q(1.0)]
+    w = Workload("w", ops)
+    assert list(w) == ops

@@ -1,0 +1,77 @@
+"""Tests for expiration-time policies (Section 5.1)."""
+
+import math
+
+import pytest
+
+from repro.workloads.expiration import (
+    FixedDistance,
+    FixedPeriod,
+    NeverExpire,
+    estimate_live_fraction,
+)
+
+
+def test_fixed_period():
+    policy = FixedPeriod(120.0)
+    assert policy.expiration(10.0, speed=3.0) == 130.0
+    assert policy.expiration(10.0, speed=0.0) == 130.0
+    assert policy.mean_validity(1.5) == 120.0
+
+
+def test_fixed_distance_speed_dependence():
+    """Fast objects expire sooner (Section 5.1)."""
+    policy = FixedDistance(90.0)
+    slow = policy.expiration(0.0, speed=0.75)
+    fast = policy.expiration(0.0, speed=3.0)
+    assert slow == pytest.approx(120.0)
+    assert fast == pytest.approx(30.0)
+    assert fast < slow
+
+
+def test_fixed_distance_caps_stationary_objects():
+    policy = FixedDistance(90.0, min_speed=0.05)
+    assert policy.expiration(0.0, speed=0.0) == pytest.approx(1800.0)
+    assert math.isfinite(policy.expiration(0.0, speed=0.0))
+
+
+def test_never_expire():
+    policy = NeverExpire()
+    assert math.isinf(policy.expiration(5.0, 3.0))
+    assert math.isinf(policy.mean_validity(1.0))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        FixedPeriod(0.0)
+    with pytest.raises(ValueError):
+        FixedDistance(-1.0)
+    with pytest.raises(ValueError):
+        FixedDistance(10.0, min_speed=0.0)
+
+
+def test_live_fraction_one_when_validity_exceeds_gaps():
+    assert estimate_live_fraction(FixedPeriod(1000.0), 60.0, 1.5) == 1.0
+    assert estimate_live_fraction(NeverExpire(), 60.0, 1.5) == 1.0
+
+
+def test_live_fraction_decreases_with_shorter_validity():
+    long = estimate_live_fraction(FixedPeriod(100.0), 60.0, 1.5)
+    short = estimate_live_fraction(FixedPeriod(30.0), 60.0, 1.5)
+    assert short < long <= 1.0
+    assert short >= 0.05
+
+
+def test_live_fraction_formula():
+    """T < 2 UI: fraction = (T - T^2/(4 UI)) / UI."""
+    ui, t = 60.0, 60.0
+    expected = (t - t * t / (4 * ui)) / ui
+    assert estimate_live_fraction(
+        FixedPeriod(t), ui, 1.5
+    ) == pytest.approx(expected)
+
+
+def test_describe_labels():
+    assert FixedPeriod(120.0).describe() == "ExpT=120"
+    assert FixedDistance(90.0).describe() == "ExpD=90"
+    assert NeverExpire().describe() == "no-expiry"

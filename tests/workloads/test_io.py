@@ -1,0 +1,77 @@
+"""Tests for workload trace persistence."""
+
+import math
+
+import pytest
+
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp, Workload
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.io import load_workload, save_workload
+from repro.workloads.network import NetworkParams, generate_network_workload
+
+
+def sample_workload():
+    p1 = MovingPoint((1.0, 2.0), (0.5, -0.5), 0.0, 10.0)
+    p2 = MovingPoint((3.0, 4.0), (0.0, 1.0), 1.0, math.inf)
+    r = Rect((0.0, 0.0), (5.0, 5.0))
+    ops = [
+        InsertOp(0.0, 1, p1),
+        InsertOp(1.0, 2, p2),
+        QueryOp(1.5, TimesliceQuery(r, 2.0)),
+        UpdateOp(2.0, 1, p1, MovingPoint((2.0, 1.0), (0.0, 0.0), 2.0, 12.0)),
+        QueryOp(2.5, WindowQuery(r, 3.0, 4.0)),
+        QueryOp(3.0, MovingQuery(r, Rect((1.0, 1.0), (6.0, 6.0)), 3.0, 5.0)),
+        DeleteOp(4.0, 2, p2),
+    ]
+    return Workload("sample", ops, {"seed": 3, "kind": "manual"})
+
+
+def test_round_trip_exact(tmp_path):
+    original = sample_workload()
+    path = tmp_path / "trace.jsonl"
+    save_workload(original, path)
+    loaded = load_workload(path)
+    assert loaded.name == original.name
+    assert loaded.ops == original.ops
+    assert loaded.params["kind"] == "manual"
+
+
+def test_round_trip_generated_workload(tmp_path):
+    workload = generate_network_workload(
+        NetworkParams(target_population=40, insertions=300,
+                      update_interval=10.0, seed=5),
+        FixedPeriod(20.0),
+    )
+    path = tmp_path / "net.jsonl"
+    save_workload(workload, path)
+    loaded = load_workload(path)
+    assert loaded.ops == workload.ops
+    assert loaded.insertion_count == 300
+
+
+def test_infinite_expiration_survives(tmp_path):
+    w = sample_workload()
+    save_workload(w, tmp_path / "t.jsonl")
+    loaded = load_workload(tmp_path / "t.jsonl")
+    assert math.isinf(loaded.ops[1].point.t_exp)
+
+
+def test_rejects_non_trace_files(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"format": "something-else"}\n')
+    with pytest.raises(ValueError):
+        load_workload(bad)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        load_workload(empty)
+
+
+def test_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "v9.jsonl"
+    bad.write_text('{"format": "repro-workload", "version": 9}\n')
+    with pytest.raises(ValueError):
+        load_workload(bad)

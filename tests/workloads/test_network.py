@@ -1,0 +1,174 @@
+"""Tests for the network-based workload generator (Section 5.1)."""
+
+import math
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.workloads.base import InsertOp, QueryOp, UpdateOp
+from repro.workloads.expiration import FixedDistance, FixedPeriod
+from repro.workloads.network import (
+    NetworkParams,
+    RouteNetwork,
+    _route_reports,
+    generate_network_workload,
+    mean_reported_speed,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(
+        target_population=200, insertions=3000, update_interval=10.0, seed=7
+    )
+    defaults.update(overrides)
+    return NetworkParams(**defaults)
+
+
+def test_route_network_has_380_routes():
+    params = NetworkParams()
+    network = RouteNetwork(params, random.Random(0))
+    assert len(network.destinations) == 20
+    assert network.route_count == 380
+
+
+def test_route_reports_speed_profile():
+    """Standstill at start, vmax at cruise entry, slowing in decel."""
+    reports = list(_route_reports(0.0, (0.0, 0.0), (120.0, 0.0), 2.0, 5.0))
+    t0, pos0, vel0, speed0 = reports[0]
+    assert t0 == 0.0 and pos0 == (0.0, 0.0)
+    assert speed0 == 0.0
+    speeds = [r[3] for r in reports]
+    assert max(speeds) == pytest.approx(2.0)
+    # Positions advance monotonically along the route.
+    xs = [r[1][0] for r in reports]
+    assert xs == sorted(xs)
+    assert all(r[1][1] == 0.0 for r in reports)  # straight horizontal route
+
+
+def test_route_reports_positions_match_kinematics():
+    """Accel over L/6, cruise 2L/3, decel L/6 (the paper's profile)."""
+    length, vmax = 120.0, 2.0
+    reports = list(_route_reports(0.0, (0.0, 0.0), (length, 0.0), vmax, 1.0))
+    t_accel = length / (3.0 * vmax)
+    for t, pos, vel, speed in reports:
+        if t <= t_accel:
+            assert speed == pytest.approx(vmax * t / t_accel)
+            assert pos[0] == pytest.approx(0.5 * vmax * t * t / t_accel)
+    total = 4.0 * length / (3.0 * vmax)
+    assert max(r[0] for r in reports) <= total + 1e-9
+
+
+def test_report_velocity_is_speed_times_direction():
+    reports = list(_route_reports(0.0, (0.0, 0.0), (60.0, 80.0), 1.0, 5.0))
+    for _, _, vel, speed in reports:
+        assert math.hypot(*vel) == pytest.approx(speed, abs=1e-9)
+
+
+def test_workload_counts_and_ordering():
+    workload = generate_network_workload(small_params())
+    workload.validate()
+    assert workload.insertion_count == 3000
+    # One query per 100 insertions.
+    assert workload.query_count == pytest.approx(30, abs=1)
+
+
+def test_expiration_policy_applied():
+    workload = generate_network_workload(
+        small_params(), FixedPeriod(20.0)
+    )
+    for op in workload.ops:
+        if isinstance(op, InsertOp):
+            assert op.point.t_exp == pytest.approx(op.time + 20.0)
+        elif isinstance(op, UpdateOp):
+            assert op.new_point.t_exp == pytest.approx(op.time + 20.0)
+
+
+def test_speed_dependent_expiration():
+    workload = generate_network_workload(
+        small_params(), FixedDistance(45.0)
+    )
+    validities = []
+    for op in workload.ops:
+        if isinstance(op, UpdateOp):
+            validities.append(op.new_point.t_exp - op.time)
+    assert min(validities) < max(validities)  # speed-dependent spread
+    # The fastest group (3 km/min) expires after 45/3 = 15 minutes.
+    assert min(validities) == pytest.approx(15.0, rel=0.05)
+
+
+def test_population_inflated_for_short_expirations():
+    """Short ExpT must simulate more objects to keep the index populated."""
+    short = generate_network_workload(small_params(), FixedPeriod(5.0))
+    long = generate_network_workload(small_params(), FixedPeriod(1000.0))
+    assert short.params["population"] > long.params["population"]
+    assert long.params["population"] == 200
+
+
+def test_update_rate_approximates_ui():
+    params = small_params(
+        target_population=150, insertions=12000, update_interval=30.0
+    )
+    workload = generate_network_workload(params, FixedPeriod(10000.0))
+    duration = workload.ops[-1].time
+    per_object_rate = (
+        workload.insertion_count / workload.params["population"] / duration
+    )
+    # Mean inter-report gap within 40% of UI (reports cluster in the
+    # acceleration/deceleration stretches, so exact equality is not
+    # expected at finite horizons).
+    assert 1.0 / per_object_rate == pytest.approx(30.0, rel=0.4)
+
+
+def test_new_objects_replace_turned_off_ones():
+    base = small_params(new_object_fraction=0.0)
+    with_new = small_params(new_object_fraction=1.5)
+    w0 = generate_network_workload(base)
+    w1 = generate_network_workload(with_new)
+    first_reports_0 = sum(isinstance(op, InsertOp) for op in w0.ops)
+    first_reports_1 = sum(isinstance(op, InsertOp) for op in w1.ops)
+    assert first_reports_1 > first_reports_0
+    # Roughly NewOb * population replacements appear as extra inserts.
+    expected_extra = 1.5 * w1.params["population"]
+    assert first_reports_1 - first_reports_0 == pytest.approx(
+        expected_extra, rel=0.5
+    )
+
+
+def test_positions_stay_in_space():
+    workload = generate_network_workload(small_params())
+    for op in workload.ops:
+        if isinstance(op, InsertOp):
+            points = [op.point]
+        elif isinstance(op, UpdateOp):
+            points = [op.new_point]
+        else:
+            continue
+        for p in points:
+            assert 0.0 <= p.pos[0] <= 1000.0
+            assert 0.0 <= p.pos[1] <= 1000.0
+
+
+def test_objects_alternate_insert_then_updates():
+    workload = generate_network_workload(small_params())
+    seen = defaultdict(int)
+    for op in workload.ops:
+        if isinstance(op, InsertOp):
+            assert seen[op.oid] == 0, "second InsertOp for same object"
+            seen[op.oid] += 1
+        elif isinstance(op, UpdateOp):
+            assert seen[op.oid] == 1, "UpdateOp before InsertOp"
+
+
+def test_mean_reported_speed():
+    params = NetworkParams()
+    # 0.75 * mean(0.75, 1.5, 3) = 1.3125 km/min.
+    assert mean_reported_speed(params) == pytest.approx(1.3125)
+
+
+def test_determinism_by_seed():
+    a = generate_network_workload(small_params(seed=5))
+    b = generate_network_workload(small_params(seed=5))
+    c = generate_network_workload(small_params(seed=6))
+    assert a.ops == b.ops
+    assert a.ops != c.ops

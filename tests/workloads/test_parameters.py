@@ -1,0 +1,41 @@
+"""Tests for the Table 1 parameter grid."""
+
+import pytest
+
+from repro.workloads.parameters import (
+    PAPER_PARAMETERS,
+    parameter,
+    querying_window,
+)
+
+
+def test_table_has_four_rows():
+    assert [p.name for p in PAPER_PARAMETERS] == ["ExpT", "ExpD", "NewOb", "UI"]
+
+
+def test_values_match_the_paper():
+    assert parameter("ExpT").values == (30.0, 60.0, 120.0, 180.0, 240.0)
+    assert parameter("ExpD").values == (45.0, 90.0, 180.0, 270.0, 360.0)
+    assert parameter("NewOb").values == (0.0, 0.5, 1.0, 1.5, 2.0)
+    assert parameter("UI").values == (30.0, 60.0, 90.0, 120.0)
+
+
+def test_standard_values_are_in_the_grid():
+    for spec in PAPER_PARAMETERS:
+        assert spec.standard in spec.values
+
+
+def test_unknown_parameter_raises():
+    with pytest.raises(KeyError):
+        parameter("nope")
+
+
+def test_querying_window_default_is_half_ui():
+    assert querying_window(60.0) == 30.0
+    assert querying_window(90.0) == 45.0
+
+
+def test_querying_window_special_case_for_short_expt():
+    """Section 5.1: 'Only for workloads with ExpT = 30, W = 15 was used.'"""
+    assert querying_window(60.0, expt=30.0) == 15.0
+    assert querying_window(60.0, expt=120.0) == 30.0

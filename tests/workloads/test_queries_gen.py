@@ -1,0 +1,80 @@
+"""Tests for the query generator (Section 5.1 query mix)."""
+
+import random
+
+import pytest
+
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.workloads.queries import QueryGenerator, QueryProfile
+
+
+def make_gen(seed=0, **profile_kwargs):
+    profile = QueryProfile(**profile_kwargs)
+    return QueryGenerator(profile, random.Random(seed)), profile
+
+
+def test_query_area_fraction():
+    """Each spatial part is a square of 0.25% of the space."""
+    gen, profile = make_gen()
+    q = gen.generate(now=0.0, window=30.0)
+    rect = q.rect if not isinstance(q, MovingQuery) else q.rect1
+    assert rect.area == pytest.approx(profile.space ** 2 * 0.0025)
+    side = rect.hi[0] - rect.lo[0]
+    assert side == pytest.approx(rect.hi[1] - rect.lo[1])  # square
+
+
+def test_mix_probabilities():
+    gen, _ = make_gen()
+    tracked = [MovingPoint((500.0, 500.0), (1.0, 0.0), 0.0, 1000.0)]
+    counts = {TimesliceQuery: 0, WindowQuery: 0, MovingQuery: 0}
+    for _ in range(3000):
+        q = gen.generate(now=0.0, window=30.0, tracked=tracked)
+        counts[type(q)] += 1
+    assert counts[TimesliceQuery] == pytest.approx(1800, abs=150)
+    assert counts[WindowQuery] == pytest.approx(600, abs=120)
+    assert counts[MovingQuery] == pytest.approx(600, abs=120)
+
+
+def test_temporal_parts_within_querying_window():
+    gen, _ = make_gen()
+    for _ in range(300):
+        q = gen.generate(now=100.0, window=15.0)
+        assert 100.0 <= q.t1 <= 115.0
+        assert q.t1 <= q.t2 <= 115.0
+
+
+def test_moving_query_follows_tracked_point():
+    gen, profile = make_gen(moving_probability=1.0, timeslice_probability=0.0,
+                            window_probability=0.0)
+    target = MovingPoint((500.0, 500.0), (2.0, 0.0), 0.0, 1000.0)
+    q = gen.generate(now=0.0, window=30.0, tracked=[target])
+    assert isinstance(q, MovingQuery)
+    c1 = target.position_at(q.t1)
+    center1 = q.rect1.center
+    assert center1[0] == pytest.approx(c1[0], abs=profile.side)
+    assert center1[1] == pytest.approx(c1[1], abs=profile.side)
+
+
+def test_moving_degrades_to_window_without_tracked_points():
+    gen, _ = make_gen(moving_probability=1.0, timeslice_probability=0.0,
+                      window_probability=0.0)
+    q = gen.generate(now=0.0, window=30.0, tracked=[])
+    assert isinstance(q, WindowQuery)
+
+
+def test_queries_stay_within_space():
+    gen, profile = make_gen(moving_probability=1.0, timeslice_probability=0.0,
+                            window_probability=0.0)
+    runaway = MovingPoint((999.0, 1.0), (5.0, -5.0), 0.0, 1000.0)
+    for _ in range(50):
+        q = gen.generate(now=0.0, window=30.0, tracked=[runaway])
+        for rect in (q.rect1, q.rect2):
+            assert rect.lo[0] >= 0.0 and rect.hi[0] <= profile.space
+            assert rect.lo[1] >= 0.0 and rect.hi[1] <= profile.space
+
+
+def test_profile_probabilities_must_sum_to_one():
+    with pytest.raises(ValueError):
+        QueryProfile(timeslice_probability=0.9, window_probability=0.9,
+                     moving_probability=0.2)

@@ -1,0 +1,111 @@
+"""Tests for the shared report-stream merging machinery."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.base import InsertOp, QueryOp, UpdateOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.queries import QueryProfile
+from repro.workloads.stream import StreamParams, build_stream
+
+
+def constant_journeys(step=1.0):
+    """Objects reporting at fixed intervals from their start time."""
+
+    def factory(rng, start_time):
+        def journey():
+            t = start_time
+            x = rng.uniform(0, 1000)
+            while True:
+                yield (t, (x, 500.0), (0.0, 0.0), 1.0)
+                t += step
+        return journey()
+
+    return factory
+
+
+def build(population=10, insertions=100, **overrides):
+    params_kwargs = dict(
+        population=population,
+        insertions=insertions,
+        update_interval=1.0,
+        querying_window=0.5,
+        queries_per_insertions=10,
+        start_ramp=0.5,
+        seed=1,
+    )
+    params_kwargs.update(overrides)
+    params = StreamParams(**params_kwargs)
+    return build_stream(
+        "test", params, constant_journeys(), FixedPeriod(2.0), QueryProfile()
+    )
+
+
+def test_insertion_budget_respected():
+    w = build(insertions=100)
+    assert w.insertion_count == 100
+
+
+def test_first_report_is_insert_then_updates():
+    w = build(population=5, insertions=50)
+    first_seen = set()
+    for op in w.ops:
+        if isinstance(op, InsertOp):
+            assert op.oid not in first_seen
+            first_seen.add(op.oid)
+        elif isinstance(op, UpdateOp):
+            assert op.oid in first_seen
+
+
+def test_updates_carry_previous_report():
+    w = build(population=3, insertions=30)
+    last = {}
+    for op in w.ops:
+        if isinstance(op, InsertOp):
+            last[op.oid] = op.point
+        elif isinstance(op, UpdateOp):
+            assert op.old_point == last[op.oid]
+            last[op.oid] = op.new_point
+
+
+def test_queries_interleaved_at_requested_rate():
+    w = build(insertions=100)
+    assert w.query_count == 10
+
+
+def test_operations_time_ordered():
+    w = build(insertions=200, population=7)
+    w.validate()
+
+
+def test_turned_off_objects_are_replaced():
+    w = build(population=10, insertions=300, new_object_fraction=1.0)
+    inserts = sum(isinstance(op, InsertOp) for op in w.ops)
+    # 10 initial objects + ~10 replacements.
+    assert inserts == pytest.approx(20, abs=4)
+    assert w.insertion_count == 300
+
+
+def test_expiration_policy_applied_to_every_report():
+    w = build(insertions=50)
+    for op in w.ops:
+        if isinstance(op, InsertOp):
+            assert op.point.t_exp == pytest.approx(op.time + 2.0)
+        elif isinstance(op, UpdateOp):
+            assert op.new_point.t_exp == pytest.approx(op.time + 2.0)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        StreamParams(population=0, insertions=1, update_interval=1.0,
+                     querying_window=1.0)
+    with pytest.raises(ValueError):
+        StreamParams(population=1, insertions=0, update_interval=1.0,
+                     querying_window=1.0)
+    with pytest.raises(ValueError):
+        StreamParams(population=1, insertions=1, update_interval=0.0,
+                     querying_window=1.0)
+    with pytest.raises(ValueError):
+        StreamParams(population=1, insertions=1, update_interval=1.0,
+                     querying_window=1.0, new_object_fraction=-1.0)

@@ -1,0 +1,91 @@
+"""Tests for the uniform workload generator (Section 5.1)."""
+
+import math
+
+import pytest
+
+from repro.workloads.base import InsertOp, UpdateOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import (
+    UniformParams,
+    _bounce,
+    generate_uniform_workload,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(
+        target_population=150, insertions=3000, update_interval=10.0, seed=3
+    )
+    defaults.update(overrides)
+    return UniformParams(**defaults)
+
+
+def test_counts_and_ordering():
+    workload = generate_uniform_workload(small_params())
+    workload.validate()
+    assert workload.insertion_count == 3000
+    assert workload.query_count >= 29
+
+
+def test_speeds_bounded():
+    workload = generate_uniform_workload(small_params(max_speed=3.0))
+    for op in workload.ops:
+        if isinstance(op, InsertOp):
+            p = op.point
+        elif isinstance(op, UpdateOp):
+            p = op.new_point
+        else:
+            continue
+        assert math.hypot(*p.vel) <= 3.0 + 1e-9
+
+
+def test_positions_inside_space():
+    workload = generate_uniform_workload(small_params())
+    for op in workload.ops:
+        if isinstance(op, (InsertOp, UpdateOp)):
+            p = op.point if isinstance(op, InsertOp) else op.new_point
+            assert 0.0 <= p.pos[0] <= 1000.0
+            assert 0.0 <= p.pos[1] <= 1000.0
+
+
+def test_update_gaps_bounded_by_two_ui():
+    """Successive update gaps are uniform on (0, 2*UI]."""
+    workload = generate_uniform_workload(small_params(update_interval=10.0))
+    last_report = {}
+    gaps = []
+    for op in workload.ops:
+        if isinstance(op, InsertOp):
+            last_report[op.oid] = op.time
+        elif isinstance(op, UpdateOp):
+            gaps.append(op.time - last_report[op.oid])
+            last_report[op.oid] = op.time
+    assert gaps
+    assert max(gaps) <= 20.0 + 1e-6
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(10.0, rel=0.2)
+
+
+def test_bounce_reflects_into_space():
+    assert _bounce(-5.0, 100.0)[0] == 5.0
+    assert _bounce(105.0, 100.0)[0] == 95.0
+    assert _bounce(50.0, 100.0)[0] == 50.0
+
+
+def test_positions_are_continuous_across_updates():
+    """The reported new position equals the old prediction at update time."""
+    workload = generate_uniform_workload(small_params())
+    for op in workload.ops:
+        if not isinstance(op, UpdateOp):
+            continue
+        predicted = op.old_point.position_at(op.time)
+        # Unless a boundary bounce occurred, positions agree.
+        for got, want in zip(op.new_point.pos, predicted):
+            if 0.0 <= want <= 1000.0:
+                assert got == pytest.approx(want, abs=1e-6)
+
+
+def test_determinism_by_seed():
+    a = generate_uniform_workload(small_params(seed=9))
+    b = generate_uniform_workload(small_params(seed=9))
+    assert a.ops == b.ops
