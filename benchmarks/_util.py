@@ -3,10 +3,42 @@
 from __future__ import annotations
 
 import contextlib
+from typing import List, Tuple
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.plotting import ascii_chart
 from repro.experiments.report import print_figure, shape_checks
+from repro.geometry.kinematics import MovingPoint
+from repro.workloads.base import InsertOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+
+def initial_population(
+    count: int, seed: int = 0, expt: float = 120.0
+) -> List[Tuple[int, MovingPoint]]:
+    """Each object's first report from a uniform workload.
+
+    The same points an experiment's ramp would insert, so insert-built
+    and bulk-loaded trees are compared on identical data.  Unlike
+    :func:`repro.experiments.runner.split_initial_population` this scans
+    the whole stream — it feeds *build* benchmarks, not a replay.
+    """
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=count, insertions=2 * count, seed=seed
+        ),
+        FixedPeriod(expt),
+    )
+    initial: List[Tuple[int, MovingPoint]] = []
+    seen = set()
+    for op in workload.ops:
+        if isinstance(op, InsertOp) and op.oid not in seen:
+            seen.add(op.oid)
+            initial.append((op.oid, op.point))
+            if len(initial) == count:
+                break
+    return initial
 
 
 def run_figure(benchmark, figure_fn, scale, capsys=None) -> FigureResult:

@@ -7,6 +7,7 @@
     python -m repro table1                   # workload parameter grid
     python -m repro workload --expt 120      # generate + summarize
     python -m repro compare                  # quick R^exp vs TPR duel
+    python -m repro bulkload --scale small   # STR packing vs insertion
     python -m repro layout --page-size 4096  # node fan-outs
 
 Figure sweeps honour the same cache as the benchmarks.
@@ -188,6 +189,76 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bulkload(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from .core.clock import SimulationClock
+    from .core.tree import MovingObjectTree
+    from .experiments.runner import split_initial_population
+    from .geometry.queries import TimesliceQuery
+    from .geometry.rect import Rect
+
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=args.ui,
+            seed=args.seed,
+        ),
+        policy,
+    )
+    initial, _ = split_initial_population(workload)
+    if not initial:
+        print("workload produced no initial population", file=sys.stderr)
+        return 2
+    t_end = max(point.t_ref for _, point in initial)
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    print(f"population: {len(initial)} first reports "
+          f"(uniform workload, scale {scale.name}, seed {args.seed})")
+
+    def build(bulk: bool):
+        clock = SimulationClock()
+        tree = MovingObjectTree(rexp_config(**sizing), clock)
+        start = time.perf_counter()
+        if bulk:
+            clock.advance_to(initial[0][1].t_ref)
+            tree.bulk_load([(point, oid) for oid, point in initial])
+        else:
+            for oid, point in initial:
+                clock.advance_to(point.t_ref)
+                tree.insert(oid, point)
+        wall = time.perf_counter() - start
+        clock.advance_to(t_end)
+        return tree, wall
+
+    print(f"{'build':<14}{'wall (s)':>10}{'writes':>9}{'pages':>7}{'height':>7}")
+    rows = []
+    for label, bulk in (("insert-built", False), ("bulk-loaded", True)):
+        tree, wall = build(bulk)
+        rows.append((tree, wall))
+        print(f"{label:<14}{wall:>10.3f}{tree.stats.writes:>9}"
+              f"{tree.page_count:>7}{tree.height:>7}")
+    (inserted, t_ins), (bulked, t_blk) = rows
+    if t_blk > 0.0:
+        print(f"build speedup: {t_ins / t_blk:.1f}x")
+    rng = random.Random(args.seed + 1)
+    mismatches = 0
+    for _ in range(args.queries):
+        x, y = rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)
+        query = TimesliceQuery(
+            Rect((x, y), (x + 100.0, y + 100.0)),
+            t_end + rng.uniform(0.0, 30.0),
+        )
+        if sorted(inserted.query(query)) != sorted(bulked.query(query)):
+            mismatches += 1
+    status = "identical" if mismatches == 0 else f"{mismatches} MISMATCHED"
+    print(f"query check: {args.queries} timeslice queries, {status} answers")
+    return 1 if mismatches else 0
+
+
 def cmd_layout(args: argparse.Namespace) -> int:
     print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
     combos = [
@@ -247,6 +318,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expd", type=float, default=None)
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "bulkload",
+        help="STR bulk loading vs repeated insertion on one population",
+    )
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--queries", type=int, default=20,
+                   help="timeslice queries compared across both trees")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_bulkload)
 
     p = sub.add_parser("layout", help="node fan-outs for a page size")
     p.add_argument("--page-size", type=int, default=4096)

@@ -1,0 +1,157 @@
+"""STR bulk loading of the moving-object tree (Sort-Tile-Recurse).
+
+Building a tree of n objects by repeated insertion runs the full
+insertion machinery n times — ChooseSubtree descents, time-integral
+scoring, splits and forced reinserts.  For the *initial* population of
+an experiment none of that pays off: the whole data set is known up
+front.  This module packs it directly.
+
+The packing is the classic Sort-Tile-Recursive algorithm (Leutenegger,
+Lopez and Edgington) adapted to moving points:
+
+* the per-dimension sort key is the position *projected to the
+  insertion horizon* ``now + H`` — objects travelling together end up
+  in the same leaf, which keeps the time-parameterized bounding
+  rectangles tight over the whole horizon, not only at load time
+  (velocity-aware);
+* ties break on expiration time, so entries that expire together are
+  co-located and lazy purging drains whole leaves at once
+  (expiration-aware).
+
+Upper levels are built by re-tiling the freshly bounded child
+rectangles (by their horizon-projected centers) until a single node
+remains, which becomes the root.  Bounds are computed by the tree's
+configured algorithm, so a bulk-loaded tree satisfies exactly the same
+bounding invariants as an insert-built one — only the partitioning
+differs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.tpbr import TPBR
+from ..rstar.node import Node
+
+#: Per-item sort key: one coordinate per dimension, then the expiration
+#: time as tie-break.
+SortKey = Tuple[float, ...]
+
+
+def leaf_key(point: MovingPoint, t_target: float) -> SortKey:
+    """Velocity- and expiration-aware sort key of a leaf entry."""
+    return tuple(point.position_at(t_target)) + (point.t_exp,)
+
+
+def branch_key(br: TPBR, t_target: float) -> SortKey:
+    """Sort key of an internal entry: the projected bound center."""
+    return tuple(br.center_at(t_target)) + (br.t_exp,)
+
+
+def _tile(
+    indices: Iterable[int],
+    keys: Sequence[SortKey],
+    dim: int,
+    dims: int,
+    capacity: int,
+    out: List[List[int]],
+) -> None:
+    order = sorted(indices, key=lambda i: (keys[i][dim], keys[i][-1], i))
+    if dim == dims - 1:
+        out.extend(
+            order[s : s + capacity] for s in range(0, len(order), capacity)
+        )
+        return
+    pages = math.ceil(len(order) / capacity)
+    slabs = max(1, math.ceil(pages ** (1.0 / (dims - dim))))
+    slab_size = math.ceil(len(order) / slabs)
+    for s in range(0, len(order), slab_size):
+        _tile(order[s : s + slab_size], keys, dim + 1, dims, capacity, out)
+
+
+def str_runs(
+    items: Sequence,
+    keys: Sequence[SortKey],
+    capacity: int,
+    min_entries: int,
+) -> List[List]:
+    """Partition ``items`` into sibling runs of at most ``capacity``.
+
+    ``ceil(n / capacity)`` pages are tiled into ``ceil(P**(1/d))`` slabs
+    per dimension; within the last dimension items are chunked into full
+    runs.  A rebalancing pass then tops up runs that fall below
+    ``min_entries`` from their left neighbour (merging the two when both
+    are small), so every non-root node satisfies the fill invariant.
+    """
+    if not items:
+        return []
+    runs_idx: List[List[int]] = []
+    _tile(
+        range(len(items)), keys, 0, len(keys[0]) - 1, capacity, runs_idx
+    )
+    runs = [[items[i] for i in run] for run in runs_idx]
+    # Stealing never leaves the donor short and merging removes a run,
+    # so the pass monotonically reduces (runs, deficits) and converges.
+    changed = True
+    while changed:
+        runs = [run for run in runs if run]
+        changed = False
+        for j in range(1, len(runs)):
+            short = min_entries - len(runs[j])
+            if short <= 0:
+                continue
+            prev = runs[j - 1]
+            take = min(short, max(0, len(prev) - min_entries))
+            if take:
+                runs[j] = prev[-take:] + runs[j]
+                runs[j - 1] = prev[:-take]
+                changed = True
+            if (
+                len(runs[j]) < min_entries
+                and len(runs[j - 1]) + len(runs[j]) <= capacity
+            ):
+                runs[j - 1] = runs[j - 1] + runs[j]
+                runs[j] = []
+                changed = True
+    return runs
+
+
+def bulk_load_tree(tree, entries: Sequence[Tuple[MovingPoint, int]]) -> None:
+    """Pack prepared leaf entries into ``tree`` (validated to be empty).
+
+    Every page is written exactly once and nothing is read back: bounds
+    are computed from the in-memory nodes while they are packed.  The
+    single top node is installed in the tree's pinned root page.
+    """
+    t_target = tree.now + tree.horizon.insertion_horizon()
+    min_fill = tree.config.min_fill
+    keys = [leaf_key(point, t_target) for point, _ in entries]
+    runs = str_runs(
+        list(entries),
+        keys,
+        tree.leaf_capacity,
+        max(2, int(tree.leaf_capacity * min_fill)),
+    )
+    nodes = [Node(0, run) for run in runs]
+    level = 0
+    while len(nodes) > 1:
+        pids = tree.disk.allocate_many(len(nodes))
+        children: List[Tuple[TPBR, int]] = []
+        for pid, node in zip(pids, nodes):
+            tree.buffer.put_new(pid, node)
+            tree.horizon.node_count_changed(node.level, +1)
+            children.append((tree._bound_node(node), pid))
+        level += 1
+        keys = [branch_key(br, t_target) for br, _ in children]
+        runs = str_runs(
+            children,
+            keys,
+            tree.internal_capacity,
+            max(2, int(tree.internal_capacity * min_fill)),
+        )
+        nodes = [Node(level, run) for run in runs]
+    tree._set_root(nodes[0])
+    tree.horizon.leaf_entries_changed(len(entries))
+    tree.buffer.flush_all()

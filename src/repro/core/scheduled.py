@@ -17,7 +17,7 @@ from typing import List, Optional
 from ..btree.bptree import BPlusTree
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
-from .tree import MovingObjectTree
+from .tree import LeafEntry, MovingObjectTree
 
 
 class ScheduledDeletionIndex:
@@ -54,6 +54,13 @@ class ScheduledDeletionIndex:
         self.tree.insert(oid, point)
         if math.isfinite(point.t_exp):
             self.queue.insert((point.t_exp, oid), point)
+
+    def bulk_load(self, entries: List[LeafEntry]) -> None:
+        """Bulk-load the tree and schedule a deletion per finite report."""
+        self.tree.bulk_load(entries)
+        for point, oid in entries:
+            if math.isfinite(point.t_exp):
+                self.queue.insert((point.t_exp, oid), point)
 
     def delete(self, oid: int, point: MovingPoint) -> bool:
         removed = self.tree.delete(oid, point)

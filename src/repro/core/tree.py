@@ -23,7 +23,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..geometry.bounding import compute_tpbr
-from ..geometry.intersection import region_intersects_tpbr, region_matches_point
+from ..geometry.kernels import (
+    batch_region_intersects,
+    batch_region_matches,
+    pack_points,
+    pack_tpbrs,
+)
 from ..geometry.kinematics import NEVER, MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
 from ..geometry.tpbr import TPBR
@@ -33,6 +38,7 @@ from ..rstar.node import Node
 from ..storage.buffer import BufferPool
 from ..storage.disk import DiskManager, PageId
 from ..storage.stats import IOStats
+from .bulkload import bulk_load_tree
 from .clock import SimulationClock
 from .config import TreeConfig
 from .horizon import HorizonTracker
@@ -133,6 +139,33 @@ class MovingObjectTree:
         self.horizon.record_insertion()
         self.buffer.flush_all()
 
+    def bulk_load(self, entries: Sequence[LeafEntry]) -> None:
+        """Build the tree from a known data set by STR packing.
+
+        Far cheaper than repeated :meth:`insert` for the initial
+        population of an experiment: every page is written exactly once
+        and no ChooseSubtree/split/reinsert work is done.  See
+        :mod:`repro.core.bulkload` for the packing algorithm.  The tree
+        must be empty; the update-interval estimate is left untouched
+        (bulk population is not an update stream).
+        """
+        root = self._load(self.root_pid)
+        if root.entries or not root.is_leaf:
+            raise ValueError("bulk_load requires an empty tree")
+        prepared: List[LeafEntry] = []
+        for point, oid in entries:
+            if point.dims != self.config.dims:
+                raise ValueError(
+                    f"expected {self.config.dims}-d point, got {point.dims}-d"
+                )
+            if not self.config.store_leaf_expiration and point.t_exp != NEVER:
+                point = MovingPoint(point.pos, point.vel, point.t_ref, NEVER)
+            prepared.append((point, oid))
+        if not prepared:
+            self.buffer.flush_all()
+            return
+        bulk_load_tree(self, prepared)
+
     def delete(self, oid: int, point: MovingPoint) -> bool:
         """Remove an object's entry, locating it via its last report.
 
@@ -181,14 +214,24 @@ class MovingObjectTree:
         stack = [self.root_pid]
         while stack:
             node = self._load(stack.pop())
+            # The packed struct-of-arrays form is query-independent, so
+            # it is cached on the node; _touch drops it on mutation.
             if node.is_leaf:
-                for point, oid in node.entries:
-                    if region_matches_point(region, point):
-                        results.append(oid)
+                points = [point for point, _ in node.entries]
+                if node.soa is None:
+                    node.soa = pack_points(points)
+                hits = batch_region_matches(region, points, node.soa)
+                results.extend(
+                    oid for (_, oid), hit in zip(node.entries, hits) if hit
+                )
             else:
-                for br, child_pid in node.entries:
-                    if region_intersects_tpbr(region, br):
-                        stack.append(child_pid)
+                brs = [br for br, _ in node.entries]
+                if node.soa is None:
+                    node.soa = pack_tpbrs(brs)
+                hits = batch_region_intersects(region, brs, node.soa)
+                stack.extend(
+                    pid for (_, pid), hit in zip(node.entries, hits) if hit
+                )
         self.buffer.flush_all()
         return results
 
@@ -264,6 +307,7 @@ class MovingObjectTree:
         return self.buffer.get(pid)
 
     def _touch(self, pid: PageId, node: Node) -> None:
+        node.soa = None  # entries changed; drop the packed-query cache
         self.buffer.mark_dirty(pid, node)
 
     def _set_root(self, new_root: Node) -> None:

@@ -10,7 +10,7 @@ exclude it; we report both).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.clock import SimulationClock
 from ..core.config import TreeConfig
@@ -49,6 +49,20 @@ class IndexAdapter(ABC):
         existed = self.delete(oid, old)
         self.insert(oid, new)
         return existed
+
+    def bulk_load(self, items: Sequence[Tuple[int, MovingPoint]]) -> None:
+        """Load an initial population, charging its I/O as setup.
+
+        The default falls back to repeated insertion (still charged as
+        setup, not updates); tree-backed adapters override it with STR
+        packing.
+        """
+        stats = self.op_stats
+        update_io, update_ops = stats.update_io, stats.update_ops
+        for oid, point in items:
+            self.insert(oid, point)
+        stats.record_setup(stats.update_io - update_io)
+        stats.update_io, stats.update_ops = update_io, update_ops
 
     @property
     @abstractmethod
@@ -100,6 +114,11 @@ class TreeAdapter(IndexAdapter):
         result = self.tree.query(query)
         self.op_stats.record_search(self.tree.stats.since(before).total)
         return result
+
+    def bulk_load(self, items) -> None:
+        before = self.tree.stats.snapshot()
+        self.tree.bulk_load([(point, oid) for oid, point in items])
+        self.op_stats.record_setup(self.tree.stats.since(before).total)
 
     @property
     def page_count(self) -> int:
@@ -172,6 +191,15 @@ class ScheduledAdapter(IndexAdapter):
         result = self.index.query(query)
         self.op_stats.record_search(self.tree.stats.since(before).total)
         return result
+
+    def bulk_load(self, items) -> None:
+        tree_before = self.tree.stats.snapshot()
+        queue_before = self.index.queue.stats.snapshot()
+        self.index.bulk_load([(point, oid) for oid, point in items])
+        self.op_stats.record_setup(self.tree.stats.since(tree_before).total)
+        self.op_stats.record_auxiliary(
+            self.index.queue.stats.since(queue_before).total
+        )
 
     @property
     def page_count(self) -> int:

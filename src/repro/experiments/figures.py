@@ -171,16 +171,23 @@ def _run_series(
     adapters: Dict[str, AdapterFactory],
     scale: Scale,
     metric: Callable[[RunResult], float],
+    prepopulate: bool = False,
 ) -> FigureResult:
     for label, factory in adapters.items():
         values: List[float] = []
         runs: List[RunResult] = []
         for workload in workloads:
             signature = {"name": workload.name, **workload.params}
+            if prepopulate:
+                # Bulk-loaded runs measure a different update stream;
+                # never share cache entries with replayed ones.
+                signature["setup"] = "bulkload"
             key = run_key(label, signature, scale.name)
             result = load_result(key)
             if result is None:
-                result = run_workload(factory(), workload)
+                result = run_workload(
+                    factory(), workload, prepopulate=prepopulate
+                )
                 store_result(key, result)
             values.append(metric(result))
             runs.append(result)

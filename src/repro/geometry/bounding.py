@@ -382,7 +382,13 @@ def optimal_tpbr(
         if value < best_value:
             best_value = value
             best = list(combo) + [last]
-    assert best is not None
+    if best is None:
+        # Degenerate (near-zero) expiration times can make every
+        # candidate's volume integral non-finite — the bridge slopes
+        # blow up and the coefficient products overflow to NaN, so no
+        # candidate ever compares below ``best_value``.  The
+        # near-optimal bound is well defined on the same input.
+        return near_optimal_tpbr(items, t_ref, horizon)
     return _assemble(best, t_ref, t_exp)
 
 

@@ -29,10 +29,19 @@ def _poly_mul_linear(poly: Poly, c0: float, c1: float) -> Poly:
 
 
 def _poly_definite_integral(poly: Poly, a: float, b: float) -> float:
-    """Integral of the polynomial over [a, b]."""
+    """Integral of the polynomial over [a, b].
+
+    Powers are built by repeated multiplication rather than ``pow`` so
+    the batched kernels (:mod:`repro.geometry.kernels`) can reproduce
+    the exact same floating-point results elementwise — vectorized
+    ``pow`` implementations are not bit-compatible with libm's.
+    """
     total = 0.0
+    pa, pb = a, b
     for k, c in enumerate(poly):
-        total += c * (b ** (k + 1) - a ** (k + 1)) / (k + 1)
+        total += c * (pb - pa) / (k + 1)
+        pa *= a
+        pb *= b
     return total
 
 

@@ -47,9 +47,12 @@ def feasible_window(
         return None
     for offset, slope in constraints:
         # Constraints are enforced with EPS slack so that touching
-        # configurations count as intersecting.
+        # configurations count as intersecting.  Slopes below EPS are
+        # treated as constant: dividing by a near-zero slope produces
+        # huge, numerically meaningless roots that can clip the window
+        # in either direction depending on rounding.
         slack = offset + EPS
-        if slope == 0.0:
+        if abs(slope) < EPS:
             if slack < 0.0:
                 return None
             continue

@@ -1,0 +1,420 @@
+"""Batched geometry kernels over struct-of-arrays inputs.
+
+The scalar routines in :mod:`repro.geometry.bounding`,
+:mod:`repro.geometry.intersection` and :mod:`repro.geometry.integrals`
+are called once per entry on the tree's hot paths (query filtering,
+split/reinsert scoring).  This module provides batched equivalents that
+evaluate a whole node's entries in one call.
+
+Two execution paths, one contract:
+
+* when numpy is importable, inputs are packed into struct-of-arrays
+  float64 arrays and evaluated with vectorized elementwise arithmetic;
+* otherwise (numpy stays an *optional* dependency) the batch functions
+  fall back to looping the scalar routines.
+
+Both paths produce **identical** results.  This is not an accident of
+"close enough" floating point: the vectorized code replicates the exact
+operation order of the scalar code, restricted to IEEE-754 operations
+that numpy evaluates identically to CPython (+, -, *, /, min, max and
+comparisons).  Notably, powers are never computed with ``**`` — SIMD
+``pow`` is not bit-compatible with libm's — which is why the scalar
+integrals build powers by repeated multiplication.  Property tests in
+``tests/geometry/test_kernels.py`` enforce the equivalence on random
+inputs with and without numpy.
+
+Kernels that cannot be vectorized profitably (hull-based TPBR kinds,
+overlap integrals with data-dependent breakpoint sets) simply loop the
+scalar code; callers get one uniform batch API either way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .bounding import BoundingKind, compute_tpbr
+from .integrals import (
+    area_integral,
+    center_distance_sq_integral,
+    margin_integral,
+    overlap_integral,
+)
+from .intersection import EPS, region_intersects_tpbr, region_matches_point
+from .kinematics import MovingPoint
+from .queries import QueryRegion
+from .tpbr import TPBR, Boundable
+
+try:  # pragma: no cover - exercised via monkeypatch in tests
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Below this many items the scalar loop wins on packing overhead.
+_MIN_BATCH = 4
+
+#: Per-item integration window (lower, upper bound).
+Window = Tuple[float, float]
+
+
+def numpy_enabled() -> bool:
+    """True when the vectorized paths are active."""
+    return np is not None
+
+
+# ---------------------------------------------------------------------------
+# Intersection kernels
+# ---------------------------------------------------------------------------
+
+
+def _query_lines(region: QueryRegion):
+    """Query bound lines as offset/slope arrays (offset + slope * t)."""
+    t1 = region.t1
+    q_lo = np.array(
+        [region.lo[d] - region.vlo[d] * t1 for d in range(region.dims)]
+    )
+    q_hi = np.array(
+        [region.hi[d] - region.vhi[d] * t1 for d in range(region.dims)]
+    )
+    q_vlo = np.array(region.vlo, dtype=np.float64)
+    q_vhi = np.array(region.vhi, dtype=np.float64)
+    return q_lo, q_hi, q_vlo, q_vhi
+
+
+def _batch_feasible(region, s_lo_off, s_lo_vel, s_hi_off, s_hi_vel, t_exp):
+    """Vectorized :func:`repro.geometry.intersection.feasible_window`.
+
+    Mirrors the scalar routine: constraints with |slope| < EPS act as
+    constants, the window start is the max of positive-slope roots and
+    ``t1``, the end the min of negative-slope roots and the expiration-
+    clipped ``t2``.  Max/min are exact, so sequential clipping and one
+    global reduction agree bitwise.
+    """
+    q_lo, q_hi, q_vlo, q_vhi = _query_lines(region)
+    # 1-d overlap per dimension: s_hi >= q_lo and q_hi >= s_lo.
+    offsets = np.concatenate([s_hi_off - q_lo, q_hi - s_lo_off], axis=1)
+    slopes = np.concatenate([s_hi_vel - q_vlo, q_vhi - s_lo_vel], axis=1)
+    slack = offsets + EPS
+    const = np.abs(slopes) < EPS
+    violated = np.any(const & (slack < 0.0), axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        roots = -slack / np.where(const, 1.0, slopes)
+    starts = np.where(~const & (slopes > 0.0), roots, -np.inf)
+    ends = np.where(~const & (slopes < 0.0), roots, np.inf)
+    t_end = np.minimum(region.t2, t_exp)
+    a = np.maximum(region.t1, starts.max(axis=1))
+    b = np.minimum(t_end, ends.min(axis=1))
+    ok = (t_end >= region.t1) & ~violated & (b >= a)
+    return [bool(v) for v in ok]
+
+
+def pack_points(points: Sequence[MovingPoint]):
+    """Precompute the struct-of-arrays form consumed by
+    :func:`batch_region_matches`, or ``None`` when the scalar loop would
+    run anyway.  The pack is query-independent, so callers evaluating
+    many queries against the same point set (the tree caches one per
+    node) pay the array extraction once instead of per query.
+    """
+    if np is None or len(points) < _MIN_BATCH:
+        return None
+    pos = np.array([p.pos for p in points], dtype=np.float64)
+    vel = np.array([p.vel for p in points], dtype=np.float64)
+    t_ref = np.array([p.t_ref for p in points], dtype=np.float64)
+    t_exp = np.array([p.t_exp for p in points], dtype=np.float64)
+    base = pos - vel * t_ref[:, None]
+    return (base, vel, base, vel, t_exp)
+
+
+def pack_tpbrs(brs: Sequence[TPBR]):
+    """Precompute the struct-of-arrays form consumed by
+    :func:`batch_region_intersects` (``None`` → use the scalar loop)."""
+    if np is None or len(brs) < _MIN_BATCH:
+        return None
+    lo, hi, vlo, vhi, t_ref, t_exp = _tpbr_soa(brs)
+    s_lo = lo - vlo * t_ref[:, None]
+    s_hi = hi - vhi * t_ref[:, None]
+    return (s_lo, vlo, s_hi, vhi, t_exp)
+
+
+def batch_region_matches(
+    region: QueryRegion, points: Sequence[MovingPoint], packed=None
+) -> List[bool]:
+    """``[region_matches_point(region, p) for p in points]``, batched.
+
+    ``packed`` — a cached :func:`pack_points` result for the same
+    ``points`` — skips re-extraction; it is ignored when numpy is
+    unbound so a cache populated earlier can never force the
+    vectorized path.
+    """
+    if np is None:
+        return [region_matches_point(region, p) for p in points]
+    if packed is None:
+        packed = pack_points(points)
+    if packed is None:
+        return [region_matches_point(region, p) for p in points]
+    return _batch_feasible(region, *packed)
+
+
+def batch_region_intersects(
+    region: QueryRegion, brs: Sequence[TPBR], packed=None
+) -> List[bool]:
+    """``[region_intersects_tpbr(region, br) for br in brs]``, batched.
+
+    ``packed`` — a cached :func:`pack_tpbrs` result for the same
+    ``brs`` — skips re-extraction, as in :func:`batch_region_matches`.
+    """
+    if np is None:
+        return [region_intersects_tpbr(region, br) for br in brs]
+    if packed is None:
+        packed = pack_tpbrs(brs)
+    if packed is None:
+        return [region_intersects_tpbr(region, br) for br in brs]
+    return _batch_feasible(region, *packed)
+
+
+# ---------------------------------------------------------------------------
+# Bounding kernel
+# ---------------------------------------------------------------------------
+
+
+def batch_compute_tpbr(
+    groups: Sequence[Sequence[Boundable]],
+    t_ref: float,
+    kind: BoundingKind = BoundingKind.NEAR_OPTIMAL,
+    horizon: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> List[TPBR]:
+    """One TPBR per group, as if by :func:`compute_tpbr` on each.
+
+    Only the conservative kind vectorizes: its bounds are pure min/max
+    reductions over member endpoints.  The hull-based kinds (and the
+    expiration-endpoint collection of static/update-minimum) are
+    inherently sequential per group and loop the scalar code — which
+    also keeps the near-optimal kind's rng consumption order identical
+    to per-group scalar calls.
+    """
+    vectorize = (
+        np is not None
+        and kind is BoundingKind.CONSERVATIVE
+        and groups
+        and all(groups)
+        and sum(len(g) for g in groups) >= _MIN_BATCH
+    )
+    if not vectorize:
+        return [
+            compute_tpbr(list(g), t_ref, kind, horizon=horizon, rng=rng)
+            for g in groups
+        ]
+    items = [item for g in groups for item in g]
+    dims = items[0].dims
+    if any(item.dims != dims for item in items):
+        # Let the scalar path raise its usual dimensionality error.
+        return [
+            compute_tpbr(list(g), t_ref, kind, horizon=horizon, rng=rng)
+            for g in groups
+        ]
+    n = len(items)
+    lo = np.empty((n, dims))
+    hi = np.empty((n, dims))
+    vlo = np.empty((n, dims))
+    vhi = np.empty((n, dims))
+    item_ref = np.empty(n)
+    item_exp = np.empty(n)
+    for i, item in enumerate(items):
+        if isinstance(item, MovingPoint):
+            lo[i] = item.pos
+            hi[i] = item.pos
+            vlo[i] = item.vel
+            vhi[i] = item.vel
+        else:
+            lo[i] = item.lo
+            hi[i] = item.hi
+            vlo[i] = item.vlo
+            vhi[i] = item.vhi
+        item_ref[i] = item.t_ref
+        item_exp[i] = item.t_exp
+    dt = t_ref - item_ref
+    lo_ref = lo + vlo * dt[:, None]
+    hi_ref = hi + vhi * dt[:, None]
+    offsets = [0]
+    for g in groups[:-1]:
+        offsets.append(offsets[-1] + len(g))
+    starts = np.array(offsets, dtype=np.intp)
+    x_min = np.minimum.reduceat(lo_ref, starts, axis=0)
+    x_max = np.maximum.reduceat(hi_ref, starts, axis=0)
+    v_min = np.minimum.reduceat(vlo, starts, axis=0)
+    v_max = np.maximum.reduceat(vhi, starts, axis=0)
+    g_exp = np.maximum.reduceat(item_exp, starts)
+    # Same round trip as the scalar line assembly, so the results agree
+    # bitwise even though the terms "should" cancel.
+    low = (x_min - v_min * t_ref) + v_min * t_ref
+    high = (x_max - v_max * t_ref) + v_max * t_ref
+    crossed = high < low
+    if crossed.any():
+        mid = (low + high) / 2.0
+        low = np.where(crossed, mid, low)
+        high = np.where(crossed, mid, high)
+    return [
+        TPBR(
+            tuple(float(v) for v in low[g]),
+            tuple(float(v) for v in high[g]),
+            tuple(float(v) for v in v_min[g]),
+            tuple(float(v) for v in v_max[g]),
+            t_ref,
+            float(g_exp[g]),
+        )
+        for g in range(len(groups))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Integral kernels
+# ---------------------------------------------------------------------------
+
+
+def _tpbr_soa(brs: Sequence[TPBR]):
+    lo = np.array([b.lo for b in brs], dtype=np.float64)
+    hi = np.array([b.hi for b in brs], dtype=np.float64)
+    vlo = np.array([b.vlo for b in brs], dtype=np.float64)
+    vhi = np.array([b.vhi for b in brs], dtype=np.float64)
+    t_ref = np.array([b.t_ref for b in brs], dtype=np.float64)
+    t_exp = np.array([b.t_exp for b in brs], dtype=np.float64)
+    return lo, hi, vlo, vhi, t_ref, t_exp
+
+
+def _windows_soa(windows: Sequence[Window]):
+    a = np.array([w[0] for w in windows], dtype=np.float64)
+    b = np.array([w[1] for w in windows], dtype=np.float64)
+    return a, b
+
+
+def batch_area_integral(
+    brs: Sequence[TPBR], windows: Sequence[Window]
+) -> List[float]:
+    """``[area_integral(br, a, b) ...]`` for per-item windows, batched."""
+    if np is None or len(brs) < _MIN_BATCH:
+        return [area_integral(br, a, b) for br, (a, b) in zip(brs, windows)]
+    lo, hi, vlo, vhi, t_ref, _ = _tpbr_soa(brs)
+    a, b = _windows_soa(windows)
+    with np.errstate(all="ignore"):
+        c1 = vhi - vlo
+        c0 = (hi - lo) - c1 * t_ref[:, None]
+        # _clip_nonnegative: largest end <= b with all extents >= 0.
+        at_a = c0 + c1 * a[:, None]
+        invalid = np.any(at_a < -1e-12, axis=1)
+        neg = c1 < 0.0
+        roots = -c0 / np.where(neg, c1, 1.0)
+        end = np.minimum(b, np.min(np.where(neg, roots, np.inf), axis=1))
+        end = np.maximum(end, a)
+        zero = invalid | (b <= a) | (end <= a)
+        total = _poly_product_integral(c0, c1, a, end)
+        result = np.where(zero, 0.0, total)
+    return [float(v) for v in result]
+
+
+def _poly_product_integral(c0, c1, a, b):
+    """Integral over [a, b] of prod_d (c0[:, d] + c1[:, d] * t), per row.
+
+    Replicates ``_poly_mul_linear`` + ``_poly_definite_integral``
+    operation for operation (powers by repeated multiplication).
+    """
+    n = c0.shape[0]
+    coeffs = [np.ones(n)]
+    for d in range(c0.shape[1]):
+        nxt = [np.zeros(n) for _ in range(len(coeffs) + 1)]
+        for k, c in enumerate(coeffs):
+            nxt[k] = nxt[k] + c * c0[:, d]
+            nxt[k + 1] = nxt[k + 1] + c * c1[:, d]
+        coeffs = nxt
+    total = np.zeros(n)
+    pa = a.copy()
+    pb = b.copy()
+    for k, c in enumerate(coeffs):
+        total = total + c * (pb - pa) / (k + 1)
+        pa = pa * a
+        pb = pb * b
+    return total
+
+
+def batch_margin_integral(
+    brs: Sequence[TPBR], windows: Sequence[Window]
+) -> List[float]:
+    """``[margin_integral(br, a, b) ...]`` for per-item windows, batched."""
+    if np is None or len(brs) < _MIN_BATCH:
+        return [margin_integral(br, a, b) for br, (a, b) in zip(brs, windows)]
+    lo, hi, vlo, vhi, t_ref, _ = _tpbr_soa(brs)
+    a, b = _windows_soa(windows)
+    n = len(brs)
+    with np.errstate(all="ignore"):
+        slope = vhi - vlo
+        value0 = (hi - lo) - slope * t_ref[:, None]
+        total = np.zeros(n)
+        for d in range(lo.shape[1]):
+            c0 = value0[:, d]
+            c1 = slope[:, d]
+            sloped = c1 != 0.0
+            root = -c0 / np.where(sloped, c1, 1.0)
+            end = np.where(c1 < 0.0, np.minimum(b, root), b)
+            shrinks_in = (c1 > 0.0) & (c0 + c1 * a < 0.0)
+            start = np.where(shrinks_in, np.maximum(a, root), a)
+            seg = np.zeros(n)
+            pa = start.copy()
+            pb = end.copy()
+            seg = seg + c0 * (pb - pa) / 1
+            pa = pa * start
+            pb = pb * end
+            seg = seg + c1 * (pb - pa) / 2
+            total = total + np.where(end > start, seg, 0.0)
+        result = np.where(b <= a, 0.0, total)
+    return [float(v) for v in result]
+
+
+def batch_center_distance_sq_integral(
+    brs: Sequence[TPBR], anchor: TPBR, windows: Sequence[Window]
+) -> List[float]:
+    """``[center_distance_sq_integral(br, anchor, a, b) ...]``, batched."""
+    if np is None or len(brs) < _MIN_BATCH:
+        return [
+            center_distance_sq_integral(br, anchor, a, b)
+            for br, (a, b) in zip(brs, windows)
+        ]
+    lo, hi, vlo, vhi, t_ref, _ = _tpbr_soa(brs)
+    a, b = _windows_soa(windows)
+    n = len(brs)
+    center0 = ((lo - vlo * t_ref[:, None]) + (hi - vhi * t_ref[:, None])) / 2.0
+    center1 = (vlo + vhi) / 2.0
+    q0 = np.zeros(n)
+    q1 = np.zeros(n)
+    q2 = np.zeros(n)
+    for d in range(lo.shape[1]):
+        y_lo0 = anchor.lo[d] - anchor.vlo[d] * anchor.t_ref
+        y_hi0 = anchor.hi[d] - anchor.vhi[d] * anchor.t_ref
+        c0 = center0[:, d] - (y_lo0 + y_hi0) / 2.0
+        c1 = center1[:, d] - (anchor.vlo[d] + anchor.vhi[d]) / 2.0
+        q0 = q0 + c0 * c0
+        q1 = q1 + 2.0 * c0 * c1
+        q2 = q2 + c1 * c1
+    total = np.zeros(n)
+    pa = a.copy()
+    pb = b.copy()
+    for k, q in enumerate((q0, q1, q2)):
+        total = total + q * (pb - pa) / (k + 1)
+        pa = pa * a
+        pb = pb * b
+    result = np.where(b <= a, 0.0, total)
+    return [float(v) for v in result]
+
+
+def batch_overlap_integral(
+    anchor: TPBR, brs: Sequence[TPBR], windows: Sequence[Window]
+) -> List[float]:
+    """``[overlap_integral(anchor, br, a, b) ...]`` for per-item windows.
+
+    Always loops the scalar routine: the breakpoint set (bound-crossing
+    instants) differs per pair, so there is no fixed-shape vectorization
+    to hand to numpy.  Provided so callers can stay on the batch API.
+    """
+    return [
+        overlap_integral(anchor, br, a, b)
+        for br, (a, b) in zip(brs, windows)
+    ]

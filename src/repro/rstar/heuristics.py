@@ -58,6 +58,39 @@ class Metrics(ABC, Generic[Region]):
         """Area growth of ``region`` when extended to cover ``addition``."""
         return self.area(self.bound([region, addition])) - self.area(region)
 
+    # -- batch variants ------------------------------------------------------
+    #
+    # The heuristics below score many candidate groups per call; providers
+    # may override these with vectorized kernels.  The defaults loop the
+    # scalar methods, so overriding is purely an optimization — results
+    # must be identical either way.
+
+    def bound_many(
+        self, groups: Sequence[Sequence[Region]]
+    ) -> List[Region]:
+        """One bounding region per group."""
+        return [self.bound(g) for g in groups]
+
+    def area_many(self, regions: Sequence[Region]) -> List[float]:
+        """Area objective of each region."""
+        return [self.area(r) for r in regions]
+
+    def margin_many(self, regions: Sequence[Region]) -> List[float]:
+        """Margin objective of each region."""
+        return [self.margin(r) for r in regions]
+
+    def overlap_many(
+        self, anchor: Region, regions: Sequence[Region]
+    ) -> List[float]:
+        """Overlap objective of ``anchor`` with each region."""
+        return [self.overlap(anchor, r) for r in regions]
+
+    def center_distance_many(
+        self, regions: Sequence[Region], anchor: Region
+    ) -> List[float]:
+        """Distance objective of each region against ``anchor``."""
+        return [self.center_distance(r, anchor) for r in regions]
+
 
 def choose_child(
     metrics: Metrics[Region],
@@ -74,21 +107,27 @@ def choose_child(
     """
     if not child_regions:
         raise ValueError("choose_child on empty node")
+    extended = metrics.bound_many(
+        [[region, new_region] for region in child_regions]
+    )
+    extended_areas = metrics.area_many(extended)
+    areas = metrics.area_many(child_regions)
     best = 0
     best_key: Tuple[float, ...] = ()
     for i, region in enumerate(child_regions):
-        extended = metrics.bound([region, new_region])
-        enlargement = metrics.area(extended) - metrics.area(region)
+        enlargement = extended_areas[i] - areas[i]
         if use_overlap:
+            overlaps_ext = metrics.overlap_many(extended[i], child_regions)
+            overlaps_cur = metrics.overlap_many(region, child_regions)
             overlap_delta = 0.0
-            for j, other in enumerate(child_regions):
+            for j in range(len(child_regions)):
                 if j == i:
                     continue
-                overlap_delta += metrics.overlap(extended, other)
-                overlap_delta -= metrics.overlap(region, other)
-            key = (overlap_delta, enlargement, metrics.area(region))
+                overlap_delta += overlaps_ext[j]
+                overlap_delta -= overlaps_cur[j]
+            key = (overlap_delta, enlargement, areas[i])
         else:
-            key = (enlargement, metrics.area(region))
+            key = (enlargement, areas[i])
         if i == 0 or key < best_key:
             best = i
             best_key = key
@@ -122,28 +161,36 @@ def choose_split(
         )
     key_count = len(metrics.split_sort_keys(regions[0]))
     all_keys = [metrics.split_sort_keys(r) for r in regions]
+    split_points = range(min_entries, n - min_entries + 1)
+
+    def distributions(order: Sequence[int]) -> List[List[Region]]:
+        groups: List[List[Region]] = []
+        for split_at in split_points:
+            groups.append([regions[i] for i in order[:split_at]])
+            groups.append([regions[i] for i in order[split_at:]])
+        return groups
 
     best_ordering: List[int] = []
     best_margin = float("inf")
     for k in range(key_count):
         order = sorted(range(n), key=lambda i: all_keys[i][k])
+        margins = metrics.margin_many(metrics.bound_many(distributions(order)))
         margin_sum = 0.0
-        for split_at in range(min_entries, n - min_entries + 1):
-            left = metrics.bound([regions[i] for i in order[:split_at]])
-            right = metrics.bound([regions[i] for i in order[split_at:]])
-            margin_sum += metrics.margin(left) + metrics.margin(right)
+        for s in range(len(split_points)):
+            margin_sum += margins[2 * s] + margins[2 * s + 1]
         if margin_sum < best_margin:
             best_margin = margin_sum
             best_ordering = order
 
+    bounds = metrics.bound_many(distributions(best_ordering))
+    areas = metrics.area_many(bounds)
     best_split = min_entries
     best_key = (float("inf"), float("inf"))
-    for split_at in range(min_entries, n - min_entries + 1):
-        left = metrics.bound([regions[i] for i in best_ordering[:split_at]])
-        right = metrics.bound([regions[i] for i in best_ordering[split_at:]])
+    for s, split_at in enumerate(split_points):
+        left, right = bounds[2 * s], bounds[2 * s + 1]
         key = (
             metrics.overlap(left, right),
-            metrics.area(left) + metrics.area(right),
+            areas[2 * s] + areas[2 * s + 1],
         )
         if key < best_key:
             best_key = key
@@ -167,9 +214,10 @@ def reinsert_candidates(
     if count <= 0:
         return []
     bound = metrics.bound(regions)
+    distances = metrics.center_distance_many(regions, bound)
     order = sorted(
         range(len(regions)),
-        key=lambda i: metrics.center_distance(regions[i], bound),
+        key=lambda i: distances[i],
         reverse=True,
     )
     evicted = order[:count]

@@ -20,6 +20,13 @@ from ..geometry.integrals import (
     margin_integral,
     overlap_integral,
 )
+from ..geometry.kernels import (
+    batch_area_integral,
+    batch_center_distance_sq_integral,
+    batch_compute_tpbr,
+    batch_margin_integral,
+    batch_overlap_integral,
+)
 from ..geometry.kinematics import NEVER, MovingPoint
 from ..geometry.rect import Rect
 from ..geometry.tpbr import TPBR, Boundable
@@ -98,17 +105,23 @@ class KineticMetrics(Metrics[Boundable]):
             return list(regions)
         return [strip_expiration(r) for r in regions]
 
-    def bound(self, regions: Sequence[Boundable]) -> TPBR:
-        regions = self._prepared(regions)
-        kind = self.kind
-        if self.ignore_expiration and kind in (
+    def _effective_kind(self) -> BoundingKind:
+        if self.ignore_expiration and self.kind in (
             BoundingKind.STATIC,
             BoundingKind.UPDATE_MINIMUM,
         ):
             # Without expiration times these degenerate to conservative.
-            kind = BoundingKind.CONSERVATIVE
+            return BoundingKind.CONSERVATIVE
+        return self.kind
+
+    def bound(self, regions: Sequence[Boundable]) -> TPBR:
+        regions = self._prepared(regions)
         return compute_tpbr(
-            regions, self.now(), kind, horizon=self.horizon(), rng=self.rng
+            regions,
+            self.now(),
+            self._effective_kind(),
+            horizon=self.horizon(),
+            rng=self.rng,
         )
 
     def _window(self, *regions: Boundable) -> tuple:
@@ -120,6 +133,24 @@ class KineticMetrics(Metrics[Boundable]):
                 t0, self.horizon(), [r.t_exp for r in regions]
             )
         return t0, t1
+
+    def _windows(
+        self, regions: Sequence[Boundable], anchor: Optional[Boundable] = None
+    ) -> List[tuple]:
+        """Per-region integration windows (``_window``, batched)."""
+        t0 = self.now()
+        horizon = self.horizon()
+        if self.ignore_expiration:
+            return [(t0, t0 + horizon)] * len(regions)
+        if anchor is None:
+            return [
+                (t0, integration_end(t0, horizon, [r.t_exp]))
+                for r in regions
+            ]
+        return [
+            (t0, integration_end(t0, horizon, [r.t_exp, anchor.t_exp]))
+            for r in regions
+        ]
 
     def area(self, region: Boundable) -> float:
         t0, t1 = self._window(region)
@@ -136,6 +167,48 @@ class KineticMetrics(Metrics[Boundable]):
     def center_distance(self, a: Boundable, b: Boundable) -> float:
         t0, t1 = self._window(a, b)
         return center_distance_sq_integral(as_tpbr(a), as_tpbr(b), t0, t1)
+
+    # -- batched overrides (vectorized in repro.geometry.kernels) ------------
+
+    def bound_many(
+        self, groups: Sequence[Sequence[Boundable]]
+    ) -> List[TPBR]:
+        prepared = [self._prepared(g) for g in groups]
+        return batch_compute_tpbr(
+            prepared,
+            self.now(),
+            self._effective_kind(),
+            horizon=self.horizon(),
+            rng=self.rng,
+        )
+
+    def area_many(self, regions: Sequence[Boundable]) -> List[float]:
+        return batch_area_integral(
+            [as_tpbr(r) for r in regions], self._windows(regions)
+        )
+
+    def margin_many(self, regions: Sequence[Boundable]) -> List[float]:
+        return batch_margin_integral(
+            [as_tpbr(r) for r in regions], self._windows(regions)
+        )
+
+    def overlap_many(
+        self, anchor: Boundable, regions: Sequence[Boundable]
+    ) -> List[float]:
+        return batch_overlap_integral(
+            as_tpbr(anchor),
+            [as_tpbr(r) for r in regions],
+            self._windows(regions, anchor),
+        )
+
+    def center_distance_many(
+        self, regions: Sequence[Boundable], anchor: Boundable
+    ) -> List[float]:
+        return batch_center_distance_sq_integral(
+            [as_tpbr(r) for r in regions],
+            as_tpbr(anchor),
+            self._windows(regions, anchor),
+        )
 
     def split_sort_keys(self, region: Boundable) -> List[float]:
         # Positions are compared at the current time, not the (possibly

@@ -14,13 +14,20 @@ class Node:
     internal entries are ``(region, child_page_id)`` pairs.  The region
     type is ``Rect`` for the static R*-tree and ``TPBR`` for the moving
     trees.
+
+    ``soa`` caches the packed structure-of-arrays form of the entry
+    regions used by the batched query kernels; it is rebuilt lazily and
+    must be dropped (set to ``None``) whenever ``entries`` changes — the
+    trees do so in their ``_touch`` dirty-marking helper, which every
+    mutation already goes through for write-back.
     """
 
-    __slots__ = ("level", "entries")
+    __slots__ = ("level", "entries", "soa")
 
     def __init__(self, level: int, entries: List[Tuple[Any, Any]] = None):
         self.level = level
         self.entries = entries if entries is not None else []
+        self.soa = None
 
     @property
     def is_leaf(self) -> bool:

@@ -134,6 +134,7 @@ class RStarTree:
         return self.buffer.get(pid)
 
     def _touch(self, pid: PageId, node: Node) -> None:
+        node.soa = None  # entries changed; drop the packed-query cache
         self.buffer.mark_dirty(pid, node)
 
     def _capacity(self, node: Node) -> int:

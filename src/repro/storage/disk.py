@@ -53,6 +53,24 @@ class DiskManager:
         self.stats.allocations += 1
         return pid
 
+    def allocate_many(self, count: int) -> List[PageId]:
+        """Allocate ``count`` pages at once (the bulk-loading path).
+
+        Recycles the free list first, then extends the page file with a
+        contiguous run of fresh ids — one allocator call instead of
+        ``count``, and sequential ids for sequentially written levels.
+        """
+        pids: List[PageId] = []
+        while self._free and len(pids) < count:
+            pids.append(self._free.pop())
+        fresh = count - len(pids)
+        pids.extend(range(self._next_id, self._next_id + fresh))
+        self._next_id += fresh
+        for pid in pids:
+            self._pages[pid] = None
+        self.stats.allocations += count
+        return pids
+
     def free(self, pid: PageId) -> None:
         """Return a page to the free list."""
         if pid not in self._pages:

@@ -89,6 +89,7 @@ class OperationStats:
     update_io: int = 0
     update_ops: int = 0
     auxiliary_io: int = 0
+    setup_io: int = 0
     _search_io_samples: list = field(default_factory=list)
 
     def record_search(self, io: int) -> None:
@@ -99,6 +100,10 @@ class OperationStats:
     def record_update(self, io: int) -> None:
         self.update_io += io
         self.update_ops += 1
+
+    def record_setup(self, io: int) -> None:
+        """One-time build I/O (bulk loading); kept out of update averages."""
+        self.setup_io += io
 
     def record_auxiliary(self, io: int) -> None:
         """I/O charged to side structures (e.g. the scheduled-deletion B-tree)."""

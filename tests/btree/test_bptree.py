@@ -127,7 +127,7 @@ def test_composite_key_ordering_matches_expiration_semantics():
         max_size=300,
     )
 )
-@settings(max_examples=40, deadline=None)
+@settings(deadline=None)
 def test_property_behaves_like_sorted_dict(operations):
     """Insert/delete churn mirrors a dict; iteration mirrors sorted()."""
     tree = make_tree()

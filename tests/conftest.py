@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.geometry.kinematics import MovingPoint
+
+# Hypothesis profiles: "ci" (the default) keeps the tier-1 suite fast;
+# select the exhaustive one with HYPOTHESIS_PROFILE=thorough.  Property
+# tests deliberately do not pin max_examples so the profile governs.
+hypothesis_settings.register_profile("ci", max_examples=25, deadline=None)
+hypothesis_settings.register_profile(
+    "thorough", max_examples=400, deadline=None
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

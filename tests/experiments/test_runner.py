@@ -80,3 +80,111 @@ def test_runner_measures_result_sizes():
     adapter = TreeAdapter("t", CONFIG)
     result = run_workload(adapter, tiny_workload())
     assert result.avg_result_size > 0.0
+
+
+# -- bulk-loaded prepopulation ------------------------------------------------
+
+
+def bigger_workload(n=80):
+    """First reports, then interleaved updates and queries."""
+    import random
+
+    rng = random.Random(4)
+    ops = []
+    t = 0.0
+    points = {}
+    for oid in range(n):
+        t += 0.01
+        points[oid] = MovingPoint(
+            (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)),
+            (rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)),
+            t,
+            t + rng.uniform(10.0, 60.0),
+        )
+        ops.append(InsertOp(t, oid, points[oid]))
+    for step in range(60):
+        t += 0.5
+        if step % 3 == 0:
+            x = rng.uniform(0.0, 75.0)
+            ops.append(QueryOp(
+                t, TimesliceQuery(Rect((x, x), (x + 25.0, x + 25.0)), t + 1.0)
+            ))
+        else:
+            oid = rng.randrange(n)
+            new = MovingPoint(
+                (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)),
+                (rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)),
+                t,
+                t + rng.uniform(10.0, 60.0),
+            )
+            ops.append(UpdateOp(t, oid, points[oid], new))
+            points[oid] = new
+    return Workload("bigger", ops, {"kind": "manual"})
+
+
+def test_split_initial_population():
+    from repro.experiments.runner import split_initial_population
+
+    workload = bigger_workload()
+    initial, remaining = split_initial_population(workload)
+    assert len(initial) == 80
+    assert len(initial) + len(remaining) == len(workload.ops)
+    assert not any(isinstance(op, InsertOp) for op in remaining)
+
+
+def test_split_stops_at_first_query():
+    from repro.experiments.runner import split_initial_population
+
+    ops = [
+        InsertOp(0.0, 1, point(5.0, 5.0)),
+        QueryOp(0.2, TimesliceQuery(Rect((0.0, 0.0), (10.0, 10.0)), 1.0)),
+        InsertOp(0.3, 2, point(50.0, 50.0)),
+    ]
+    initial, remaining = split_initial_population(Workload("w", ops))
+    assert [oid for oid, _ in initial] == [1]
+    assert len(remaining) == 2
+
+
+def test_prepopulated_run_matches_replayed_run():
+    workload = bigger_workload()
+    replayed = run_workload(TreeAdapter("t", CONFIG), workload, verify=True)
+    prepopulated = run_workload(
+        TreeAdapter("t", CONFIG), workload, verify=True, prepopulate=True
+    )
+    assert replayed.oracle_mismatches == 0
+    assert prepopulated.oracle_mismatches == 0
+    assert prepopulated.prepopulated == 80
+    assert prepopulated.setup_io > 0
+    # The initial inserts moved out of the update tally into setup.
+    assert prepopulated.update_ops == replayed.update_ops - 80
+    assert prepopulated.search_ops == replayed.search_ops
+
+
+def test_prepopulate_scheduled_adapter():
+    from repro.experiments.adapters import ScheduledAdapter
+
+    workload = bigger_workload()
+    adapter = ScheduledAdapter("s", CONFIG)
+    result = run_workload(adapter, workload, verify=True, prepopulate=True)
+    assert result.oracle_mismatches == 0
+    assert result.prepopulated == 80
+    # Bulk-loaded reports still get their deletions scheduled.
+    assert adapter.index.scheduled_deletions > 0
+
+
+def test_prepopulate_default_adapter_falls_back_to_inserts():
+    from repro.experiments.adapters import IndexAdapter
+
+    class Recorder(TreeAdapter):
+        pass
+
+    # Route bulk_load through the ABC default (insert loop).
+    adapter = Recorder("r", CONFIG)
+    adapter.bulk_load = lambda items: IndexAdapter.bulk_load(adapter, items)
+    result = run_workload(adapter, bigger_workload(), verify=True,
+                          prepopulate=True)
+    assert result.oracle_mismatches == 0
+    assert result.prepopulated == 80
+    assert result.setup_io > 0
+    # Only the post-ramp updates: 40 UpdateOps, each a delete + insert.
+    assert result.update_ops == 80

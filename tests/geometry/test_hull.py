@@ -53,7 +53,7 @@ def test_empty_hull_raises():
 
 
 @given(points_strategy)
-@settings(max_examples=200)
+@settings(deadline=None)
 def test_upper_hull_bounds_all_points(pts):
     """Every line through a hull edge lies on or above all points."""
     hull = upper_hull(pts)
@@ -64,7 +64,7 @@ def test_upper_hull_bounds_all_points(pts):
 
 
 @given(points_strategy)
-@settings(max_examples=200)
+@settings(deadline=None)
 def test_lower_hull_bounds_all_points(pts):
     hull = lower_hull(pts)
     for a, b in zip(hull, hull[1:]):
@@ -74,7 +74,7 @@ def test_lower_hull_bounds_all_points(pts):
 
 
 @given(points_strategy, finite)
-@settings(max_examples=200)
+@settings(deadline=None)
 def test_bridge_line_bounds_all_points(pts, median):
     intercept, slope = bridge_line(pts, median, upper=True)
     for t, x in pts:

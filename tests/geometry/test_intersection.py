@@ -109,7 +109,7 @@ def match_cases(draw):
 
 
 @given(match_cases())
-@settings(max_examples=300, deadline=None)
+@settings(deadline=None)
 def test_analytic_match_agrees_with_sampling(case):
     """If dense sampling finds the point inside, the analytic test must."""
     p, q = case
@@ -166,3 +166,21 @@ def test_tpbrs_intersect():
     # Clipped by expiration before they meet:
     c = TPBR((3.0,), (4.0,), (-1.0,), (-1.0,), 0.0, 1.0)
     assert not tpbrs_intersect(a, c, 0.0, 5.0)
+
+
+def test_feasible_window_grazing_slope_is_constant():
+    """Regression: near-zero slopes must act as constant constraints.
+
+    Dividing by a slope below EPS produced astronomically large (or
+    overflowing) roots for grazing intersections; such constraints are
+    now judged by their offset alone.
+    """
+    # Satisfied constant (offset within EPS tolerance): full window.
+    assert feasible_window([(-5e-10, 1e-12)], 0.0, 10.0) == (0.0, 10.0)
+    assert feasible_window([(1.0, -1e-12)], 0.0, 10.0) == (0.0, 10.0)
+    # Violated constant: infeasible regardless of the tiny slope's sign.
+    assert feasible_window([(-1.0, 1e-12)], 0.0, 10.0) is None
+    assert feasible_window([(-1.0, -1e-12)], 0.0, 10.0) is None
+    # A genuine slope just above EPS still clips the window.
+    window = feasible_window([(-1.0, 0.5)], 0.0, 10.0)
+    assert window is not None and window[0] == pytest.approx(2.0, abs=1e-6)

@@ -77,3 +77,21 @@ def test_page_ids_iterates_live_pages():
     b = disk.allocate()
     disk.free(a)
     assert set(disk.page_ids()) == {b}
+
+
+def test_allocate_many_recycles_free_list_first():
+    disk = DiskManager(page_size=64)
+    pids = [disk.allocate() for _ in range(4)]
+    disk.free(pids[1])
+    disk.free(pids[2])
+    bulk = disk.allocate_many(5)
+    assert len(bulk) == len(set(bulk)) == 5
+    assert {pids[1], pids[2]} <= set(bulk)  # recycled before extending
+    assert disk.allocated_pages == 7
+    assert disk.stats.allocations == 9
+
+
+def test_allocate_many_zero_count():
+    disk = DiskManager(page_size=64)
+    assert disk.allocate_many(0) == []
+    assert disk.allocated_pages == 0
