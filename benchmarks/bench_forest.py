@@ -1,0 +1,189 @@
+"""Velocity-partitioned forest vs a single R^exp-tree.
+
+Replays the uniform and network workloads (mixed speeds: uniform in
+[0, 3 km/min]) against a single R^exp-tree and against 2-, 4- and
+8-partition forests of both partitioner kinds, reporting average search
+and update I/O per operation and the per-partition page breakdown.  A
+dedicated identity test asserts that the 4-partition forest answers
+*exactly* the single tree's result set across all three query types.
+
+The two partitioners behave very differently on *isotropic* data: the
+uniform workload draws velocity directions uniformly, so a speed
+(magnitude) class still contains velocities pointing everywhere and its
+TPBRs sweep almost as much dead space as the unpartitioned tree's.
+Direction sectors are what shrink the per-dimension velocity spread
+(a 90-degree sector halves it), so the acceptance test below pits the
+*direction* forest against the single tree; the speed buckets pay off
+on skewed speed distributions instead (the Xu et al. setting).
+
+Scale follows ``REPRO_SCALE`` (default: small, so the index does not
+fit in the buffer pool and searches pay for misses).
+"""
+
+import os
+import random
+import sys
+
+import pytest
+
+from repro.core import (
+    MovingObjectTree,
+    PartitionedMovingObjectForest,
+    SimulationClock,
+    forest_config,
+    rexp_config,
+)
+from repro.experiments.adapters import ForestAdapter, TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.experiments.scale import SCALES
+from repro.geometry import MovingQuery, Rect, TimesliceQuery, WindowQuery
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.network import NetworkParams, generate_network_workload
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+from _util import initial_population
+
+SCALE = SCALES[os.environ.get("REPRO_SCALE", "small")]
+PARTITION_COUNTS = (2, 4, 8)
+
+
+def _workload(kind):
+    if kind == "network":
+        return generate_network_workload(
+            NetworkParams(
+                target_population=SCALE.target_population,
+                insertions=SCALE.insertions,
+                seed=0,
+            ),
+            FixedPeriod(120.0),
+        )
+    return generate_uniform_workload(
+        UniformParams(
+            target_population=SCALE.target_population,
+            insertions=SCALE.insertions,
+            seed=0,
+        ),
+        FixedPeriod(120.0),
+    )
+
+
+@pytest.fixture(scope="module", params=("uniform", "network"))
+def workload(request):
+    return _workload(request.param)
+
+
+def _sizing():
+    return dict(page_size=SCALE.page_size, buffer_pages=SCALE.buffer_pages)
+
+
+def _report(result, adapter=None):
+    print(f"\n[repro] {result.workload}: {result.summary()}", file=sys.__stdout__)
+    if isinstance(adapter, ForestAdapter):
+        forest = adapter.forest
+        for label, pages, snap in zip(
+            forest.partition_labels(),
+            forest.partition_page_counts(),
+            forest.partition_snapshots(),
+        ):
+            print(f"[repro]   {label:<24} pages={pages:5d} "
+                  f"reads={snap.reads:7d} writes={snap.writes:7d}",
+                  file=sys.__stdout__)
+
+
+def test_single_tree_baseline(benchmark, workload):
+    def run():
+        adapter = TreeAdapter("Rexp-tree", rexp_config(**_sizing()))
+        return run_workload(adapter, workload, prepopulate=True), adapter
+
+    (result, adapter) = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report(result, adapter)
+    assert result.search_ops > 0
+
+
+@pytest.mark.parametrize("kind", ("speed", "direction"))
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+def test_forest(benchmark, workload, partitions, kind):
+    def run():
+        adapter = ForestAdapter(
+            f"forest/{partitions}-{kind}",
+            forest_config(partitions=partitions, partitioner=kind, **_sizing()),
+        )
+        return run_workload(adapter, workload, prepopulate=True), adapter
+
+    (result, adapter) = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    _report(result, adapter)
+    assert result.search_ops > 0
+    assert len(result.partition_pages) == partitions
+
+
+def test_forest_reduces_query_io_on_mixed_speeds():
+    """Acceptance: the 4-partition forest answers the identical result
+    set as the single tree while reducing total query page reads on the
+    uniform workload with mixed speeds.
+
+    The uniform workload is isotropic, so the winning split is by
+    direction (three 120-degree sectors plus a slow bucket), which
+    halves each member's per-dimension velocity spread; magnitude-only
+    buckets leave that spread intact (see the module docstring).  The
+    forest also needs a buffer budget it can split without degenerating
+    to one page per member, so the pool is sized at 3 pages/partition.
+    """
+    workload = _workload("uniform")
+    sizing = _sizing()
+    sizing["buffer_pages"] = max(sizing["buffer_pages"], 12)
+    tree_adapter = TreeAdapter("Rexp-tree", rexp_config(**sizing))
+    forest_adapter = ForestAdapter("forest/4-direction", forest_config(
+        partitions=4, partitioner="direction", **sizing,
+    ))
+    tree_result = run_workload(tree_adapter, workload, prepopulate=True)
+    forest_result = run_workload(forest_adapter, workload, prepopulate=True)
+    _report(tree_result, tree_adapter)
+    _report(forest_result, forest_adapter)
+    single = tree_result.avg_search_io * tree_result.search_ops
+    forest = forest_result.avg_search_io * forest_result.search_ops
+    ratio = single / forest if forest else float("inf")
+    print(f"[repro] total query I/O: single-tree={single:.0f} "
+          f"forest/4={forest:.0f} ({ratio:.2f}x lower)",
+          file=sys.__stdout__)
+    assert forest < single
+
+
+@pytest.mark.parametrize("kind", ("speed", "direction"))
+def test_forest_identical_answers(kind):
+    """The 4-partition forest and a single tree return exactly the same
+    result sets across timeslice, window and moving queries."""
+    count = min(SCALE.target_population, 5000)
+    population = initial_population(count, seed=3)
+    clock = SimulationClock()
+    tree = MovingObjectTree(rexp_config(**_sizing()), clock)
+    forest = PartitionedMovingObjectForest(
+        forest_config(partitions=4, partitioner=kind, **_sizing()), clock
+    )
+    clock.advance_to(population[0][1].t_ref)
+    entries = [(point, oid) for oid, point in population]
+    tree.bulk_load(entries)
+    forest.bulk_load(entries)
+    t_end = max(point.t_ref for _, point in population)
+    clock.advance_to(t_end)
+    rng = random.Random(4)
+    mismatches = 0
+    for _ in range(100):
+        x, y = rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)
+        rect = Rect((x, y), (x + 100.0, y + 100.0))
+        shifted = Rect((x + 20.0, y + 20.0), (x + 120.0, y + 120.0))
+        t1 = t_end + rng.uniform(0.0, 30.0)
+        t2 = t1 + rng.uniform(0.0, 30.0)
+        for query in (
+            TimesliceQuery(rect, t1),
+            WindowQuery(rect, t1, t2),
+            MovingQuery(rect, shifted, t1, t2),
+        ):
+            if sorted(tree.query(query)) != sorted(forest.query(query)):
+                mismatches += 1
+    print(f"\n[repro] identity check: 300 queries, {mismatches} mismatched",
+          file=sys.__stdout__)
+    assert mismatches == 0

@@ -18,10 +18,15 @@ inventory, and EXPERIMENTS.md for the figure-by-figure reproduction.
 """
 
 from .core import (
+    DirectionPartitioner,
+    ForestConfig,
     MovingObjectTree,
+    PartitionedMovingObjectForest,
     ScheduledDeletionIndex,
     SimulationClock,
+    SpeedPartitioner,
     TreeConfig,
+    forest_config,
     rexp_config,
     tpr_config,
 )
@@ -39,17 +44,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundingKind",
+    "DirectionPartitioner",
+    "ForestConfig",
     "MovingObjectTree",
     "MovingPoint",
     "MovingQuery",
+    "PartitionedMovingObjectForest",
     "Rect",
     "ScheduledDeletionIndex",
     "SimulationClock",
+    "SpeedPartitioner",
     "TPBR",
     "TimesliceQuery",
     "TreeConfig",
     "WindowQuery",
     "__version__",
+    "forest_config",
     "rexp_config",
     "tpr_config",
 ]

@@ -8,6 +8,7 @@
     python -m repro workload --expt 120      # generate + summarize
     python -m repro compare                  # quick R^exp vs TPR duel
     python -m repro bulkload --scale small   # STR packing vs insertion
+    python -m repro forest --partitions 2 4  # velocity-partitioned forest
     python -m repro layout --page-size 4096  # node fan-outs
 
 Figure sweeps honour the same cache as the benchmarks.
@@ -19,8 +20,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.presets import rexp_config, tpr_config
-from .experiments.adapters import TreeAdapter
+from .core.presets import forest_config, rexp_config, tpr_config
+from .experiments.adapters import ForestAdapter, TreeAdapter
 from .experiments.figures import ALL_FIGURES
 from .experiments.report import format_checks, format_figure, shape_checks
 from .experiments.runner import run_workload
@@ -189,6 +190,75 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_forest(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    if args.kind == "network":
+        workload = generate_network_workload(
+            NetworkParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    else:
+        workload = generate_uniform_workload(
+            UniformParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    print(f"replaying {workload.name} at scale {scale.name} ...")
+    adapters = [("Rexp-tree", TreeAdapter("Rexp-tree", rexp_config(**sizing)))]
+    for k in args.partitions:
+        name = f"forest/{k} ({args.partitioner})"
+        adapters.append((
+            name,
+            ForestAdapter(
+                name,
+                forest_config(
+                    partitions=k, partitioner=args.partitioner, **sizing
+                ),
+            ),
+        ))
+    results = []
+    for name, adapter in adapters:
+        result = run_workload(
+            adapter, workload, verify=args.verify, prepopulate=True
+        )
+        results.append(result)
+        print(result.summary())
+        if args.verify:
+            print(f"  oracle mismatches: {result.oracle_mismatches}")
+        if isinstance(adapter, ForestAdapter):
+            forest = adapter.forest
+            labels = forest.partition_labels()
+            snaps = forest.partition_snapshots()
+            pages = forest.partition_page_counts()
+            for label, snap, page in zip(labels, snaps, pages):
+                print(f"  {label:<24} pages={page:5d}  "
+                      f"reads={snap.reads:7d}  writes={snap.writes:7d}")
+    baseline = results[0]
+    mismatched = sum(r.oracle_mismatches or 0 for r in results if args.verify)
+    for result in results[1:]:
+        if baseline.avg_search_io > 0.0 and result.avg_search_io > 0.0:
+            ratio = baseline.avg_search_io / result.avg_search_io
+            factor = ratio if ratio >= 1.0 else 1.0 / ratio
+            direction = "lower" if ratio >= 1.0 else "HIGHER"
+            print(f"{result.adapter}: search I/O {factor:.2f}x {direction} "
+                  f"than the single tree")
+    if baseline.avg_search_io == 0.0:
+        print("index fits entirely in the buffer pool at this scale; "
+              "increase --population for a meaningful comparison")
+    return 1 if mismatched else 0
+
+
 def cmd_bulkload(args: argparse.Namespace) -> int:
     import random
     import time
@@ -330,6 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeslice queries compared across both trees")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_bulkload)
+
+    p = sub.add_parser(
+        "forest",
+        help="velocity-partitioned forest vs a single R^exp-tree",
+    )
+    p.add_argument("--kind", choices=("uniform", "network"), default="uniform")
+    p.add_argument("--partitions", type=int, nargs="+", default=[4],
+                   help="forest sizes to compare against the single tree")
+    p.add_argument("--partitioner", choices=("speed", "direction"),
+                   default="speed")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--verify", action="store_true",
+                   help="check every answer against a brute-force oracle")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_forest)
 
     p = sub.add_parser("layout", help="node fan-outs for a page size")
     p.add_argument("--page-size", type=int, default=4096)

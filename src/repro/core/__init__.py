@@ -2,20 +2,40 @@
 
 from .clock import SimulationClock
 from .config import TreeConfig
+from .forest import ForestConfig, PartitionedMovingObjectForest
 from .horizon import HorizonTracker
-from .presets import bounding_config, flavor_config, rexp_config, tpr_config
+from .partition import (
+    DirectionPartitioner,
+    Partitioner,
+    SpeedPartitioner,
+    make_partitioner,
+)
+from .presets import (
+    bounding_config,
+    flavor_config,
+    forest_config,
+    rexp_config,
+    tpr_config,
+)
 from .scheduled import ScheduledDeletionIndex
 from .tree import MovingObjectTree, TreeAudit
 
 __all__ = [
+    "DirectionPartitioner",
+    "ForestConfig",
     "HorizonTracker",
     "MovingObjectTree",
+    "PartitionedMovingObjectForest",
+    "Partitioner",
     "ScheduledDeletionIndex",
     "SimulationClock",
+    "SpeedPartitioner",
     "TreeAudit",
     "TreeConfig",
     "bounding_config",
     "flavor_config",
+    "forest_config",
+    "make_partitioner",
     "rexp_config",
     "tpr_config",
 ]

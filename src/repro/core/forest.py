@@ -1,0 +1,299 @@
+"""A velocity-partitioned forest of R^exp-trees.
+
+One R^exp-tree bounds every subtree by its *extreme* member velocities,
+so a population with widely mixed speeds pays for its fastest members
+everywhere.  The forest splits the population into velocity classes
+(see :mod:`repro.core.partition`), indexes each class in its own
+:class:`~repro.core.tree.MovingObjectTree`, routes every insertion and
+deletion to its class's tree, and fans queries out across all member
+trees, merging the answers.  Because each member's velocity spread is a
+fraction of the population's, its TPBRs sweep far less dead space and
+queries touch fewer pages — the Xu et al. / Nguyen et al. result, here
+layered on the paper's expiration-aware trees.
+
+The forest mirrors the single tree's interface (insert / delete /
+update / query / bulk_load / audit / page_count / stats), so it drops
+into :class:`repro.core.scheduled.ScheduledDeletionIndex`, the
+experiment adapters and the benchmarks unchanged.  I/O is accounted per
+member tree and aggregated on demand, so experiments can report both
+the total cost and the per-partition breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import SpatioTemporalQuery
+from ..storage.stats import IOSnapshot
+from .clock import SimulationClock
+from .config import TreeConfig
+from .partition import Partitioner, SpeedPartitioner, make_partitioner
+from .tree import LeafEntry, MovingObjectTree, TreeAudit
+
+
+@dataclass(frozen=True)
+class ForestConfig:
+    """Tunable parameters of :class:`PartitionedMovingObjectForest`.
+
+    Attributes:
+        tree: configuration applied to every member tree.
+        partitions: number of velocity classes (member trees).
+        partitioner: partition function kind, ``"speed"`` or
+            ``"direction"`` (ignored when an explicit partitioner
+            instance is passed to the forest).
+        max_speed: anchor of the equal-width speed buckets used before
+            any data-driven fit.
+        slow_speed: the direction variant's near-stationary threshold.
+        split_buffer: divide ``tree.buffer_pages`` across the members so
+            the forest's total buffer matches a single tree's — the fair
+            comparison; when off, every member gets the full budget.
+        refit_on_bulk_load: replace a speed partitioner's boundaries
+            with quantiles of the loaded population's speeds (the
+            data-driven boundaries) whenever an empty forest is bulk
+            loaded.
+    """
+
+    tree: TreeConfig = field(default_factory=TreeConfig)
+    partitions: int = 4
+    partitioner: str = "speed"
+    max_speed: float = 3.0
+    slow_speed: float = 0.25
+    split_buffer: bool = True
+    refit_on_bulk_load: bool = True
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ValueError(
+                f"need at least one partition, got {self.partitions}"
+            )
+
+    @property
+    def page_size(self) -> int:
+        """Member-tree page size (what index wrappers size queues by)."""
+        return self.tree.page_size
+
+    @property
+    def dims(self) -> int:
+        return self.tree.dims
+
+    def member_tree_config(self) -> TreeConfig:
+        """The per-member tree configuration (buffer budget applied)."""
+        if not self.split_buffer:
+            return self.tree
+        share = max(1, self.tree.buffer_pages // self.partitions)
+        return self.tree.with_(buffer_pages=share)
+
+    def with_(self, **changes) -> "ForestConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class ForestStats:
+    """Aggregated read-only view over the member trees' I/O counters.
+
+    Supports the same ``snapshot()`` / ``since()`` protocol as
+    :class:`repro.storage.stats.IOStats`, so adapters and the scheduled
+    deletion wrapper can attribute forest I/O exactly as they do for a
+    single tree.
+    """
+
+    def __init__(self, forest: "PartitionedMovingObjectForest"):
+        self._forest = forest
+
+    def _sum(self, attribute: str) -> int:
+        return sum(
+            getattr(tree.stats, attribute) for tree in self._forest.trees
+        )
+
+    @property
+    def reads(self) -> int:
+        return self._sum("reads")
+
+    @property
+    def writes(self) -> int:
+        return self._sum("writes")
+
+    @property
+    def allocations(self) -> int:
+        return self._sum("allocations")
+
+    @property
+    def frees(self) -> int:
+        return self._sum("frees")
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(self.reads, self.writes, self.allocations, self.frees)
+
+    def since(self, snap: IOSnapshot) -> IOSnapshot:
+        return IOSnapshot(
+            self.reads - snap.reads,
+            self.writes - snap.writes,
+            self.allocations - snap.allocations,
+            self.frees - snap.frees,
+        )
+
+
+class PartitionedMovingObjectForest:
+    """Routes updates to velocity-class member trees; fans queries out.
+
+    The forest is interface-compatible with a single
+    :class:`~repro.core.tree.MovingObjectTree`: wrap it in a
+    :class:`~repro.core.scheduled.ScheduledDeletionIndex`, drive it from
+    the experiment runner, or use it directly.  All member trees share
+    one simulation clock.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ForestConfig] = None,
+        clock: Optional[SimulationClock] = None,
+        partitioner: Optional[Partitioner] = None,
+    ):
+        self.config = config if config is not None else ForestConfig()
+        self.clock = clock if clock is not None else SimulationClock()
+        if partitioner is None:
+            partitioner = make_partitioner(
+                self.config.partitioner,
+                self.config.partitions,
+                max_speed=self.config.max_speed,
+                slow_speed=self.config.slow_speed,
+            )
+        elif partitioner.partitions != self.config.partitions:
+            raise ValueError(
+                f"partitioner has {partitioner.partitions} buckets but the "
+                f"configuration asks for {self.config.partitions}"
+            )
+        self.partitioner = partitioner
+        member_config = self.config.member_tree_config()
+        self.trees = [
+            MovingObjectTree(member_config, self.clock)
+            for _ in range(self.config.partitions)
+        ]
+        self.stats = ForestStats(self)
+
+    # ------------------------------------------------------------------ API --
+
+    @property
+    def now(self) -> float:
+        return self.clock.time
+
+    @property
+    def partitions(self) -> int:
+        return len(self.trees)
+
+    def tree_for(self, point: MovingPoint) -> MovingObjectTree:
+        """The member tree a report routes to."""
+        return self.trees[self.partitioner.partition_of(point)]
+
+    def insert(self, oid: int, point: MovingPoint) -> None:
+        """Index a report in its velocity class's tree."""
+        self.tree_for(point).insert(oid, point)
+
+    def delete(self, oid: int, point: MovingPoint) -> bool:
+        """Remove a report from the tree its insertion chose.
+
+        Partitioning is a pure function of the report, so the deletion
+        routes to the same member the insertion did — no routing table.
+        """
+        return self.tree_for(point).delete(oid, point)
+
+    def update(
+        self, oid: int, old_point: MovingPoint, new_point: MovingPoint
+    ) -> bool:
+        """Delete the old report and insert the new one.
+
+        When the object's speed class changed, the entry migrates
+        between member trees; otherwise this is the single tree's
+        delete-then-insert within one member.
+        """
+        existed = self.delete(oid, old_point)
+        self.insert(oid, new_point)
+        return existed
+
+    def query(self, query: SpatioTemporalQuery) -> List[int]:
+        """Fan a query out across all member trees and merge the answers.
+
+        Each object lives in exactly one member, so concatenation
+        preserves the single tree's answer multiset.
+        """
+        results: List[int] = []
+        for tree in self.trees:
+            results.extend(tree.query(query))
+        return results
+
+    def bulk_load(self, entries: Sequence[LeafEntry]) -> None:
+        """Partition the population, then STR-pack each member tree.
+
+        Requires an empty forest.  With a speed partitioner and
+        ``refit_on_bulk_load`` set, the bucket boundaries are first
+        refitted to the speed quantiles of the population — the
+        data-driven boundaries — so every member receives a comparable
+        share.
+        """
+        if any(tree.leaf_entry_count for tree in self.trees):
+            raise ValueError("bulk_load requires an empty forest")
+        if (
+            self.config.refit_on_bulk_load
+            and entries
+            and isinstance(self.partitioner, SpeedPartitioner)
+        ):
+            self.partitioner = SpeedPartitioner.fitted(
+                [point.speed() for point, _ in entries], self.partitions
+            )
+        for tree, group in zip(self.trees, self.partitioner.split(entries)):
+            tree.bulk_load(group)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return max(tree.height for tree in self.trees)
+
+    @property
+    def page_count(self) -> int:
+        """Total index size in disk pages, across all members."""
+        return sum(tree.page_count for tree in self.trees)
+
+    @property
+    def leaf_entry_count(self) -> int:
+        return sum(tree.leaf_entry_count for tree in self.trees)
+
+    def partition_page_counts(self) -> List[int]:
+        return [tree.page_count for tree in self.trees]
+
+    def partition_snapshots(self) -> List[IOSnapshot]:
+        """Per-member I/O counters (the per-partition breakdown)."""
+        return [tree.stats.snapshot() for tree in self.trees]
+
+    def partition_audits(self) -> List[TreeAudit]:
+        return [tree.audit() for tree in self.trees]
+
+    def partition_labels(self) -> List[str]:
+        return [self.partitioner.label(i) for i in range(self.partitions)]
+
+    def audit(self) -> TreeAudit:
+        """Forest-wide structural census (entry counts summed over members)."""
+        audits = self.partition_audits()
+        return TreeAudit(
+            height=max(audit.height for audit in audits),
+            nodes=sum(audit.nodes for audit in audits),
+            leaf_entries=sum(audit.leaf_entries for audit in audits),
+            expired_leaf_entries=sum(
+                audit.expired_leaf_entries for audit in audits
+            ),
+            internal_entries=sum(audit.internal_entries for audit in audits),
+            expired_internal_entries=sum(
+                audit.expired_internal_entries for audit in audits
+            ),
+        )
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on structural violations in any member."""
+        for tree in self.trees:
+            tree.check_invariants()

@@ -1,0 +1,205 @@
+"""Velocity partitioning of a moving-object population.
+
+The R^exp-tree's TPBRs grow with the *extreme* member velocities
+(Section 4.1): the bounding speeds of a rectangle are the minimum and
+maximum member speeds per dimension, so a single fast object inflates
+the sweep of its whole subtree for the entire horizon.  Speed
+partitioning ("Speed Partitioning for Indexing Moving Objects", Xu et
+al.) and velocity partitioning ("Boosting Moving Object Indexing
+through Velocity Partitioning", Nguyen et al.) both observe that
+splitting the population into velocity classes — each indexed in its
+own tree — shrinks the dead space dramatically, because each tree's
+rectangles then sweep at the (much smaller) velocity spread *within*
+a class.
+
+This module provides the pluggable partition functions consumed by
+:class:`repro.core.forest.PartitionedMovingObjectForest`:
+
+* :class:`SpeedPartitioner` — buckets by speed magnitude, with either
+  equal-width boundaries anchored at a maximum speed or data-driven
+  boundaries fitted to the observed speed distribution (quantiles), so
+  every bucket receives a comparable share of the population;
+* :class:`DirectionPartitioner` — buckets by velocity direction
+  (equal angular sectors in the first two dimensions), with a dedicated
+  bucket for near-stationary objects whose direction is noise.
+
+A partitioner is *pure*: the bucket of a report depends only on the
+report itself, never on mutable state.  Deletions therefore route to
+the same member tree the original insertion chose, with no auxiliary
+object-to-partition table.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+from ..geometry.kinematics import MovingPoint
+
+LeafEntry = Tuple[MovingPoint, int]
+
+
+class Partitioner(ABC):
+    """Maps each report to the member tree that should index it."""
+
+    @property
+    @abstractmethod
+    def partitions(self) -> int:
+        """Number of buckets (member trees)."""
+
+    @abstractmethod
+    def partition_of(self, point: MovingPoint) -> int:
+        """Bucket index of a report, in ``range(self.partitions)``."""
+
+    @abstractmethod
+    def label(self, index: int) -> str:
+        """Human-readable description of one bucket."""
+
+    def split(self, entries: Iterable[LeafEntry]) -> List[List[LeafEntry]]:
+        """Bucket leaf entries for bulk loading, preserving order."""
+        groups: List[List[LeafEntry]] = [[] for _ in range(self.partitions)]
+        for point, oid in entries:
+            groups[self.partition_of(point)].append((point, oid))
+        return groups
+
+
+class SpeedPartitioner(Partitioner):
+    """Speed-magnitude buckets separated by ascending boundary speeds.
+
+    ``boundaries`` holds the k-1 inner boundaries of k buckets; a report
+    with speed s lands in the first bucket whose boundary exceeds s
+    (boundaries themselves belong to the faster bucket's left edge, i.e.
+    bucket i covers ``[boundaries[i-1], boundaries[i])``).
+    """
+
+    def __init__(self, boundaries: Sequence[float]):
+        bounds = tuple(float(b) for b in boundaries)
+        for i, b in enumerate(bounds):
+            if b < 0.0:
+                raise ValueError(f"negative speed boundary {b}")
+            if i and b < bounds[i - 1]:
+                raise ValueError(
+                    f"speed boundaries must be ascending, got {bounds}"
+                )
+        self.boundaries = bounds
+
+    @classmethod
+    def uniform(cls, partitions: int, max_speed: float) -> "SpeedPartitioner":
+        """Equal-width buckets over ``[0, max_speed]``.
+
+        The last bucket is open-ended, so speeds above ``max_speed``
+        still route (to the fastest class).
+        """
+        if partitions < 1:
+            raise ValueError(f"need at least one partition, got {partitions}")
+        if max_speed <= 0.0:
+            raise ValueError(f"max_speed must be positive, got {max_speed}")
+        width = max_speed / partitions
+        return cls([width * i for i in range(1, partitions)])
+
+    @classmethod
+    def fitted(
+        cls, speeds: Sequence[float], partitions: int
+    ) -> "SpeedPartitioner":
+        """Data-driven boundaries: speed quantiles of an observed sample.
+
+        Splitting at the i/k quantiles balances the population across
+        buckets regardless of the speed distribution's shape — the Xu et
+        al. recipe.  Duplicate quantiles (heavily repeated speeds) are
+        kept, which simply leaves the corresponding bucket empty.
+        """
+        if partitions < 1:
+            raise ValueError(f"need at least one partition, got {partitions}")
+        if not speeds:
+            raise ValueError("cannot fit speed boundaries to an empty sample")
+        ordered = sorted(speeds)
+        n = len(ordered)
+        return cls(
+            [
+                ordered[min(n - 1, (i * n) // partitions)]
+                for i in range(1, partitions)
+            ]
+        )
+
+    @property
+    def partitions(self) -> int:
+        return len(self.boundaries) + 1
+
+    def partition_of(self, point: MovingPoint) -> int:
+        return bisect_right(self.boundaries, point.speed())
+
+    def label(self, index: int) -> str:
+        lo = 0.0 if index == 0 else self.boundaries[index - 1]
+        if index == len(self.boundaries):
+            return f"speed >= {lo:g}"
+        return f"speed [{lo:g}, {self.boundaries[index]:g})"
+
+
+class DirectionPartitioner(Partitioner):
+    """Velocity-direction buckets: equal angular sectors plus a slow bucket.
+
+    Bucket 0 collects reports whose speed does not exceed ``slow_speed``
+    (near-stationary objects have no meaningful direction; with the
+    default threshold 0 only exactly-stationary objects land there).
+    The remaining ``sectors`` buckets divide the full angle of the
+    velocity's first two components into equal sectors starting at the
+    positive x-axis.
+    """
+
+    def __init__(self, sectors: int, slow_speed: float = 0.0):
+        if sectors < 1:
+            raise ValueError(f"need at least one sector, got {sectors}")
+        if slow_speed < 0.0:
+            raise ValueError(f"slow_speed must be >= 0, got {slow_speed}")
+        self.sectors = sectors
+        self.slow_speed = slow_speed
+
+    @property
+    def partitions(self) -> int:
+        return self.sectors + 1
+
+    def partition_of(self, point: MovingPoint) -> int:
+        if point.speed() <= self.slow_speed:
+            return 0
+        vx = point.vel[0]
+        vy = point.vel[1] if point.dims > 1 else 0.0
+        angle = math.atan2(vy, vx) % (2.0 * math.pi)
+        sector = int(self.sectors * angle / (2.0 * math.pi))
+        return 1 + min(sector, self.sectors - 1)
+
+    def label(self, index: int) -> str:
+        if index == 0:
+            return f"speed <= {self.slow_speed:g}"
+        width = 360.0 / self.sectors
+        lo = (index - 1) * width
+        return f"direction [{lo:g}\N{DEGREE SIGN}, {lo + width:g}\N{DEGREE SIGN})"
+
+
+def make_partitioner(
+    kind: str,
+    partitions: int,
+    max_speed: float = 3.0,
+    slow_speed: float = 0.25,
+    sample: Sequence[float] = (),
+) -> Partitioner:
+    """Construct a partitioner by name (``"speed"`` or ``"direction"``).
+
+    A speed partitioner fits data-driven boundaries when a ``sample`` of
+    observed speeds is given, and falls back to equal-width buckets over
+    ``[0, max_speed]`` otherwise.  A direction partitioner spends one of
+    its ``partitions`` buckets on near-stationary objects.
+    """
+    if kind == "speed":
+        if sample:
+            return SpeedPartitioner.fitted(sample, partitions)
+        return SpeedPartitioner.uniform(partitions, max_speed)
+    if kind == "direction":
+        if partitions < 2:
+            raise ValueError(
+                "a direction partitioner needs >= 2 partitions "
+                "(one is reserved for near-stationary objects)"
+            )
+        return DirectionPartitioner(partitions - 1, slow_speed)
+    raise ValueError(f"unknown partitioner kind {kind!r}")

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from ..geometry.bounding import BoundingKind
 from .config import TreeConfig
+from .forest import ForestConfig
 
 
 def rexp_config(**overrides) -> TreeConfig:
@@ -44,6 +45,30 @@ def tpr_config(**overrides) -> TreeConfig:
         lazy_expiry=False,
     )
     return base.with_(**overrides)
+
+
+def forest_config(
+    partitions: int = 4, partitioner: str = "speed", **overrides
+) -> ForestConfig:
+    """A velocity-partitioned forest of default R^exp-trees.
+
+    Keyword overrides that name :class:`ForestConfig` fields (e.g.
+    ``split_buffer``, ``max_speed``) configure the forest; all others
+    are applied to the member-tree configuration, exactly as the other
+    presets apply them to a single tree.
+    """
+    forest_fields = {
+        key: overrides.pop(key)
+        for key in ("max_speed", "slow_speed", "split_buffer",
+                    "refit_on_bulk_load")
+        if key in overrides
+    }
+    return ForestConfig(
+        tree=rexp_config(**overrides),
+        partitions=partitions,
+        partitioner=partitioner,
+        **forest_fields,
+    )
 
 
 def flavor_config(

@@ -12,11 +12,12 @@ dictionary-like structure rather than a simple heap.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..btree.bptree import BPlusTree
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
+from .forest import PartitionedMovingObjectForest
 from .tree import LeafEntry, MovingObjectTree
 
 
@@ -25,7 +26,8 @@ class ScheduledDeletionIndex:
 
     Wraps either a TPR-tree ("TPR-tree with scheduled deletions") or an
     R^exp-tree ("R^exp-tree with scheduled deletions") — the two
-    comparison architectures of Section 5.4.
+    comparison architectures of Section 5.4 — or a velocity-partitioned
+    forest of either, which exposes the same interface.
 
     The B+-tree's I/O is accounted separately (``queue.stats``); the
     paper's figures exclude it, and note that including it roughly
@@ -34,7 +36,7 @@ class ScheduledDeletionIndex:
 
     def __init__(
         self,
-        tree: MovingObjectTree,
+        tree: Union[MovingObjectTree, PartitionedMovingObjectForest],
         queue_page_size: Optional[int] = None,
         queue_buffer_pages: int = 50,
     ):
@@ -43,8 +45,13 @@ class ScheduledDeletionIndex:
         self.queue = BPlusTree(
             queue_page_size or tree.config.page_size, queue_buffer_pages
         )
-        #: Number of scheduled deletions performed so far.
+        #: Number of scheduled deletions that removed a live entry.
         self.scheduled_deletions = 0
+        #: Number of due events whose entry was already gone (lazily
+        #: purged or deleted behind the queue's back); their search I/O
+        #: is real but no deletion work was done, so Section 5.4's
+        #: per-deletion accounting must not count them.
+        self.missed_deletions = 0
         #: Tree I/O consumed by scheduled deletions (reads, writes).
         self._sched_hook = None
 
@@ -95,10 +102,13 @@ class ScheduledDeletionIndex:
             self.clock.advance_to(t_exp)
             self.queue.delete((t_exp, oid))
             before = self.tree.stats.snapshot()
-            self.tree.delete(oid, point)
-            self.scheduled_deletions += 1
-            if self._sched_hook is not None:
-                self._sched_hook(self.tree.stats.since(before))
+            removed = self.tree.delete(oid, point)
+            if removed:
+                self.scheduled_deletions += 1
+                if self._sched_hook is not None:
+                    self._sched_hook(self.tree.stats.since(before))
+            else:
+                self.missed_deletions += 1
         self.clock.advance_to(t)
 
     def on_scheduled_deletion(self, hook) -> None:

@@ -38,6 +38,7 @@ class RunResult:
     wall_seconds: float = 0.0
     prepopulated: int = 0
     setup_io: int = 0
+    partition_pages: List[int] = field(default_factory=list)
     params: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
@@ -175,6 +176,9 @@ def run_workload(
         wall_seconds=_wall.perf_counter() - start,
         prepopulated=prepopulated,
         setup_io=stats.setup_io,
+        partition_pages=list(
+            getattr(adapter, "partition_page_counts", [])
+        ),
         params=dict(workload.params),
     )
     return result

@@ -103,10 +103,16 @@ class BufferPool:
         self._dirty.clear()
 
     def clear(self) -> None:
-        """Flush everything and empty the pool (used between experiments)."""
+        """Flush everything and empty the pool (used between experiments).
+
+        Pins survive: they express ownership (the tree root must never
+        be evicted), not residency, and no tree re-pins its root after a
+        clear.  Dropping them here would let the root rotate out of a
+        small pool mid-operation and charge phantom re-reads.  Pages are
+        unpinned when their owner frees them (:meth:`discard`).
+        """
         self.flush_all()
         self._frames.clear()
-        self._pinned.clear()
 
     # -- internals ----------------------------------------------------------
 

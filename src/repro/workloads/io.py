@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import IO, Union
+from typing import Union
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import (

@@ -1,0 +1,135 @@
+"""Tests for the velocity partitioners."""
+
+import math
+
+import pytest
+
+from repro.core.partition import (
+    DirectionPartitioner,
+    SpeedPartitioner,
+    make_partitioner,
+)
+from repro.geometry.kinematics import MovingPoint
+
+
+def moving(vel):
+    return MovingPoint((0.0, 0.0), vel, 0.0, 100.0)
+
+
+# -- speed buckets ------------------------------------------------------------
+
+
+def test_uniform_speed_buckets():
+    part = SpeedPartitioner.uniform(3, max_speed=3.0)
+    assert part.partitions == 3
+    assert part.boundaries == (1.0, 2.0)
+    assert part.partition_of(moving((0.5, 0.0))) == 0
+    assert part.partition_of(moving((1.0, 0.0))) == 1  # boundary goes right
+    assert part.partition_of(moving((0.0, 1.5))) == 1
+    assert part.partition_of(moving((2.5, 0.0))) == 2
+    assert part.partition_of(moving((99.0, 0.0))) == 2  # open-ended top
+
+
+def test_speed_uses_euclidean_magnitude():
+    part = SpeedPartitioner.uniform(2, max_speed=2.0)
+    # |(0.8, 0.8)| ~ 1.13 > 1.0, the inner boundary.
+    assert part.partition_of(moving((0.8, 0.8))) == 1
+
+
+def test_fitted_boundaries_balance_the_sample():
+    speeds = [float(i) for i in range(100)]
+    part = SpeedPartitioner.fitted(speeds, 4)
+    assert part.partitions == 4
+    assert part.boundaries == (25.0, 50.0, 75.0)
+    counts = [0, 0, 0, 0]
+    for s in speeds:
+        counts[part.partition_of(moving((s, 0.0)))] += 1
+    assert counts == [25, 25, 25, 25]
+
+
+def test_fitted_skewed_sample_still_splits_the_bulk():
+    # 90% slow, 10% fast: equal-width buckets would dump 90% into one
+    # tree; quantile boundaries keep the slow mass spread out.
+    speeds = [0.1] * 45 + [0.2] * 45 + [9.0] * 10
+    part = SpeedPartitioner.fitted(speeds, 2)
+    assert part.boundaries[0] == pytest.approx(0.2)
+
+
+def test_single_partition_routes_everything_to_bucket_zero():
+    part = SpeedPartitioner.uniform(1, max_speed=3.0)
+    assert part.partitions == 1
+    assert part.partition_of(moving((2.0, 2.0))) == 0
+
+
+def test_speed_partitioner_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        SpeedPartitioner([2.0, 1.0])
+    with pytest.raises(ValueError):
+        SpeedPartitioner([-1.0])
+    with pytest.raises(ValueError):
+        SpeedPartitioner.fitted([], 2)
+    with pytest.raises(ValueError):
+        SpeedPartitioner.uniform(0, max_speed=3.0)
+
+
+def test_speed_labels_cover_the_axis():
+    part = SpeedPartitioner.uniform(3, max_speed=3.0)
+    labels = [part.label(i) for i in range(part.partitions)]
+    assert labels == ["speed [0, 1)", "speed [1, 2)", "speed >= 2"]
+
+
+# -- direction sectors --------------------------------------------------------
+
+
+def test_direction_sectors_partition_the_circle():
+    part = DirectionPartitioner(4, slow_speed=0.0)
+    assert part.partitions == 5
+    assert part.partition_of(moving((1.0, 0.0))) == 1    # east: [0, 90)
+    assert part.partition_of(moving((0.0, 1.0))) == 2    # north: [90, 180)
+    assert part.partition_of(moving((-1.0, 0.0))) == 3   # west: [180, 270)
+    assert part.partition_of(moving((0.0, -1.0))) == 4   # south: [270, 360)
+
+
+def test_direction_slow_bucket():
+    part = DirectionPartitioner(4, slow_speed=0.5)
+    assert part.partition_of(moving((0.1, 0.1))) == 0
+    assert part.partition_of(moving((0.0, 0.0))) == 0
+    assert part.partition_of(moving((2.0, 0.1))) == 1
+
+
+def test_direction_full_angle_never_overflows():
+    part = DirectionPartitioner(3, slow_speed=0.0)
+    for k in range(64):
+        angle = 2.0 * math.pi * k / 64.0
+        vel = (math.cos(angle), math.sin(angle))
+        assert 1 <= part.partition_of(moving(vel)) <= 3
+
+
+def test_split_buckets_leaf_entries():
+    part = SpeedPartitioner.uniform(2, max_speed=2.0)
+    slow, fast = moving((0.1, 0.0)), moving((1.9, 0.0))
+    groups = part.split([(slow, 1), (fast, 2), (slow, 3)])
+    assert groups == [[(slow, 1), (slow, 3)], [(fast, 2)]]
+
+
+# -- factory ------------------------------------------------------------------
+
+
+def test_make_partitioner_speed_fits_a_sample():
+    part = make_partitioner("speed", 2, sample=[0.0, 1.0, 2.0, 3.0])
+    assert isinstance(part, SpeedPartitioner)
+    assert part.boundaries == (2.0,)
+
+
+def test_make_partitioner_direction_reserves_slow_bucket():
+    part = make_partitioner("direction", 4)
+    assert isinstance(part, DirectionPartitioner)
+    assert part.partitions == 4
+    assert part.sectors == 3
+
+
+def test_make_partitioner_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_partitioner("acceleration", 4)
+    with pytest.raises(ValueError):
+        make_partitioner("direction", 1)

@@ -118,3 +118,34 @@ def test_scheduled_deletion_hook_reports_tree_io():
     index.advance_time(20.0)
     assert len(deltas) == 1
     assert deltas[0] >= 0
+
+
+def test_missed_scheduled_deletion_not_counted_as_performed():
+    """Regression: a due event whose entry is already gone (deleted
+    behind the queue's back or lazily purged) used to increment
+    ``scheduled_deletions`` and fire the I/O hook anyway, skewing
+    Section 5.4's per-deletion accounting."""
+    index, clock = make_index()
+    deltas = []
+    index.on_scheduled_deletion(lambda d: deltas.append(d.total))
+    p = point(5.0, 5.0, t_exp=10.0)
+    index.insert(1, p)
+    # Remove the entry directly from the tree, leaving the event queued.
+    assert index.tree.delete(1, p)
+    index.advance_time(20.0)
+    assert index.scheduled_deletions == 0
+    assert index.missed_deletions == 1
+    assert deltas == []  # the hook only charges real deletions
+
+
+def test_fired_and_missed_events_counted_separately():
+    index, clock = make_index()
+    live = point(5.0, 5.0, t_exp=10.0)
+    gone = point(50.0, 50.0, t_exp=12.0)
+    index.insert(1, live)
+    index.insert(2, gone)
+    assert index.tree.delete(2, gone)
+    index.advance_time(20.0)
+    assert index.scheduled_deletions == 1
+    assert index.missed_deletions == 1
+    assert index.pending_events == 0

@@ -64,3 +64,51 @@ def test_adapter_page_counts():
     adapter = TreeAdapter("t", CONFIG)
     assert adapter.page_count >= 1
     assert adapter.aux_page_count == 0
+
+
+def test_forest_adapter_accounts_and_exposes_partitions():
+    from repro.core.presets import forest_config
+    from repro.experiments.adapters import ForestAdapter
+
+    config = forest_config(
+        partitions=3, page_size=512, buffer_pages=6, default_ui=10.0
+    )
+    adapter = ForestAdapter("f", config)
+    speeds = (0.2, 1.5, 2.9)
+    for oid in range(60):
+        adapter.insert(oid, MovingPoint(
+            (float(oid % 10) * 10, float(oid // 10) * 10),
+            (speeds[oid % 3], 0.0), 0.0, 40.0,
+        ))
+    assert adapter.op_stats.update_ops == 60
+    assert adapter.op_stats.update_io > 0
+    adapter.query(TimesliceQuery(Rect((0.0, 0.0), (100.0, 100.0)), 1.0))
+    assert adapter.op_stats.search_ops == 1
+    assert len(adapter.partition_page_counts) == 3
+    assert sum(adapter.partition_page_counts) == adapter.page_count
+    assert adapter.audit().leaf_entries == 60
+    assert adapter.exact_semantics
+
+
+def test_forest_adapter_replays_workload_with_oracle():
+    from repro.core.presets import forest_config
+    from repro.experiments.adapters import ForestAdapter
+    from repro.experiments.runner import run_workload
+    from repro.workloads.expiration import FixedPeriod
+    from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+    workload = generate_uniform_workload(
+        UniformParams(target_population=60, insertions=500, seed=2),
+        FixedPeriod(120.0),
+    )
+    config = forest_config(
+        partitions=4, page_size=512, buffer_pages=8, default_ui=10.0
+    )
+    result = run_workload(
+        ForestAdapter("forest/4", config), workload,
+        verify=True, prepopulate=True,
+    )
+    assert result.oracle_mismatches == 0
+    assert result.search_ops > 0
+    assert len(result.partition_pages) == 4
+    assert sum(result.partition_pages) == result.page_count

@@ -145,3 +145,32 @@ def test_clear_flushes_and_empties():
     pool.clear()
     assert pool.resident_pages == 0
     assert disk.peek(a) == "a2"
+
+
+def test_clear_preserves_pins():
+    """Regression: clear() used to wipe the pin set, so after a
+    between-experiments clear the tree root became evictable and no
+    caller ever re-pinned it."""
+    disk, pool = make(capacity=2)
+    root = _page(disk, "root")
+    pool.get(root)
+    pool.pin(root)
+    pool.clear()
+    assert pool.is_pinned(root)
+    # The re-admitted root must survive LRU pressure, as before clear().
+    pool.get(root)
+    b, c = _page(disk, "b"), _page(disk, "c")
+    pool.get(b)
+    pool.get(c)
+    assert pool.is_resident(root)
+
+
+def test_tree_root_stays_pinned_across_buffer_clear():
+    """The three tree owners pin their root once, at construction; a
+    buffer clear between experiments must not orphan that pin."""
+    from repro.core.presets import rexp_config
+    from repro.core.tree import MovingObjectTree
+
+    tree = MovingObjectTree(rexp_config(page_size=512, buffer_pages=4))
+    tree.buffer.clear()
+    assert tree.buffer.is_pinned(tree.root_pid)

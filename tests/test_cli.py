@@ -93,3 +93,16 @@ def test_figures_all_resolves(monkeypatch):
     )
     assert cli.main(["figures", "all"]) == 0
     assert seen == ["fig10", "fig9"]
+
+
+def test_forest(capsys):
+    code = main([
+        "forest", "--expt", "40", "--partitions", "2", "--verify",
+        "--population", "60", "--insertions", "500",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Rexp-tree" in out
+    assert "forest/2 (speed)" in out
+    assert "oracle mismatches: 0" in out
+    assert "speed" in out  # per-partition labels

@@ -6,7 +6,7 @@ from collections import defaultdict
 
 import pytest
 
-from repro.workloads.base import InsertOp, QueryOp, UpdateOp
+from repro.workloads.base import InsertOp, UpdateOp
 from repro.workloads.expiration import FixedDistance, FixedPeriod
 from repro.workloads.network import (
     NetworkParams,

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro.workloads.base import InsertOp, QueryOp, UpdateOp
+from repro.workloads.base import InsertOp, UpdateOp
 from repro.workloads.expiration import FixedPeriod
 from repro.workloads.queries import QueryProfile
 from repro.workloads.stream import StreamParams, build_stream
