@@ -1,0 +1,138 @@
+"""Observability must be free when it is off.
+
+The tracing/metrics layer (``repro.obs``) promises a zero-overhead
+disabled path: every instrumented hot site is behind a single
+``self._obs is None`` / ``self._tracer is None`` attribute check, and
+no record, counter, or span object is touched until observability is
+explicitly enabled.  This benchmark holds the layer to that promise on
+a ~10k-operation uniform workload:
+
+1. **Exactness** — an enabled run must report page I/O identical *to
+   the last digit* to a disabled run of the same workload.  The
+   instrumentation observes page traffic, it must never cause any.
+2. **Disabled-path cost** — the only thing the disabled path pays is
+   the guard checks.  The per-check cost is measured directly and
+   multiplied by a deliberate *overcount* of guard executions; even
+   that bound must stay under 2% of the disabled run's wall time.
+3. **Enabled-path cost** — reported (spans, events, and histograms are
+   not free and are not meant to be), with the slowdown factor written
+   to ``BENCH_obs.json`` alongside the other numbers for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.presets import rexp_config
+from repro.experiments.adapters import TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.experiments.scale import SCALES
+from repro.obs import MetricsRegistry, Tracer
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+SCALE = SCALES["tiny"]
+# A deliberate overcount of disabled-path guard checks per operation:
+# an op entry touches 2-4 guards and structural events a handful more;
+# real counts are well below this.
+GUARDS_PER_OP = 24
+
+_REPORT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _workload():
+    return generate_uniform_workload(
+        UniformParams(
+            target_population=SCALE.target_population,
+            insertions=10_000,  # ~10k ops plus the interleaved queries
+            update_interval=60.0,
+            seed=0,
+        ),
+        FixedPeriod(120.0),
+    )
+
+
+def _adapter():
+    return TreeAdapter(
+        "Rexp-tree",
+        rexp_config(
+            page_size=SCALE.page_size, buffer_pages=SCALE.buffer_pages
+        ),
+    )
+
+
+def _run(workload, registry=None, tracer=None):
+    adapter = _adapter()
+    t0 = time.perf_counter()
+    result = run_workload(
+        adapter, workload, registry=registry, tracer=tracer
+    )
+    return result, time.perf_counter() - t0
+
+
+def _guard_cost_ns() -> float:
+    """Measured cost of one ``self._obs is None`` check, in nanoseconds."""
+    tree = _adapter().tree
+    n = 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if tree._obs is not None:
+            raise AssertionError  # pragma: no cover
+    per_iteration = (time.perf_counter() - t0) / n
+    # Subtract the loop's own cost so only the guard remains.
+    t0 = time.perf_counter()
+    for _ in range(n):
+        pass
+    loop = (time.perf_counter() - t0) / n
+    return max(per_iteration - loop, 1e-10) * 1e9
+
+
+def test_disabled_path_is_exact_and_under_2_percent():
+    workload = _workload()
+    ops = len(workload.ops)
+    assert ops >= 10_000, f"workload too small to be meaningful: {ops} ops"
+
+    plain, plain_wall = _run(workload)
+    registry, tracer = MetricsRegistry(), Tracer()
+    traced, traced_wall = _run(workload, registry=registry, tracer=tracer)
+
+    # 1. Exactness: observing the run must not change what it does.
+    assert traced.avg_search_io == plain.avg_search_io
+    assert traced.avg_update_io == plain.avg_update_io
+    assert traced.search_ops == plain.search_ops
+    assert traced.update_ops == plain.update_ops
+    assert traced.page_count == plain.page_count
+    assert traced.leaf_entries == plain.leaf_entries
+    assert traced.failed_deletes == plain.failed_deletes
+
+    # 2. Disabled-path cost: guard checks only, bounded from above.
+    guard_ns = _guard_cost_ns()
+    bound = ops * GUARDS_PER_OP * guard_ns * 1e-9
+    overhead = bound / plain_wall
+    assert overhead < 0.02, (
+        f"disabled-path guard bound {bound * 1e3:.2f} ms is "
+        f"{overhead:.2%} of the {plain_wall:.2f} s run"
+    )
+
+    # 3. Enabled-path cost: report, don't assert — tracing is opt-in.
+    slowdown = traced_wall / plain_wall if plain_wall else float("inf")
+    payload = {
+        "scale": SCALE.name,
+        "operations": ops,
+        "disabled_wall_s": round(plain_wall, 4),
+        "enabled_wall_s": round(traced_wall, 4),
+        "enabled_slowdown": round(slowdown, 3),
+        "guard_cost_ns": round(guard_ns, 2),
+        "guards_per_op_bound": GUARDS_PER_OP,
+        "disabled_overhead_bound": round(overhead, 6),
+        "trace_records": len(tracer),
+        "metric_names": len(registry.names()),
+    }
+    _REPORT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[repro] obs overhead: disabled bound {overhead:.3%} "
+          f"(guard {guard_ns:.0f} ns x {GUARDS_PER_OP}/op), "
+          f"enabled {slowdown:.2f}x over {ops} ops; wrote {_REPORT.name}",
+          file=sys.__stdout__)

@@ -39,6 +39,7 @@ from .geometry import (
     TimesliceQuery,
     WindowQuery,
 )
+from .obs import Histogram, MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -46,6 +47,8 @@ __all__ = [
     "BoundingKind",
     "DirectionPartitioner",
     "ForestConfig",
+    "Histogram",
+    "MetricsRegistry",
     "MovingObjectTree",
     "MovingPoint",
     "MovingQuery",
@@ -56,6 +59,7 @@ __all__ = [
     "SpeedPartitioner",
     "TPBR",
     "TimesliceQuery",
+    "Tracer",
     "TreeConfig",
     "WindowQuery",
     "__version__",

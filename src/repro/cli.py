@@ -9,6 +9,7 @@
     python -m repro compare                  # quick R^exp vs TPR duel
     python -m repro bulkload --scale small   # STR packing vs insertion
     python -m repro forest --partitions 2 4  # velocity-partitioned forest
+    python -m repro profile                  # traced run: tails + events
     python -m repro layout --page-size 4096  # node fan-outs
 
 Figure sweeps honour the same cache as the benchmarks.
@@ -26,6 +27,7 @@ from .experiments.figures import ALL_FIGURES
 from .experiments.report import format_checks, format_figure, shape_checks
 from .experiments.runner import run_workload
 from .experiments.scale import DEFAULT_SCALE, SCALES, Scale
+from .obs import MetricsRegistry, Tracer
 from .storage.layout import EntryLayout
 from .workloads.expiration import FixedDistance, FixedPeriod, NeverExpire
 from .workloads.network import NetworkParams, generate_network_workload
@@ -174,11 +176,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
     print(f"replaying {workload.name} at scale {scale.name} ...")
     results = []
-    for name, config in (
+    for i, (name, config) in enumerate((
         ("Rexp-tree", rexp_config(**sizing)),
         ("TPR-tree", tpr_config(**sizing)),
-    ):
-        result = run_workload(TreeAdapter(name, config), workload)
+    )):
+        tracer = Tracer() if args.trace_out else None
+        result = run_workload(TreeAdapter(name, config), workload,
+                              tracer=tracer)
+        if tracer is not None:
+            tracer.export_jsonl(args.trace_out, append=i > 0,
+                                extra={"adapter": name})
         results.append(result)
         print(result.summary())
     if results[0].avg_search_io > 0.0:
@@ -228,10 +235,15 @@ def cmd_forest(args: argparse.Namespace) -> int:
             ),
         ))
     results = []
-    for name, adapter in adapters:
+    for i, (name, adapter) in enumerate(adapters):
+        tracer = Tracer() if args.trace_out else None
         result = run_workload(
-            adapter, workload, verify=args.verify, prepopulate=True
+            adapter, workload, verify=args.verify, prepopulate=True,
+            tracer=tracer,
         )
+        if tracer is not None:
+            tracer.export_jsonl(args.trace_out, append=i > 0,
+                                extra={"adapter": name})
         results.append(result)
         print(result.summary())
         if args.verify:
@@ -257,6 +269,129 @@ def cmd_forest(args: argparse.Namespace) -> int:
         print("index fits entirely in the buffer pool at this scale; "
               "increase --population for a meaningful comparison")
     return 1 if mismatched else 0
+
+
+def _sum_metric(registry: MetricsRegistry, suffix: str) -> float:
+    """Sum a metric over every scope (``tree.splits`` and
+    ``partition<i>.tree.splits`` alike)."""
+    total = 0
+    for name in registry.names():
+        if name == suffix or name.endswith("." + suffix):
+            total += registry.get(name).value
+    return total
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    if args.workload == "network":
+        workload = generate_network_workload(
+            NetworkParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    else:
+        workload = generate_uniform_workload(
+            UniformParams(
+                target_population=scale.target_population,
+                insertions=scale.insertions,
+                update_interval=args.ui,
+                seed=args.seed,
+            ),
+            policy,
+        )
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    if args.index == "forest":
+        adapter = ForestAdapter(
+            "forest", forest_config(partitions=args.partitions, **sizing)
+        )
+        backing = adapter.forest
+    elif args.index == "tpr":
+        adapter = TreeAdapter("TPR-tree", tpr_config(**sizing))
+        backing = adapter.tree
+    else:
+        adapter = TreeAdapter("Rexp-tree", rexp_config(**sizing))
+        backing = adapter.tree
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    print(f"profiling {workload.name} at scale {scale.name} "
+          f"on {adapter.name} ...")
+    result = run_workload(
+        adapter, workload, prepopulate=args.prepopulate,
+        registry=registry, tracer=tracer,
+    )
+    print(result.summary())
+    print()
+
+    print(f"{'per-operation cost':<26}{'p50':>10}{'p95':>10}{'p99':>10}")
+    print(f"{'  search I/O (pages)':<26}{result.search_io_p50:>10.0f}"
+          f"{result.search_io_p95:>10.0f}{result.search_io_p99:>10.0f}")
+    print(f"{'  update I/O (pages)':<26}{result.update_io_p50:>10.0f}"
+          f"{result.update_io_p95:>10.0f}{result.update_io_p99:>10.0f}")
+    print(f"{'  search latency (ms)':<26}"
+          f"{result.search_latency_p50 * 1e3:>10.3f}"
+          f"{result.search_latency_p95 * 1e3:>10.3f}"
+          f"{result.search_latency_p99 * 1e3:>10.3f}")
+    print(f"{'  update latency (ms)':<26}"
+          f"{result.update_latency_p50 * 1e3:>10.3f}"
+          f"{result.update_latency_p95 * 1e3:>10.3f}"
+          f"{result.update_latency_p99 * 1e3:>10.3f}")
+    print()
+
+    print(f"buffer pool: hits={result.buffer_hits}  "
+          f"misses={result.buffer_misses}  "
+          f"evictions={result.buffer_evictions}  "
+          f"hit rate={result.buffer_hit_rate:.1%}")
+    print()
+
+    print("structural events:")
+    tallies = tracer.event_totals()
+    if not tallies:
+        print("  (none)")
+    for name in sorted(tallies):
+        line = f"  {name:<18}{tallies[name]:>8}"
+        if name == "lazy_purge":
+            line += (f"   entries purged: "
+                     f"{_sum_metric(registry, 'tree.purged_leaf_entries'):.0f}")
+        elif name == "subtree_dealloc":
+            line += (f"   pages freed: "
+                     f"{_sum_metric(registry, 'tree.purged_subtree_pages'):.0f}")
+        elif name == "condense_drop":
+            line += (f"   entries reinserted: "
+                     f"{_sum_metric(registry, 'tree.condense_orphaned_entries'):.0f}")
+        print(line)
+    if tracer.dropped:
+        print(f"  (ring buffer dropped {tracer.dropped} records)")
+    print()
+
+    print(f"slowest operations (top {args.top}):")
+    for record in tracer.slowest_spans(args.top):
+        attrs = record.get("attrs", {})
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        print(f"  {record['name']:<14}{record['dur'] * 1e3:>9.3f} ms  {detail}")
+    print()
+
+    print("node occupancy by level:")
+    occupancy = backing.level_occupancy()
+    for level in sorted(occupancy, reverse=True):
+        nodes, entries = occupancy[level]
+        kind = "leaf" if level == 0 else "internal"
+        avg = entries / nodes if nodes else 0.0
+        print(f"  level {level} ({kind:<8}) {nodes:>6} nodes "
+              f"{entries:>8} entries  avg {avg:5.1f}/node")
+
+    if args.trace_out:
+        n = tracer.export_jsonl(args.trace_out, extra={"adapter": adapter.name})
+        print(f"\nwrote {n} trace records to {args.trace_out}")
+    if args.metrics_out:
+        registry.export_json(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
 
 
 def cmd_bulkload(args: argparse.Namespace) -> int:
@@ -386,6 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ui", type=float, default=60.0)
     p.add_argument("--expt", type=float, default=None)
     p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                   help="append both runs' span/event traces as JSON Lines")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_compare)
 
@@ -415,8 +552,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expd", type=float, default=None)
     p.add_argument("--verify", action="store_true",
                    help="check every answer against a brute-force oracle")
+    p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                   help="append every run's span/event trace as JSON Lines")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_forest)
+
+    p = sub.add_parser(
+        "profile",
+        help="traced run: I/O and latency tails, structural events, "
+        "buffer hit rate, node occupancy",
+    )
+    p.add_argument("--workload", choices=("uniform", "network"),
+                   default="uniform")
+    p.add_argument("--index", choices=("rexp", "tpr", "forest"),
+                   default="rexp")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="forest size (with --index forest)")
+    p.add_argument("--prepopulate", action="store_true",
+                   help="bulk-load the initial population instead of "
+                   "replaying it as insertions")
+    p.add_argument("--top", type=int, default=10,
+                   help="slowest operations to list")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                   help="write the span/event trace as JSON Lines")
+    p.add_argument("--metrics-out", metavar="FILE.json", default=None,
+                   help="write the metrics registry as JSON")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("layout", help="node fan-outs for a page size")
     p.add_argument("--page-size", type=int, default=4096)

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
+from ..obs.metrics import NULL_REGISTRY
 from ..storage.stats import IOSnapshot
 from .clock import SimulationClock
 from .config import TreeConfig
@@ -176,6 +177,35 @@ class PartitionedMovingObjectForest:
             for _ in range(self.config.partitions)
         ]
         self.stats = ForestStats(self)
+        self._obs_routes = None  # per-partition routing counters when on
+
+    # -- observability ------------------------------------------------------
+
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        """Attach observability to every member and the routing layer.
+
+        Each member tree gets a child scope of ``registry`` named
+        ``partition<i>`` (so metric names read e.g.
+        ``partition0.tree.splits``), all sharing the root registry's
+        store; the forest itself counts how many inserts/deletes route
+        to each partition.  The tracer is shared by all members.
+        """
+        binder = registry if registry is not None else NULL_REGISTRY
+        self._obs_routes = []
+        for i, tree in enumerate(self.trees):
+            scope = binder.scope(f"partition{i}")
+            tree.enable_observability(
+                scope if registry is not None else None, tracer
+            )
+            self._obs_routes.append(scope.counter("forest.routed_ops"))
+        if registry is not None:
+            registry.gauge("forest.partitions", fn=lambda: self.partitions)
+            registry.gauge("forest.pages", fn=lambda: self.page_count)
+
+    def disable_observability(self) -> None:
+        self._obs_routes = None
+        for tree in self.trees:
+            tree.disable_observability()
 
     # ------------------------------------------------------------------ API --
 
@@ -193,7 +223,10 @@ class PartitionedMovingObjectForest:
 
     def insert(self, oid: int, point: MovingPoint) -> None:
         """Index a report in its velocity class's tree."""
-        self.tree_for(point).insert(oid, point)
+        idx = self.partitioner.partition_of(point)
+        if self._obs_routes is not None:
+            self._obs_routes[idx].inc()
+        self.trees[idx].insert(oid, point)
 
     def delete(self, oid: int, point: MovingPoint) -> bool:
         """Remove a report from the tree its insertion chose.
@@ -201,7 +234,10 @@ class PartitionedMovingObjectForest:
         Partitioning is a pure function of the report, so the deletion
         routes to the same member the insertion did — no routing table.
         """
-        return self.tree_for(point).delete(oid, point)
+        idx = self.partitioner.partition_of(point)
+        if self._obs_routes is not None:
+            self._obs_routes[idx].inc()
+        return self.trees[idx].delete(oid, point)
 
     def update(
         self, oid: int, old_point: MovingPoint, new_point: MovingPoint
@@ -276,6 +312,19 @@ class PartitionedMovingObjectForest:
 
     def partition_labels(self) -> List[str]:
         return [self.partitioner.label(i) for i in range(self.partitions)]
+
+    def level_occupancy(self) -> "dict[int, tuple]":
+        """Per-level ``{level: (nodes, entries)}`` summed over members."""
+        merged: "dict[int, List[int]]" = {}
+        for tree in self.trees:
+            for level, (nodes, entries) in tree.level_occupancy().items():
+                slot = merged.setdefault(level, [0, 0])
+                slot[0] += nodes
+                slot[1] += entries
+        return {
+            level: (nodes, entries)
+            for level, (nodes, entries) in merged.items()
+        }
 
     def audit(self) -> TreeAudit:
         """Forest-wide structural census (entry counts summed over members)."""

@@ -32,6 +32,7 @@ from ..geometry.kernels import (
 from ..geometry.kinematics import NEVER, MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
 from ..geometry.tpbr import TPBR
+from ..obs.metrics import NULL_REGISTRY
 from ..rstar.heuristics import choose_child, choose_split, reinsert_candidates
 from ..rstar.metrics import KineticMetrics
 from ..rstar.node import Node
@@ -68,12 +69,65 @@ class TreeAudit:
         return self.expired_leaf_entries / self.leaf_entries
 
 
+class _TreeInstruments:
+    """Metric handles pre-bound to one registry (see DESIGN.md §7).
+
+    Binding happens once, in :meth:`MovingObjectTree.enable_observability`;
+    the hot paths then guard on ``self._obs is not None`` and call plain
+    ``inc``/``record`` methods, so a disabled tree pays one attribute
+    check per instrumented site and an enabled one no name lookups.
+    """
+
+    __slots__ = (
+        "inserts", "deletes", "delete_misses", "queries", "bulk_loads",
+        "splits", "reinserts", "reinserted_entries",
+        "purge_events", "purged_entries", "purged_subtrees",
+        "purged_subtree_pages", "purged_subtree_leaves",
+        "condense_drops", "condense_orphans",
+        "root_grows", "root_shrinks",
+        "leaf_added", "leaf_removed_delete", "leaf_removed_condense",
+        "leaf_removed_reinsert",
+        "query_nodes", "query_depth",
+    )
+
+    def __init__(self, registry):
+        counter, histogram = registry.counter, registry.histogram
+        self.inserts = counter("tree.inserts")
+        self.deletes = counter("tree.deletes")
+        self.delete_misses = counter("tree.delete_misses")
+        self.queries = counter("tree.queries")
+        self.bulk_loads = counter("tree.bulk_loaded_entries")
+        self.splits = counter("tree.splits")
+        self.reinserts = counter("tree.forced_reinserts")
+        self.reinserted_entries = counter("tree.reinserted_entries")
+        self.purge_events = counter("tree.purge_events")
+        self.purged_entries = counter("tree.purged_leaf_entries")
+        self.purged_subtrees = counter("tree.purged_subtrees")
+        self.purged_subtree_pages = counter("tree.purged_subtree_pages")
+        self.purged_subtree_leaves = counter("tree.purged_subtree_leaf_entries")
+        self.condense_drops = counter("tree.condense_drops")
+        self.condense_orphans = counter("tree.condense_orphaned_entries")
+        self.root_grows = counter("tree.root_grows")
+        self.root_shrinks = counter("tree.root_shrinks")
+        self.leaf_added = counter("tree.leaf_entries_added")
+        self.leaf_removed_delete = counter("tree.leaf_entries_deleted")
+        self.leaf_removed_condense = counter("tree.leaf_entries_condensed")
+        self.leaf_removed_reinsert = counter("tree.leaf_entries_reinserted")
+        self.query_nodes = histogram("tree.query_nodes_visited")
+        self.query_depth = histogram("tree.query_descent_depth")
+
+
 class MovingObjectTree:
     """Disk-based index over expiring moving points.
 
     With the default :class:`TreeConfig` this is the paper's R^exp-tree;
     see :mod:`repro.core.presets` for the TPR-tree and the Section 5
     experiment flavours.
+
+    Observability is off by default (``_obs``/``_tracer`` are ``None``
+    and every instrumented site is behind that attribute check); call
+    :meth:`enable_observability` to attach a metrics registry and/or a
+    tracer.
     """
 
     def __init__(
@@ -113,9 +167,42 @@ class MovingObjectTree:
             rng=self._rng,
             ignore_expiration=self.config.choose_ignores_expiration,
         )
+        self._obs: Optional[_TreeInstruments] = None
+        self._tracer = None
         self.root_pid = self._new_node(Node(0))
         self.buffer.pin(self.root_pid)
         self.buffer.flush_all()
+
+    # -- observability ------------------------------------------------------
+
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        """Attach a metrics registry and/or tracer to this tree.
+
+        Either argument may be ``None``: metrics-only and tracing-only
+        configurations are both supported.  Also registers derived
+        gauges for the buffer pool (hit rate and raw counters) and the
+        index size.  Idempotent; call :meth:`disable_observability` to
+        return to the zero-overhead path.
+        """
+        self._obs = _TreeInstruments(
+            registry if registry is not None else NULL_REGISTRY
+        )
+        self._tracer = tracer
+        if registry is not None:
+            buffer = self.buffer
+            registry.gauge("buffer.hit_rate", fn=lambda: buffer.hit_rate)
+            registry.gauge("buffer.hits", fn=lambda: buffer.hits)
+            registry.gauge("buffer.misses", fn=lambda: buffer.misses)
+            registry.gauge("buffer.evictions", fn=lambda: buffer.evictions)
+            registry.gauge("tree.pages", fn=lambda: self.page_count)
+            registry.gauge("tree.height", fn=lambda: self.height)
+            registry.gauge(
+                "tree.leaf_entries", fn=lambda: self.leaf_entry_count
+            )
+
+    def disable_observability(self) -> None:
+        self._obs = None
+        self._tracer = None
 
     # ------------------------------------------------------------------ API --
 
@@ -125,10 +212,19 @@ class MovingObjectTree:
 
     def insert(self, oid: int, point: MovingPoint) -> None:
         """Index a (new or re-appearing) object's reported movement."""
+        if self._tracer is not None:
+            with self._tracer.span("tree.insert", oid=oid):
+                self._insert(oid, point)
+        else:
+            self._insert(oid, point)
+
+    def _insert(self, oid: int, point: MovingPoint) -> None:
         if point.dims != self.config.dims:
             raise ValueError(
                 f"expected {self.config.dims}-d point, got {point.dims}-d"
             )
+        if self._obs is not None:
+            self._obs.inserts.inc()
         if not self.config.store_leaf_expiration and point.t_exp != NEVER:
             point = MovingPoint(point.pos, point.vel, point.t_ref, NEVER)
         orphans: List[Orphan] = []
@@ -165,6 +261,11 @@ class MovingObjectTree:
             self.buffer.flush_all()
             return
         bulk_load_tree(self, prepared)
+        if self._obs is not None:
+            self._obs.bulk_loads.inc(len(prepared))
+            self._obs.leaf_added.inc(len(prepared))
+            if self._tracer is not None:
+                self._tracer.event("bulk_load", entries=len(prepared))
 
     def delete(self, oid: int, point: MovingPoint) -> bool:
         """Remove an object's entry, locating it via its last report.
@@ -174,14 +275,29 @@ class MovingObjectTree:
         an already-expired (or lazily purged) object fails and returns
         False — which is harmless, as the entry is or will be purged.
         """
+        if self._tracer is not None:
+            with self._tracer.span("tree.delete", oid=oid) as span:
+                removed = self._delete(oid, point)
+                span.set(found=removed)
+                return removed
+        return self._delete(oid, point)
+
+    def _delete(self, oid: int, point: MovingPoint) -> bool:
+        obs = self._obs
+        if obs is not None:
+            obs.deletes.inc()
         found = self._find_leaf_entry(oid, point)
         if found is None:
+            if obs is not None:
+                obs.delete_misses.inc()
             self.buffer.flush_all()
             return False
         path, entry_idx = found
         leaf = self._load(path[-1])
         del leaf.entries[entry_idx]
         self.horizon.leaf_entries_changed(-1)
+        if obs is not None:
+            obs.leaf_removed_delete.inc()
         self._touch(path[-1], leaf)
         orphans: List[Orphan] = []
         reinserted: set = set()
@@ -209,6 +325,8 @@ class MovingObjectTree:
         Expired information never qualifies: intersection tests clip the
         query window at each entry's expiration time (Section 4.1.5).
         """
+        if self._obs is not None or self._tracer is not None:
+            return self._query_observed(query)
         region = query.region()
         results: List[int] = []
         stack = [self.root_pid]
@@ -234,6 +352,65 @@ class MovingObjectTree:
                 )
         self.buffer.flush_all()
         return results
+
+    def _query_observed(self, query: SpatioTemporalQuery) -> List[int]:
+        """The :meth:`query` descent with depth/visit accounting.
+
+        Kept as a twin of the unobserved loop (which must stay free of
+        per-node bookkeeping); the answer and the page accesses are
+        identical — only ``(pid, depth)`` stack bookkeeping is added.
+        """
+        span = (
+            self._tracer.span("tree.query", kind=type(query).__name__)
+            if self._tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            region = query.region()
+            results: List[int] = []
+            nodes_visited = 0
+            max_depth = 0
+            stack = [(self.root_pid, 0)]
+            while stack:
+                pid, depth = stack.pop()
+                node = self._load(pid)
+                nodes_visited += 1
+                if depth > max_depth:
+                    max_depth = depth
+                if node.is_leaf:
+                    points = [point for point, _ in node.entries]
+                    if node.soa is None:
+                        node.soa = pack_points(points)
+                    hits = batch_region_matches(region, points, node.soa)
+                    results.extend(
+                        oid for (_, oid), hit in zip(node.entries, hits) if hit
+                    )
+                else:
+                    brs = [br for br, _ in node.entries]
+                    if node.soa is None:
+                        node.soa = pack_tpbrs(brs)
+                    hits = batch_region_intersects(region, brs, node.soa)
+                    stack.extend(
+                        (pid_, depth + 1)
+                        for (_, pid_), hit in zip(node.entries, hits)
+                        if hit
+                    )
+            self.buffer.flush_all()
+            obs = self._obs
+            if obs is not None:
+                obs.queries.inc()
+                obs.query_nodes.record(nodes_visited)
+                obs.query_depth.record(max_depth)
+            if span is not None:
+                span.set(
+                    nodes=nodes_visited, depth=max_depth, results=len(results)
+                )
+            return results
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
     # -- introspection ----------------------------------------------------------
 
@@ -280,6 +457,26 @@ class MovingObjectTree:
             internal_entries=internal_entries,
             expired_internal_entries=expired_internal,
         )
+
+    def level_occupancy(self) -> "dict[int, Tuple[int, int]]":
+        """Per-level ``{level: (nodes, entries)}`` census (no I/O charged).
+
+        Level 0 is the leaves; divide entries by ``nodes * capacity`` for
+        the fill factor the profile report prints.
+        """
+        census: "dict[int, List[int]]" = {}
+        stack = [self.root_pid]
+        while stack:
+            node = self.disk.peek(stack.pop())
+            slot = census.setdefault(node.level, [0, 0])
+            slot[0] += 1
+            slot[1] += len(node.entries)
+            if not node.is_leaf:
+                stack.extend(node.child_ids())
+        return {
+            level: (nodes, entries)
+            for level, (nodes, entries) in census.items()
+        }
 
     def check_invariants(self) -> None:
         """Raise AssertionError on structural violations (test helper)."""
@@ -371,6 +568,8 @@ class MovingObjectTree:
             self._set_root(Node(level, [entry]))
             if level == 0:
                 self.horizon.leaf_entries_changed(+1)
+                if self._obs is not None:
+                    self._obs.leaf_added.inc()
             self._condense_path([self.root_pid], orphans, reinserted)
             return
         if level > root.level:
@@ -388,6 +587,8 @@ class MovingObjectTree:
         node.entries.append(entry)
         if level == 0:
             self.horizon.leaf_entries_changed(+1)
+            if self._obs is not None:
+                self._obs.leaf_added.inc()
         self._touch(path[-1], node)
         self._condense_path(path, orphans, reinserted)
 
@@ -449,11 +650,25 @@ class MovingObjectTree:
             has_room = len(orphans) < self.config.max_orphans
             if underfull and (has_room or not node.entries):
                 # PU2: orphan the live entries and drop the node.
+                orphaned = 0
                 for entry in node.entries:
                     if self._is_live(entry[0]):
                         orphans.append((entry, node.level))
+                        orphaned += 1
                 if node.is_leaf:
                     self.horizon.leaf_entries_changed(-len(node.entries))
+                if self._obs is not None:
+                    self._obs.condense_drops.inc()
+                    self._obs.condense_orphans.inc(orphaned)
+                    if node.is_leaf:
+                        self._obs.leaf_removed_condense.inc(len(node.entries))
+                    if self._tracer is not None:
+                        self._tracer.event(
+                            "condense_drop",
+                            level=node.level,
+                            entries=len(node.entries),
+                            orphaned=orphaned,
+                        )
                 del parent.entries[child_idx]
                 self._free_node(pid, node)
             else:
@@ -490,6 +705,17 @@ class MovingObjectTree:
             ]
             if node.is_leaf:
                 self.horizon.leaf_entries_changed(-len(evicted))
+            if self._obs is not None:
+                self._obs.reinserts.inc()
+                self._obs.reinserted_entries.inc(len(evicted))
+                if node.is_leaf:
+                    self._obs.leaf_removed_reinsert.inc(len(evicted))
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "forced_reinsert",
+                        level=node.level,
+                        entries=len(evicted),
+                    )
             return None
         return self._split(node)
 
@@ -501,6 +727,15 @@ class MovingObjectTree:
         node.entries = [entries[i] for i in result.group_a]
         sibling = Node(node.level, [entries[i] for i in result.group_b])
         sibling_pid = self._new_node(sibling)
+        if self._obs is not None:
+            self._obs.splits.inc()
+            if self._tracer is not None:
+                self._tracer.event(
+                    "split",
+                    level=node.level,
+                    left=len(node.entries),
+                    right=len(sibling.entries),
+                )
         return (self._bound_node(sibling), sibling_pid)
 
     def _grow_root(self, split_entry: Tuple[TPBR, PageId]) -> None:
@@ -510,6 +745,10 @@ class MovingObjectTree:
         self._set_root(
             Node(old_root.level + 1, [(moved_bound, moved_pid), split_entry])
         )
+        if self._obs is not None:
+            self._obs.root_grows.inc()
+            if self._tracer is not None:
+                self._tracer.event("root_grow", height=old_root.level + 2)
 
     def _shrink_root(self) -> None:
         root = self._load(self.root_pid)
@@ -519,6 +758,10 @@ class MovingObjectTree:
             child = self._load(child_pid)
             self._set_root(Node(child.level, child.entries))
             self._free_node(child_pid, child)
+            if self._obs is not None:
+                self._obs.root_shrinks.inc()
+                if self._tracer is not None:
+                    self._tracer.event("root_shrink", height=child.level + 1)
             root = self._load(self.root_pid)
         if not root.is_leaf and not root.entries:
             self._set_root(Node(0))
@@ -545,20 +788,42 @@ class MovingObjectTree:
         node.entries = kept
         if dead_leaves:
             self.horizon.leaf_entries_changed(-dead_leaves)
+        if self._obs is not None:
+            self._obs.purge_events.inc()
+            self._obs.purged_entries.inc(dead_leaves)
+            self._obs.purged_subtrees.inc(len(dead_children))
+            if self._tracer is not None:
+                self._tracer.event(
+                    "lazy_purge",
+                    level=node.level,
+                    purged=dead_leaves,
+                    subtrees=len(dead_children),
+                )
         for child_pid in dead_children:
             self._deallocate_subtree(child_pid)
 
     def _deallocate_subtree(self, pid: PageId) -> None:
         """Free a whole expired subtree (charging the reads to find it)."""
+        pages = 0
+        leaf_entries = 0
         stack = [pid]
         while stack:
             page = stack.pop()
             node = self._load(page)
+            pages += 1
             if node.is_leaf:
+                leaf_entries += len(node.entries)
                 self.horizon.leaf_entries_changed(-len(node.entries))
             else:
                 stack.extend(node.child_ids())
             self._free_node(page, node)
+        if self._obs is not None:
+            self._obs.purged_subtree_pages.inc(pages)
+            self._obs.purged_subtree_leaves.inc(leaf_entries)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "subtree_dealloc", pages=pages, leaf_entries=leaf_entries
+                )
 
     # -- deletion search --------------------------------------------------------------------
 

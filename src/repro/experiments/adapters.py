@@ -80,6 +80,18 @@ class IndexAdapter(ABC):
         """Structural census, if the underlying index supports one."""
         return None
 
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        """Attach a metrics registry and/or tracer to the wrapped index.
+
+        The base adapter has nothing to instrument; index-backed
+        adapters delegate to their tree or forest.
+        """
+
+    @property
+    def buffer_counters(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)`` of the primary index's pool."""
+        return (0, 0, 0)
+
 
 class TreeAdapter(IndexAdapter):
     """A bare moving-object tree (R^exp-tree or TPR-tree)."""
@@ -128,6 +140,14 @@ class TreeAdapter(IndexAdapter):
 
     def audit(self) -> TreeAudit:
         return self.tree.audit()
+
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        self.tree.enable_observability(registry, tracer)
+
+    @property
+    def buffer_counters(self) -> Tuple[int, int, int]:
+        pool = self.tree.buffer
+        return (pool.hits, pool.misses, pool.evictions)
 
 
 class ForestAdapter(IndexAdapter):
@@ -187,6 +207,18 @@ class ForestAdapter(IndexAdapter):
 
     def audit(self) -> TreeAudit:
         return self.forest.audit()
+
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        self.forest.enable_observability(registry, tracer)
+
+    @property
+    def buffer_counters(self) -> Tuple[int, int, int]:
+        pools = [tree.buffer for tree in self.forest.trees]
+        return (
+            sum(pool.hits for pool in pools),
+            sum(pool.misses for pool in pools),
+            sum(pool.evictions for pool in pools),
+        )
 
 
 class ScheduledAdapter(IndexAdapter):
@@ -272,3 +304,11 @@ class ScheduledAdapter(IndexAdapter):
 
     def audit(self) -> TreeAudit:
         return self.tree.audit()
+
+    def enable_observability(self, registry=None, tracer=None) -> None:
+        self.tree.enable_observability(registry, tracer)
+
+    @property
+    def buffer_counters(self) -> Tuple[int, int, int]:
+        pool = self.tree.buffer
+        return (pool.hits, pool.misses, pool.evictions)

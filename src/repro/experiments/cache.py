@@ -20,7 +20,7 @@ from typing import Optional
 
 from .runner import RunResult
 
-_CACHE_VERSION = 3
+_CACHE_VERSION = 4
 
 
 def cache_enabled() -> bool:

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.intersection import region_matches_point
 from ..geometry.kinematics import MovingPoint
+from ..obs.metrics import LATENCY_BUCKETS, Histogram
 from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp, Workload
 from .adapters import IndexAdapter
 
@@ -38,15 +39,51 @@ class RunResult:
     wall_seconds: float = 0.0
     prepopulated: int = 0
     setup_io: int = 0
+    auxiliary_io: int = 0
+    search_io_p50: float = 0.0
+    search_io_p95: float = 0.0
+    search_io_p99: float = 0.0
+    update_io_p50: float = 0.0
+    update_io_p95: float = 0.0
+    update_io_p99: float = 0.0
+    search_latency_p50: float = 0.0
+    search_latency_p95: float = 0.0
+    search_latency_p99: float = 0.0
+    update_latency_p50: float = 0.0
+    update_latency_p95: float = 0.0
+    update_latency_p99: float = 0.0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    buffer_evictions: int = 0
+    buffer_hit_rate: float = 0.0
     partition_pages: List[int] = field(default_factory=list)
     params: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        """One line per run: averages, tails, and every I/O class.
+
+        Setup (bulk-load) and auxiliary (deletion-queue B-tree) I/O are
+        always shown when present — a ``ScheduledDeletionIndex`` or a
+        prepopulated run is *not* just its search/update averages.
+        """
+        line = (
             f"{self.adapter:<28} search={self.avg_search_io:7.2f}  "
             f"update={self.avg_update_io:6.2f}  pages={self.page_count:5d}  "
             f"expired={self.expired_fraction:5.1%}"
         )
+        if self.search_ops:
+            line += (
+                f"  search p50/p95/p99={self.search_io_p50:.0f}/"
+                f"{self.search_io_p95:.0f}/{self.search_io_p99:.0f}"
+            )
+        if self.auxiliary_io:
+            line += (
+                f"  aux={self.auxiliary_io}"
+                f" (update+aux={self.avg_update_io_with_aux:.2f}/op)"
+            )
+        if self.setup_io:
+            line += f"  setup={self.setup_io}"
+        return line
 
 
 def split_initial_population(
@@ -81,6 +118,9 @@ def run_workload(
     workload: Workload,
     verify: bool = False,
     prepopulate: bool = False,
+    registry=None,
+    tracer=None,
+    profile: bool = False,
 ) -> RunResult:
     """Replay a workload and collect the paper's metrics.
 
@@ -93,6 +133,13 @@ def run_workload(
             report before the first query) instead of replaying it as
             insertions.  Build I/O is reported as ``setup_io`` and does
             not enter the update averages.
+        registry: a :class:`repro.obs.MetricsRegistry` to attach to the
+            index (enables its counters/gauges/histograms).
+        tracer: a :class:`repro.obs.Tracer` to attach to the index
+            (records per-operation spans and structural events).
+        profile: additionally time every operation and fill the
+            ``*_latency_*`` percentile fields.  Implied by passing a
+            registry or tracer.
 
     Returns:
         The populated :class:`RunResult`.
@@ -102,6 +149,14 @@ def run_workload(
     mismatches = 0
     failed_deletes = 0
     result_sizes = 0
+    profile = profile or registry is not None or tracer is not None
+    if registry is not None or tracer is not None:
+        adapter.enable_observability(registry, tracer)
+    search_latency = update_latency = None
+    if profile:
+        search_latency = Histogram("search_latency_s", LATENCY_BUCKETS)
+        update_latency = Histogram("update_latency_s", LATENCY_BUCKETS)
+    timed = _wall.perf_counter
 
     ops: Sequence[object] = workload.ops
     prepopulated = 0
@@ -118,21 +173,43 @@ def run_workload(
     for op in ops:
         adapter.advance_time(op.time)
         if isinstance(op, InsertOp):
-            adapter.insert(op.oid, op.point)
+            if profile:
+                t0 = timed()
+                adapter.insert(op.oid, op.point)
+                update_latency.record(timed() - t0)
+            else:
+                adapter.insert(op.oid, op.point)
             if verify:
                 oracle[op.oid] = op.point
         elif isinstance(op, UpdateOp):
-            if not adapter.update(op.oid, op.old_point, op.new_point):
+            if profile:
+                t0 = timed()
+                existed = adapter.update(op.oid, op.old_point, op.new_point)
+                update_latency.record(timed() - t0)
+            else:
+                existed = adapter.update(op.oid, op.old_point, op.new_point)
+            if not existed:
                 failed_deletes += 1
             if verify:
                 oracle[op.oid] = op.new_point
         elif isinstance(op, DeleteOp):
-            if not adapter.delete(op.oid, op.point):
+            if profile:
+                t0 = timed()
+                removed = adapter.delete(op.oid, op.point)
+                update_latency.record(timed() - t0)
+            else:
+                removed = adapter.delete(op.oid, op.point)
+            if not removed:
                 failed_deletes += 1
             if verify:
                 oracle.pop(op.oid, None)
         elif isinstance(op, QueryOp):
-            answer = adapter.query(op.query)
+            if profile:
+                t0 = timed()
+                answer = adapter.query(op.query)
+                search_latency.record(timed() - t0)
+            else:
+                answer = adapter.query(op.query)
             result_sizes += len(answer)
             if verify:
                 region = op.query.region()
@@ -156,6 +233,7 @@ def run_workload(
 
     stats = adapter.op_stats
     audit = adapter.audit()
+    hits, misses, evictions = adapter.buffer_counters
     result = RunResult(
         adapter=adapter.name,
         workload=workload.name,
@@ -176,9 +254,44 @@ def run_workload(
         wall_seconds=_wall.perf_counter() - start,
         prepopulated=prepopulated,
         setup_io=stats.setup_io,
+        auxiliary_io=stats.auxiliary_io,
+        search_io_p50=stats.search_io_p50,
+        search_io_p95=stats.search_io_p95,
+        search_io_p99=stats.search_io_p99,
+        update_io_p50=stats.update_io_hist.p50,
+        update_io_p95=stats.update_io_hist.p95,
+        update_io_p99=stats.update_io_hist.p99,
+        search_latency_p50=search_latency.p50 if profile else 0.0,
+        search_latency_p95=search_latency.p95 if profile else 0.0,
+        search_latency_p99=search_latency.p99 if profile else 0.0,
+        update_latency_p50=update_latency.p50 if profile else 0.0,
+        update_latency_p95=update_latency.p95 if profile else 0.0,
+        update_latency_p99=update_latency.p99 if profile else 0.0,
+        buffer_hits=hits,
+        buffer_misses=misses,
+        buffer_evictions=evictions,
+        buffer_hit_rate=(
+            hits / (hits + misses) if (hits + misses) else 0.0
+        ),
         partition_pages=list(
             getattr(adapter, "partition_page_counts", [])
         ),
         params=dict(workload.params),
     )
+    if registry is not None:
+        registry.gauge("runner.buffer_hit_rate").set(result.buffer_hit_rate)
+        if search_latency is not None and search_latency.count:
+            hist = registry.histogram("runner.search_latency_s", LATENCY_BUCKETS)
+            hist.buckets = list(search_latency.buckets)
+            hist.count = search_latency.count
+            hist.total = search_latency.total
+            hist.min = search_latency.min
+            hist.max = search_latency.max
+        if update_latency is not None and update_latency.count:
+            hist = registry.histogram("runner.update_latency_s", LATENCY_BUCKETS)
+            hist.buckets = list(update_latency.buckets)
+            hist.count = update_latency.count
+            hist.total = update_latency.total
+            hist.min = update_latency.min
+            hist.max = update_latency.max
     return result

@@ -1,0 +1,57 @@
+"""Observability: metrics registry and structured tracing.
+
+A zero-overhead-when-disabled telemetry layer for the R^exp-tree stack.
+Nothing in this package imports from the rest of :mod:`repro`, so every
+layer (storage, core, experiments) can depend on it freely.
+
+Two primitives:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms (with p50/p90/p95/p99 and a ``to_dict`` export).  The
+  module-level :data:`NULL_REGISTRY` hands out no-op singletons, so an
+  instrumented object that was never given a real registry pays only an
+  attribute check per operation.
+* :class:`Tracer` — monotonic-clock-timed span/event records in a
+  bounded ring buffer, exportable as JSON Lines.
+
+See DESIGN.md §7 for the event taxonomy and which tree algorithm each
+event maps to.
+"""
+
+from .metrics import (
+    IO_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    ScopedRegistry,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    read_jsonl,
+    sum_event_attr,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IO_BUCKETS",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "ScopedRegistry",
+    "Tracer",
+    "read_jsonl",
+    "sum_event_attr",
+    "traced",
+]

@@ -1,0 +1,371 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The observability layer's metric primitives.  A :class:`MetricsRegistry`
+is a flat, name-keyed store of metric instances; instrumented code binds
+the instances it needs once (at enable time) and pays only an attribute
+check per operation when observability is off — the module-level
+:data:`NULL_REGISTRY` hands out shared no-op singletons, so code written
+against a registry never branches on "is observability on?".
+
+Histograms are fixed-bucket: a sorted list of upper bounds plus an
+implicit overflow bucket.  Percentiles are estimated by linear
+interpolation inside the covering bucket and clamped to the observed
+min/max, so integer-valued distributions recorded into unit-width
+buckets (the I/O-count case) report exact percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value, set directly or derived from a callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], Number]] = None):
+        self.name = name
+        self._value: Number = 0
+        self._fn = fn
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> Number:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {"type": "gauge", "value": self.value}
+
+
+#: Default bounds for I/O-count histograms: exact (unit-width) up to 256,
+#: then geometric — page counts per operation are small integers.
+IO_BUCKETS: List[float] = [float(i) for i in range(257)] + [
+    384.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 65536.0,
+]
+
+#: Default bounds for wall-time histograms, in seconds: 1 µs to ~84 s,
+#: geometric with ~26 % resolution.
+LATENCY_BUCKETS: List[float] = [1e-6 * 1.26 ** i for i in range(79)]
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``bounds`` are ascending bucket *upper* bounds; values above the last
+    bound land in an implicit overflow bucket.  Exact count, sum, min and
+    max are tracked alongside the buckets.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds = list(bounds) if bounds is not None else list(IO_BUCKETS)
+        if self.bounds != sorted(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bound")
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    @classmethod
+    def linear(cls, name: str, start: float, width: float, n: int) -> "Histogram":
+        return cls(name, [start + width * i for i in range(n)])
+
+    @classmethod
+    def exponential(
+        cls, name: str, start: float, factor: float, n: int
+    ) -> "Histogram":
+        return cls(name, [start * factor ** i for i in range(n)])
+
+    def record(self, value: Number) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Sequence[Number]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile (p in [0, 100]).
+
+        Linear interpolation within the covering bucket, clamped to the
+        observed min/max; 0.0 when the histogram is empty.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = (p / 100.0) * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (rank - cumulative) / n
+                value = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+                return max(self.min, min(self.max, value))
+            cumulative += n
+        return self.max  # pragma: no cover - rank <= count always lands above
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """A flat, name-keyed store of metric instances.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by full name, so
+    repeated binding is idempotent.  :meth:`scope` returns a view that
+    prefixes names with ``<prefix>.`` but shares this registry's store —
+    the per-partition child registries of a forest all export through the
+    root's :meth:`to_dict`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], Number]] = None
+    ) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds)
+        )
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self, prefix)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        metric = self._metrics.get(name)
+        return metric.value if metric is not None else default
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def export_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class ScopedRegistry:
+    """A prefixing view over a :class:`MetricsRegistry` (shared store)."""
+
+    def __init__(self, root: MetricsRegistry, prefix: str):
+        self._root = root
+        self._prefix = prefix.rstrip(".") + "."
+
+    def counter(self, name: str) -> Counter:
+        return self._root.counter(self._prefix + name)
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], Number]] = None
+    ) -> Gauge:
+        return self._root.gauge(self._prefix + name, fn)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._root.histogram(self._prefix + name, bounds)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._root, self._prefix + prefix)
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._root._metrics.items())
+            if name.startswith(self._prefix)
+        }
+
+
+# -- the disabled path ---------------------------------------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {"type": "counter", "value": 0}
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {"type": "gauge", "value": 0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    total = 0.0
+    mean = 0.0
+    p50 = p90 = p95 = p99 = 0.0
+    min = float("inf")
+    max = float("-inf")
+
+    def record(self, value: Number) -> None:
+        pass
+
+    def record_many(self, values: Sequence[Number]) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "histogram", "count": 0}
+
+
+class NullRegistry:
+    """No-op registry: hands out shared do-nothing metric singletons.
+
+    Instrumented code holds metric references obtained from *some*
+    registry; when it is this one, every ``inc``/``record``/``set`` is a
+    constant-time no-op and ``to_dict`` is empty.  ``bool()`` is False so
+    ``registry or NULL_REGISTRY`` composes.
+    """
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _histogram = _NullHistogram()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> _NullCounter:
+        return self._counter
+
+    def gauge(self, name: str, fn=None) -> _NullGauge:
+        return self._gauge
+
+    def histogram(self, name: str, bounds=None) -> _NullHistogram:
+        return self._histogram
+
+    def scope(self, prefix: str) -> "NullRegistry":
+        return self
+
+    def names(self) -> List[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        return default
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+#: Shared no-op registry: the disabled path.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,278 @@
+"""Structured tracing: timed spans and point events in a ring buffer.
+
+A :class:`Tracer` records two kinds of monotonic-clock-stamped records:
+
+* **spans** — ``with tracer.span("tree.query", kind="timeslice"):`` or
+  the :func:`traced` method decorator; nested spans carry their parent's
+  id and depth, and the record is appended at *exit* with the measured
+  duration;
+* **events** — ``tracer.event("lazy_purge", purged=3)``; instantaneous,
+  attributed to the innermost open span.
+
+Records are plain dicts held in a bounded ring buffer (oldest dropped
+first, with a drop counter), so a tracer can stay attached to a
+long-running index without unbounded growth.  :meth:`Tracer.export_jsonl`
+writes one JSON object per line; :func:`read_jsonl` reads them back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+from functools import wraps
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class _Span:
+    """Context manager recording one timed span on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        tracer._stack.append(self.span_id)
+        self.t0 = tracer._clock()
+        return self
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span after entry (e.g. result sizes)."""
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self.tracer
+        t1 = tracer._clock()
+        tracer._stack.pop()
+        record: Dict[str, object] = {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": len(tracer._stack),
+            "t_start": self.t0,
+            "dur": t1 - self.t0,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        tracer._append(record)
+
+
+class Tracer:
+    """Bounded ring buffer of span and event records.
+
+    Args:
+        capacity: maximum records retained; older records are dropped
+            (and counted in :attr:`dropped`) once full.
+        clock: timestamp source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 262_144,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._records: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._stack: List[int] = []
+        self._next_id = 1
+        self.dropped = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        record: Dict[str, object] = {
+            "kind": "event",
+            "name": name,
+            "span_id": self._stack[-1] if self._stack else None,
+            "t": self._clock(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record)
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[Dict[str, object]]:
+        """The retained records, oldest first (a copy)."""
+        return list(self._records)
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        return [
+            r for r in self._records
+            if r["kind"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        return [
+            r for r in self._records
+            if r["kind"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def event_totals(self) -> Dict[str, int]:
+        """Event occurrence counts by name."""
+        return dict(_TallyCounter(r["name"] for r in self.events()))
+
+    def slowest_spans(
+        self, k: int = 10, name: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """The k longest spans, longest first."""
+        return sorted(self.spans(name), key=lambda r: r["dur"], reverse=True)[:k]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    # -- persistence --------------------------------------------------------
+
+    def export_jsonl(
+        self,
+        path: str,
+        append: bool = False,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Write the retained records as JSON Lines; returns the count.
+
+        ``extra`` key/values are merged into every record (e.g. an
+        adapter label when several tracers share one file).
+        """
+        mode = "a" if append else "w"
+        n = 0
+        with open(path, mode, encoding="utf-8") as fh:
+            for record in self._records:
+                if extra:
+                    record = {**record, **extra}
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+                n += 1
+        return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Read records written by :meth:`Tracer.export_jsonl`."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def sum_event_attr(
+    records: Iterable[Dict[str, object]], name: str, attr: str
+) -> int:
+    """Sum one attribute over all events of the given name."""
+    total = 0
+    for record in records:
+        if record.get("kind") == "event" and record.get("name") == name:
+            total += record.get("attrs", {}).get(attr, 0)
+    return total
+
+
+def traced(
+    name: str, tracer_attr: str = "_tracer"
+) -> Callable[[Callable], Callable]:
+    """Method decorator: wrap calls in a tracer span when tracing is on.
+
+    The decorated method's ``self`` must expose the tracer under
+    ``tracer_attr`` (``None`` disables: the call proceeds with only an
+    attribute check of overhead).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tracer = getattr(self, tracer_attr, None)
+            if tracer is None:
+                return fn(self, *args, **kwargs)
+            with tracer.span(name):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+class NullTracer:
+    """No-op tracer for code that wants an always-present tracer object."""
+
+    dropped = 0
+    capacity = 0
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def set(self, **attrs):
+            pass
+
+        def __exit__(self, *exc):
+            pass
+
+    _span = _NullSpan()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs: object) -> "_NullSpan":
+        return self._span
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def records(self) -> List[Dict[str, object]]:
+        return []
+
+    def spans(self, name=None) -> List[Dict[str, object]]:
+        return []
+
+    def events(self, name=None) -> List[Dict[str, object]]:
+        return []
+
+    def event_totals(self) -> Dict[str, int]:
+        return {}
+
+    def slowest_spans(self, k: int = 10, name=None) -> List[Dict[str, object]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def export_jsonl(self, path: str, append: bool = False, extra=None) -> int:
+        open(path, "a" if append else "w", encoding="utf-8").close()
+        return 0
+
+
+#: Shared no-op tracer: the disabled path.
+NULL_TRACER = NullTracer()

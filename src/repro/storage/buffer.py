@@ -20,6 +20,11 @@ class BufferPool:
     All page traffic of an index goes through one pool; buffer hits are
     free, misses charge a disk read, and evictions or end-of-operation
     flushes of dirty pages charge disk writes.
+
+    The pool keeps its own ``hits`` / ``misses`` / ``evictions`` /
+    ``pins`` counters (plain ints, always on): misses equal the disk
+    reads it causes, but hits were previously invisible, and the hit
+    rate is what makes or breaks the page-I/O model.
     """
 
     def __init__(self, disk: DiskManager, capacity: int = 50):
@@ -30,12 +35,17 @@ class BufferPool:
         self._frames: "OrderedDict[PageId, Any]" = OrderedDict()
         self._dirty: Set[PageId] = set()
         self._pinned: Set[PageId] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.pins = 0
 
     # -- pinning ------------------------------------------------------------
 
     def pin(self, pid: PageId) -> None:
         """Pin a page so it is never evicted (used for the tree root)."""
         self._pinned.add(pid)
+        self.pins += 1
 
     def unpin(self, pid: PageId) -> None:
         self._pinned.discard(pid)
@@ -48,8 +58,10 @@ class BufferPool:
     def get(self, pid: PageId) -> Any:
         """Fetch a page, reading from disk on a buffer miss."""
         if pid in self._frames:
+            self.hits += 1
             self._frames.move_to_end(pid)
             return self._frames[pid]
+        self.misses += 1
         payload = self.disk.read(pid)
         self._admit(pid, payload)
         return payload
@@ -136,12 +148,21 @@ class BufferPool:
         return None
 
     def _evict(self, pid: PageId) -> None:
+        self.evictions += 1
         if pid in self._dirty:
             self.disk.write(pid, self._frames[pid])
             self._dirty.discard(pid)
         del self._frames[pid]
 
     # -- introspection ------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page fetches served from the buffer (0.0 if none)."""
+        accesses = self.hits + self.misses
+        if accesses == 0:
+            return 0.0
+        return self.hits / accesses
 
     @property
     def resident_pages(self) -> int:

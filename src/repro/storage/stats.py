@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import Histogram
+
 
 @dataclass
 class IOStats:
@@ -90,16 +92,22 @@ class OperationStats:
     update_ops: int = 0
     auxiliary_io: int = 0
     setup_io: int = 0
-    _search_io_samples: list = field(default_factory=list)
+    search_io_hist: Histogram = field(
+        default_factory=lambda: Histogram("search_io")
+    )
+    update_io_hist: Histogram = field(
+        default_factory=lambda: Histogram("update_io")
+    )
 
     def record_search(self, io: int) -> None:
         self.search_io += io
         self.search_ops += 1
-        self._search_io_samples.append(io)
+        self.search_io_hist.record(io)
 
     def record_update(self, io: int) -> None:
         self.update_io += io
         self.update_ops += 1
+        self.update_io_hist.record(io)
 
     def record_setup(self, io: int) -> None:
         """One-time build I/O (bulk loading); kept out of update averages."""
@@ -129,3 +137,16 @@ class OperationStats:
         if self.update_ops == 0:
             return 0.0
         return (self.update_io + self.auxiliary_io) / self.update_ops
+
+    @property
+    def search_io_p50(self) -> float:
+        """Median I/O per query (the tail behind the Figure 9-14 averages)."""
+        return self.search_io_hist.p50
+
+    @property
+    def search_io_p95(self) -> float:
+        return self.search_io_hist.p95
+
+    @property
+    def search_io_p99(self) -> float:
+        return self.search_io_hist.p99

@@ -52,6 +52,17 @@ def test_empty_hull_raises():
         upper_hull([])
 
 
+def _tolerance(intercept, slope, t, x):
+    """Absolute tolerance for evaluating ``intercept + slope * t``.
+
+    The ``(intercept, slope)`` line form is ill-conditioned for
+    near-vertical edges: both terms can reach ~1e16 and cancel, so the
+    evaluation's error scales with their magnitudes (ulp-level relative
+    error on each), not with ``x``.
+    """
+    return 1e-6 * max(1.0, abs(x)) + 1e-12 * (abs(intercept) + abs(slope * t))
+
+
 @given(points_strategy)
 @settings(deadline=None)
 def test_upper_hull_bounds_all_points(pts):
@@ -60,7 +71,9 @@ def test_upper_hull_bounds_all_points(pts):
     for a, b in zip(hull, hull[1:]):
         intercept, slope = line_through(a, b)
         for t, x in pts:
-            assert intercept + slope * t >= x - 1e-6 * max(1.0, abs(x))
+            assert intercept + slope * t >= x - _tolerance(
+                intercept, slope, t, x
+            )
 
 
 @given(points_strategy)
@@ -70,7 +83,9 @@ def test_lower_hull_bounds_all_points(pts):
     for a, b in zip(hull, hull[1:]):
         intercept, slope = line_through(a, b)
         for t, x in pts:
-            assert intercept + slope * t <= x + 1e-6 * max(1.0, abs(x))
+            assert intercept + slope * t <= x + _tolerance(
+                intercept, slope, t, x
+            )
 
 
 @given(points_strategy, finite)
@@ -78,7 +93,7 @@ def test_lower_hull_bounds_all_points(pts):
 def test_bridge_line_bounds_all_points(pts, median):
     intercept, slope = bridge_line(pts, median, upper=True)
     for t, x in pts:
-        assert intercept + slope * t >= x - 1e-6 * max(1.0, abs(x))
+        assert intercept + slope * t >= x - _tolerance(intercept, slope, t, x)
 
 
 def test_bridge_edge_straddles_median():

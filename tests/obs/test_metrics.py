@@ -1,0 +1,174 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    IO_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+# -- counters and gauges -------------------------------------------------------
+
+
+def test_counter_increments():
+    c = Counter("ops")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert c.to_dict() == {"type": "counter", "value": 5}
+
+
+def test_gauge_set_and_derived():
+    g = Gauge("x")
+    g.set(2.5)
+    assert g.value == 2.5
+    backing = [10]
+    derived = Gauge("y", fn=lambda: backing[0])
+    assert derived.value == 10
+    backing[0] = 11
+    assert derived.value == 11
+
+
+# -- histograms ----------------------------------------------------------------
+
+
+def test_histogram_percentiles_on_unit_buckets():
+    """Integer samples in the unit-width IO buckets.
+
+    A percentile whose rank lands exactly on a bucket boundary is exact
+    (the bucket's upper bound is the recorded integer); a rank falling
+    inside a bucket interpolates within that bucket's unit interval.
+    """
+    h = Histogram("io")
+    for value in [2] * 50 + [5] * 40 + [9] * 10:
+        h.record(value)
+    assert h.count == 100
+    assert h.p50 == pytest.approx(2.0)  # rank 50 closes the value-2 bucket
+    assert h.p90 == pytest.approx(5.0)  # rank 90 closes the value-5 bucket
+    assert h.p95 == pytest.approx(8.5)  # interpolated inside (8, 9]
+    assert h.percentile(100.0) == pytest.approx(9.0)
+    assert h.mean == pytest.approx((2 * 50 + 5 * 40 + 9 * 10) / 100)
+    assert h.min == 2 and h.max == 9
+
+
+def test_histogram_single_value():
+    h = Histogram("io")
+    h.record(7)
+    for p in (0.0, 50.0, 99.9, 100.0):
+        assert h.percentile(p) == pytest.approx(7.0)
+
+
+def test_histogram_empty():
+    h = Histogram("io")
+    assert h.count == 0
+    assert h.p50 == 0.0
+    assert h.mean == 0.0
+    assert h.to_dict()["min"] is None
+
+
+def test_histogram_percentiles_clamped_to_observed_range():
+    h = Histogram("lat", bounds=[1.0, 10.0, 100.0])
+    h.record_many([3.0, 4.0, 5.0])
+    assert 3.0 <= h.p50 <= 5.0
+    assert h.percentile(100.0) == pytest.approx(5.0)
+    assert h.percentile(0.0) >= 3.0
+
+
+def test_histogram_overflow_bucket():
+    h = Histogram("io", bounds=[1.0, 2.0])
+    h.record(1e9)
+    assert h.count == 1
+    assert h.p99 == pytest.approx(1e9)
+
+
+def test_histogram_monotone_percentiles():
+    h = Histogram("io")
+    for value in range(0, 200, 3):
+        h.record(value)
+    ps = [h.percentile(p) for p in (10, 25, 50, 75, 90, 95, 99)]
+    assert ps == sorted(ps)
+
+
+def test_histogram_factories_and_validation():
+    lin = Histogram.linear("l", 0.0, 2.0, 5)
+    assert lin.bounds == [0.0, 2.0, 4.0, 6.0, 8.0]
+    exp = Histogram.exponential("e", 1.0, 2.0, 4)
+    assert exp.bounds == [1.0, 2.0, 4.0, 8.0]
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=[2.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=[])
+    assert IO_BUCKETS == sorted(IO_BUCKETS)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_get_or_create_idempotent():
+    r = MetricsRegistry()
+    assert r.counter("a") is r.counter("a")
+    assert r.histogram("h") is r.histogram("h")
+    with pytest.raises(TypeError):
+        r.gauge("a")  # already a counter
+
+
+def test_registry_scope_prefixes_but_shares_store():
+    r = MetricsRegistry()
+    scope = r.scope("partition0")
+    scope.counter("tree.splits").inc(3)
+    nested = scope.scope("sub.")
+    nested.gauge("g").set(1)
+    assert r.value("partition0.tree.splits") == 3
+    assert "partition0.sub.g" in r.names()
+    assert set(scope.to_dict()) == {
+        "partition0.tree.splits", "partition0.sub.g",
+    }
+
+
+def test_registry_export_json_round_trip(tmp_path):
+    r = MetricsRegistry()
+    r.counter("c").inc(2)
+    r.gauge("g").set(1.5)
+    r.histogram("h").record_many([1, 2, 3])
+    path = tmp_path / "metrics.json"
+    r.export_json(str(path))
+    payload = json.loads(path.read_text())
+    assert payload["c"] == {"type": "counter", "value": 2}
+    assert payload["g"]["value"] == 1.5
+    assert payload["h"]["count"] == 3
+    assert payload == r.to_dict()
+
+
+def test_registry_value_default():
+    r = MetricsRegistry()
+    assert r.value("missing", default=-1) == -1
+    assert r.get("missing") is None
+
+
+# -- the disabled path ---------------------------------------------------------
+
+
+def test_null_registry_is_inert():
+    assert not NULL_REGISTRY
+    c = NULL_REGISTRY.counter("anything")
+    c.inc(5)
+    assert c.value == 0
+    h = NULL_REGISTRY.histogram("h")
+    h.record(3)
+    h.record_many([1, 2])
+    assert h.count == 0 and h.p99 == 0.0
+    assert math.isinf(h.min)
+    g = NULL_REGISTRY.gauge("g")
+    g.set(9)
+    assert g.value == 0
+    assert NULL_REGISTRY.scope("x") is NULL_REGISTRY
+    assert NULL_REGISTRY.to_dict() == {}
+    assert NULL_REGISTRY.names() == []
+    assert NULL_REGISTRY.value("x", default=7) == 7

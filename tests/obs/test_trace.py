@@ -1,0 +1,160 @@
+"""Unit tests for the tracer: spans, events, ring buffer, JSONL."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    read_jsonl,
+    sum_event_attr,
+    traced,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by one step."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+def test_span_records_duration_and_attrs():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("op", kind="test") as span:
+        span.set(result=3)
+    (record,) = tracer.spans()
+    assert record["name"] == "op"
+    assert record["dur"] == pytest.approx(1.0)
+    assert record["attrs"] == {"kind": "test", "result": 3}
+    assert record["parent_id"] is None
+    assert record["depth"] == 0
+
+
+def test_span_nesting_parent_ids_and_depth():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            tracer.event("tick")
+        with tracer.span("inner"):
+            pass
+    records = tracer.records()
+    # The event lands while inner1 is open; spans append at exit, so
+    # children precede their parent.
+    event, inner1, inner2, outer = records
+    assert outer["name"] == "outer" and outer["parent_id"] is None
+    for inner in (inner1, inner2):
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["depth"] == 1
+    assert event["kind"] == "event"
+    assert event["span_id"] == inner1["span_id"]
+
+
+def test_span_records_exception_and_unwinds_stack():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    (record,) = tracer.spans()
+    assert record["error"] == "RuntimeError"
+    with tracer.span("after"):
+        pass
+    assert tracer.spans("after")[0]["parent_id"] is None
+
+
+def test_event_without_open_span():
+    tracer = Tracer()
+    tracer.event("purge", entries=4)
+    (record,) = tracer.events()
+    assert record["span_id"] is None
+    assert record["attrs"] == {"entries": 4}
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.event("e", i=i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r["attrs"]["i"] for r in tracer.events()] == [2, 3, 4]
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_event_totals_and_slowest_spans():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    tracer.event("a")
+    tracer.event("a")
+    tracer.event("b")
+    with tracer.span("fast"):
+        pass  # dur 1 step
+    clock.step = 5.0
+    with tracer.span("slow"):
+        pass  # dur 5 steps
+    assert tracer.event_totals() == {"a": 2, "b": 1}
+    slowest = tracer.slowest_spans(1)
+    assert [r["name"] for r in slowest] == ["slow"]
+    assert tracer.slowest_spans(5, name="fast")[0]["name"] == "fast"
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("op"):
+        tracer.event("purge", entries=2)
+        tracer.event("purge", entries=3)
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(str(path)) == 3
+    records = read_jsonl(str(path))
+    assert records == tracer.records()
+    assert sum_event_attr(records, "purge", "entries") == 5
+    # Append mode with an extra key merged into each record.
+    tracer2 = Tracer()
+    tracer2.event("purge", entries=7)
+    tracer2.export_jsonl(str(path), append=True, extra={"adapter": "x"})
+    records = read_jsonl(str(path))
+    assert len(records) == 4
+    assert records[-1]["adapter"] == "x"
+    assert sum_event_attr(records, "purge", "entries") == 12
+
+
+def test_clear_resets_everything():
+    tracer = Tracer(capacity=1)
+    tracer.event("a")
+    tracer.event("b")
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_traced_decorator_honours_attribute():
+    class Indexed:
+        def __init__(self, tracer):
+            self._tracer = tracer
+
+        @traced("indexed.work")
+        def work(self, n):
+            return n * 2
+
+    tracer = Tracer()
+    assert Indexed(tracer).work(4) == 8
+    assert tracer.spans("indexed.work")
+    assert Indexed(None).work(4) == 8  # disabled path still runs
+
+
+def test_null_tracer_is_inert(tmp_path):
+    assert not NULL_TRACER
+    with NULL_TRACER.span("x") as span:
+        span.set(a=1)
+        NULL_TRACER.event("y")
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.records() == []
+    assert NULL_TRACER.event_totals() == {}
+    assert NULL_TRACER.slowest_spans() == []
+    path = tmp_path / "empty.jsonl"
+    assert NULL_TRACER.export_jsonl(str(path)) == 0
+    assert read_jsonl(str(path)) == []
