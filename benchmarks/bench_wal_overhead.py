@@ -1,0 +1,121 @@
+"""Durability must not distort the paper's I/O accounting.
+
+The durable page store promises that the simulated cost model is
+unchanged: a workload replayed on a :class:`FilePageStore` charges page
+reads and writes *identically* to a run on the in-memory
+``DiskManager``, and every write-ahead-log record is charged separately
+as auxiliary I/O (like the deletion queue's B-tree).  This benchmark
+holds the store to that promise on a tiny-scale uniform workload:
+
+1. **Exactness** — the durable run must report search and update I/O
+   identical *to the last digit* to the simulated run, along with the
+   same page count and structural census.
+2. **WAL accounting** — log traffic must be visible, non-zero, and
+   confined to ``auxiliary_io``.
+3. **Wall-clock overhead** — reported (real files cost real time and
+   are not meant to be free), with the slowdown factor written to
+   ``BENCH_wal.json`` for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.presets import rexp_config
+from repro.experiments.adapters import TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.experiments.scale import SCALES
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+SCALE = SCALES["tiny"]
+
+_REPORT = Path(__file__).resolve().parent.parent / "BENCH_wal.json"
+
+
+def _workload():
+    return generate_uniform_workload(
+        UniformParams(
+            target_population=SCALE.target_population,
+            insertions=SCALE.insertions,
+            update_interval=60.0,
+            seed=0,
+        ),
+        FixedPeriod(120.0),
+    )
+
+
+def _adapter():
+    return TreeAdapter(
+        "Rexp-tree",
+        rexp_config(
+            page_size=SCALE.page_size, buffer_pages=SCALE.buffer_pages
+        ),
+    )
+
+
+def _run(workload, durability=None):
+    adapter = _adapter()
+    t0 = time.perf_counter()
+    result = run_workload(adapter, workload, durability=durability)
+    return result, time.perf_counter() - t0
+
+
+def test_wal_overhead_and_exact_accounting():
+    workload = _workload()
+    ops = len(workload.ops)
+
+    simulated, sim_wall = _run(workload)
+    directory = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        durable, dur_wall = _run(workload, durability=directory)
+        store_bytes = sum(
+            p.stat().st_size for p in Path(directory).rglob("*")
+            if p.is_file()
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    # 1. Exactness: the durable store mirrors the simulated cost model.
+    assert durable.avg_search_io == simulated.avg_search_io
+    assert durable.avg_update_io == simulated.avg_update_io
+    assert durable.search_ops == simulated.search_ops
+    assert durable.update_ops == simulated.update_ops
+    assert durable.page_count == simulated.page_count
+    assert durable.leaf_entries == simulated.leaf_entries
+    assert durable.failed_deletes == simulated.failed_deletes
+
+    # 2. WAL accounting: visible, non-zero, and auxiliary only.
+    assert simulated.auxiliary_io == 0
+    assert durable.auxiliary_io > 0
+    assert durable.avg_update_io_with_aux > durable.avg_update_io
+
+    # 3. Wall-clock overhead: report, don't assert — fsync-free file
+    #    I/O varies by machine; the artifact records the factor.
+    slowdown = dur_wall / sim_wall if sim_wall else float("inf")
+    payload = {
+        "scale": SCALE.name,
+        "operations": ops,
+        "simulated_wall_s": round(sim_wall, 4),
+        "durable_wall_s": round(dur_wall, 4),
+        "durable_slowdown": round(slowdown, 3),
+        "avg_search_io": durable.avg_search_io,
+        "avg_update_io": durable.avg_update_io,
+        "avg_update_io_with_aux": durable.avg_update_io_with_aux,
+        "auxiliary_io": durable.auxiliary_io,
+        "wal_writes_per_update": round(
+            durable.auxiliary_io / max(durable.update_ops, 1), 3
+        ),
+        "store_bytes": store_bytes,
+    }
+    _REPORT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[repro] wal overhead: durable {slowdown:.2f}x over {ops} ops, "
+          f"aux={durable.auxiliary_io} log writes "
+          f"({payload['wal_writes_per_update']}/update), "
+          f"store {store_bytes:,} B; wrote {_REPORT.name}",
+          file=sys.__stdout__)

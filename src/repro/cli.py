@@ -11,6 +11,9 @@
     python -m repro forest --partitions 2 4  # velocity-partitioned forest
     python -m repro profile                  # traced run: tails + events
     python -m repro layout --page-size 4096  # node fan-outs
+    python -m repro persist out.d            # durable run: WAL + page file
+    python -m repro recover out.d            # replay the WAL, audit, report
+    python -m repro faultcheck --stride 4    # crash-at-every-write matrix
 
 Figure sweeps honour the same cache as the benchmarks.
 """
@@ -18,6 +21,7 @@ Figure sweeps honour the same cache as the benchmarks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -181,8 +185,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ("TPR-tree", tpr_config(**sizing)),
     )):
         tracer = Tracer() if args.trace_out else None
+        durability = None
+        if args.durability:
+            durability = os.path.join(
+                args.durability, name.lower().replace("^", "")
+            )
         result = run_workload(TreeAdapter(name, config), workload,
-                              tracer=tracer)
+                              tracer=tracer, durability=durability)
         if tracer is not None:
             tracer.export_jsonl(args.trace_out, append=i > 0,
                                 extra={"adapter": name})
@@ -464,6 +473,156 @@ def cmd_bulkload(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _sniff_tree_config(directory: str, buffer_pages: int):
+    """Rebuild a tree configuration from a durable store's header."""
+    from .core.config import TreeConfig
+    from .geometry.bounding import BoundingKind
+    from .storage.pagefile import read_header
+
+    header = read_header(directory)
+    return TreeConfig(
+        page_size=header.page_size,
+        dims=header.dims,
+        buffer_pages=buffer_pages,
+        bounding=(
+            BoundingKind.NEAR_OPTIMAL
+            if header.store_velocities
+            else BoundingKind.STATIC
+        ),
+        store_br_expiration=header.store_br_expiration,
+        store_leaf_expiration=header.store_leaf_expiration,
+        lazy_expiry=header.store_leaf_expiration,
+    )
+
+
+def cmd_persist(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=args.ui,
+            seed=args.seed,
+        ),
+        policy,
+    )
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    if args.index == "forest":
+        adapter = ForestAdapter(
+            "forest", forest_config(partitions=args.partitions, **sizing)
+        )
+    else:
+        adapter = TreeAdapter("Rexp-tree", rexp_config(**sizing))
+    print(f"replaying {workload.name} durably into {args.directory} ...")
+    result = run_workload(
+        adapter, workload, prepopulate=args.prepopulate,
+        durability=args.directory,
+    )
+    print(result.summary())
+    total = 0
+    for root, _, files in os.walk(args.directory):
+        for name in sorted(files):
+            path = os.path.join(root, name)
+            size = os.path.getsize(path)
+            total += size
+            print(f"  {os.path.relpath(path, args.directory):<24}"
+                  f"{size:>12,} bytes")
+    print(f"durable store: {total:,} bytes, "
+          f"WAL I/O charged as auxiliary: {result.auxiliary_io} writes")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from .core.forest import (
+        MANIFEST_FILENAME,
+        ForestConfig,
+        PartitionedMovingObjectForest,
+    )
+    from .core.tree import MovingObjectTree
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    manifest = os.path.join(args.directory, MANIFEST_FILENAME)
+    if os.path.exists(manifest):
+        member0 = PartitionedMovingObjectForest.member_directory(
+            args.directory, 0
+        )
+        tree_config = _sniff_tree_config(member0, args.buffer_pages)
+        import json
+
+        with open(manifest, "r", encoding="utf-8") as handle:
+            partitions = json.load(handle)["partitions"]
+        config = ForestConfig(
+            tree=tree_config, partitions=partitions, split_buffer=False
+        )
+        forest = PartitionedMovingObjectForest.open_from(
+            args.directory, config, registry=registry
+        )
+        trees = forest.trees
+        audit = forest.audit()
+        pages = forest.page_count
+        clock_time = forest.clock.time
+        index = forest
+    else:
+        config = _sniff_tree_config(args.directory, args.buffer_pages)
+        tree = MovingObjectTree.open_from(
+            args.directory, config, registry=registry
+        )
+        trees = [tree]
+        audit = tree.audit()
+        pages = tree.page_count
+        clock_time = tree.clock.time
+        index = tree
+    print(f"recovered {args.directory} (clock {clock_time:g})")
+    for i, tree in enumerate(trees):
+        report = tree.disk.recovery
+        label = f"member{i}: " if len(trees) > 1 else ""
+        print(f"  {label}scanned={report.records_scanned}  "
+              f"commits={report.commits_applied}  "
+              f"pages={report.pages_replayed}  "
+              f"frees={report.frees_replayed}  "
+              f"skipped-expired={report.wal_skipped_expired}  "
+              f"torn-bytes={report.torn_bytes}  "
+              f"op-seq={report.op_seq}")
+    print(f"  audit: {audit.nodes} nodes, {audit.leaf_entries} leaf entries "
+          f"({audit.expired_fraction:.1%} expired), {pages} pages")
+    if args.checkpoint:
+        index.checkpoint()
+        print("  checkpointed: WAL truncated")
+    index.close()
+    return 0
+
+
+def cmd_faultcheck(args: argparse.Namespace) -> int:
+    from .core.config import TreeConfig
+    from .experiments.faultcheck import default_workload, run_faultcheck
+
+    workload = default_workload(insertions=args.insertions, seed=args.seed)
+    config = TreeConfig(
+        page_size=args.page_size, buffer_pages=args.buffer_pages
+    )
+    print(f"crash matrix over {len(workload.ops)} ops "
+          f"(stride {args.stride}, modes {', '.join(args.modes)}) ...")
+
+    ticks = [0]
+
+    def progress(outcome) -> None:
+        ticks[0] += 1
+        if not outcome.ok:
+            print(f"  FAIL write {outcome.write_index} ({outcome.mode}): "
+                  f"{outcome.detail}")
+        elif ticks[0] % 100 == 0:
+            print(f"  ... {ticks[0]} crash points checked")
+
+    report = run_faultcheck(
+        workload=workload, config=config, stride=args.stride,
+        modes=args.modes, seed=args.seed, progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def cmd_layout(args: argparse.Namespace) -> int:
     print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
     combos = [
@@ -523,6 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expd", type=float, default=None)
     p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
                    help="append both runs' span/event traces as JSON Lines")
+    p.add_argument("--durability", metavar="DIR", default=None,
+                   help="run each tree on a durable page store under DIR "
+                   "(write-ahead-log I/O reported as auxiliary)")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_compare)
 
@@ -587,6 +749,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=4096)
     p.add_argument("--dims", type=int, default=2)
     p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser(
+        "persist",
+        help="replay a workload on a durable page store (WAL + page file)",
+    )
+    p.add_argument("directory", help="target directory for the durable store")
+    p.add_argument("--index", choices=("rexp", "forest"), default="rexp")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="forest size (with --index forest)")
+    p.add_argument("--prepopulate", action="store_true",
+                   help="bulk-load the initial population")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_persist)
+
+    p = sub.add_parser(
+        "recover",
+        help="open a durable store, replaying its write-ahead log",
+    )
+    p.add_argument("directory", help="durable store to open")
+    p.add_argument("--buffer-pages", type=int, default=50)
+    p.add_argument("--checkpoint", action="store_true",
+                   help="checkpoint after recovery (truncates the WAL)")
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "faultcheck",
+        help="crash a durable replay at every Nth write and verify recovery",
+    )
+    p.add_argument("--insertions", type=int, default=60,
+                   help="insertions in the generated crash workload")
+    p.add_argument("--stride", type=int, default=1,
+                   help="check every Nth physical write")
+    p.add_argument("--modes", nargs="+", default=["kill", "torn", "bitflip"],
+                   choices=("kill", "torn", "bitflip"))
+    p.add_argument("--page-size", type=int, default=512)
+    p.add_argument("--buffer-pages", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_faultcheck)
 
     return parser
 

@@ -21,17 +21,55 @@ the total cost and the per-partition breakdown.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
 from ..obs.metrics import NULL_REGISTRY
+from ..storage.pagefile import PersistReport
 from ..storage.stats import IOSnapshot
 from .clock import SimulationClock
 from .config import TreeConfig
-from .partition import Partitioner, SpeedPartitioner, make_partitioner
+from .partition import (
+    DirectionPartitioner,
+    Partitioner,
+    SpeedPartitioner,
+    make_partitioner,
+)
 from .tree import LeafEntry, MovingObjectTree, TreeAudit
+
+#: File name of the forest manifest inside a durable-forest directory.
+MANIFEST_FILENAME = "forest.json"
+
+
+def _partitioner_manifest(partitioner: Partitioner) -> dict:
+    """Serialize a partitioner for the forest manifest."""
+    if isinstance(partitioner, SpeedPartitioner):
+        return {"kind": "speed", "boundaries": list(partitioner.boundaries)}
+    if isinstance(partitioner, DirectionPartitioner):
+        return {
+            "kind": "direction",
+            "sectors": partitioner.sectors,
+            "slow_speed": partitioner.slow_speed,
+        }
+    raise ValueError(
+        f"cannot persist partitioner of type {type(partitioner).__name__}"
+    )
+
+
+def _partitioner_from_manifest(payload: dict) -> Partitioner:
+    """Rebuild a partitioner from its manifest form."""
+    kind = payload.get("kind")
+    if kind == "speed":
+        return SpeedPartitioner(payload["boundaries"])
+    if kind == "direction":
+        return DirectionPartitioner(
+            payload["sectors"], payload["slow_speed"]
+        )
+    raise ValueError(f"unknown partitioner kind {kind!r} in manifest")
 
 
 @dataclass(frozen=True)
@@ -155,6 +193,9 @@ class PartitionedMovingObjectForest:
         config: Optional[ForestConfig] = None,
         clock: Optional[SimulationClock] = None,
         partitioner: Optional[Partitioner] = None,
+        member_factory: Optional[
+            Callable[[int, TreeConfig, SimulationClock], MovingObjectTree]
+        ] = None,
     ):
         self.config = config if config is not None else ForestConfig()
         self.clock = clock if clock is not None else SimulationClock()
@@ -172,12 +213,134 @@ class PartitionedMovingObjectForest:
             )
         self.partitioner = partitioner
         member_config = self.config.member_tree_config()
+        if member_factory is None:
+            member_factory = lambda i, cfg, clk: MovingObjectTree(cfg, clk)  # noqa: E731
         self.trees = [
-            MovingObjectTree(member_config, self.clock)
-            for _ in range(self.config.partitions)
+            member_factory(i, member_config, self.clock)
+            for i in range(self.config.partitions)
         ]
         self.stats = ForestStats(self)
         self._obs_routes = None  # per-partition routing counters when on
+        self._durable_dir: Optional[str] = None
+
+    # -- durability ---------------------------------------------------------
+
+    @staticmethod
+    def member_directory(directory: str, index: int) -> str:
+        """Path of member ``index``'s page-store directory."""
+        return os.path.join(directory, f"member{index}")
+
+    def _write_manifest(self, directory: str) -> None:
+        manifest = {
+            "version": 1,
+            "partitions": self.partitions,
+            "partitioner": _partitioner_manifest(self.partitioner),
+        }
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def create_durable(
+        cls,
+        directory: str,
+        config: Optional[ForestConfig] = None,
+        clock: Optional[SimulationClock] = None,
+        partitioner: Optional[Partitioner] = None,
+        fsync: bool = False,
+    ) -> "PartitionedMovingObjectForest":
+        """Create an empty forest whose members live in page files.
+
+        Each member tree gets its own subdirectory ``member<i>`` under
+        ``directory`` holding a page file and WAL, and a ``forest.json``
+        manifest records the partition count and partitioner so
+        :meth:`open_from` can rebuild the routing function.
+        """
+        os.makedirs(directory, exist_ok=True)
+
+        def factory(i, cfg, clk):
+            return MovingObjectTree.create_durable(
+                cls.member_directory(directory, i), cfg, clk, fsync=fsync
+            )
+
+        forest = cls(config, clock, partitioner, member_factory=factory)
+        forest._durable_dir = directory
+        forest._write_manifest(directory)
+        return forest
+
+    @classmethod
+    def open_from(
+        cls,
+        directory: str,
+        config: Optional[ForestConfig] = None,
+        clock: Optional[SimulationClock] = None,
+        fsync: bool = False,
+        registry=None,
+        tracer=None,
+    ) -> "PartitionedMovingObjectForest":
+        """Open (and if needed recover) a durable forest from disk.
+
+        Reads the manifest, rebuilds the partitioner, then opens every
+        member tree — each member runs its own WAL recovery.  The shared
+        clock advances to the latest committed time of any member.
+        """
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != 1:
+            raise ValueError(
+                f"unsupported forest manifest version {manifest.get('version')!r}"
+            )
+        partitions = manifest["partitions"]
+        if config is None:
+            config = ForestConfig(partitions=partitions)
+        elif config.partitions != partitions:
+            raise ValueError(
+                f"configuration asks for {config.partitions} partitions but "
+                f"the manifest records {partitions}"
+            )
+        partitioner = _partitioner_from_manifest(manifest["partitioner"])
+
+        def factory(i, cfg, clk):
+            return MovingObjectTree.open_from(
+                cls.member_directory(directory, i),
+                cfg,
+                clk,
+                fsync=fsync,
+                registry=registry,
+                tracer=tracer,
+            )
+
+        forest = cls(config, clock, partitioner, member_factory=factory)
+        forest._durable_dir = directory
+        return forest
+
+    def persist_to(self, directory: str) -> List[PersistReport]:
+        """Snapshot a simulated forest into a durable directory.
+
+        Writes the manifest plus one page-store snapshot per member, and
+        returns the members' :class:`~repro.storage.pagefile.PersistReport`
+        records.  The forest itself keeps running on its simulated disks.
+        """
+        os.makedirs(directory, exist_ok=True)
+        self._write_manifest(directory)
+        return [
+            tree.persist_to(self.member_directory(directory, i))
+            for i, tree in enumerate(self.trees)
+        ]
+
+    def checkpoint(self) -> None:
+        """Checkpoint every durable member (truncates their WALs)."""
+        for tree in self.trees:
+            tree.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and close every durable member's page store."""
+        for tree in self.trees:
+            tree.close()
 
     # -- observability ------------------------------------------------------
 
@@ -282,6 +445,11 @@ class PartitionedMovingObjectForest:
             self.partitioner = SpeedPartitioner.fitted(
                 [point.speed() for point, _ in entries], self.partitions
             )
+            if self._durable_dir is not None:
+                # Routing is a pure function of the partitioner, so the
+                # refitted boundaries must be durable before any report
+                # they routed is — rewrite the manifest first.
+                self._write_manifest(self._durable_dir)
         for tree, group in zip(self.trees, self.partitioner.split(entries)):
             tree.bulk_load(group)
 

@@ -29,6 +29,32 @@ class IndexAdapter(ABC):
     def __init__(self, name: str):
         self.name = name
         self.op_stats = OperationStats()
+        # Cumulative WAL-write counter of a durable backend, or None.
+        self._durable_wal = None
+
+    def enable_durability(self, directory: str, fsync: bool = False) -> None:
+        """Re-home the index onto a durable page store in ``directory``.
+
+        Must be called before any operation.  Index I/O keeps entering
+        the search/update tallies unchanged; write-ahead-log I/O is
+        charged as auxiliary I/O, like the deletion queue's B-tree.
+        Adapters without a durable backend raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no durable backend"
+        )
+
+    def close(self) -> None:
+        """Checkpoint and close a durable backend (no-op otherwise)."""
+
+    def _wal_mark(self) -> int:
+        """Current cumulative WAL write count (0 when not durable)."""
+        return self._durable_wal() if self._durable_wal is not None else 0
+
+    def _charge_wal(self, mark: int) -> None:
+        """Charge WAL writes since ``mark`` as auxiliary I/O."""
+        if self._durable_wal is not None:
+            self.op_stats.record_auxiliary(self._durable_wal() - mark)
 
     @abstractmethod
     def advance_time(self, t: float) -> None:
@@ -109,30 +135,54 @@ class TreeAdapter(IndexAdapter):
         # that a downstream filter would remove (Section 3).
         self.exact_semantics = config.store_leaf_expiration
 
+    def enable_durability(self, directory: str, fsync: bool = False) -> None:
+        """Replace the fresh simulated tree with a durable one."""
+        if self.tree.leaf_entry_count:
+            raise ValueError(
+                "enable_durability requires an adapter that has not "
+                "indexed anything yet"
+            )
+        self.tree = MovingObjectTree.create_durable(
+            directory, self.tree.config, self.clock, fsync=fsync
+        )
+        self._durable_wal = lambda: self.tree.disk.wal.stats.writes
+
+    def close(self) -> None:
+        self.tree.close()
+
     def advance_time(self, t: float) -> None:
         self.clock.advance_to(t)
 
     def insert(self, oid: int, point: MovingPoint) -> None:
         before = self.tree.stats.snapshot()
+        mark = self._wal_mark()
         self.tree.insert(oid, point)
         self.op_stats.record_update(self.tree.stats.since(before).total)
+        self._charge_wal(mark)
 
     def delete(self, oid: int, point: MovingPoint) -> bool:
         before = self.tree.stats.snapshot()
+        mark = self._wal_mark()
         removed = self.tree.delete(oid, point)
         self.op_stats.record_update(self.tree.stats.since(before).total)
+        self._charge_wal(mark)
         return removed
 
     def query(self, query: SpatioTemporalQuery) -> List[int]:
         before = self.tree.stats.snapshot()
+        mark = self._wal_mark()
         result = self.tree.query(query)
         self.op_stats.record_search(self.tree.stats.since(before).total)
+        # Queries lazily purge expired entries, so they too can commit.
+        self._charge_wal(mark)
         return result
 
     def bulk_load(self, items) -> None:
         before = self.tree.stats.snapshot()
+        mark = self._wal_mark()
         self.tree.bulk_load([(point, oid) for oid, point in items])
         self.op_stats.record_setup(self.tree.stats.since(before).total)
+        self._charge_wal(mark)
 
     @property
     def page_count(self) -> int:
@@ -172,30 +222,60 @@ class ForestAdapter(IndexAdapter):
         )
         self.exact_semantics = config.tree.store_leaf_expiration
 
+    def enable_durability(self, directory: str, fsync: bool = False) -> None:
+        """Replace the fresh simulated forest with a durable one."""
+        if self.forest.leaf_entry_count:
+            raise ValueError(
+                "enable_durability requires an adapter that has not "
+                "indexed anything yet"
+            )
+        self.forest = PartitionedMovingObjectForest.create_durable(
+            directory,
+            self.forest.config,
+            self.clock,
+            self.forest.partitioner,
+            fsync=fsync,
+        )
+        self._durable_wal = lambda: sum(
+            tree.disk.wal.stats.writes for tree in self.forest.trees
+        )
+
+    def close(self) -> None:
+        self.forest.close()
+
     def advance_time(self, t: float) -> None:
         self.clock.advance_to(t)
 
     def insert(self, oid: int, point: MovingPoint) -> None:
         before = self.forest.stats.snapshot()
+        mark = self._wal_mark()
         self.forest.insert(oid, point)
         self.op_stats.record_update(self.forest.stats.since(before).total)
+        self._charge_wal(mark)
 
     def delete(self, oid: int, point: MovingPoint) -> bool:
         before = self.forest.stats.snapshot()
+        mark = self._wal_mark()
         removed = self.forest.delete(oid, point)
         self.op_stats.record_update(self.forest.stats.since(before).total)
+        self._charge_wal(mark)
         return removed
 
     def query(self, query: SpatioTemporalQuery) -> List[int]:
         before = self.forest.stats.snapshot()
+        mark = self._wal_mark()
         result = self.forest.query(query)
         self.op_stats.record_search(self.forest.stats.since(before).total)
+        # Queries lazily purge expired entries, so they too can commit.
+        self._charge_wal(mark)
         return result
 
     def bulk_load(self, items) -> None:
         before = self.forest.stats.snapshot()
+        mark = self._wal_mark()
         self.forest.bulk_load([(point, oid) for oid, point in items])
         self.op_stats.record_setup(self.forest.stats.since(before).total)
+        self._charge_wal(mark)
 
     @property
     def page_count(self) -> int:

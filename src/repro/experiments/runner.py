@@ -121,6 +121,7 @@ def run_workload(
     registry=None,
     tracer=None,
     profile: bool = False,
+    durability: Optional[str] = None,
 ) -> RunResult:
     """Replay a workload and collect the paper's metrics.
 
@@ -140,6 +141,11 @@ def run_workload(
         profile: additionally time every operation and fill the
             ``*_latency_*`` percentile fields.  Implied by passing a
             registry or tracer.
+        durability: a directory; when given, the adapter re-homes onto a
+            durable page store there before replay (every operation
+            group-commits through a write-ahead log, whose I/O enters
+            ``auxiliary_io``), and the store is checkpointed and closed
+            after the run, leaving a recoverable index on disk.
 
     Returns:
         The populated :class:`RunResult`.
@@ -150,6 +156,9 @@ def run_workload(
     failed_deletes = 0
     result_sizes = 0
     profile = profile or registry is not None or tracer is not None
+    if durability is not None:
+        # Before observability: durability swaps the backing index out.
+        adapter.enable_durability(durability)
     if registry is not None or tracer is not None:
         adapter.enable_observability(registry, tracer)
     search_latency = update_latency = None
@@ -278,6 +287,8 @@ def run_workload(
         ),
         params=dict(workload.params),
     )
+    if durability is not None:
+        adapter.close()
     if registry is not None:
         registry.gauge("runner.buffer_hit_rate").set(result.buffer_hit_rate)
         if search_latency is not None and search_latency.count:

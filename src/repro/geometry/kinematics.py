@@ -41,6 +41,11 @@ class MovingPoint:
             )
         if not self.pos:
             raise ValueError("zero-dimensional moving point")
+        if self.t_exp != self.t_exp or self.t_ref != self.t_ref:
+            # NaN compares False against everything, so it would slip
+            # past the ordering check below and poison every expiration
+            # comparison downstream (including durable-page replay).
+            raise ValueError("t_ref and t_exp must not be NaN")
         if self.t_exp < self.t_ref:
             raise ValueError(
                 f"t_exp {self.t_exp} precedes reference time {self.t_ref}"

@@ -33,9 +33,11 @@ class Counter:
         self.value = 0
 
     def inc(self, n: Number = 1) -> None:
+        """Increase the tally by ``n`` (default 1)."""
         self.value += n
 
     def to_dict(self) -> Dict[str, Number]:
+        """Export the counter as a plain dictionary."""
         return {"type": "counter", "value": self.value}
 
 
@@ -50,15 +52,18 @@ class Gauge:
         self._fn = fn
 
     def set(self, value: Number) -> None:
+        """Record a new point-in-time value."""
         self._value = value
 
     @property
     def value(self) -> Number:
+        """Current value (calls the deriving function when set)."""
         if self._fn is not None:
             return self._fn()
         return self._value
 
     def to_dict(self) -> Dict[str, Number]:
+        """Export the gauge as a plain dictionary."""
         return {"type": "gauge", "value": self.value}
 
 
@@ -99,15 +104,18 @@ class Histogram:
 
     @classmethod
     def linear(cls, name: str, start: float, width: float, n: int) -> "Histogram":
+        """Build a histogram with ``n`` equal-width buckets."""
         return cls(name, [start + width * i for i in range(n)])
 
     @classmethod
     def exponential(
         cls, name: str, start: float, factor: float, n: int
     ) -> "Histogram":
+        """Build a histogram with ``n`` geometrically growing buckets."""
         return cls(name, [start * factor ** i for i in range(n)])
 
     def record(self, value: Number) -> None:
+        """Add one observation."""
         self.buckets[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
@@ -117,11 +125,13 @@ class Histogram:
             self.max = value
 
     def record_many(self, values: Sequence[Number]) -> None:
+        """Add a batch of observations."""
         for value in values:
             self.record(value)
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
@@ -148,21 +158,26 @@ class Histogram:
 
     @property
     def p50(self) -> float:
+        """Estimated median."""
         return self.percentile(50.0)
 
     @property
     def p90(self) -> float:
+        """Estimated 90th percentile."""
         return self.percentile(90.0)
 
     @property
     def p95(self) -> float:
+        """Estimated 95th percentile."""
         return self.percentile(95.0)
 
     @property
     def p99(self) -> float:
+        """Estimated 99th percentile."""
         return self.percentile(99.0)
 
     def to_dict(self) -> Dict[str, object]:
+        """Export count, sum, extrema and key percentiles."""
         return {
             "type": "histogram",
             "count": self.count,
@@ -203,11 +218,13 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
+        """Get or create the counter registered under ``name``."""
         return self._get_or_create(name, Counter, lambda: Counter(name))
 
     def gauge(
         self, name: str, fn: Optional[Callable[[], Number]] = None
     ) -> Gauge:
+        """Get or create a gauge, rebinding its deriving function."""
         gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
         if fn is not None:
             gauge._fn = fn
@@ -216,30 +233,37 @@ class MetricsRegistry:
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None
     ) -> Histogram:
+        """Get or create the histogram registered under ``name``."""
         return self._get_or_create(
             name, Histogram, lambda: Histogram(name, bounds)
         )
 
     def scope(self, prefix: str) -> "ScopedRegistry":
+        """Return a ``<prefix>.``-prefixing view sharing this store."""
         return ScopedRegistry(self, prefix)
 
     def names(self) -> List[str]:
+        """All registered metric names, sorted."""
         return sorted(self._metrics)
 
     def get(self, name: str) -> Optional[object]:
+        """Look up a metric instance by full name (None if absent)."""
         return self._metrics.get(name)
 
     def value(self, name: str, default: Number = 0) -> Number:
+        """Current value of a counter or gauge (``default`` if absent)."""
         metric = self._metrics.get(name)
         return metric.value if metric is not None else default
 
     def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Export every metric, keyed by name."""
         return {
             name: metric.to_dict()
             for name, metric in sorted(self._metrics.items())
         }
 
     def export_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` as pretty-printed JSON."""
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -253,22 +277,27 @@ class ScopedRegistry:
         self._prefix = prefix.rstrip(".") + "."
 
     def counter(self, name: str) -> Counter:
+        """Get or create ``<prefix>.<name>`` in the root registry."""
         return self._root.counter(self._prefix + name)
 
     def gauge(
         self, name: str, fn: Optional[Callable[[], Number]] = None
     ) -> Gauge:
+        """Get or create ``<prefix>.<name>`` in the root registry."""
         return self._root.gauge(self._prefix + name, fn)
 
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None
     ) -> Histogram:
+        """Get or create ``<prefix>.<name>`` in the root registry."""
         return self._root.histogram(self._prefix + name, bounds)
 
     def scope(self, prefix: str) -> "ScopedRegistry":
+        """Nest a further prefix under this view."""
         return ScopedRegistry(self._root, self._prefix + prefix)
 
     def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Export only the metrics under this view's prefix."""
         return {
             name: metric.to_dict()
             for name, metric in sorted(self._root._metrics.items())
@@ -285,9 +314,10 @@ class _NullCounter:
     value = 0
 
     def inc(self, n: Number = 1) -> None:
-        pass
+        """Count nothing."""
 
     def to_dict(self) -> Dict[str, Number]:
+        """Export a zero counter."""
         return {"type": "counter", "value": 0}
 
 
@@ -297,9 +327,10 @@ class _NullGauge:
     value = 0
 
     def set(self, value: Number) -> None:
-        pass
+        """Discard the value."""
 
     def to_dict(self) -> Dict[str, Number]:
+        """Export a zero gauge."""
         return {"type": "gauge", "value": 0}
 
 
@@ -314,15 +345,17 @@ class _NullHistogram:
     max = float("-inf")
 
     def record(self, value: Number) -> None:
-        pass
+        """Record nothing."""
 
     def record_many(self, values: Sequence[Number]) -> None:
-        pass
+        """Record nothing."""
 
     def percentile(self, p: float) -> float:
+        """Return 0.0: nothing is ever recorded."""
         return 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        """Export an empty histogram."""
         return {"type": "histogram", "count": 0}
 
 
@@ -340,30 +373,39 @@ class NullRegistry:
     _histogram = _NullHistogram()
 
     def __bool__(self) -> bool:
+        """False, so ``registry or NULL_REGISTRY`` composes."""
         return False
 
     def counter(self, name: str) -> _NullCounter:
+        """Return the shared no-op counter."""
         return self._counter
 
     def gauge(self, name: str, fn=None) -> _NullGauge:
+        """Return the shared no-op gauge."""
         return self._gauge
 
     def histogram(self, name: str, bounds=None) -> _NullHistogram:
+        """Return the shared no-op histogram."""
         return self._histogram
 
     def scope(self, prefix: str) -> "NullRegistry":
+        """Return itself: scoping a no-op registry is a no-op."""
         return self
 
     def names(self) -> List[str]:
+        """Return no names: nothing is ever registered."""
         return []
 
     def get(self, name: str) -> None:
+        """Return None: nothing is ever registered."""
         return None
 
     def value(self, name: str, default: Number = 0) -> Number:
+        """Return ``default``: nothing is ever registered."""
         return default
 
     def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Return an empty export."""
         return {}
 
 

@@ -36,6 +36,7 @@ class _Span:
         self.attrs = attrs
 
     def __enter__(self) -> "_Span":
+        """Open the span: assign its id and start the clock."""
         tracer = self.tracer
         self.parent_id = tracer._stack[-1] if tracer._stack else None
         self.span_id = tracer._next_id
@@ -49,6 +50,7 @@ class _Span:
         self.attrs.update(attrs)
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the span and append its record (with any error name)."""
         tracer = self.tracer
         t1 = tracer._clock()
         tracer._stack.pop()
@@ -71,10 +73,13 @@ class _Span:
 class Tracer:
     """Bounded ring buffer of span and event records.
 
-    Args:
-        capacity: maximum records retained; older records are dropped
-            (and counted in :attr:`dropped`) once full.
-        clock: timestamp source; injectable for deterministic tests.
+    Parameters
+    ----------
+    capacity : int
+        Maximum records retained; older records are dropped (and
+        counted in :attr:`dropped`) once full.
+    clock : callable
+        Timestamp source; injectable for deterministic tests.
     """
 
     def __init__(
@@ -94,9 +99,11 @@ class Tracer:
     # -- recording ----------------------------------------------------------
 
     def span(self, name: str, **attrs: object) -> _Span:
+        """Open a timed span: ``with tracer.span("tree.query"): ...``."""
         return _Span(self, name, attrs)
 
     def event(self, name: str, **attrs: object) -> None:
+        """Record an instantaneous event inside the innermost span."""
         record: Dict[str, object] = {
             "kind": "event",
             "name": name,
@@ -115,6 +122,7 @@ class Tracer:
     # -- introspection ------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of records currently retained."""
         return len(self._records)
 
     def records(self) -> List[Dict[str, object]]:
@@ -122,12 +130,14 @@ class Tracer:
         return list(self._records)
 
     def spans(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """All span records, optionally filtered by name."""
         return [
             r for r in self._records
             if r["kind"] == "span" and (name is None or r["name"] == name)
         ]
 
     def events(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """All event records, optionally filtered by name."""
         return [
             r for r in self._records
             if r["kind"] == "event" and (name is None or r["name"] == name)
@@ -144,6 +154,7 @@ class Tracer:
         return sorted(self.spans(name), key=lambda r: r["dur"], reverse=True)[:k]
 
     def clear(self) -> None:
+        """Drop all records, open spans and the drop counter."""
         self._records.clear()
         self._stack.clear()
         self.dropped = 0
@@ -229,47 +240,57 @@ class NullTracer:
         __slots__ = ()
 
         def __enter__(self):
+            """Return itself; nothing is timed."""
             return self
 
         def set(self, **attrs):
-            pass
+            """Discard attributes."""
 
         def __exit__(self, *exc):
-            pass
+            """Record nothing."""
 
     _span = _NullSpan()
 
     def __bool__(self) -> bool:
+        """False, so ``tracer or NULL_TRACER`` composes."""
         return False
 
     def span(self, name: str, **attrs: object) -> "_NullSpan":
+        """Return the shared no-op span."""
         return self._span
 
     def event(self, name: str, **attrs: object) -> None:
-        pass
+        """Record nothing."""
 
     def __len__(self) -> int:
+        """Zero: nothing is ever retained."""
         return 0
 
     def records(self) -> List[Dict[str, object]]:
+        """Return no records."""
         return []
 
     def spans(self, name=None) -> List[Dict[str, object]]:
+        """Return no spans."""
         return []
 
     def events(self, name=None) -> List[Dict[str, object]]:
+        """Return no events."""
         return []
 
     def event_totals(self) -> Dict[str, int]:
+        """Return empty totals."""
         return {}
 
     def slowest_spans(self, k: int = 10, name=None) -> List[Dict[str, object]]:
+        """Return no spans."""
         return []
 
     def clear(self) -> None:
-        pass
+        """Clear nothing."""
 
     def export_jsonl(self, path: str, append: bool = False, extra=None) -> int:
+        """Touch ``path`` (so downstream readers find a file); write 0 rows."""
         open(path, "a" if append else "w", encoding="utf-8").close()
         return 0
 

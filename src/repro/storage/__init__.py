@@ -1,26 +1,55 @@
-"""Simulated paged storage: disk manager, LRU buffer pool, I/O accounting.
+"""Paged storage: simulated disk, durable page file, WAL, buffer pool.
 
-This is the substrate the paper's experiments measure against — every
-figure's y-axis is a count of page reads/writes through this layer.
+Every figure's y-axis is a count of page reads/writes through this
+layer.  The simulated :class:`DiskManager` charges that I/O against
+in-memory pages; the durable :class:`FilePageStore` charges *the same*
+I/O while additionally write-ahead-logging page images to a real file,
+so figures are unchanged whichever backend a tree runs on.
 """
 
 from .buffer import BufferPool
 from .disk import INVALID_PAGE, DiskManager, PageError, PageId
+from .faults import MODES, FaultInjector, SimulatedCrash
 from .layout import NODE_HEADER_BYTES, EntryLayout
+from .pagefile import (
+    PAGES_FILENAME,
+    WAL_FILENAME,
+    FilePageStore,
+    PageFile,
+    PageFileError,
+    PageFileHeader,
+    PersistReport,
+)
 from .serial import CodecError, NodeCodec
 from .stats import IOSnapshot, IOStats, OperationStats
+from .wal import RecoveryReport, WalError, WalRecord, WriteAheadLog, recover
 
 __all__ = [
     "BufferPool",
     "CodecError",
     "DiskManager",
     "EntryLayout",
+    "FaultInjector",
+    "FilePageStore",
     "INVALID_PAGE",
     "IOSnapshot",
     "IOStats",
+    "MODES",
     "NODE_HEADER_BYTES",
     "NodeCodec",
     "OperationStats",
+    "PAGES_FILENAME",
     "PageError",
+    "PageFile",
+    "PageFileError",
+    "PageFileHeader",
     "PageId",
+    "PersistReport",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "WAL_FILENAME",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover",
 ]

@@ -48,9 +48,11 @@ class BufferPool:
         self.pins += 1
 
     def unpin(self, pid: PageId) -> None:
+        """Make a pinned page evictable again."""
         self._pinned.discard(pid)
 
     def is_pinned(self, pid: PageId) -> bool:
+        """True if the page is currently protected from eviction."""
         return pid in self._pinned
 
     # -- access -------------------------------------------------------------
@@ -113,6 +115,7 @@ class BufferPool:
         for pid in sorted(self._dirty):
             self.disk.write(pid, self._frames[pid])
         self._dirty.clear()
+        self.disk.commit()
 
     def clear(self) -> None:
         """Flush everything and empty the pool (used between experiments).
@@ -166,14 +169,18 @@ class BufferPool:
 
     @property
     def resident_pages(self) -> int:
+        """Number of pages currently held in the pool."""
         return len(self._frames)
 
     @property
     def dirty_pages(self) -> int:
+        """Number of resident pages with unflushed modifications."""
         return len(self._dirty)
 
     def resident_ids(self) -> Iterator[PageId]:
+        """Iterate over the ids of all resident pages (LRU order)."""
         return iter(self._frames.keys())
 
     def is_resident(self, pid: PageId) -> bool:
+        """True if the page is currently held in the pool."""
         return pid in self._frames

@@ -95,6 +95,14 @@ class DiskManager:
         self.stats.writes += 1
         self._pages[pid] = payload
 
+    def commit(self) -> None:
+        """Mark an operation boundary (a no-op on the simulated disk).
+
+        The buffer pool calls this after every end-of-operation flush;
+        durable stores group-commit their staged pages here, and the
+        simulated disk — which has no staging — does nothing.
+        """
+
     def peek(self, pid: PageId) -> Any:
         """Read a page without charging I/O.
 
@@ -113,7 +121,18 @@ class DiskManager:
         return len(self._pages)
 
     def is_allocated(self, pid: PageId) -> bool:
+        """Whether ``pid`` currently holds a live page."""
         return pid in self._pages
 
     def page_ids(self) -> Iterator[PageId]:
+        """Iterate over the ids of all live pages."""
         return iter(self._pages.keys())
+
+    @property
+    def next_page_id(self) -> PageId:
+        """The allocation high-water mark (used when persisting)."""
+        return self._next_id
+
+    def free_page_ids(self) -> List[PageId]:
+        """The current free list, oldest free first (used when persisting)."""
+        return list(self._free)

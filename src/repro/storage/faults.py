@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the durable storage stack.
+
+A :class:`FaultInjector` sits in front of every *physical* file write of
+a page store and its write-ahead log (both route their writes through
+``before_write``/``after_write``).  It counts writes across the whole
+stack and, at a chosen write index, simulates a process death in one of
+three ways:
+
+``kill``
+    Raise :class:`SimulatedCrash` *before* the bytes reach the file —
+    a clean power cut between writes.
+``torn``
+    Write a deterministic prefix of the bytes, then crash — a torn
+    page or torn log record.
+``bitflip``
+    Write the bytes with a single deterministically chosen bit
+    inverted, then crash — silent media corruption caught by CRCs.
+
+After the crash fires, every further write raises again: the process
+model is dead, and nothing (buffer flushes, destructors) may touch the
+files.  Crash-at-every-write test matrices drive the index through a
+recorded workload once per write index and assert that recovery always
+restores the last committed state.
+
+With ``crash_at_write=None`` the injector is a pure write counter,
+which is how a matrix first measures how many crash points a workload
+has.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+#: Supported crash modes.
+MODES = ("kill", "torn", "bitflip")
+
+
+class SimulatedCrash(Exception):
+    """Raised by a fault injector when the simulated process dies."""
+
+
+class FaultInjector:
+    """Deterministic crash/corruption hook for physical writes.
+
+    Parameters
+    ----------
+    crash_at_write : int, optional
+        1-based index of the physical write at which to inject the
+        fault.  ``None`` disables injection; the instance then only
+        counts writes.
+    mode : {'kill', 'torn', 'bitflip'}, optional
+        What the fault does (see module docstring).
+    seed : int, optional
+        Seed of the private RNG that picks the tear point or flipped
+        bit, making every run byte-reproducible.
+
+    Attributes
+    ----------
+    writes : int
+        Physical writes observed so far (including the faulted one).
+    crashed : bool
+        Whether the simulated process has died.
+    """
+
+    def __init__(
+        self,
+        crash_at_write: Optional[int] = None,
+        mode: str = "kill",
+        seed: int = 0,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if crash_at_write is not None and crash_at_write < 1:
+            raise ValueError("crash_at_write is a 1-based write index")
+        self.crash_at_write = crash_at_write
+        self.mode = mode
+        self.writes = 0
+        self.crashed = False
+        self._rng = random.Random(seed)
+        self._pending_crash = False
+
+    def before_write(self, data: bytes) -> bytes:
+        """Count one physical write and possibly fault it.
+
+        Parameters
+        ----------
+        data : bytes
+            The bytes about to be written.
+
+        Returns
+        -------
+        bytes
+            The (possibly truncated or corrupted) bytes to actually
+            write.
+
+        Raises
+        ------
+        SimulatedCrash
+            In ``kill`` mode at the chosen index, and on every write
+            after the process has died.
+        """
+        if self.crashed:
+            raise SimulatedCrash("write after simulated process death")
+        self.writes += 1
+        if self.crash_at_write is None or self.writes != self.crash_at_write:
+            return data
+        if self.mode == "kill":
+            self.crashed = True
+            raise SimulatedCrash(
+                f"killed before write #{self.writes}"
+            )
+        self._pending_crash = True
+        if self.mode == "torn":
+            keep = self._rng.randrange(1, max(2, len(data)))
+            return data[:keep]
+        flipped = bytearray(data)
+        bit = self._rng.randrange(len(flipped) * 8)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        return bytes(flipped)
+
+    def after_write(self) -> None:
+        """Fire the deferred crash of ``torn``/``bitflip`` faults.
+
+        Raises
+        ------
+        SimulatedCrash
+            Immediately after the mangled bytes of the chosen write
+            reached the file.
+        """
+        if self._pending_crash:
+            self._pending_crash = False
+            self.crashed = True
+            raise SimulatedCrash(
+                f"died after mangled write #{self.writes} ({self.mode})"
+            )

@@ -21,20 +21,29 @@ NODE_HEADER_BYTES = 16
 
 @dataclass(frozen=True)
 class EntryLayout:
-    """Derives entry sizes and node capacities from layout options.
+    """Derive entry sizes and node capacities from layout options.
 
-    Attributes:
-        page_size: disk page (= tree node) size in bytes.
-        dims: dimensionality of the indexed space.
-        coord_bytes: bytes per stored coordinate/velocity/time value.
-        store_velocities: whether internal entries store edge velocities
-            (False for static bounding rectangles).
-        store_br_expiration: whether internal entries store the bounding
-            rectangle's expiration time (the "BRs with exp.t." flavour).
-        store_leaf_expiration: whether leaf entries store the object's
-            expiration time (False for the plain TPR-tree).
-        pointer_bytes: bytes per child-page pointer.
-        oid_bytes: bytes per object identifier in leaf entries.
+    Attributes
+    ----------
+    page_size : int
+        Disk page (= tree node) size in bytes.
+    dims : int
+        Dimensionality of the indexed space.
+    coord_bytes : int
+        Bytes per stored coordinate/velocity/time value.
+    store_velocities : bool
+        Whether internal entries store edge velocities (False for
+        static bounding rectangles).
+    store_br_expiration : bool
+        Whether internal entries store the bounding rectangle's
+        expiration time (the "BRs with exp.t." flavour).
+    store_leaf_expiration : bool
+        Whether leaf entries store the object's expiration time (False
+        for the plain TPR-tree).
+    pointer_bytes : int
+        Bytes per child-page pointer.
+    oid_bytes : int
+        Bytes per object identifier in leaf entries.
     """
 
     page_size: int = 4096
@@ -47,6 +56,7 @@ class EntryLayout:
     oid_bytes: int = 4
 
     def __post_init__(self) -> None:
+        """Validate that the page fits R*-style minimum fan-outs."""
         if self.page_size <= NODE_HEADER_BYTES:
             raise ValueError(f"page_size {self.page_size} too small")
         if self.dims < 1:
@@ -87,4 +97,5 @@ class EntryLayout:
         return (self.page_size - NODE_HEADER_BYTES) // self.internal_entry_bytes
 
     def capacity(self, leaf: bool) -> int:
+        """Maximum entries for a node of the given kind."""
         return self.leaf_capacity if leaf else self.internal_capacity

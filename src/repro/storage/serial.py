@@ -65,12 +65,17 @@ class NodeCodec:
     def encode(self, node: Node, t_ref: float) -> bytes:
         """Serialize a node into exactly ``page_size`` bytes.
 
-        Args:
-            node: the node to encode.
-            t_ref: reference time the entry positions are re-based to.
+        Parameters
+        ----------
+        node : Node
+            The node to encode.
+        t_ref : float
+            Reference time the entry positions are re-based to.
 
-        Raises:
-            CodecError: if the node exceeds its page's capacity.
+        Raises
+        ------
+        CodecError
+            If the node exceeds its page's capacity.
         """
         capacity = self.layout.capacity(leaf=node.is_leaf)
         if len(node.entries) > capacity:

@@ -17,11 +17,16 @@ from ..obs.metrics import Histogram
 class IOStats:
     """Running counters of simulated disk activity.
 
-    Attributes:
-        reads: number of pages fetched from disk (buffer misses).
-        writes: number of pages written back to disk.
-        allocations: number of pages ever allocated.
-        frees: number of pages deallocated.
+    Attributes
+    ----------
+    reads : int
+        Number of pages fetched from disk (buffer misses).
+    writes : int
+        Number of pages written back to disk.
+    allocations : int
+        Number of pages ever allocated.
+    frees : int
+        Number of pages deallocated.
     """
 
     reads: int = 0
@@ -70,6 +75,7 @@ class IOSnapshot:
         return self.reads + self.writes
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Add two snapshots counter-wise."""
         return IOSnapshot(
             self.reads + other.reads,
             self.writes + other.writes,
@@ -100,11 +106,13 @@ class OperationStats:
     )
 
     def record_search(self, io: int) -> None:
+        """Charge one query's page I/O to the search tally."""
         self.search_io += io
         self.search_ops += 1
         self.search_io_hist.record(io)
 
     def record_update(self, io: int) -> None:
+        """Charge one insert/delete's page I/O to the update tally."""
         self.update_io += io
         self.update_ops += 1
         self.update_io_hist.record(io)
@@ -145,8 +153,10 @@ class OperationStats:
 
     @property
     def search_io_p95(self) -> float:
+        """95th-percentile I/O per query."""
         return self.search_io_hist.p95
 
     @property
     def search_io_p99(self) -> float:
+        """99th-percentile I/O per query."""
         return self.search_io_hist.p99

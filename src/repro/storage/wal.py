@@ -1,0 +1,466 @@
+"""Physical write-ahead log and ARIES-lite crash recovery.
+
+Durability in this stack is redo-only: every index operation stages its
+dirty pages in the :class:`~repro.storage.pagefile.FilePageStore`, and at
+the operation boundary the store appends one WAL record per final page
+image (plus one per freed page) followed by a single commit record — a
+group commit.  Only after the commit record is on the log are the page
+images applied to the page file, so the log always runs ahead of the
+data (the WAL-before-page invariant).  Recovery therefore never needs
+undo: it replays the page images of committed operations and discards
+everything after the last intact commit record.
+
+Per TR-82 (Schmidt & Jensen, *Efficient Management of Short-Lived
+Data*), replay exploits expiration semantics: a committed leaf image
+whose every entry has ``t_exp`` below the recovery time carries no live
+information, and when the on-disk slot it would overwrite is itself an
+intact all-expired leaf the record is skipped and counted in the
+``wal_skipped_expired`` metric.
+
+WAL record wire format (all integers little-endian)::
+
+    offset  size  field
+    0       1     kind      u8   (1=PAGE, 2=FREE, 3=COMMIT, 4=CHECKPOINT)
+    1       8     lsn       u64  (dense, starts at 0, monotonic)
+    9       4     length    u32  (payload byte count)
+    13      N     payload
+    13+N    4     crc       u32  (CRC32 over bytes [0, 13+N))
+
+Payloads::
+
+    PAGE        <q> page id, then the raw page image (page_size bytes)
+    FREE        <q> page id
+    COMMIT      <Qd> operation sequence number, simulation clock time
+    CHECKPOINT  <Qd> operation sequence number, simulation clock time
+
+A torn tail — a record cut short by a crash, or one whose CRC does not
+match — ends the scan; everything from the first bad byte onward is
+discarded.  A checkpoint record is only ever the first record of a log
+(written by :meth:`WriteAheadLog.reset` through an atomic rename), and
+asserts that the page file was consistent when it was written.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from .stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .pagefile import PageFile
+
+#: Record kinds (the ``kind`` byte of the wire format).
+PAGE_RECORD = 1
+FREE_RECORD = 2
+COMMIT_RECORD = 3
+CHECKPOINT_RECORD = 4
+
+_RECORD_HEADER = struct.Struct("<BQI")
+_CRC = struct.Struct("<I")
+_PID = struct.Struct("<q")
+_COMMIT = struct.Struct("<Qd")
+
+
+class WalError(Exception):
+    """Raised on malformed write-ahead logs beyond an ignorable torn tail."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record.
+
+    Attributes
+    ----------
+    kind : int
+        One of :data:`PAGE_RECORD`, :data:`FREE_RECORD`,
+        :data:`COMMIT_RECORD`, :data:`CHECKPOINT_RECORD`.
+    lsn : int
+        Log sequence number (dense, monotonically increasing).
+    payload : bytes
+        The raw record payload (see the module docstring for layouts).
+    """
+
+    kind: int
+    lsn: int
+    payload: bytes
+
+    @property
+    def page_id(self) -> int:
+        """Page id of a PAGE or FREE record."""
+        return _PID.unpack_from(self.payload, 0)[0]
+
+    @property
+    def page_bytes(self) -> bytes:
+        """Page image of a PAGE record."""
+        return self.payload[_PID.size:]
+
+    @property
+    def op_seq(self) -> int:
+        """Operation sequence number of a COMMIT or CHECKPOINT record."""
+        return _COMMIT.unpack_from(self.payload, 0)[0]
+
+    @property
+    def clock_time(self) -> float:
+        """Simulation clock time of a COMMIT or CHECKPOINT record."""
+        return _COMMIT.unpack_from(self.payload, 0)[1]
+
+
+def _encode_record(kind: int, lsn: int, payload: bytes) -> bytes:
+    head = _RECORD_HEADER.pack(kind, lsn, len(payload)) + payload
+    return head + _CRC.pack(zlib.crc32(head))
+
+
+def scan_wal(path: str) -> Tuple[List[WalRecord], int, int]:
+    """Scan a WAL file, stopping at the first torn or corrupt record.
+
+    Parameters
+    ----------
+    path : str
+        Path of the log file.  A missing file scans as empty.
+
+    Returns
+    -------
+    records : list of WalRecord
+        Every intact record, in log order.
+    valid_length : int
+        Byte offset of the end of the last intact record.
+    torn_bytes : int
+        Bytes discarded after ``valid_length`` (0 for a clean log).
+    """
+    if not os.path.exists(path):
+        return [], 0, 0
+    data = open(path, "rb").read()
+    records: List[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _RECORD_HEADER.size + _CRC.size > len(data):
+            break
+        kind, lsn, length = _RECORD_HEADER.unpack_from(data, offset)
+        end = offset + _RECORD_HEADER.size + length + _CRC.size
+        if kind not in (
+            PAGE_RECORD, FREE_RECORD, COMMIT_RECORD, CHECKPOINT_RECORD
+        ) or end > len(data):
+            break
+        body = data[offset:end - _CRC.size]
+        (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        if crc != zlib.crc32(body):
+            break
+        if records and lsn != records[-1].lsn + 1:
+            break
+        records.append(
+            WalRecord(kind, lsn, body[_RECORD_HEADER.size:])
+        )
+        offset = end
+    return records, offset, len(data) - offset
+
+
+class WriteAheadLog:
+    """Append-only physical log with group commit.
+
+    Page stores append page/free records for every staged change of an
+    operation, then a single commit record, then :meth:`flush` — after
+    which the images may be applied to the page file.  Each appended
+    record is one physical file write, charged as one write I/O on
+    ``stats`` (this is the log traffic reported as ``auxiliary_io`` by
+    the experiment runner; it is *not* part of the tree's page I/O).
+
+    Parameters
+    ----------
+    path : str
+        Log file path; created if missing, otherwise scanned so that
+        appends continue after the last intact record.
+    stats : IOStats, optional
+        Counter sink for log writes.  A private one is created when
+        omitted.
+    injector : FaultInjector, optional
+        Fault hook applied to every physical write.
+    fsync : bool, optional
+        Issue ``os.fsync`` on every :meth:`flush` (default off: the
+        simulation cares about write counts, not media durability).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        stats: Optional[IOStats] = None,
+        injector: Optional["object"] = None,
+        fsync: bool = False,
+    ):
+        self.path = path
+        self.stats = stats if stats is not None else IOStats()
+        self.fsync = fsync
+        self._injector = injector
+        records, valid, _torn = scan_wal(path)
+        self._next_lsn = records[-1].lsn + 1 if records else 0
+        self._file = open(path, "r+b" if os.path.exists(path) else "w+b")
+        self._file.seek(valid)
+        self._file.truncate(valid)
+        self.records_appended = 0
+        self.bytes_appended = 0
+
+    # -- appends ------------------------------------------------------------
+
+    def _append(self, kind: int, payload: bytes) -> int:
+        lsn = self._next_lsn
+        data = _encode_record(kind, lsn, payload)
+        if self._injector is not None:
+            data = self._injector.before_write(data)
+        self._file.write(data)
+        if self._injector is not None:
+            self._injector.after_write()
+        self._next_lsn += 1
+        self.stats.writes += 1
+        self.records_appended += 1
+        self.bytes_appended += len(data)
+        return lsn
+
+    def append_page(self, pid: int, page_bytes: bytes) -> int:
+        """Append a PAGE record and return its LSN."""
+        return self._append(PAGE_RECORD, _PID.pack(pid) + page_bytes)
+
+    def append_free(self, pid: int) -> int:
+        """Append a FREE record and return its LSN."""
+        return self._append(FREE_RECORD, _PID.pack(pid))
+
+    def append_commit(self, op_seq: int, clock_time: float) -> int:
+        """Append a COMMIT record and return its LSN."""
+        return self._append(COMMIT_RECORD, _COMMIT.pack(op_seq, clock_time))
+
+    def flush(self) -> None:
+        """Flush buffered appends to the operating system (and media)."""
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self, op_seq: int, clock_time: float) -> None:
+        """Atomically replace the log with a single checkpoint record.
+
+        The new log is written to a sibling temporary file, fsynced, and
+        renamed over ``path`` — a crash at any point leaves either the
+        old intact log or the new one.  The page file must be consistent
+        (all committed images applied and synced) before calling this.
+        """
+        self._file.close()
+        tmp = self.path + ".tmp"
+        data = _encode_record(
+            CHECKPOINT_RECORD, 0, _COMMIT.pack(op_seq, clock_time)
+        )
+        if self._injector is not None:
+            data = self._injector.before_write(data)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._injector is not None:
+            self._injector.after_write()
+        os.replace(tmp, self.path)
+        self.stats.writes += 1
+        self.records_appended += 1
+        self.bytes_appended += len(data)
+        self._next_lsn = 1
+        self._file = open(self.path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        """Flush and close the log file handle."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def abandon(self) -> None:
+        """Close the handle without flushing (simulated process death)."""
+        if not self._file.closed:
+            self._file.close()
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one :func:`recover` pass.
+
+    Attributes
+    ----------
+    records_scanned : int
+        Intact records found in the log.
+    commits_applied : int
+        Committed operation batches whose images were (re)applied.
+    pages_replayed : int
+        PAGE records written back to the page file.
+    frees_replayed : int
+        FREE records applied to the page file.
+    wal_skipped_expired : int
+        PAGE records skipped by the TR-82 expiration rule.
+    skipped_pids : tuple of int
+        Page ids whose replay was skipped (stale all-expired images
+        remain in those slots).
+    torn_bytes : int
+        Bytes of torn/corrupt log tail that were discarded.
+    op_seq : int
+        Operation sequence number of the last committed operation (0 if
+        nothing was ever committed).
+    clock_time : float
+        Simulation clock restored from the last commit (or checkpoint,
+        or page-file header when the log holds neither).
+    checkpoint_seen : bool
+        Whether the log began with a checkpoint record.
+    """
+
+    records_scanned: int = 0
+    commits_applied: int = 0
+    pages_replayed: int = 0
+    frees_replayed: int = 0
+    wal_skipped_expired: int = 0
+    skipped_pids: Tuple[int, ...] = ()
+    torn_bytes: int = 0
+    op_seq: int = 0
+    clock_time: float = 0.0
+    checkpoint_seen: bool = False
+    _batches: List[Tuple[int, float, list]] = field(
+        default_factory=list, repr=False
+    )
+
+
+def recover(
+    page_file: "PageFile",
+    wal_path: str,
+    all_expired: Optional[Callable[[bytes, float], bool]] = None,
+    registry=None,
+    tracer=None,
+) -> RecoveryReport:
+    """Replay committed WAL records onto a page file (redo-only).
+
+    The scan phase walks the whole log, CRC-verifying each record,
+    grouping page/free records into batches closed by commit records and
+    discarding the torn tail plus any trailing uncommitted batch.  The
+    redo phase applies the batches in order, skipping page images that
+    the expiration rule proves carry no live information, then rewrites
+    the page-file header (clock, next page id, rebuilt free chain),
+    syncs it, and resets the log to a single checkpoint record.
+
+    Parameters
+    ----------
+    page_file : PageFile
+        Open raw page file to replay onto.
+    wal_path : str
+        Path of the write-ahead log.
+    all_expired : callable, optional
+        Predicate ``(page_bytes, recovery_time) -> bool`` that decides
+        whether a page image is an all-expired leaf.  When omitted the
+        TR-82 skip is disabled and every committed image is replayed.
+    registry : MetricsRegistry, optional
+        Sink for ``wal_skipped_expired`` and the other recovery
+        counters.
+    tracer : Tracer, optional
+        Emits a ``wal.recover`` span around the pass.
+
+    Returns
+    -------
+    RecoveryReport
+        Counts of what the pass scanned, replayed and skipped.
+    """
+    if tracer is not None:
+        with tracer.span("wal.recover", wal=wal_path):
+            report = _recover(page_file, wal_path, all_expired)
+    else:
+        report = _recover(page_file, wal_path, all_expired)
+    if registry is not None:
+        registry.counter("wal_skipped_expired").inc(report.wal_skipped_expired)
+        registry.counter("wal.records_scanned").inc(report.records_scanned)
+        registry.counter("wal.commits_applied").inc(report.commits_applied)
+        registry.counter("wal.pages_replayed").inc(report.pages_replayed)
+        registry.counter("wal.frees_replayed").inc(report.frees_replayed)
+        registry.counter("wal.torn_bytes").inc(report.torn_bytes)
+    return report
+
+
+def _recover(page_file, wal_path, all_expired):
+    records, _valid, torn = scan_wal(wal_path)
+    report = RecoveryReport(records_scanned=len(records), torn_bytes=torn)
+    header = page_file.read_header()
+    report.clock_time = header.clock_time
+
+    pending: list = []
+    for record in records:
+        if record.kind == CHECKPOINT_RECORD:
+            if pending:
+                raise WalError("checkpoint record inside an open batch")
+            report.checkpoint_seen = True
+            report.op_seq = record.op_seq
+            report.clock_time = record.clock_time
+        elif record.kind == COMMIT_RECORD:
+            report._batches.append(
+                (record.op_seq, record.clock_time, pending)
+            )
+            pending = []
+        else:
+            pending.append(record)
+    # A trailing batch without a commit record never happened.
+
+    if report._batches:
+        report.op_seq = report._batches[-1][0]
+        report.clock_time = report._batches[-1][1]
+    now = report.clock_time
+
+    skipped = set()
+    for _op_seq, _clock, batch in report._batches:
+        report.commits_applied += 1
+        for record in batch:
+            if record.kind == FREE_RECORD:
+                page_file.mark_free(record.page_id, -1)
+                skipped.discard(record.page_id)
+                report.frees_replayed += 1
+                continue
+            data = record.page_bytes
+            if all_expired is not None and _skippable(
+                page_file, record.page_id, data, now, all_expired
+            ):
+                report.wal_skipped_expired += 1
+                skipped.add(record.page_id)
+                continue
+            page_file.write_page(record.page_id, data)
+            skipped.discard(record.page_id)
+            report.pages_replayed += 1
+    report.skipped_pids = tuple(sorted(skipped))
+
+    header = page_file.read_header()
+    header.clock_time = now
+    header.next_id = max(header.next_id, page_file.slot_count)
+    page_file.rebuild_free_chain(header)
+    page_file.write_header(header)
+    page_file.sync()
+
+    log = WriteAheadLog(wal_path)
+    log.reset(report.op_seq, now)
+    log.close()
+    return report
+
+
+def _skippable(page_file, pid, data, now, all_expired) -> bool:
+    """Apply the TR-82 skip rule to one committed page image.
+
+    The rule is deliberately conservative: the *logged* image must be an
+    all-expired leaf (so replaying it would install no live entries) and
+    the slot it would overwrite must already hold an intact, CRC-valid
+    all-expired leaf (so skipping leaves no torn or live-looking bytes
+    behind).  Anything else — internal nodes, fresh slots, corrupt
+    slots, leaves with a single live entry — is replayed.
+    """
+    try:
+        if not all_expired(data, now):
+            return False
+    except Exception:
+        return False
+    if pid >= page_file.slot_count:
+        return False
+    slot = page_file.read_slot(pid)
+    if slot.state != 1 or not slot.crc_ok:  # 1 == SLOT_ALLOCATED
+        return False
+    try:
+        return bool(all_expired(slot.payload, now))
+    except Exception:
+        return False

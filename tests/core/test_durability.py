@@ -1,0 +1,229 @@
+"""Round-trip tests for durable trees and forests."""
+
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import TreeConfig
+from repro.core.forest import ForestConfig, PartitionedMovingObjectForest
+from repro.core.tree import MovingObjectTree
+from repro.geometry import MovingQuery, Rect, TimesliceQuery, WindowQuery
+from repro.geometry.kinematics import MovingPoint
+from repro.storage.pagefile import FilePageStore, PageFileError
+
+CONFIG = TreeConfig(page_size=512, buffer_pages=8)
+
+
+def random_point(rng, t):
+    return MovingPoint(
+        (rng.uniform(0, 100), rng.uniform(0, 100)),
+        (rng.uniform(-2, 2), rng.uniform(-2, 2)),
+        t, t + rng.uniform(5, 60),
+    )
+
+
+def probe_queries(now):
+    return (
+        TimesliceQuery(Rect((0, 0), (100, 100)), now + 1.0),
+        WindowQuery(Rect((0, 0), (60, 60)), now, now + 5.0),
+        MovingQuery(
+            Rect((20, 20), (70, 70)), Rect((40, 40), (90, 90)),
+            now, now + 4.0,
+        ),
+    )
+
+
+def populate(index, clock, n=80, seed=3):
+    rng = random.Random(seed)
+    points = {}
+    for oid in range(n):
+        clock.advance_to(oid * 0.05)
+        point = random_point(rng, clock.time)
+        points[oid] = point
+        index.insert(oid, point)
+    for oid in range(0, n // 3, 3):
+        index.delete(oid, points[oid])
+    return points
+
+
+def test_tree_close_reopen_answers_identically(tmp_path):
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    populate(tree, clock)
+    queries = probe_queries(clock.time)
+    want = [sorted(tree.query(q)) for q in queries]
+    want_audit = tree.audit()
+    tree.close()
+
+    clock2 = SimulationClock()
+    reopened = MovingObjectTree.open_from(str(tmp_path / "t"), CONFIG, clock2)
+    assert clock2.time == pytest.approx(clock.time)
+    assert [sorted(reopened.query(q)) for q in queries] == want
+    audit = reopened.audit()
+    assert (audit.nodes, audit.leaf_entries) == (
+        want_audit.nodes, want_audit.leaf_entries
+    )
+    reopened.close()
+
+
+def test_open_from_validates_page_size(tmp_path):
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    tree.insert(1, random_point(random.Random(0), 0.0))
+    tree.close()
+    with pytest.raises(PageFileError):
+        MovingObjectTree.open_from(
+            str(tmp_path / "t"), CONFIG.with_(page_size=4096)
+        )
+
+
+def test_durable_tree_matches_simulated_io(tmp_path):
+    """Acceptance criterion: index I/O identical, WAL I/O separate."""
+    clock_sim = SimulationClock()
+    simulated = MovingObjectTree(CONFIG, clock_sim)
+    populate(simulated, clock_sim)
+
+    clock_dur = SimulationClock()
+    durable = MovingObjectTree.create_durable(
+        str(tmp_path / "t"), CONFIG, clock_dur
+    )
+    populate(durable, clock_dur)
+
+    assert durable.stats.snapshot() == simulated.stats.snapshot()
+    assert durable.disk.wal.stats.writes > 0  # logged, but charged apart
+    queries = probe_queries(clock_dur.time)
+    for q in queries:
+        assert sorted(durable.query(q)) == sorted(simulated.query(q))
+    durable.close()
+
+
+def test_persist_to_snapshots_a_simulated_tree(tmp_path):
+    clock = SimulationClock()
+    tree = MovingObjectTree(CONFIG, clock)
+    populate(tree, clock)
+    report = tree.persist_to(str(tmp_path / "snap"))
+    assert report.pages == tree.page_count
+    assert report.file_bytes > 0
+
+    queries = probe_queries(clock.time)
+    want = [sorted(tree.query(q)) for q in queries]
+    reopened = MovingObjectTree.open_from(str(tmp_path / "snap"), CONFIG)
+    assert [sorted(reopened.query(q)) for q in queries] == want
+    reopened.close()
+
+
+def test_checkpoint_truncates_wal(tmp_path):
+    import os
+
+    from repro.storage.pagefile import WAL_FILENAME
+
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    populate(tree, clock, n=40)
+    wal_path = str(tmp_path / "t" / WAL_FILENAME)
+    before = os.path.getsize(wal_path)
+    tree.checkpoint()
+    after = os.path.getsize(wal_path)
+    assert after < before
+    tree.close()
+
+
+def test_checkpoint_requires_durable_store():
+    tree = MovingObjectTree(CONFIG, SimulationClock())
+    with pytest.raises(TypeError):
+        tree.checkpoint()
+
+
+def test_simulated_tree_close_is_noop():
+    tree = MovingObjectTree(CONFIG, SimulationClock())
+    tree.close()  # must not raise
+    assert not isinstance(tree.disk, FilePageStore)
+
+
+def test_bulk_loaded_durable_tree_survives_reopen(tmp_path):
+    rng = random.Random(9)
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    entries = [(random_point(rng, 0.0), 1000 + i) for i in range(150)]
+    tree.bulk_load(entries)
+    queries = probe_queries(0.0)
+    want = [sorted(tree.query(q)) for q in queries]
+    tree.close()
+    reopened = MovingObjectTree.open_from(str(tmp_path / "t"), CONFIG)
+    assert [sorted(reopened.query(q)) for q in queries] == want
+    reopened.close()
+
+
+# -- forest -------------------------------------------------------------------
+
+FOREST_CONFIG = ForestConfig(tree=CONFIG, partitions=3)
+
+
+def test_forest_close_reopen_answers_identically(tmp_path):
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest.create_durable(
+        str(tmp_path / "f"), FOREST_CONFIG, clock
+    )
+    populate(forest, clock)
+    queries = probe_queries(clock.time)
+    want = [sorted(forest.query(q)) for q in queries]
+    want_audit = forest.audit()
+    forest.close()
+
+    clock2 = SimulationClock()
+    reopened = PartitionedMovingObjectForest.open_from(
+        str(tmp_path / "f"), FOREST_CONFIG, clock2
+    )
+    assert clock2.time == pytest.approx(clock.time)
+    assert [sorted(reopened.query(q)) for q in queries] == want
+    audit = reopened.audit()
+    assert (audit.nodes, audit.leaf_entries) == (
+        want_audit.nodes, want_audit.leaf_entries
+    )
+    reopened.close()
+
+
+def test_forest_manifest_restores_refitted_partitioner(tmp_path):
+    rng = random.Random(4)
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest.create_durable(
+        str(tmp_path / "f"), FOREST_CONFIG, clock
+    )
+    entries = [(random_point(rng, 0.0), 2000 + i) for i in range(120)]
+    forest.bulk_load(entries)  # refits the speed boundaries
+    boundaries = forest.partitioner.boundaries
+    forest.close()
+
+    reopened = PartitionedMovingObjectForest.open_from(
+        str(tmp_path / "f"), FOREST_CONFIG
+    )
+    assert reopened.partitioner.boundaries == boundaries
+    reopened.close()
+
+
+def test_forest_open_rejects_partition_mismatch(tmp_path):
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest.create_durable(
+        str(tmp_path / "f"), FOREST_CONFIG, clock
+    )
+    forest.close()
+    with pytest.raises(ValueError):
+        PartitionedMovingObjectForest.open_from(
+            str(tmp_path / "f"), FOREST_CONFIG.with_(partitions=5)
+        )
+
+
+def test_forest_persist_to_from_simulated(tmp_path):
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest(FOREST_CONFIG, clock)
+    populate(forest, clock)
+    reports = forest.persist_to(str(tmp_path / "snap"))
+    assert len(reports) == FOREST_CONFIG.partitions
+    queries = probe_queries(clock.time)
+    want = [sorted(forest.query(q)) for q in queries]
+    reopened = PartitionedMovingObjectForest.open_from(
+        str(tmp_path / "snap"), FOREST_CONFIG
+    )
+    assert [sorted(reopened.query(q)) for q in queries] == want
+    reopened.close()

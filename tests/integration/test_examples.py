@@ -48,6 +48,14 @@ def test_traffic_monitor():
     assert "x less I/O than the TPR-tree" in out
 
 
+def test_durability():
+    out = run_example("durability.py")
+    assert "crashed mid-burst" in out
+    assert "commits applied" in out
+    assert "reopened index answers identically" in out
+    assert "checkpointed and closed" in out
+
+
 def test_bounding_rectangles():
     out = run_example("bounding_rectangles.py")
     assert "ranking by area integral" in out

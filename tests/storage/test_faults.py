@@ -1,0 +1,67 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.storage.faults import MODES, FaultInjector, SimulatedCrash
+
+
+def test_counting_mode_never_crashes():
+    injector = FaultInjector()
+    for i in range(100):
+        assert injector.before_write(b"data") == b"data"
+        injector.after_write()
+    assert injector.writes == 100
+    assert not injector.crashed
+
+
+def test_kill_raises_before_the_nth_write():
+    injector = FaultInjector(crash_at_write=3, mode="kill")
+    for _ in range(2):
+        injector.before_write(b"data")
+        injector.after_write()
+    with pytest.raises(SimulatedCrash):
+        injector.before_write(b"data")
+    assert injector.crashed
+
+
+def test_torn_write_truncates_then_crashes():
+    injector = FaultInjector(crash_at_write=1, mode="torn", seed=5)
+    data = bytes(range(200))
+    torn = injector.before_write(data)
+    assert 0 < len(torn) < len(data)
+    assert torn == data[:len(torn)]
+    with pytest.raises(SimulatedCrash):
+        injector.after_write()
+
+
+def test_bitflip_flips_exactly_one_bit():
+    injector = FaultInjector(crash_at_write=1, mode="bitflip", seed=5)
+    data = bytes(200)
+    flipped = injector.before_write(data)
+    assert len(flipped) == len(data)
+    diff = [i for i in range(len(data)) if flipped[i] != data[i]]
+    assert len(diff) == 1
+    assert bin(flipped[diff[0]]).count("1") == 1
+    with pytest.raises(SimulatedCrash):
+        injector.after_write()
+
+
+def test_crashed_injector_rejects_further_writes():
+    injector = FaultInjector(crash_at_write=1, mode="kill")
+    with pytest.raises(SimulatedCrash):
+        injector.before_write(b"x")
+    with pytest.raises(SimulatedCrash):
+        injector.before_write(b"y")
+
+
+def test_determinism_same_seed_same_tear():
+    a = FaultInjector(crash_at_write=1, mode="torn", seed=11)
+    b = FaultInjector(crash_at_write=1, mode="torn", seed=11)
+    data = bytes(500)
+    assert a.before_write(data) == b.before_write(data)
+
+
+def test_mode_validation():
+    assert set(MODES) == {"kill", "torn", "bitflip"}
+    with pytest.raises(ValueError):
+        FaultInjector(crash_at_write=1, mode="meteor")

@@ -1,0 +1,243 @@
+"""Tests for the durable page file and FilePageStore."""
+
+import os
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.geometry.kinematics import MovingPoint
+from repro.rstar.node import Node
+from repro.storage.disk import INVALID_PAGE, DiskManager, PageError
+from repro.storage.layout import EntryLayout
+from repro.storage.pagefile import (
+    PAGES_FILENAME,
+    FilePageStore,
+    PageFile,
+    PageFileError,
+    layout_flags,
+    read_header,
+)
+from repro.storage.serial import NodeCodec
+
+LAYOUT = EntryLayout(page_size=512, dims=2)
+
+
+def make_store(tmp_path, name="store"):
+    clock = SimulationClock()
+    store = FilePageStore.create(
+        str(tmp_path / name), LAYOUT, clock.now
+    )
+    return store, clock
+
+
+def leaf_page(codec, t_ref=0.0, t_exp=100.0):
+    point = MovingPoint((1.0, 2.0), (0.1, -0.1), t_ref, t_exp)
+    return codec.encode(Node(0, [(point, 7)]), t_ref)
+
+
+# -- page file ----------------------------------------------------------------
+
+
+def test_create_then_open_round_trips_header(tmp_path):
+    path = str(tmp_path / PAGES_FILENAME)
+    pf = PageFile.create(path, 512, 2, layout_flags(LAYOUT))
+    header = pf.read_header()
+    header.root_pid = 3
+    header.clock_time = 12.5
+    pf.write_header(header)
+    pf.close()
+    reopened = PageFile.open(path)
+    header = reopened.read_header()
+    assert header.page_size == 512
+    assert header.dims == 2
+    assert header.root_pid == 3
+    assert header.clock_time == 12.5
+    reopened.close()
+
+
+def test_open_rejects_bad_magic(tmp_path):
+    path = str(tmp_path / PAGES_FILENAME)
+    with open(path, "wb") as handle:
+        handle.write(b"NOTMAGIC" + bytes(512))
+    with pytest.raises(PageFileError):
+        PageFile.open(path)
+
+
+def test_open_rejects_corrupt_header_crc(tmp_path):
+    path = str(tmp_path / PAGES_FILENAME)
+    pf = PageFile.create(path, 512, 2, layout_flags(LAYOUT))
+    pf.close()
+    with open(path, "r+b") as handle:
+        handle.seek(10)
+        byte = handle.read(1)
+        handle.seek(10)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(PageFileError):
+        PageFile.open(path)
+
+
+def test_slot_crc_detects_corruption(tmp_path):
+    path = str(tmp_path / PAGES_FILENAME)
+    pf = PageFile.create(path, 512, 2, layout_flags(LAYOUT))
+    codec = NodeCodec(LAYOUT)
+    pf.write_page(0, leaf_page(codec))
+    slot = pf.read_slot(0)
+    assert slot.crc_ok
+    # Flip one payload byte on disk: the footer CRC must catch it.
+    with open(path, "r+b") as handle:
+        handle.seek(pf.slot_size + 5)
+        byte = handle.read(1)
+        handle.seek(pf.slot_size + 5)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    pf2 = PageFile.open(path)
+    assert not pf2.read_slot(0).crc_ok
+    pf2.close()
+    pf.abandon()
+
+
+def test_read_header_probe(tmp_path):
+    store, _ = make_store(tmp_path)
+    store.close()
+    header = read_header(str(tmp_path / "store"))
+    assert header.page_size == 512
+    assert header.store_velocities
+    assert header.store_leaf_expiration
+    assert header.store_br_expiration == LAYOUT.store_br_expiration
+
+
+# -- IOStats identity with the simulated disk ---------------------------------
+
+
+def drive(disk):
+    """One fixed allocation/write/read/free script against a store."""
+    a = disk.allocate()
+    b, c = disk.allocate_many(2)
+    disk.write(a, disk_payload(disk, 0.0))
+    disk.write(b, disk_payload(disk, 1.0))
+    disk.read(a)
+    disk.peek(b)  # never charged
+    disk.free(c)
+    d = disk.allocate()  # recycles c
+    disk.write(d, disk_payload(disk, 2.0))
+    disk.read(d)
+    return disk.stats.snapshot()
+
+
+def disk_payload(disk, x):
+    return Node(0, [(MovingPoint((x, x), (0.0, 0.0), 0.0, 50.0), int(x))])
+
+
+def test_filepagestore_charges_identical_iostats(tmp_path):
+    simulated = DiskManager(page_size=512)
+    durable, _ = make_store(tmp_path)
+    want = drive(simulated)
+    got = drive(durable)
+    durable.abandon()
+    assert got == want
+    assert (got.reads, got.writes) == (2, 3)
+    assert (got.allocations, got.frees) == (4, 1)
+
+
+def test_allocate_recycles_freed_ids_lifo(tmp_path):
+    store, _ = make_store(tmp_path)
+    pids = [store.allocate() for _ in range(3)]
+    store.free(pids[0])
+    store.free(pids[2])
+    assert store.allocate() == pids[2]
+    assert store.allocate() == pids[0]
+    store.abandon()
+
+
+def test_read_unallocated_raises(tmp_path):
+    store, _ = make_store(tmp_path)
+    with pytest.raises(PageError):
+        store.read(99)
+    with pytest.raises(PageError):
+        store.free(99)
+    store.abandon()
+
+
+# -- durability round trip ----------------------------------------------------
+
+
+def test_commit_then_reopen_restores_pages(tmp_path):
+    store, clock = make_store(tmp_path)
+    codec = store.codec
+    pid = store.allocate()
+    store.write(pid, codec.decode(leaf_page(codec))[0])
+    store.set_root(pid)
+    store.commit()
+    store.close()
+
+    clock2 = SimulationClock()
+    reopened = FilePageStore.open_dir(
+        str(tmp_path / "store"), LAYOUT, clock2.now
+    )
+    assert reopened.root_pid == pid
+    assert reopened.is_allocated(pid)
+    node = reopened.peek(pid)
+    assert len(node) == 1 and node.entries[0][1] == 7
+    reopened.close()
+
+
+def test_open_without_committed_root_raises(tmp_path):
+    store, _ = make_store(tmp_path)
+    store.abandon()  # nothing was ever committed
+    with pytest.raises(PageFileError):
+        FilePageStore.open_dir(
+            str(tmp_path / "store"), LAYOUT, SimulationClock().now
+        )
+
+
+def test_open_rejects_mismatched_layout(tmp_path):
+    store, _ = make_store(tmp_path)
+    pid = store.allocate()
+    store.write(pid, disk_payload(store, 0.0))
+    store.set_root(pid)
+    store.commit()
+    store.close()
+    other = EntryLayout(page_size=4096, dims=2)
+    with pytest.raises(PageFileError):
+        FilePageStore.open_dir(
+            str(tmp_path / "store"), other, SimulationClock().now
+        )
+
+
+def test_create_refuses_existing_store(tmp_path):
+    store, _ = make_store(tmp_path)
+    store.close()
+    with pytest.raises(PageFileError):
+        FilePageStore.create(
+            str(tmp_path / "store"), LAYOUT, SimulationClock().now
+        )
+
+
+def test_free_list_survives_reopen(tmp_path):
+    store, _ = make_store(tmp_path)
+    pids = [store.allocate() for _ in range(4)]
+    for pid in pids:
+        store.write(pid, disk_payload(store, float(pid)))
+    store.set_root(pids[0])
+    store.commit()
+    store.free(pids[2])
+    store.commit()
+    store.close()
+
+    reopened = FilePageStore.open_dir(
+        str(tmp_path / "store"), LAYOUT, SimulationClock().now
+    )
+    assert not reopened.is_allocated(pids[2])
+    assert reopened.allocate() == pids[2]
+    reopened.abandon()
+
+
+def test_op_seq_advances_once_per_commit(tmp_path):
+    store, _ = make_store(tmp_path)
+    base = store.op_seq
+    store.commit()  # nothing staged: no-op
+    assert store.op_seq == base
+    pid = store.allocate()
+    store.write(pid, disk_payload(store, 0.0))
+    store.commit()
+    assert store.op_seq == base + 1
+    store.abandon()

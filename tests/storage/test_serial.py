@@ -140,3 +140,91 @@ def test_every_node_of_a_real_tree_fits_its_page():
         decoded, _ = codec.decode(page)
         assert len(decoded) == len(node)
         assert decoded.level == node.level
+
+
+# -- edge cases: the durable page file depends on these round trips -----------
+
+
+def test_nan_expiration_rejected_by_moving_point():
+    # A NaN expiration would poison every comparison downstream; the
+    # point type itself refuses it (NaN < t_ref is False, so the decode
+    # clamp would silently "repair" it — better to never encode one).
+    with pytest.raises(ValueError):
+        MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, float("nan"))
+
+
+def test_denormal_velocities_survive_round_trip():
+    codec = default_codec()
+    tiny = 1e-40  # denormal in binary32
+    p = MovingPoint((1.0, 2.0), (tiny, -tiny), 0.0, 100.0)
+    decoded, _ = codec.decode(codec.encode(Node(0, [(p, 1)]), 0.0))
+    q = decoded.entries[0][0]
+    # binary32 keeps denormals (possibly rounded), and must keep signs.
+    assert q.vel[0] >= 0.0 and q.vel[1] <= 0.0
+    assert abs(q.vel[0] - tiny) < 1e-44
+    assert abs(q.vel[1] + tiny) < 1e-44
+
+
+def test_zero_entry_leaf_and_internal_round_trip():
+    codec = default_codec()
+    for level in (0, 3):
+        page = codec.encode(Node(level), t_ref=7.0)
+        decoded, t_ref = codec.decode(page)
+        assert len(decoded) == 0
+        assert decoded.level == level
+        assert decoded.is_leaf == (level == 0)
+        assert t_ref == 7.0
+
+
+@pytest.mark.parametrize("page_size", [512, 4096])
+def test_max_capacity_nodes_round_trip(page_size):
+    layout = EntryLayout(page_size=page_size, dims=2)
+    codec = NodeCodec(layout)
+    rng = random.Random(page_size)
+
+    leaf_entries = [
+        (
+            MovingPoint(
+                (rng.uniform(0, 100), rng.uniform(0, 100)),
+                (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                5.0,
+                5.0 + rng.uniform(0, 60),
+            ),
+            oid,
+        )
+        for oid in range(layout.leaf_capacity)
+    ]
+    page = codec.encode(Node(0, leaf_entries), t_ref=5.0)
+    assert len(page) == page_size
+    decoded, _ = codec.decode(page)
+    assert len(decoded) == layout.leaf_capacity
+    assert [oid for _, oid in decoded.entries] == list(
+        range(layout.leaf_capacity)
+    )
+
+    internal_entries = [
+        (
+            TPBR(
+                (float(i), 0.0), (float(i) + 1.0, 2.0),
+                (-0.5, 0.0), (0.5, 1.0), 5.0, 5.0 + float(i),
+            ),
+            i + 100,
+        )
+        for i in range(layout.internal_capacity)
+    ]
+    page = codec.encode(Node(1, internal_entries), t_ref=5.0)
+    decoded, _ = codec.decode(page)
+    assert len(decoded) == layout.internal_capacity
+    assert [child for _, child in decoded.entries] == [
+        i + 100 for i in range(layout.internal_capacity)
+    ]
+
+
+@pytest.mark.parametrize("page_size", [512, 4096])
+def test_over_capacity_node_rejected(page_size):
+    layout = EntryLayout(page_size=page_size, dims=2)
+    codec = NodeCodec(layout)
+    point = MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, 10.0)
+    entries = [(point, i) for i in range(layout.leaf_capacity + 1)]
+    with pytest.raises(CodecError):
+        codec.encode(Node(0, entries), t_ref=0.0)

@@ -1,0 +1,249 @@
+"""Tests for the write-ahead log, scan, and recovery."""
+
+import os
+
+from repro.core.clock import SimulationClock
+from repro.geometry.kinematics import MovingPoint
+from repro.rstar.node import Node
+from repro.storage.layout import EntryLayout
+from repro.storage.pagefile import FilePageStore
+from repro.storage.wal import (
+    CHECKPOINT_RECORD,
+    COMMIT_RECORD,
+    PAGE_RECORD,
+    WriteAheadLog,
+    scan_wal,
+)
+
+LAYOUT = EntryLayout(page_size=512, dims=2)
+
+
+def leaf(t_ref, t_exp, oid=1):
+    point = MovingPoint((1.0, 2.0), (0.1, -0.1), t_ref, t_exp)
+    return Node(0, [(point, oid)])
+
+
+# -- log append and scan ------------------------------------------------------
+
+
+def test_append_scan_round_trip(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(3, b"\xab" * 512)
+    wal.append_free(7)
+    wal.append_commit(1, 2.5)
+    wal.flush()
+    wal.close()
+
+    records, valid, torn = scan_wal(path)
+    assert torn == 0
+    assert valid == os.path.getsize(path)
+    assert [r.kind for r in records] == [PAGE_RECORD, 2, COMMIT_RECORD]
+    assert [r.lsn for r in records] == [0, 1, 2]
+    assert records[0].page_id == 3
+    assert records[0].page_bytes == b"\xab" * 512
+    assert records[1].page_id == 7
+    assert records[2].op_seq == 1
+    assert records[2].clock_time == 2.5
+
+
+def test_scan_missing_file_is_empty(tmp_path):
+    records, valid, torn = scan_wal(str(tmp_path / "nope"))
+    assert records == [] and valid == 0 and torn == 0
+
+
+def test_scan_stops_at_torn_tail(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(1, b"x" * 512)
+    wal.append_commit(1, 0.0)
+    wal.append_page(2, b"y" * 512)
+    wal.flush()
+    wal.close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 100)  # tear the last record
+
+    records, valid, torn = scan_wal(path)
+    assert [r.kind for r in records] == [PAGE_RECORD, COMMIT_RECORD]
+    assert torn > 0
+    assert valid + torn == size - 100
+
+
+def test_scan_stops_at_corrupt_crc(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(1, b"x" * 64)
+    wal.append_page(2, b"y" * 64)
+    wal.flush()
+    wal.close()
+    records, valid, _ = scan_wal(path)
+    second_start = valid - (valid // 2)
+    with open(path, "r+b") as handle:
+        handle.seek(valid - 10)
+        byte = handle.read(1)
+        handle.seek(valid - 10)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    records, _, torn = scan_wal(path)
+    assert len(records) == 1
+    assert torn > 0
+    assert second_start  # silence unused warning
+
+
+def test_reopen_continues_lsn_after_torn_tail(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(1, b"x" * 32)
+    wal.append_commit(1, 0.0)
+    wal.flush()
+    wal.close()
+    with open(path, "ab") as handle:
+        handle.write(b"\x01garbage-torn-tail")
+
+    wal2 = WriteAheadLog(path)
+    wal2.append_page(2, b"y" * 32)
+    wal2.flush()
+    wal2.close()
+    records, _, torn = scan_wal(path)
+    assert torn == 0  # reopen truncated the garbage
+    assert [r.lsn for r in records] == [0, 1, 2]
+
+
+def test_reset_leaves_single_checkpoint_record(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    for i in range(5):
+        wal.append_page(i, bytes(16))
+    wal.append_commit(3, 9.0)
+    wal.flush()
+    wal.reset(3, 9.0)
+    wal.close()
+    records, _, torn = scan_wal(path)
+    assert torn == 0
+    assert len(records) == 1
+    assert records[0].kind == CHECKPOINT_RECORD
+    assert records[0].op_seq == 3
+    assert records[0].clock_time == 9.0
+
+
+def test_append_charges_one_write_per_record(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "wal"))
+    wal.append_page(1, bytes(32))
+    wal.append_free(2)
+    wal.append_commit(1, 0.0)
+    assert wal.stats.writes == 3
+    assert wal.stats.reads == 0
+    wal.close()
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+def make_store(tmp_path, clock):
+    return FilePageStore.create(str(tmp_path / "store"), LAYOUT, clock.now)
+
+
+def reopen(tmp_path, clock):
+    return FilePageStore.open_dir(str(tmp_path / "store"), LAYOUT, clock.now)
+
+
+def test_uncommitted_tail_is_discarded(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 100.0, oid=1))
+    store.set_root(a)
+    store.commit()
+    # Stage a second change but tear the log before its commit record.
+    store.write(a, leaf(0.0, 100.0, oid=2))
+    store.wal.append_page(a, store.codec.encode(leaf(0.0, 100.0, oid=2), 0.0))
+    store.wal.flush()
+    store.abandon()
+
+    recovered = reopen(tmp_path, SimulationClock())
+    assert recovered.recovery.commits_applied == 1
+    assert recovered.peek(a).entries[0][1] == 1  # the committed image
+    recovered.abandon()
+
+
+def test_recovery_skips_expired_pages(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 10.0))  # expires at t=10
+    store.set_root(a)
+    store.commit()  # commit 1 at clock 0
+    clock.advance_to(50.0)
+    b = store.allocate()
+    store.write(b, leaf(50.0, 100.0))
+    store.commit()  # commit 2 at clock 50: recovery time is 50
+    store.abandon()  # crash without checkpoint
+
+    recovered = reopen(tmp_path, SimulationClock())
+    report = recovered.recovery
+    # Page A's logged image is all-expired at recovery time and the
+    # on-disk slot already holds an intact all-expired leaf: TR-82 says
+    # replay would restore dead data, so it is skipped and counted.
+    assert report.wal_skipped_expired == 1
+    assert a in report.skipped_pids
+    assert report.commits_applied == 2
+    assert recovered.is_allocated(a) and recovered.is_allocated(b)
+    assert recovered.peek(b).entries[0][1] == 1
+    recovered.abandon()
+
+
+def test_recovery_replays_live_pages(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 1000.0))  # far from expiring
+    store.set_root(a)
+    store.commit()
+    clock.advance_to(50.0)
+    store.write(a, leaf(50.0, 1000.0, oid=9))
+    store.commit()
+    store.abandon()
+
+    recovered = reopen(tmp_path, SimulationClock())
+    assert recovered.recovery.wal_skipped_expired == 0
+    assert recovered.recovery.pages_replayed >= 1
+    assert recovered.peek(a).entries[0][1] == 9
+    recovered.abandon()
+
+
+def test_recovery_restores_clock_from_last_commit(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 1000.0))
+    store.set_root(a)
+    store.commit()
+    clock.advance_to(33.25)
+    store.write(a, leaf(33.25, 1000.0))
+    store.commit()
+    store.abandon()
+
+    recovered = reopen(tmp_path, SimulationClock())
+    assert recovered.opened_clock_time == 33.25
+    recovered.abandon()
+
+
+def test_recovery_counters_reach_registry(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 1000.0))
+    store.set_root(a)
+    store.commit()
+    store.abandon()
+
+    registry = MetricsRegistry()
+    recovered = FilePageStore.open_dir(
+        str(tmp_path / "store"), LAYOUT, SimulationClock().now,
+        registry=registry,
+    )
+    assert registry.get("wal.commits_applied").value == 1
+    assert registry.get("wal_skipped_expired").value == 0
+    recovered.abandon()

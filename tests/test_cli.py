@@ -106,3 +106,58 @@ def test_forest(capsys):
     assert "forest/2 (speed)" in out
     assert "oracle mismatches: 0" in out
     assert "speed" in out  # per-partition labels
+
+
+def test_persist_then_recover(tmp_path, capsys):
+    directory = str(tmp_path / "store")
+    code = main([
+        "persist", directory,
+        "--population", "40", "--insertions", "300",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "durable store:" in out
+    assert "auxiliary" in out
+
+    code = main(["recover", directory])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recovered" in out
+    assert "audit:" in out
+    assert "op-seq=" in out
+
+
+def test_persist_forest_and_checkpoint(tmp_path, capsys):
+    directory = str(tmp_path / "forest")
+    code = main([
+        "persist", directory, "--index", "forest", "--partitions", "2",
+        "--prepopulate", "--population", "40", "--insertions", "300",
+    ])
+    assert code == 0
+    capsys.readouterr()
+
+    code = main(["recover", directory, "--checkpoint"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "member0:" in out and "member1:" in out
+    assert "checkpointed" in out
+
+
+def test_faultcheck_cli_sampled(capsys):
+    code = main([
+        "faultcheck", "--insertions", "10", "--stride", "25",
+        "--modes", "kill",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faultcheck PASS" in out
+
+
+def test_compare_durability(tmp_path, capsys):
+    code = main([
+        "compare", "--population", "40", "--insertions", "300",
+        "--durability", str(tmp_path / "stores"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "aux=" in out
