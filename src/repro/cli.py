@@ -14,6 +14,7 @@
     python -m repro persist out.d            # durable run: WAL + page file
     python -m repro recover out.d            # replay the WAL, audit, report
     python -m repro faultcheck --stride 4    # crash-at-every-write matrix
+    python -m repro soak                     # chaos soak: serve through faults
 
 Figure sweeps honour the same cache as the benchmarks.
 """
@@ -623,6 +624,40 @@ def cmd_faultcheck(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.soak import (
+        FaultScript,
+        default_fault_script,
+        default_soak_params,
+        run_soak,
+        write_report,
+    )
+
+    if args.script is not None:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            script = FaultScript.from_json(json.load(handle))
+    else:
+        script = default_fault_script(seed=args.seed)
+    params = default_soak_params(seed=script.seed, insertions=args.insertions)
+    tracer = Tracer() if args.trace else None
+    print(f"chaos soak: {params.insertions} insertions, "
+          f"script seed {script.seed} "
+          f"(kill at write {script.kill_at_write}, "
+          f"{len(script.transient_writes)} transient writes) ...")
+    report = run_soak(script, params=params, tracer=tracer)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  SLO violation: {violation}")
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    if tracer is not None and args.trace:
+        count = tracer.export_jsonl(args.trace)
+        print(f"wrote {args.trace} ({count} records)")
+    return 0 if report.passed else 1
+
+
 def cmd_layout(args: argparse.Namespace) -> int:
     print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
     combos = [
@@ -790,6 +825,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer-pages", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_faultcheck)
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos soak: serve a workload through a scheduled fault script",
+    )
+    p.add_argument("--insertions", type=int, default=2000,
+                   help="insertions in the generated network workload")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the default fault script and workload")
+    p.add_argument("--script", default=None,
+                   help="JSON fault-script file (overrides the default)")
+    p.add_argument("--out", default="BENCH_soak.json",
+                   help="report JSON path")
+    p.add_argument("--trace", default=None,
+                   help="also write a JSONL trace of serving events")
+    p.set_defaults(func=cmd_soak)
 
     return parser
 

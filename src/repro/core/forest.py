@@ -39,10 +39,44 @@ from .partition import (
     SpeedPartitioner,
     make_partitioner,
 )
-from .tree import LeafEntry, MovingObjectTree, TreeAudit
+from .tree import LeafEntry, MovingObjectTree, TreeAudit, TreeSnapshot
 
 #: File name of the forest manifest inside a durable-forest directory.
 MANIFEST_FILENAME = "forest.json"
+
+
+class ForestSnapshot:
+    """Read-only copies of every member tree's committed page set.
+
+    The forest-level counterpart of
+    :class:`~repro.core.tree.TreeSnapshot`: queries fan out over the
+    member snapshots and concatenate, mirroring the live forest (each
+    object lives in exactly one member, so concatenation preserves the
+    answer multiset).
+    """
+
+    __slots__ = ("members", "taken_at")
+
+    def __init__(self, members: Sequence[TreeSnapshot], taken_at: float):
+        self.members = tuple(members)
+        self.taken_at = taken_at
+
+    def leaf_entries(self):
+        """Iterate over all ``(point, oid)`` leaf entries of all members."""
+        for member in self.members:
+            yield from member.leaf_entries()
+
+    @property
+    def leaf_entry_count(self) -> int:
+        """Physical leaf entries captured across all members."""
+        return sum(member.leaf_entry_count for member in self.members)
+
+    def query(self, query: SpatioTemporalQuery) -> List[int]:
+        """Fan the query out over the member snapshots and merge."""
+        results: List[int] = []
+        for member in self.members:
+            results.extend(member.query(query))
+        return results
 
 
 def _partitioner_manifest(partitioner: Partitioner) -> dict:
@@ -338,9 +372,19 @@ class PartitionedMovingObjectForest:
             tree.checkpoint()
 
     def close(self) -> None:
-        """Checkpoint and close every durable member's page store."""
+        """Checkpoint and close every durable member's page store.
+
+        Idempotent: each member's close is a no-op once its store is
+        closed, so the forest may be closed unconditionally (and twice).
+        """
         for tree in self.trees:
             tree.close()
+
+    def snapshot(self) -> ForestSnapshot:
+        """Snapshot every member for degraded reads (no I/O charged)."""
+        return ForestSnapshot(
+            [tree.snapshot() for tree in self.trees], self.now
+        )
 
     # -- observability ------------------------------------------------------
 

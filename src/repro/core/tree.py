@@ -30,6 +30,7 @@ from ..geometry.kernels import (
     pack_points,
     pack_tpbrs,
 )
+from ..geometry.intersection import region_matches_point
 from ..geometry.kinematics import NEVER, MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
 from ..geometry.tpbr import TPBR
@@ -39,6 +40,7 @@ from ..rstar.metrics import KineticMetrics
 from ..rstar.node import Node
 from ..storage.buffer import BufferPool
 from ..storage.disk import DiskManager, PageId
+from ..storage.faults import TransientIOError
 from ..storage.pagefile import PAGES_FILENAME, FilePageStore, PersistReport
 from ..storage.stats import IOStats
 from .bulkload import bulk_load_tree
@@ -69,6 +71,54 @@ class TreeAudit:
         if self.leaf_entries == 0:
             return 0.0
         return self.expired_leaf_entries / self.leaf_entries
+
+
+class TreeSnapshot:
+    """An isolated, read-only copy of a tree's committed page set.
+
+    Produced by :meth:`MovingObjectTree.snapshot` for degraded serving:
+    answering queries while the live store is failing must not touch
+    storage at all, so the snapshot holds independent full-precision
+    copies of every reachable node (entry tuples are immutable; only
+    the per-node entry lists are copied).  Queries are answered by a
+    brute-force scan of the leaf entries through the same
+    expiration-clipping predicate the tree uses, so a snapshot answer
+    equals the answer the tree itself would have given at snapshot
+    time — TR-82's bounded-staleness argument then says a *later* query
+    served from it can only over-report objects whose expiration
+    windows still cover the query interval.
+    """
+
+    __slots__ = ("root_pid", "pages", "taken_at")
+
+    def __init__(self, root_pid: PageId, pages: dict, taken_at: float):
+        self.root_pid = root_pid
+        self.pages = pages
+        self.taken_at = taken_at
+
+    def leaf_entries(self):
+        """Iterate over all ``(point, oid)`` leaf entries."""
+        for node in self.pages.values():
+            if node.is_leaf:
+                yield from node.entries
+
+    @property
+    def leaf_entry_count(self) -> int:
+        """Physical leaf entries captured (live plus expired)."""
+        return sum(1 for _ in self.leaf_entries())
+
+    def query(self, query: SpatioTemporalQuery) -> List[int]:
+        """Object ids matching the query against the frozen entry set.
+
+        Expired information never qualifies — the intersection test
+        clips the query window at each entry's expiration time, exactly
+        as the live tree's descent does.
+        """
+        region = query.region()
+        return [
+            oid for point, oid in self.leaf_entries()
+            if region_matches_point(region, point)
+        ]
 
 
 class _TreeInstruments:
@@ -283,21 +333,56 @@ class MovingObjectTree:
         """Flush, checkpoint the durable store and truncate its log.
 
         Only meaningful for durable trees; raises for simulated ones.
+        A no-op once the store is closed, so shutdown paths may call it
+        unconditionally (a closed store has already checkpointed or
+        deliberately abandoned its state).
         """
         if not isinstance(self.disk, FilePageStore):
             raise TypeError("checkpoint() requires a durable page store")
+        if self.disk.closed:
+            return
         self.buffer.flush_all()
         self.disk.checkpoint()
 
     def close(self) -> None:
-        """Checkpoint and close a durable backing store.
+        """Checkpoint and close a durable backing store (idempotent).
 
-        A no-op for simulated trees, so callers can close
-        unconditionally.  A closed durable tree must not be used again.
+        A no-op for simulated trees and for already-closed stores, so
+        callers can close unconditionally (and twice).  A transient
+        storage fault during the final flush is tolerated: the store's
+        own close path falls back to the write-ahead log, which already
+        holds every committed operation.  A closed durable tree must
+        not be used again.
         """
-        if isinstance(self.disk, FilePageStore):
-            self.buffer.flush_all()
+        if isinstance(self.disk, FilePageStore) and not self.disk.closed:
+            try:
+                self.buffer.flush_all()
+            except TransientIOError:
+                # The images are staged (or pending) inside the store;
+                # disk.close() retries the commit once and otherwise
+                # leaves recovery to the WAL.
+                pass
             self.disk.close()
+
+    def snapshot(self) -> TreeSnapshot:
+        """Copy the reachable page set for degraded reads (no I/O charged).
+
+        Walks the tree via ``peek`` — never touching the buffer pool,
+        the fault injector or the I/O counters — and copies each node's
+        entry list, so later mutations (or storage failures) of the live
+        tree cannot leak into the snapshot.  Take it right after a
+        :meth:`checkpoint` and the snapshot is exactly the last durably
+        committed state.
+        """
+        pages: dict = {}
+        stack = [self.root_pid]
+        while stack:
+            pid = stack.pop()
+            node = self.disk.peek(pid)
+            pages[pid] = Node(node.level, list(node.entries))
+            if not node.is_leaf:
+                stack.extend(node.child_ids())
+        return TreeSnapshot(self.root_pid, pages, self.now)
 
     def _adopt_existing_pages(self) -> None:
         """Rebuild the horizon census from a freshly opened store."""

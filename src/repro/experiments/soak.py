@@ -1,0 +1,525 @@
+"""Chaos soak: drive a served workload through a scheduled fault script.
+
+The soak harness is the serving layer's end-to-end acceptance test.  It
+replays a Section 5.1 network workload twice:
+
+1. An *oracle* pass: a pure-python brute-force replay over the exact
+   float64 workload points, recording every query's answer set and each
+   object's full report history.
+2. A *served* pass: a durable tree behind a
+   :class:`~repro.serve.frontend.ServiceFrontend`, with a
+   :class:`FaultScript` injecting transient I/O bursts, one mid-run
+   process kill (recovered via WAL replay) and a sustained overload
+   phase (compressed arrivals).
+
+It then asserts the serving SLOs:
+
+* every non-degraded (``ok``) answer equals the oracle answer exactly;
+* every degraded answer is explainable within expiration semantics —
+  each *extra* object is backed by a genuinely reported motion that
+  still matched the query inside its expiration window, and each
+  *missing* object's latest report postdates the backing snapshot;
+* the write backlog fully drains (nothing lost, nothing duplicated)
+  and no write is ever shed;
+* breaker trips, probes, recoveries and kills match the script's
+  pinned expectations exactly;
+* degraded staleness stays under the script's bound.
+
+``repro soak`` runs the seeded default script and writes
+``BENCH_soak.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.clock import SimulationClock
+from ..core.config import TreeConfig
+from ..core.tree import MovingObjectTree
+from ..geometry.intersection import region_matches_point
+from ..serve.frontend import FrontendConfig, ServiceFrontend, ServiceReport
+from ..serve.retry import RetryPolicy
+from ..storage.faults import FaultInjector
+from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+from ..workloads.network import NetworkParams, generate_network_workload
+from ..workloads.pacing import ArrivalPacer, BurstWindow
+
+
+@dataclass(frozen=True)
+class FaultScript:
+    """A deterministic schedule of faults and overload for one soak run.
+
+    Attributes
+    ----------
+    transient_writes : tuple of int
+        1-based physical-write indices that fail transiently in the
+        first process incarnation.
+    transient_reads : tuple of int
+        1-based guarded-read indices (reads are only counted while a
+        query executes) that fail transiently in the first incarnation.
+    kill_at_write : int, optional
+        Physical write at which the first incarnation dies
+        (:class:`~repro.storage.faults.SimulatedCrash`); ``None`` for
+        no kill.
+    post_kill_transient_writes, post_kill_transient_reads : tuple of int
+        Transient schedules armed on the post-recovery incarnation.
+    overload : tuple of float, optional
+        ``(start, end, compress)``: workload times whose arrivals are
+        compressed by ``compress`` (the sustained overload phase).
+    seed : int
+        Seed shared by the workload generator and the backoff jitter.
+    staleness_bound : float
+        Maximum tolerated degraded-answer staleness, workload seconds.
+    expected_trips, expected_probes, expected_recoveries : int, optional
+        Pinned breaker counts the run must reproduce exactly; ``None``
+        skips the check (used while calibrating a new script).
+    """
+
+    transient_writes: Tuple[int, ...] = ()
+    transient_reads: Tuple[int, ...] = ()
+    kill_at_write: Optional[int] = None
+    post_kill_transient_writes: Tuple[int, ...] = ()
+    post_kill_transient_reads: Tuple[int, ...] = ()
+    overload: Optional[Tuple[float, float, float]] = None
+    seed: int = 0
+    staleness_bound: float = 60.0
+    expected_trips: Optional[int] = None
+    expected_probes: Optional[int] = None
+    expected_recoveries: Optional[int] = None
+
+    def injector(self, incarnation: int) -> FaultInjector:
+        """Build the fault injector for process incarnation ``incarnation``.
+
+        Incarnation 0 carries the transient schedules plus the kill;
+        every later incarnation (after WAL recovery) carries the
+        post-kill schedules and never dies again.
+        """
+        if incarnation == 0:
+            return FaultInjector(
+                crash_at_write=self.kill_at_write,
+                mode="kill",
+                seed=self.seed,
+                transient_writes=self.transient_writes,
+                transient_reads=self.transient_reads,
+            )
+        return FaultInjector(
+            seed=self.seed + incarnation,
+            transient_writes=self.post_kill_transient_writes,
+            transient_reads=self.post_kill_transient_reads,
+        )
+
+    def bursts(self) -> Tuple[BurstWindow, ...]:
+        """The overload phase as arrival-pacing burst windows."""
+        if self.overload is None:
+            return ()
+        start, end, compress = self.overload
+        return (BurstWindow(start, end, compress),)
+
+    def to_json(self) -> dict:
+        """A JSON-serializable form (the documented fault-script format)."""
+        payload = asdict(self)
+        payload["transient_writes"] = list(self.transient_writes)
+        payload["transient_reads"] = list(self.transient_reads)
+        payload["post_kill_transient_writes"] = list(
+            self.post_kill_transient_writes
+        )
+        payload["post_kill_transient_reads"] = list(
+            self.post_kill_transient_reads
+        )
+        payload["overload"] = (
+            list(self.overload) if self.overload is not None else None
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultScript":
+        """Rebuild a script from its :meth:`to_json` form."""
+        overload = payload.get("overload")
+        return cls(
+            transient_writes=tuple(payload.get("transient_writes", ())),
+            transient_reads=tuple(payload.get("transient_reads", ())),
+            kill_at_write=payload.get("kill_at_write"),
+            post_kill_transient_writes=tuple(
+                payload.get("post_kill_transient_writes", ())
+            ),
+            post_kill_transient_reads=tuple(
+                payload.get("post_kill_transient_reads", ())
+            ),
+            overload=tuple(overload) if overload is not None else None,
+            seed=payload.get("seed", 0),
+            staleness_bound=payload.get("staleness_bound", 60.0),
+            expected_trips=payload.get("expected_trips"),
+            expected_probes=payload.get("expected_probes"),
+            expected_recoveries=payload.get("expected_recoveries"),
+        )
+
+
+def default_fault_script(seed: int = 0) -> FaultScript:
+    """The seeded default script ``repro soak`` runs.
+
+    Two transient write bursts (each long enough to outlast the retry
+    ladder and trip the breaker, with one fault left over to fail the
+    first probe), a guarded-read hiccup during a query (retried
+    successfully), one process kill with WAL recovery, a transient
+    fault in the recovered incarnation, and a 25x arrival-compression
+    overload phase.  The expected breaker counts are pinned from the
+    recorded deterministic run.
+    """
+    return FaultScript(
+        transient_writes=(2000, 2001, 2002, 2003, 8000, 8001, 8002, 8003),
+        transient_reads=(1500,),
+        kill_at_write=16000,
+        post_kill_transient_writes=(200,),
+        overload=(220.0, 260.0, 25.0),
+        seed=seed,
+        staleness_bound=30.0,
+        expected_trips=2,
+        expected_probes=4,
+        expected_recoveries=2,
+    )
+
+
+def default_soak_params(seed: int = 0, insertions: int = 2000) -> NetworkParams:
+    """The small Section 5.1 network workload the soak drives."""
+    return NetworkParams(
+        target_population=60,
+        insertions=insertions,
+        update_interval=10.0,
+        space=100.0,
+        destinations=6,
+        queries_per_insertions=5,
+        seed=seed,
+    )
+
+
+def default_frontend_config(script: FaultScript) -> FrontendConfig:
+    """Serving parameters matched to the default script's overload."""
+    return FrontendConfig(
+        queue_capacity=256,
+        service_time=0.05,
+        query_deadline=5.0,
+        retry=RetryPolicy(budget=200),
+        failure_threshold=3,
+        cooldown=5.0,
+        checkpoint_interval=25,
+        backlog_capacity=512,
+        seed=script.seed,
+    )
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run: counters, SLO verdicts, violations."""
+
+    ops: int
+    queries: int
+    total_writes: int
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    script: Optional[dict] = None
+
+    @property
+    def passed(self) -> bool:
+        """Whether every SLO held."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One line: ops served, degradation/retry counts, verdict."""
+        verdict = "PASS" if self.passed else f"FAIL({len(self.violations)})"
+        c = self.counters
+        return (
+            f"soak {verdict}: {self.ops} ops ({self.queries} queries, "
+            f"{self.total_writes} physical writes); "
+            f"degraded {c.get('degraded_answers', 0)}, retries "
+            f"{c.get('retries', 0)}, trips {c.get('trips', 0)}, "
+            f"recoveries {c.get('recoveries', 0)}, kills "
+            f"{c.get('kills', 0)}, shed {c.get('shed_queries', 0)}q/"
+            f"{c.get('shed_writes', 0)}w, timeouts "
+            f"{c.get('deadline_timeouts', 0)}, max staleness "
+            f"{c.get('max_staleness', 0.0):.1f}s"
+        )
+
+    def to_json(self) -> dict:
+        """JSON payload written to ``BENCH_soak.json``."""
+        return {
+            "passed": self.passed,
+            "ops": self.ops,
+            "queries": self.queries,
+            "total_writes": self.total_writes,
+            "counters": self.counters,
+            "violations": self.violations,
+            "script": self.script,
+        }
+
+
+def _oracle_replay(ops: Sequence) -> Tuple[Dict[int, set], Dict[int, list]]:
+    """Brute-force replay: per-query answer sets and report histories.
+
+    Returns
+    -------
+    answers : dict
+        Stream index of each query -> set of matching oids.
+    history : dict
+        oid -> ordered ``(stream_index, point_or_None)`` report events
+        (``None`` marks an explicit deletion).
+    """
+    live: Dict[int, object] = {}
+    history: Dict[int, list] = {}
+    answers: Dict[int, set] = {}
+    for i, op in enumerate(ops):
+        if isinstance(op, InsertOp):
+            live[op.oid] = op.point
+            history.setdefault(op.oid, []).append((i, op.point))
+        elif isinstance(op, UpdateOp):
+            live[op.oid] = op.new_point
+            history.setdefault(op.oid, []).append((i, op.new_point))
+        elif isinstance(op, DeleteOp):
+            live.pop(op.oid, None)
+            history.setdefault(op.oid, []).append((i, None))
+        elif isinstance(op, QueryOp):
+            region = op.query.region()
+            answers[i] = {
+                oid
+                for oid, point in live.items()
+                if region_matches_point(region, point)
+            }
+    return answers, history
+
+
+def _points_close(a, b, tol: float = 1e-4) -> bool:
+    """Whether two motion points agree up to float32 round-tripping."""
+    def close(x: float, y: float) -> bool:
+        return abs(x - y) <= tol * max(1.0, abs(x), abs(y))
+
+    return (
+        all(close(x, y) for x, y in zip(a.pos, b.pos))
+        and all(close(x, y) for x, y in zip(a.vel, b.vel))
+        and close(a.t_ref, b.t_ref)
+        and (a.t_exp == b.t_exp or close(a.t_exp, b.t_exp))
+    )
+
+
+def _verify_degraded(outcome, op, oracle_answer, history) -> List[str]:
+    """SLO 2: a degraded answer must be explainable within expiration."""
+    violations: List[str] = []
+    region = op.query.region()
+    got = set(outcome.answer)
+    idx = outcome.index
+    for oid in sorted(got - oracle_answer):
+        evidence = outcome.evidence.get(oid)
+        if evidence is None:
+            violations.append(
+                f"query {idx}: extra oid {oid} carries no evidence"
+            )
+            continue
+        if not region_matches_point(region, evidence):
+            violations.append(
+                f"query {idx}: extra oid {oid} evidence does not match "
+                f"the query within its expiration window"
+            )
+            continue
+        reported = any(
+            point is not None
+            and event_index <= idx
+            and _points_close(point, evidence)
+            for event_index, point in history.get(oid, ())
+        )
+        if not reported:
+            violations.append(
+                f"query {idx}: extra oid {oid} evidence matches no "
+                f"actually reported motion"
+            )
+    for oid in sorted(oracle_answer - got):
+        events = [
+            event_index
+            for event_index, _ in history.get(oid, ())
+            if event_index <= idx
+        ]
+        latest = max(events) if events else -1
+        if latest < outcome.snapshot_op_index:
+            violations.append(
+                f"query {idx}: missing oid {oid} was last reported at "
+                f"op {latest}, inside the snapshot horizon "
+                f"{outcome.snapshot_op_index}"
+            )
+    return violations
+
+
+def _check_slos(
+    script: FaultScript,
+    report: ServiceReport,
+    ops: Sequence,
+    oracle_answers: Dict[int, set],
+    history: Dict[int, list],
+) -> List[str]:
+    """Assert every serving SLO; return the violations found."""
+    violations: List[str] = []
+    for outcome in report.outcomes:
+        if outcome.status == "ok":
+            want = oracle_answers.get(outcome.index)
+            if want is None:
+                violations.append(
+                    f"op {outcome.index} answered but is not a query"
+                )
+            elif set(outcome.answer) != want:
+                violations.append(
+                    f"query {outcome.index}: non-degraded answer "
+                    f"{sorted(outcome.answer)} != oracle {sorted(want)}"
+                )
+        elif outcome.status == "degraded":
+            violations.extend(
+                _verify_degraded(
+                    outcome,
+                    ops[outcome.index],
+                    oracle_answers.get(outcome.index, set()),
+                    history,
+                )
+            )
+    if report.backlog_replayed != report.backlog_enqueued:
+        violations.append(
+            f"backlog not fully replayed: {report.backlog_replayed} of "
+            f"{report.backlog_enqueued}"
+        )
+    if report.backlog_remaining:
+        violations.append(
+            f"{report.backlog_remaining} atoms left in the backlog"
+        )
+    if report.shed_writes:
+        violations.append(f"{report.shed_writes} writes shed")
+    if report.failed_queries:
+        violations.append(
+            f"{report.failed_queries} queries failed terminally"
+        )
+    expected_kills = 1 if script.kill_at_write is not None else 0
+    if report.kills != expected_kills or report.reopens != expected_kills:
+        violations.append(
+            f"kills/reopens {report.kills}/{report.reopens} != "
+            f"expected {expected_kills}"
+        )
+    for name, expected in (
+        ("trips", script.expected_trips),
+        ("probes", script.expected_probes),
+        ("recoveries", script.expected_recoveries),
+    ):
+        if expected is not None and getattr(report, name) != expected:
+            violations.append(
+                f"{name} {getattr(report, name)} != pinned {expected}"
+            )
+    if report.max_staleness > script.staleness_bound:
+        violations.append(
+            f"max degraded staleness {report.max_staleness:.1f}s exceeds "
+            f"bound {script.staleness_bound:.1f}s"
+        )
+    if script.overload is not None and not (
+        report.shed_queries or report.deadline_timeouts
+    ):
+        violations.append(
+            "overload phase produced neither shedding nor timeouts"
+        )
+    return violations
+
+
+def run_soak(
+    script: Optional[FaultScript] = None,
+    params: Optional[NetworkParams] = None,
+    tree_config: Optional[TreeConfig] = None,
+    frontend_config: Optional[FrontendConfig] = None,
+    registry=None,
+    tracer=None,
+) -> SoakReport:
+    """Run the chaos soak and verify every SLO.
+
+    Parameters
+    ----------
+    script : FaultScript, optional
+        Fault schedule; the pinned default when omitted.
+    params : NetworkParams, optional
+        Workload shape; the small default network workload when omitted.
+    tree_config : TreeConfig, optional
+        Member tree configuration (512-byte pages by default, the
+        densest commit cadence).
+    frontend_config : FrontendConfig, optional
+        Serving parameters; defaults matched to the default script.
+    registry, tracer : optional
+        Observability sinks passed through to the frontend.
+
+    Returns
+    -------
+    SoakReport
+        Counters plus the list of SLO violations (empty = pass).
+    """
+    if script is None:
+        script = default_fault_script()
+    if params is None:
+        params = default_soak_params(seed=script.seed)
+    if tree_config is None:
+        tree_config = TreeConfig(page_size=512, buffer_pages=8)
+    if frontend_config is None:
+        frontend_config = default_frontend_config(script)
+    workload = generate_network_workload(params)
+    ops = workload.ops
+    oracle_answers, history = _oracle_replay(ops)
+
+    with tempfile.TemporaryDirectory(prefix="soak-") as tmp:
+        directory = os.path.join(tmp, "store")
+        injector = script.injector(0)
+        injectors = [injector]
+        tree = MovingObjectTree.create_durable(
+            directory, tree_config, SimulationClock(), injector=injector
+        )
+
+        def reopen():
+            reopened = MovingObjectTree.open_from(
+                directory, tree_config, SimulationClock()
+            )
+            fresh = script.injector(len(injectors))
+            injectors.append(fresh)
+            reopened.disk.arm_injector(fresh)
+            return reopened, fresh
+
+        frontend = ServiceFrontend(
+            tree,
+            frontend_config,
+            registry=registry,
+            tracer=tracer,
+            injector=injector,
+            reopen=reopen,
+        )
+        served = frontend.run(
+            ops, pacer=ArrivalPacer(script.bursts())
+        )
+        total_writes = sum(inj.writes for inj in injectors)
+        frontend.index.close()
+
+    violations = _check_slos(script, served, ops, oracle_answers, history)
+    counters = {
+        name: getattr(served, name)
+        for name in (
+            "admitted", "served_queries", "served_writes", "shed_queries",
+            "shed_writes", "retries", "retry_successes", "retry_exhausted",
+            "deadline_timeouts", "trips", "probes", "probe_failures",
+            "recoveries", "degraded_answers", "backlog_enqueued",
+            "backlog_replayed", "backlog_peak", "backlog_remaining",
+            "kills", "reopens", "checkpoints", "failed_queries",
+            "max_staleness",
+        )
+    }
+    return SoakReport(
+        ops=len(ops),
+        queries=workload.query_count,
+        total_writes=total_writes,
+        violations=violations,
+        counters=counters,
+        script=script.to_json(),
+    )
+
+
+def write_report(report: SoakReport, path: str) -> None:
+    """Write the soak report JSON (the ``BENCH_soak.json`` artifact)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,47 @@
+"""Serving layer: overload-safe request processing over a moving-object index.
+
+The frontend turns a workload operation stream into a traffic-shaped
+request flow — bounded admission with shedding, deadline-aware retries
+of transient storage faults, and a circuit breaker that flips reads to
+a bounded-staleness snapshot path while the store recovers.  See
+:mod:`repro.serve.frontend` for the full model.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, HealthMonitor
+from .degraded import DegradedAnswer, DegradedReader
+from .frontend import (
+    FrontendConfig,
+    QueryOutcome,
+    ServiceFrontend,
+    ServiceReport,
+)
+from .queue import (
+    REJECT_NEWEST,
+    REJECT_OLDEST,
+    SHED_POLICIES,
+    SHED_QUERIES_FIRST,
+    AdmissionQueue,
+    Request,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "CLOSED",
+    "DegradedAnswer",
+    "DegradedReader",
+    "FrontendConfig",
+    "HALF_OPEN",
+    "HealthMonitor",
+    "OPEN",
+    "QueryOutcome",
+    "REJECT_NEWEST",
+    "REJECT_OLDEST",
+    "Request",
+    "RetryPolicy",
+    "ServiceFrontend",
+    "ServiceReport",
+    "SHED_POLICIES",
+    "SHED_QUERIES_FIRST",
+]

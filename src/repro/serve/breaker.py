@@ -1,0 +1,145 @@
+"""Circuit breaker and health monitor for the serving frontend.
+
+The breaker watches per-attempt outcomes against the storage layer.  A
+run of consecutive failures (transient faults, deadline timeouts) trips
+it ``CLOSED -> OPEN``: reads flip to the degraded snapshot path and
+writes are backlogged, so a struggling store stops absorbing traffic.
+After a cooldown the breaker goes ``HALF_OPEN`` and the frontend sends
+one probe through the real path; success (including a full backlog
+replay) closes the breaker, failure re-opens it for another cooldown.
+
+The :class:`HealthMonitor` is a passive sliding window over the same
+outcomes, exposing an error rate for gauges and reports — it informs
+observability, while the breaker alone decides state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+#: Breaker state names.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures; recover via cooldown and probe.
+
+    Parameters
+    ----------
+    failure_threshold : int
+        Consecutive attempt failures that trip the breaker.
+    cooldown : float
+        Virtual seconds the breaker stays OPEN before allowing a probe.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 5.0):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be nonnegative, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.recoveries = 0
+        self.probe_failures = 0
+        self._open_until = 0.0
+
+    @property
+    def open_until(self) -> float:
+        """Virtual time at which the current cooldown elapses."""
+        return self._open_until
+
+    def record_success(self) -> None:
+        """Note a successful attempt while CLOSED."""
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> bool:
+        """Note a failed attempt; trip when the threshold is reached.
+
+        Returns
+        -------
+        bool
+            ``True`` if this failure tripped the breaker open.
+        """
+        self.consecutive_failures += 1
+        if (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.trip(now)
+            return True
+        return False
+
+    def trip(self, now: float) -> bool:
+        """Force the breaker OPEN (e.g. on retry-budget exhaustion).
+
+        Returns
+        -------
+        bool
+            ``True`` if the breaker was not already open.
+        """
+        if self.state == OPEN:
+            return False
+        self.state = OPEN
+        self.trips += 1
+        self._open_until = now + self.cooldown
+        return True
+
+    def ready_to_probe(self, now: float) -> bool:
+        """Whether the cooldown has elapsed and a probe may be sent."""
+        return self.state == OPEN and now >= self._open_until
+
+    def begin_probe(self) -> None:
+        """Enter HALF_OPEN for the duration of one probe."""
+        self.state = HALF_OPEN
+
+    def probe_succeeded(self) -> None:
+        """Probe worked: close the breaker and reset the failure run."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.recoveries += 1
+
+    def probe_failed(self, now: float) -> None:
+        """Probe failed: re-open for another full cooldown."""
+        self.state = OPEN
+        self.probe_failures += 1
+        self._open_until = now + self.cooldown
+
+
+class HealthMonitor:
+    """Sliding-window error rate over recent attempt outcomes.
+
+    Parameters
+    ----------
+    window : int
+        Number of most-recent attempts retained.
+    """
+
+    def __init__(self, window: int = 64):
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+
+    def record(self, ok: bool) -> None:
+        """Append one attempt outcome (``True`` for success)."""
+        self._outcomes.append(ok)
+
+    @property
+    def sample_count(self) -> int:
+        """Attempts currently inside the window."""
+        return len(self._outcomes)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of windowed attempts that failed (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes)

@@ -1,0 +1,770 @@
+"""The overload-safe serving frontend.
+
+:class:`ServiceFrontend` wraps a :class:`~repro.core.tree.MovingObjectTree`
+or :class:`~repro.core.forest.PartitionedMovingObjectForest` and processes
+a workload operation stream as a traffic-shaped request flow:
+
+* **Admission.**  Requests arrive on a virtual serving clock (see
+  :mod:`repro.workloads.pacing`), wait in a bounded
+  :class:`~repro.serve.queue.AdmissionQueue` and are served FIFO by a
+  single logical server with a fixed per-request service time.  A full
+  queue sheds per the configured policy; queries carry deadlines derived
+  from the workload clock and are abandoned — never executed — once they
+  cannot finish in time.
+* **Retries.**  Transient storage faults
+  (:class:`~repro.storage.faults.TransientIOError`) are retried under a
+  :class:`~repro.serve.retry.RetryPolicy`: capped exponential backoff
+  with seeded jitter, a per-request attempt cap and a per-run budget.
+* **Degradation.**  A :class:`~repro.serve.breaker.CircuitBreaker`
+  trips after consecutive attempt failures; while it is open, queries
+  are answered from the last committed checkpoint snapshot through a
+  :class:`~repro.serve.degraded.DegradedReader` (tagged ``degraded``
+  with their staleness) and writes are backlogged.  After a cooldown
+  the frontend probes: it re-drives any pending commit, replays the
+  write backlog through the normal WAL path, and closes the breaker on
+  success.
+* **Crash recovery.**  A :class:`~repro.storage.faults.SimulatedCrash`
+  kills the store; the frontend reopens it via the caller-supplied
+  ``reopen`` callback (running WAL recovery) and re-drives exactly the
+  atoms whose commits did not survive, so the served history stays
+  equivalent to a fault-free run.
+
+Two clocks run side by side and never mix: the *index* clock always
+advances to each operation's workload timestamp (so answers are
+comparable to a fault-free oracle), while the *serving* clock models
+queueing, service, backoff and cooldown delays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import LATENCY_BUCKETS, NULL_REGISTRY
+from ..obs.trace import NULL_TRACER
+from ..storage.faults import SimulatedCrash, TransientIOError
+from ..storage.pagefile import FilePageStore
+from ..workloads.base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp
+from ..workloads.pacing import ArrivalPacer
+from .breaker import OPEN, CircuitBreaker, HealthMonitor
+from .degraded import DegradedReader
+from .queue import SHED_QUERIES_FIRST, AdmissionQueue, Request
+from .retry import RetryPolicy
+
+#: Outcome statuses a request can end with.
+STATUSES = ("ok", "degraded", "shed", "timeout", "failed")
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Tunable parameters of :class:`ServiceFrontend`.
+
+    Parameters
+    ----------
+    queue_capacity : int
+        Bounded admission queue size.
+    shed_policy : str
+        One of :data:`~repro.serve.queue.SHED_POLICIES`.
+    service_time : float
+        Virtual seconds one request occupies the server.
+    query_deadline : float
+        Relative deadline for queries, from arrival; a query that
+        cannot start executing by ``arrival + query_deadline -
+        service_time`` times out unexecuted.  Writes have no deadline.
+    retry : RetryPolicy
+        Backoff policy for transient storage faults.
+    failure_threshold : int
+        Consecutive attempt failures that trip the breaker.
+    cooldown : float
+        Virtual seconds the breaker stays open before a probe.
+    checkpoint_interval : int
+        Served requests between checkpoint-plus-snapshot refreshes
+        (durable indexes only).
+    backlog_capacity : int
+        Maximum write *atoms* held while the breaker is open; overflow
+        sheds the arriving write.
+    seed : int
+        Seed for the backoff-jitter RNG.
+    """
+
+    queue_capacity: int = 64
+    shed_policy: str = SHED_QUERIES_FIRST
+    service_time: float = 0.05
+    query_deadline: float = 5.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    failure_threshold: int = 3
+    cooldown: float = 5.0
+    checkpoint_interval: int = 25
+    backlog_capacity: int = 256
+    seed: int = 0
+
+
+@dataclass
+class QueryOutcome:
+    """What the frontend answered (or didn't) for one query request.
+
+    Attributes
+    ----------
+    index : int
+        The request's position in the workload stream.
+    time : float
+        The query's workload timestamp.
+    status : str
+        One of :data:`STATUSES`.
+    answer : tuple of int or None
+        Sorted matching oids; ``None`` unless status is ``ok`` or
+        ``degraded``.
+    degraded : bool
+        Whether the answer came from the snapshot path.
+    staleness : float
+        Snapshot age at answer time (0.0 for fresh answers).
+    snapshot_op_index : int
+        Stream index the backing snapshot was current through
+        (degraded answers only).
+    overlay_oids : tuple of int
+        Oids answered from the post-snapshot overlay (degraded only).
+    evidence : dict
+        Degraded answers: the motion point that matched, per oid.
+    """
+
+    index: int
+    time: float
+    status: str
+    answer: Optional[Tuple[int, ...]] = None
+    degraded: bool = False
+    staleness: float = 0.0
+    snapshot_op_index: int = 0
+    overlay_oids: Tuple[int, ...] = ()
+    evidence: Dict[int, object] = field(default_factory=dict)
+
+
+@dataclass
+class ServiceReport:
+    """Counters and per-query outcomes of one :meth:`ServiceFrontend.run`.
+
+    All counts are plain integers mirrored into the metrics registry;
+    the report is the source of truth the soak harness asserts against.
+    """
+
+    admitted: int = 0
+    served_queries: int = 0
+    served_writes: int = 0
+    shed_queries: int = 0
+    shed_writes: int = 0
+    retries: int = 0
+    retry_successes: int = 0
+    retry_exhausted: int = 0
+    deadline_timeouts: int = 0
+    trips: int = 0
+    probes: int = 0
+    probe_failures: int = 0
+    recoveries: int = 0
+    degraded_answers: int = 0
+    backlog_enqueued: int = 0
+    backlog_replayed: int = 0
+    backlog_peak: int = 0
+    backlog_remaining: int = 0
+    kills: int = 0
+    reopens: int = 0
+    checkpoints: int = 0
+    failed_queries: int = 0
+    max_staleness: float = 0.0
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One line of the headline counters."""
+        return (
+            f"served {self.served_queries}q+{self.served_writes}w "
+            f"(degraded {self.degraded_answers}, shed "
+            f"{self.shed_queries}q/{self.shed_writes}w, timeout "
+            f"{self.deadline_timeouts}); retries {self.retries}, trips "
+            f"{self.trips}, recoveries {self.recoveries}, kills "
+            f"{self.kills}; backlog {self.backlog_replayed}/"
+            f"{self.backlog_enqueued} replayed"
+        )
+
+
+def _atoms_of(op: Operation) -> List[tuple]:
+    """Split one workload write into single-commit index atoms."""
+    if isinstance(op, InsertOp):
+        return [("insert", op.time, op.oid, op.point)]
+    if isinstance(op, UpdateOp):
+        return [
+            ("delete", op.time, op.oid, op.old_point),
+            ("insert", op.time, op.oid, op.new_point),
+        ]
+    if isinstance(op, DeleteOp):
+        return [("delete", op.time, op.oid, op.point)]
+    raise TypeError(f"not a write operation: {op!r}")
+
+
+class ServiceFrontend:
+    """Serve a workload stream against an index, riding out faults.
+
+    Parameters
+    ----------
+    index : MovingObjectTree or PartitionedMovingObjectForest
+        The wrapped index.  With no faults and default pacing the
+        frontend drives it exactly as the plain workload runner would.
+    config : FrontendConfig, optional
+        Serving parameters; defaults throughout.
+    registry : MetricsRegistry, optional
+        Receives ``serve.*`` counters and histograms.
+    tracer : Tracer, optional
+        Receives retry spans and trip/probe/recovery/kill events.
+    injector : FaultInjector, optional
+        The injector armed on the index's stores; the frontend manages
+        its read-guard arming (reads are only guarded during queries).
+    reopen : callable, optional
+        Zero-argument callback invoked after a simulated crash; must
+        return ``(new_index, new_injector)`` with recovery already run.
+        Without it a crash propagates.
+    """
+
+    def __init__(
+        self,
+        index,
+        config: Optional[FrontendConfig] = None,
+        *,
+        registry=None,
+        tracer=None,
+        injector=None,
+        reopen=None,
+    ):
+        self.index = index
+        self.config = config if config is not None else FrontendConfig()
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector
+        self._reopen = reopen
+        self._rng = random.Random(self.config.seed)
+        self._queue = AdmissionQueue(
+            self.config.queue_capacity, self.config.shed_policy
+        )
+        self._breaker = CircuitBreaker(
+            self.config.failure_threshold, self.config.cooldown
+        )
+        self.health = HealthMonitor()
+        self.report = ServiceReport()
+        self._reader: Optional[DegradedReader] = None
+        self._backlog: List[tuple] = []
+        self._pending: List[Tuple[tuple, int]] = []
+        self._vfree = 0.0
+        self._retry_budget = self.config.retry.budget
+        self._snapshot = None
+        self._snapshot_op_index = 0
+        self._served = 0
+        self._since_checkpoint = 0
+        self._disarm_reads()
+        reg = self._registry
+        self._c = {
+            name: reg.counter(f"serve.{name}")
+            for name in (
+                "admitted", "shed_queries", "shed_writes", "retries",
+                "retry_exhausted", "deadline_timeouts", "breaker_trips",
+                "breaker_probes", "breaker_recoveries", "degraded_answers",
+                "backlog_enqueued", "backlog_replayed", "kills", "reopens",
+            )
+        }
+        self._queue_depth = reg.histogram("serve.queue_depth")
+        self._retry_latency = reg.histogram(
+            "serve.retry_latency", bounds=LATENCY_BUCKETS
+        )
+        reg.gauge("serve.backlog", fn=lambda: len(self._backlog))
+        reg.gauge("serve.breaker_open", fn=lambda: int(self._is_open))
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The frontend's circuit breaker (read-mostly introspection)."""
+        return self._breaker
+
+    @property
+    def _is_open(self) -> bool:
+        return self._breaker.state == OPEN
+
+    def _stores(self):
+        if hasattr(self.index, "trees"):
+            return [tree.disk for tree in self.index.trees]
+        return [self.index.disk]
+
+    @property
+    def _durable(self) -> bool:
+        return all(
+            isinstance(store, FilePageStore) for store in self._stores()
+        )
+
+    def _op_seq_mark(self) -> int:
+        if not self._durable:
+            return 0
+        return sum(store.op_seq for store in self._stores())
+
+    def _disarm_reads(self) -> None:
+        if self._injector is not None:
+            self._injector.reads_armed = False
+
+    def _arm_reads(self) -> None:
+        if self._injector is not None:
+            self._injector.reads_armed = True
+
+    # -- snapshots and degraded state ---------------------------------------
+
+    def _refresh_snapshot(self) -> None:
+        """Checkpoint (durable only) and re-cut the degraded-read snapshot.
+
+        Skipped wholesale when the checkpoint faults transiently — the
+        previous snapshot stays valid (it is merely staler).
+        """
+        if self._durable:
+            try:
+                self.index.checkpoint()
+            except TransientIOError:
+                return
+            self.report.checkpoints += 1
+        self._snapshot = self.index.snapshot()
+        self._snapshot_op_index = self._served
+        self._since_checkpoint = 0
+
+    def _open_degraded(self, now: float) -> None:
+        """Enter degraded mode: build the snapshot-plus-overlay reader."""
+        if self._reader is None:
+            self._reader = DegradedReader(
+                self._snapshot, self._snapshot_op_index
+            )
+        self.report.trips += 1
+        self._c["breaker_trips"].inc()
+        self._tracer.event("serve.trip", at=now)
+
+    # -- atom application with crash/pending bookkeeping --------------------
+
+    def _drive(self, atom: tuple) -> None:
+        """Apply one atom to the live index at its workload time."""
+        kind, time, oid, point = atom
+        self.index.clock.advance_to(time)
+        if kind == "insert":
+            self.index.insert(oid, point)
+        else:
+            self.index.delete(oid, point)
+
+    def _apply_atom(self, atom: tuple, serving_now: float) -> None:
+        """Apply and commit one atom, surviving crashes.
+
+        Raises
+        ------
+        TransientIOError
+            The atom is applied in memory but its commit is pending;
+            it has been recorded so a later commit (or crash redo)
+            lands it exactly once.
+        """
+        mark = self._op_seq_mark()
+        try:
+            self._drive(atom)
+        except TransientIOError:
+            self._pending.append((atom, mark))
+            raise
+        except SimulatedCrash:
+            self._pending.append((atom, mark))
+            self._handle_crash(serving_now)
+            return
+        # A successful op group-commits everything staged, including
+        # any previously pending images merged into the same batch.
+        self._pending.clear()
+
+    def _commit_pending(self, serving_now: float) -> None:
+        """Re-drive any pending commit on every store.
+
+        Raises
+        ------
+        TransientIOError
+            The commit faulted again; everything stays pending.
+        """
+        try:
+            for store in self._stores():
+                store.commit()
+        except SimulatedCrash:
+            self._handle_crash(serving_now)
+            return
+        self._pending.clear()
+
+    def _handle_crash(self, serving_now: float) -> None:
+        """Reopen after a simulated kill and re-drive lost atoms."""
+        self.report.kills += 1
+        self._c["kills"].inc()
+        self._tracer.event("serve.kill", at=serving_now)
+        if self._reopen is None:
+            raise SimulatedCrash("no reopen callback configured")
+        for store in self._stores():
+            if isinstance(store, FilePageStore):
+                store.abandon()
+        self.index, self._injector = self._reopen()
+        self._disarm_reads()
+        self.report.reopens += 1
+        self._c["reopens"].inc()
+        recovered = self._op_seq_mark()
+        redo = [(atom, m) for atom, m in self._pending if recovered <= m]
+        self._pending = []
+        for atom, _ in redo:
+            # May itself fault transiently (re-pending the atom and
+            # propagating) or crash again (recursing, bounded by the
+            # injector's finite kill schedule).
+            self._apply_atom(atom, serving_now)
+        # The old snapshot describes pages of the dead incarnation's
+        # store; content-wise it is still a committed prefix, but after
+        # a clean recovery a fresh cut is both newer and cheaper than
+        # reasoning about staleness across incarnations.
+        if not self._is_open:
+            self._refresh_snapshot()
+
+    # -- probe and backlog replay -------------------------------------------
+
+    def _attempt_probe(self, serving_now: float) -> None:
+        """Half-open probe: land pending commits, replay the backlog."""
+        self._breaker.begin_probe()
+        self.report.probes += 1
+        self._c["breaker_probes"].inc()
+        self._tracer.event("serve.probe", at=serving_now)
+        try:
+            self._commit_pending(serving_now)
+            while self._backlog:
+                atom = self._backlog[0]
+                self._apply_atom(atom, serving_now)
+                self._backlog.pop(0)
+                self.report.backlog_replayed += 1
+                self._c["backlog_replayed"].inc()
+        except TransientIOError:
+            # A transiently faulted atom is applied with its commit
+            # pending: it must leave the backlog now or a later replay
+            # would apply it twice.  The pending commit lands it.
+            if self._backlog and self._pending and (
+                self._backlog[0] is self._pending[-1][0]
+            ):
+                self._backlog.pop(0)
+                self.report.backlog_replayed += 1
+                self._c["backlog_replayed"].inc()
+            self._breaker.probe_failed(serving_now)
+            self.report.probe_failures += 1
+            return
+        self._breaker.probe_succeeded()
+        self.report.recoveries += 1
+        self._c["breaker_recoveries"].inc()
+        self._tracer.event("serve.recovery", at=serving_now)
+        self._reader = None
+        self._refresh_snapshot()
+
+    # -- the serving loop ---------------------------------------------------
+
+    def run(
+        self,
+        ops: Sequence[Operation],
+        arrivals: Optional[Sequence[float]] = None,
+        pacer: Optional[ArrivalPacer] = None,
+    ) -> ServiceReport:
+        """Serve a whole operation stream and return the report.
+
+        Parameters
+        ----------
+        ops : sequence of Operation
+            The workload stream, in timestamp order.
+        arrivals : sequence of float, optional
+            Arrival time per operation on the serving clock; derived
+            from ``pacer`` (or the identity pacing) when omitted.
+        pacer : ArrivalPacer, optional
+            Used to derive arrivals when none are given.
+        """
+        ops = list(ops)
+        if arrivals is None:
+            arrivals = (pacer or ArrivalPacer()).arrivals(ops)
+        if len(arrivals) != len(ops):
+            raise ValueError(
+                f"{len(ops)} ops but {len(arrivals)} arrival times"
+            )
+        self._refresh_snapshot()
+        for i, (op, arrival) in enumerate(zip(ops, arrivals)):
+            self._drain_until(arrival)
+            deadline = (
+                arrival + self.config.query_deadline
+                if isinstance(op, QueryOp)
+                else float("inf")
+            )
+            request = Request(i, op, arrival, deadline)
+            self._queue_depth.record(len(self._queue))
+            shed = self._queue.offer(request)
+            if shed is not None:
+                self._record_shed(shed)
+            else:
+                self.report.admitted += 1
+                self._c["admitted"].inc()
+        self._drain_until(float("inf"))
+        self._finalize()
+        return self.report
+
+    def _drain_until(self, horizon: float) -> None:
+        """Serve queued requests whose start time is within ``horizon``."""
+        while len(self._queue):
+            start = max(self._vfree, self._queue.peek().arrival)
+            if start > horizon:
+                return
+            self._serve(self._queue.pop(), start)
+
+    def _record_shed(self, shed: Request) -> None:
+        if shed.is_query:
+            self.report.shed_queries += 1
+            self._c["shed_queries"].inc()
+            self.report.outcomes.append(
+                QueryOutcome(shed.index, shed.op.time, "shed")
+            )
+        else:
+            self.report.shed_writes += 1
+            self._c["shed_writes"].inc()
+        self._tracer.event(
+            "serve.shed", index=shed.index, query=shed.is_query
+        )
+
+    def _serve(self, request: Request, start: float) -> None:
+        if self._is_open and self._breaker.ready_to_probe(start):
+            self._attempt_probe(start)
+        if self._is_open:
+            self._serve_open(request, start)
+        elif request.is_query:
+            self._serve_query(request, start)
+        else:
+            self._serve_write(request, start)
+        self._served = max(self._served, request.index + 1)
+        if (
+            not self._is_open
+            and self._since_checkpoint >= self.config.checkpoint_interval
+        ):
+            self._refresh_snapshot()
+
+    # -- closed-breaker paths -----------------------------------------------
+
+    def _serve_query(self, request: Request, start: float) -> None:
+        now = request.op.time
+        self.index.clock.advance_to(now)
+        cur = start
+        attempt = 1
+        while True:
+            if cur + self.config.service_time > request.deadline:
+                self._timeout(request, cur)
+                return
+            try:
+                self._arm_reads()
+                try:
+                    answer = self.index.query(request.op.query)
+                finally:
+                    self._disarm_reads()
+            except TransientIOError:
+                cur = self._retry_or_fail(request, cur, attempt)
+                if cur is None:
+                    return
+                attempt += 1
+            except SimulatedCrash:
+                self._handle_crash(cur)
+                # Recovery re-drove every lost write; re-run the query.
+            else:
+                self._breaker.record_success()
+                self.health.record(True)
+                self._vfree = cur + self.config.service_time
+                if attempt > 1:
+                    self.report.retry_successes += 1
+                self.report.served_queries += 1
+                self._since_checkpoint += 1
+                self.report.outcomes.append(
+                    QueryOutcome(
+                        request.index, now, "ok",
+                        answer=tuple(sorted(answer)),
+                    )
+                )
+                return
+
+    def _retry_or_fail(
+        self, request: Request, cur: float, attempt: int
+    ) -> Optional[float]:
+        """Handle one transient query failure; return the next try time.
+
+        Returns ``None`` when the request will not be retried (the
+        outcome has been recorded: degraded, timeout or failed).
+        """
+        self.health.record(False)
+        tripped = self._breaker.record_failure(cur)
+        if tripped:
+            self._open_degraded(cur)
+            self._answer_degraded(request, cur)
+            self._vfree = cur
+            return None
+        if (
+            attempt >= self.config.retry.max_attempts
+            or self._retry_budget <= 0
+        ):
+            self.report.retry_exhausted += 1
+            self._c["retry_exhausted"].inc()
+            if self._breaker.trip(cur):
+                self._open_degraded(cur)
+                self._answer_degraded(request, cur)
+            else:
+                self.report.failed_queries += 1
+                self.report.outcomes.append(
+                    QueryOutcome(request.index, request.op.time, "failed")
+                )
+            self._vfree = cur
+            return None
+        delay = self.config.retry.delay(attempt, self._rng)
+        self._retry_budget -= 1
+        self.report.retries += 1
+        self._c["retries"].inc()
+        self._retry_latency.record(delay)
+        with self._tracer.span(
+            "serve.retry", index=request.index, attempt=attempt
+        ):
+            pass
+        return cur + delay
+
+    def _timeout(self, request: Request, cur: float) -> None:
+        self.report.deadline_timeouts += 1
+        self._c["deadline_timeouts"].inc()
+        self.health.record(False)
+        if self._breaker.record_failure(cur):
+            self._open_degraded(cur)
+        self.report.outcomes.append(
+            QueryOutcome(request.index, request.op.time, "timeout")
+        )
+
+    def _serve_write(self, request: Request, start: float) -> None:
+        atoms = _atoms_of(request.op)
+        cur = start
+        for position, atom in enumerate(atoms):
+            cur = self._write_atom(atom, cur)
+            if self._is_open:
+                # The breaker tripped under this write: whatever was
+                # not applied joins the backlog behind it.
+                for rest in atoms[position + 1:]:
+                    self._backlog_atom(rest)
+                self._vfree = cur
+                self.report.served_writes += 1
+                self._since_checkpoint += 1
+                return
+        self._vfree = cur + self.config.service_time
+        self.report.served_writes += 1
+        self._since_checkpoint += 1
+
+    def _write_atom(self, atom: tuple, cur: float) -> float:
+        """Apply one write atom with retries; return the serving time."""
+        attempt = 1
+        while True:
+            try:
+                self._apply_atom(atom, cur)
+            except TransientIOError:
+                self.health.record(False)
+                tripped = self._breaker.record_failure(cur)
+                exhausted = (
+                    attempt >= self.config.retry.max_attempts
+                    or self._retry_budget <= 0
+                )
+                if not tripped and exhausted:
+                    self.report.retry_exhausted += 1
+                    self._c["retry_exhausted"].inc()
+                    tripped = self._breaker.trip(cur)
+                if tripped:
+                    self._open_degraded(cur)
+                    # The atom is applied with its commit pending (it
+                    # lands with the probe's first commit), so it must
+                    # not join the backlog — but degraded reads need it.
+                    if self._reader is not None:
+                        self._reader.apply(atom)
+                    return cur
+                delay = self.config.retry.delay(attempt, self._rng)
+                self._retry_budget -= 1
+                self.report.retries += 1
+                self._c["retries"].inc()
+                self._retry_latency.record(delay)
+                with self._tracer.span("serve.retry", attempt=attempt):
+                    pass
+                cur += delay
+                attempt += 1
+            else:
+                self._breaker.record_success()
+                self.health.record(True)
+                if attempt > 1:
+                    self.report.retry_successes += 1
+                return cur
+
+    # -- open-breaker paths -------------------------------------------------
+
+    def _serve_open(self, request: Request, start: float) -> None:
+        if request.is_query:
+            self._answer_degraded(request, start)
+            return
+        for atom in _atoms_of(request.op):
+            self._backlog_atom(atom)
+        self.report.served_writes += 1
+        self._since_checkpoint += 1
+
+    def _backlog_atom(self, atom: tuple) -> None:
+        if len(self._backlog) >= self.config.backlog_capacity:
+            self.report.shed_writes += 1
+            self._c["shed_writes"].inc()
+            return
+        self._backlog.append(atom)
+        self.report.backlog_enqueued += 1
+        self._c["backlog_enqueued"].inc()
+        self.report.backlog_peak = max(
+            self.report.backlog_peak, len(self._backlog)
+        )
+        if self._reader is not None:
+            self._reader.apply(atom)
+
+    def _answer_degraded(self, request: Request, cur: float) -> None:
+        """Answer a query from the snapshot path (zero service cost)."""
+        now = request.op.time
+        answer = self._reader.query(request.op.query, now)
+        self.report.degraded_answers += 1
+        self._c["degraded_answers"].inc()
+        self.report.served_queries += 1
+        self._since_checkpoint += 1
+        self.report.max_staleness = max(
+            self.report.max_staleness, answer.staleness
+        )
+        self.report.outcomes.append(
+            QueryOutcome(
+                request.index, now, "degraded",
+                answer=answer.oids,
+                degraded=True,
+                staleness=answer.staleness,
+                snapshot_op_index=answer.snapshot_op_index,
+                overlay_oids=answer.overlay_oids,
+                evidence=answer.evidence,
+            )
+        )
+
+    # -- shutdown -----------------------------------------------------------
+
+    def _finalize(self, max_probes: int = 100) -> None:
+        """Drain the backlog, land pending commits, final checkpoint."""
+        probes = 0
+        while self._is_open and (self._backlog or self._pending):
+            if probes >= max_probes:
+                raise RuntimeError(
+                    f"backlog not drained after {max_probes} probes"
+                )
+            cur = max(self._vfree, self._breaker.open_until)
+            self._vfree = cur
+            self._attempt_probe(cur)
+            probes += 1
+        if self._is_open and self._breaker.ready_to_probe(
+            max(self._vfree, self._breaker.open_until)
+        ):
+            # Nothing left to replay; close the breaker so the final
+            # checkpoint runs against a healthy store.
+            self._attempt_probe(max(self._vfree, self._breaker.open_until))
+        for _ in range(max_probes):
+            if not self._pending:
+                break
+            try:
+                self._commit_pending(self._vfree)
+            except TransientIOError:
+                continue
+        if self._durable:
+            self._refresh_snapshot()
+        self.report.backlog_remaining = len(self._backlog)

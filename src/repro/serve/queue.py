@@ -1,0 +1,125 @@
+"""Bounded admission queue with configurable shedding policies.
+
+Requests wait here between *arrival* and *service*.  When the queue is
+full an arriving request forces a shed, and the policy decides who pays:
+
+``reject-newest``
+    The arriving request is turned away; queued work is never touched.
+``reject-oldest``
+    The head of the queue is dropped and the arrival admitted — the
+    queue favours fresh requests (stale queued queries are the least
+    valuable work under overload).
+``shed-queries-first``
+    The oldest *query* among the queued requests and the arrival is
+    dropped; writes are only shed when queue and arrival hold nothing
+    but writes.  This is the SLO-preserving default: a shed query is a
+    lost answer, but a shed write permanently diverges the index from
+    the ground truth, so queries absorb the overload first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..workloads.base import Operation, QueryOp
+
+#: Shedding policy names.
+REJECT_NEWEST = "reject-newest"
+REJECT_OLDEST = "reject-oldest"
+SHED_QUERIES_FIRST = "shed-queries-first"
+
+#: All supported shedding policies.
+SHED_POLICIES = (REJECT_NEWEST, REJECT_OLDEST, SHED_QUERIES_FIRST)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One workload operation travelling through the frontend.
+
+    Attributes
+    ----------
+    index : int
+        Position of the operation in the workload stream.
+    op : Operation
+        The workload operation itself.
+    arrival : float
+        Arrival time on the frontend's virtual serving clock.
+    deadline : float
+        Latest acceptable completion time (``inf`` for writes — the
+        frontend never abandons a write on latency grounds).
+    """
+
+    index: int
+    op: Operation
+    arrival: float
+    deadline: float = field(default=float("inf"))
+
+    @property
+    def is_query(self) -> bool:
+        """Whether this request is a read (query) rather than a write."""
+        return isinstance(self.op, QueryOp)
+
+
+class AdmissionQueue:
+    """A bounded FIFO of admitted requests.
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum requests waiting; an arrival into a full queue forces a
+        shed.
+    policy : str
+        One of :data:`SHED_POLICIES`.
+    """
+
+    def __init__(self, capacity: int, policy: str = SHED_QUERIES_FIRST):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._items: List[Request] = []
+
+    def __len__(self) -> int:
+        """Requests currently waiting."""
+        return len(self._items)
+
+    def peek(self) -> Request:
+        """The request that will be served next (the queue head)."""
+        return self._items[0]
+
+    def pop(self) -> Request:
+        """Remove and return the queue head."""
+        return self._items.pop(0)
+
+    def offer(self, request: Request) -> Optional[Request]:
+        """Admit ``request``, shedding per policy when full.
+
+        Returns
+        -------
+        Request or None
+            The request that was shed — possibly ``request`` itself —
+            or ``None`` when everything (queue plus arrival) was kept.
+        """
+        if len(self._items) < self.capacity:
+            self._items.append(request)
+            return None
+        if self.policy == REJECT_NEWEST:
+            return request
+        if self.policy == REJECT_OLDEST:
+            shed = self._items.pop(0)
+            self._items.append(request)
+            return shed
+        # shed-queries-first: the oldest queued query goes; failing
+        # that, a query arrival is turned away; only an all-write queue
+        # meeting a write arrival sheds a write (the arriving one).
+        for i, queued in enumerate(self._items):
+            if queued.is_query:
+                shed = self._items.pop(i)
+                self._items.append(request)
+                return shed
+        return request

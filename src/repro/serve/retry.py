@@ -1,0 +1,82 @@
+"""Retry policy: capped exponential backoff with jitter and a budget.
+
+Transient storage faults (:class:`~repro.storage.faults.TransientIOError`)
+are retryable: the process survives and the operation can simply be
+re-driven.  The policy below bounds how hard the frontend tries — a
+per-request attempt cap, a per-run retry budget (so a fault storm cannot
+stall the whole stream behind one request), and capped exponential
+backoff with multiplicative jitter drawn from a seeded RNG so every run
+of the same schedule backs off identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the frontend retries transiently failing operations.
+
+    Parameters
+    ----------
+    max_attempts : int
+        Total tries per request, including the first (so 4 means up to
+        3 retries).
+    base_delay : float
+        Backoff before the first retry, in virtual seconds.
+    multiplier : float
+        Growth factor between consecutive backoffs.
+    max_delay : float
+        Cap on a single backoff delay.
+    jitter : float
+        Fractional jitter: each delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]``.
+    budget : int
+        Total retries (not first attempts) the frontend may spend over
+        a whole run; once exhausted, transient failures are terminal.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    budget: int = 1000
+
+    def __post_init__(self) -> None:
+        """Validate the backoff ladder's shape."""
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be nonnegative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be at least 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.budget < 0:
+            raise ValueError(f"budget must be nonnegative, got {self.budget}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Parameters
+        ----------
+        attempt : int
+            Which retry this is: 1 for the first retry, 2 for the
+            second, and so on.
+        rng : random.Random
+            Seeded generator supplying the jitter draw; one draw is
+            consumed per call, keeping schedules reproducible.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be at least 1, got {attempt}")
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

@@ -25,12 +25,23 @@ restores the last committed state.
 With ``crash_at_write=None`` the injector is a pure write counter,
 which is how a matrix first measures how many crash points a workload
 has.
+
+Besides the fatal modes the injector carries two *transient* schedules:
+``transient_writes`` faults the Nth physical write and
+``transient_reads`` the Nth *guarded* page read with a
+:class:`TransientIOError` — the process survives, nothing reaches the
+file, and the caller may retry.  Guarded reads are only counted while
+:attr:`FaultInjector.reads_armed` is set, so a serving layer can confine
+read faults to its read-only paths (a read abort mid-mutation would
+leave the in-memory tree half-updated, which no real retry could mend).
+Both schedules reuse the deterministic counters, so a fault script
+replays byte-identically.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Collection, Optional
 
 #: Supported crash modes.
 MODES = ("kill", "torn", "bitflip")
@@ -38,6 +49,17 @@ MODES = ("kill", "torn", "bitflip")
 
 class SimulatedCrash(Exception):
     """Raised by a fault injector when the simulated process dies."""
+
+
+class TransientIOError(Exception):
+    """A retryable storage fault: the operation failed, the process lives.
+
+    Raised by :meth:`FaultInjector.before_write` /
+    :meth:`FaultInjector.before_read` at scheduled transient indices,
+    always *before* any bytes move, so the caller sees a clean failure
+    it can retry (the write-ahead-log commit protocol makes re-driving a
+    failed commit idempotent).
+    """
 
 
 class FaultInjector:
@@ -54,11 +76,26 @@ class FaultInjector:
     seed : int, optional
         Seed of the private RNG that picks the tear point or flipped
         bit, making every run byte-reproducible.
+    transient_writes : collection of int, optional
+        1-based physical write indices at which :meth:`before_write`
+        raises a :class:`TransientIOError` instead of writing.  Each
+        index fires once (the counter passes it exactly once); a retry
+        is a fresh write with the next index.
+    transient_reads : collection of int, optional
+        1-based *guarded* read indices at which :meth:`before_read`
+        raises a :class:`TransientIOError`.  Reads are only counted
+        while :attr:`reads_armed` is set.
 
     Attributes
     ----------
     writes : int
         Physical writes observed so far (including the faulted one).
+    reads : int
+        Guarded page reads observed so far (armed reads only).
+    reads_armed : bool
+        Whether :meth:`before_read` currently counts (and may fault)
+        reads.  Defaults to ``True``; a serving layer disarms it around
+        mutations.
     crashed : bool
         Whether the simulated process has died.
     """
@@ -68,15 +105,24 @@ class FaultInjector:
         crash_at_write: Optional[int] = None,
         mode: str = "kill",
         seed: int = 0,
+        transient_writes: Collection[int] = (),
+        transient_reads: Collection[int] = (),
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if crash_at_write is not None and crash_at_write < 1:
             raise ValueError("crash_at_write is a 1-based write index")
+        if any(n < 1 for n in transient_writes) or \
+                any(n < 1 for n in transient_reads):
+            raise ValueError("transient schedules hold 1-based indices")
         self.crash_at_write = crash_at_write
         self.mode = mode
         self.writes = 0
+        self.reads = 0
+        self.reads_armed = True
         self.crashed = False
+        self.transient_writes = frozenset(transient_writes)
+        self.transient_reads = frozenset(transient_reads)
         self._rng = random.Random(seed)
         self._pending_crash = False
 
@@ -99,10 +145,17 @@ class FaultInjector:
         SimulatedCrash
             In ``kill`` mode at the chosen index, and on every write
             after the process has died.
+        TransientIOError
+            At a scheduled transient write index, before any bytes
+            move; the process survives and the write may be retried.
         """
         if self.crashed:
             raise SimulatedCrash("write after simulated process death")
         self.writes += 1
+        if self.writes in self.transient_writes:
+            raise TransientIOError(
+                f"injected transient fault on write #{self.writes}"
+            )
         if self.crash_at_write is None or self.writes != self.crash_at_write:
             return data
         if self.mode == "kill":
@@ -118,6 +171,31 @@ class FaultInjector:
         bit = self._rng.randrange(len(flipped) * 8)
         flipped[bit // 8] ^= 1 << (bit % 8)
         return bytes(flipped)
+
+    def before_read(self) -> None:
+        """Count one guarded page read and possibly fault it.
+
+        Does nothing while :attr:`reads_armed` is unset — unarmed reads
+        are neither counted nor faulted, so a transient-read schedule
+        indexes only the reads a caller chose to guard (e.g. query
+        descents, never mid-mutation reads).
+
+        Raises
+        ------
+        SimulatedCrash
+            On any read after the process has died.
+        TransientIOError
+            At a scheduled transient read index.
+        """
+        if self.crashed:
+            raise SimulatedCrash("read after simulated process death")
+        if not self.reads_armed:
+            return
+        self.reads += 1
+        if self.reads in self.transient_reads:
+            raise TransientIOError(
+                f"injected transient fault on guarded read #{self.reads}"
+            )
 
     def after_write(self) -> None:
         """Fire the deferred crash of ``torn``/``bitflip`` faults.

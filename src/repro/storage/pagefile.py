@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .disk import INVALID_PAGE, PageError, PageId
+from .faults import TransientIOError
 from .layout import EntryLayout
 from .serial import NodeCodec
 from .stats import IOStats
@@ -440,8 +441,12 @@ class FilePageStore:
         self._free: List[PageId] = []
         self._next_id: PageId = 0
         self._staged: Dict[PageId, str] = {}
+        self._pending_commit: Optional[
+            Tuple[int, Dict[PageId, Optional[bytes]]]
+        ] = None
         self._op_seq = 0
         self._root_pid: PageId = INVALID_PAGE
+        self._closed = False
         self.opened_clock_time = 0.0
         self.recovery: Optional[RecoveryReport] = None
 
@@ -609,9 +614,17 @@ class FilePageStore:
         self._staged[pid] = "free"
 
     def read(self, pid: PageId) -> Any:
-        """Read a page, charging one read I/O."""
+        """Read a page, charging one read I/O.
+
+        When a fault injector is armed its ``before_read`` hook runs
+        first — the raise site for injected transient read faults — so
+        a faulted read charges no I/O (the page never arrived).
+        """
         if pid not in self._pages:
             raise PageError(f"read of unallocated page {pid}")
+        injector = self._file._injector
+        if injector is not None:
+            injector.before_read()
         self.stats.reads += 1
         return self._pages[pid]
 
@@ -687,32 +700,47 @@ class FilePageStore:
         record to the log, flushes the log, and only then applies the
         images to the page file.  A commit with nothing staged is a
         no-op (queries that dirty no pages advance no state).
+
+        A commit interrupted by a :class:`TransientIOError` stays
+        *pending*: its encoded images and operation sequence number are
+        retained, and the next call re-drives the whole batch (merged
+        with anything staged since).  Re-appending a partially logged
+        batch is idempotent under recovery — records without a COMMIT
+        never happened, and a duplicated committed batch replays to the
+        same images and sequence number.
         """
-        if not self._staged:
+        pending = self._pending_commit
+        if not self._staged and pending is None:
             return
-        staged = sorted(self._staged.items())
-        self._staged.clear()
         t = self._now()
-        images: List[Tuple[PageId, Optional[bytes]]] = []
-        for pid, action in staged:
+        if pending is not None:
+            op_seq, image_map = pending
+        else:
+            op_seq = self._op_seq + 1
+            image_map = {}
+        for pid, action in sorted(self._staged.items()):
             if action == "page":
-                images.append((pid, self.codec.encode(self._pages[pid], t)))
+                image_map[pid] = self.codec.encode(self._pages[pid], t)
             else:
-                images.append((pid, None))
-        self._op_seq += 1
+                image_map[pid] = None
+        self._staged.clear()
+        self._pending_commit = (op_seq, image_map)
+        images = sorted(image_map.items())
         if self.wal is not None:
             for pid, data in images:
                 if data is None:
                     self.wal.append_free(pid)
                 else:
                     self.wal.append_page(pid, data)
-            self.wal.append_commit(self._op_seq, t)
+            self.wal.append_commit(op_seq, t)
             self.wal.flush()
         for pid, data in images:
             if data is None:
                 self._file.mark_free(pid, -1)
             else:
                 self._file.write_page(pid, data)
+        self._pending_commit = None
+        self._op_seq = op_seq
 
     def checkpoint(self) -> None:
         """Make the page file self-contained and truncate the log.
@@ -720,7 +748,11 @@ class FilePageStore:
         Commits any staged changes, rewrites the free chain and header
         (root, clock, allocation watermark), fsyncs the page file, and
         atomically resets the log to a single checkpoint record.
+        A no-op on a closed store, so shutdown paths may call it
+        unconditionally.
         """
+        if self._closed:
+            return
         self.commit()
         header = self._file.read_header()
         header.next_id = self._next_id
@@ -737,15 +769,38 @@ class FilePageStore:
         if self.wal is not None:
             self.wal.reset(self._op_seq, header.clock_time)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` or :meth:`abandon` has run."""
+        return self._closed
+
     def close(self) -> None:
-        """Checkpoint and release all file handles."""
-        self.checkpoint()
+        """Checkpoint and release all file handles (idempotent).
+
+        A second call is a no-op.  A transient fault during the final
+        checkpoint is swallowed: the write-ahead log already holds every
+        committed operation, so releasing the handles loses nothing —
+        :meth:`open_dir` replays the committed prefix.  Fatal faults
+        (:class:`~repro.storage.faults.SimulatedCrash`) still propagate;
+        a dead process must go through :meth:`abandon`.
+        """
+        if self._closed:
+            return
+        try:
+            self.checkpoint()
+        except TransientIOError:
+            # Committed state is safe in the WAL; only the uncommitted
+            # tail of the interrupted flush is lost, exactly as if the
+            # process had stopped one operation earlier.
+            pass
+        self._closed = True
         self._file.close()
         if self.wal is not None:
             self.wal.close()
 
     def abandon(self) -> None:
         """Release file handles without flushing (process death)."""
+        self._closed = True
         self._file.abandon()
         if self.wal is not None:
             self.wal.abandon()

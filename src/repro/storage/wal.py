@@ -245,8 +245,11 @@ class WriteAheadLog:
         renamed over ``path`` — a crash at any point leaves either the
         old intact log or the new one.  The page file must be consistent
         (all committed images applied and synced) before calling this.
+
+        The live handle is closed only after the temporary file exists:
+        the injector's raise site comes first, so a transiently faulted
+        reset leaves the old log open and appendable for a retry.
         """
-        self._file.close()
         tmp = self.path + ".tmp"
         data = _encode_record(
             CHECKPOINT_RECORD, 0, _COMMIT.pack(op_seq, clock_time)
@@ -259,6 +262,7 @@ class WriteAheadLog:
             os.fsync(handle.fileno())
         if self._injector is not None:
             self._injector.after_write()
+        self._file.close()
         os.replace(tmp, self.path)
         self.stats.writes += 1
         self.records_appended += 1
@@ -450,10 +454,16 @@ def _skippable(page_file, pid, data, now, all_expired) -> bool:
     behind).  Anything else — internal nodes, fresh slots, corrupt
     slots, leaves with a single live entry — is replayed.
     """
+    # The predicate decodes raw page bytes; garbage surfaces as a codec
+    # ValueError/struct.error (or OSError from the underlying file).  An
+    # undecodable image is not *provably* all-expired, so recovery
+    # conservatively replays it verbatim rather than guess.  Any other
+    # exception type is a bug in the predicate and must propagate — a
+    # bare except here once masked real defects as "not skippable".
     try:
         if not all_expired(data, now):
             return False
-    except Exception:
+    except (OSError, ValueError, struct.error):
         return False
     if pid >= page_file.slot_count:
         return False
@@ -462,5 +472,6 @@ def _skippable(page_file, pid, data, now, all_expired) -> bool:
         return False
     try:
         return bool(all_expired(slot.payload, now))
-    except Exception:
+    except (OSError, ValueError, struct.error):
+        # Same contract as above: only decode/IO failures mean "replay".
         return False

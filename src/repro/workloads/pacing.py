@@ -1,0 +1,93 @@
+"""Arrival pacing: mapping workload operation times onto request arrivals.
+
+The serving frontend treats a workload's operation stream as a request
+flow: operation ``i`` *arrives* at the frontend at some time ``a_i`` and
+is queued, shed or served by a single logical server.  By default an
+operation arrives exactly at its workload timestamp, so an unloaded
+frontend replays the stream at the generator's natural cadence.
+
+An :class:`ArrivalPacer` additionally models *overload phases*: inside a
+:class:`BurstWindow` the inter-arrival gaps are compressed by a factor,
+as if the reporting population had briefly multiplied — arrivals stay
+strictly ordered, only their spacing shrinks, so the request *content*
+(and the index's semantic timeline, which always follows the operation
+timestamps) is untouched.  Everything here is pure arithmetic on the
+operation times: the same workload and bursts always produce the same
+arrival schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class BurstWindow:
+    """One overload phase: compressed arrivals over a time window.
+
+    Operations whose *workload* timestamps fall in ``[start, end)``
+    arrive ``compress`` times faster than they were generated (their
+    inter-arrival gaps are divided by ``compress``).  A factor of 1 is
+    a no-op; factors below 1 stretch arrivals instead.
+    """
+
+    start: float
+    end: float
+    compress: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"burst window end {self.end} precedes start {self.start}"
+            )
+        if self.compress <= 0:
+            raise ValueError(
+                f"burst compression must be positive, got {self.compress}"
+            )
+
+    def covers(self, t: float) -> bool:
+        """Whether workload time ``t`` lies inside the window."""
+        return self.start <= t < self.end
+
+
+class ArrivalPacer:
+    """Derives per-operation arrival times from operation timestamps.
+
+    Parameters
+    ----------
+    bursts : sequence of BurstWindow, optional
+        Overload phases; windows are applied by the workload time of
+        each gap's *end* operation.  No bursts means arrivals equal the
+        operation timestamps exactly.
+    """
+
+    def __init__(self, bursts: Sequence[BurstWindow] = ()):
+        self.bursts = tuple(bursts)
+
+    def _factor(self, t: float) -> float:
+        for burst in self.bursts:
+            if burst.covers(t):
+                return burst.compress
+        return 1.0
+
+    def arrivals(self, ops) -> List[float]:
+        """Arrival time of every operation, in order.
+
+        Each gap between consecutive operation timestamps is divided by
+        the compression factor in force at the later operation's
+        workload time; the first operation arrives at its own
+        timestamp.  The result is nondecreasing whenever the operation
+        timestamps are.
+        """
+        out: List[float] = []
+        prev_t = prev_a = None
+        for op in ops:
+            t = op.time
+            if prev_t is None:
+                arrival = t
+            else:
+                arrival = prev_a + max(0.0, t - prev_t) / self._factor(t)
+            out.append(arrival)
+            prev_t, prev_a = t, arrival
+        return out

@@ -10,6 +10,7 @@ from repro.core.forest import ForestConfig, PartitionedMovingObjectForest
 from repro.core.tree import MovingObjectTree
 from repro.geometry import MovingQuery, Rect, TimesliceQuery, WindowQuery
 from repro.geometry.kinematics import MovingPoint
+from repro.storage.faults import FaultInjector, TransientIOError
 from repro.storage.pagefile import FilePageStore, PageFileError
 
 CONFIG = TreeConfig(page_size=512, buffer_pages=8)
@@ -226,4 +227,99 @@ def test_forest_persist_to_from_simulated(tmp_path):
         str(tmp_path / "snap"), FOREST_CONFIG
     )
     assert [sorted(reopened.query(q)) for q in queries] == want
+    reopened.close()
+
+
+# -- idempotent shutdown and failed-commit safety -----------------------------
+
+
+def test_tree_close_and_checkpoint_idempotent(tmp_path):
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    rng = random.Random(0)
+    for oid in range(4):
+        tree.insert(oid, random_point(rng, 0.0))
+    tree.checkpoint()
+    tree.close()
+    tree.close()       # a second close is a no-op
+    tree.checkpoint()  # and so is a checkpoint on the closed store
+    assert tree.disk.closed
+
+
+def test_tree_close_safe_after_failed_commit(tmp_path):
+    clock = SimulationClock()
+    tree = MovingObjectTree.create_durable(str(tmp_path / "t"), CONFIG, clock)
+    rng = random.Random(2)
+    for oid in range(5):
+        tree.insert(oid, random_point(rng, 0.0))
+    # The next insert's group commit fails transiently: the in-memory
+    # mutation is complete, the encoded batch stays pending.
+    tree.disk.arm_injector(FaultInjector(transient_writes={1}))
+    with pytest.raises(TransientIOError):
+        tree.insert(5, random_point(rng, 0.0))
+    tree.close()  # re-drives the pending commit, then closes
+    tree.close()  # idempotent after the failure path too
+    reopened = MovingObjectTree.open_from(
+        str(tmp_path / "t"), CONFIG, SimulationClock()
+    )
+    answer = set(
+        reopened.query(TimesliceQuery(Rect((0, 0), (100, 100)), 0.0))
+    )
+    assert answer == set(range(6)), "the pending batch must be durable"
+    reopened.close()
+
+
+def test_forest_close_and_checkpoint_idempotent(tmp_path):
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest.create_durable(
+        str(tmp_path / "f"),
+        ForestConfig(tree=CONFIG, partitions=2),
+        clock,
+    )
+    rng = random.Random(1)
+    for oid in range(8):
+        forest.insert(oid, random_point(rng, 0.0))
+    forest.checkpoint()
+    forest.close()
+    forest.close()       # every member close is a no-op the second time
+    forest.checkpoint()  # checkpoints on closed members are no-ops
+    assert all(tree.disk.closed for tree in forest.trees)
+
+
+def test_forest_close_safe_after_failed_member_commit(tmp_path):
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest.create_durable(
+        str(tmp_path / "f"),
+        ForestConfig(tree=CONFIG, partitions=2),
+        clock,
+    )
+    rng = random.Random(3)
+    points = {oid: random_point(rng, 0.0) for oid in range(8)}
+    inserted = []
+    for oid, point in points.items():
+        forest.insert(oid, point)
+        inserted.append(oid)
+    # Fault one member's next commit; whichever insert routes there
+    # fails transiently but stays pending inside that member's store.
+    forest.trees[0].disk.arm_injector(FaultInjector(transient_writes={1}))
+    failed = None
+    for oid in range(8, 16):
+        point = random_point(rng, 0.0)
+        points[oid] = point
+        try:
+            forest.insert(oid, point)
+        except TransientIOError:
+            failed = oid
+            break
+        inserted.append(oid)
+    assert failed is not None, "some insert must route to the faulted member"
+    forest.close()  # commits the pending batch on the faulted member
+    forest.close()
+    reopened = PartitionedMovingObjectForest.open_from(
+        str(tmp_path / "f"), ForestConfig(tree=CONFIG, partitions=2)
+    )
+    answer = set(
+        reopened.query(TimesliceQuery(Rect((0, 0), (100, 100)), 0.0))
+    )
+    assert answer == set(inserted) | {failed}
     reopened.close()

@@ -1,0 +1,112 @@
+"""Tests for the chaos soak harness (scripted faults + SLO checks)."""
+
+import json
+
+import pytest
+
+from repro.experiments.soak import (
+    FaultScript,
+    SoakReport,
+    default_fault_script,
+    default_soak_params,
+    run_soak,
+    write_report,
+)
+
+#: A scaled-down script calibrated for a 600-insertion workload: one
+#: transient write burst (trips the breaker, fails the first probe,
+#: recovers on the second), one guarded-read hiccup, one process kill
+#: with WAL recovery, one post-recovery transient write, and a 25x
+#: overload phase.
+SMALL_SCRIPT = FaultScript(
+    transient_writes=(600, 601, 602, 603),
+    transient_reads=(400,),
+    kill_at_write=4500,
+    post_kill_transient_writes=(100,),
+    overload=(40.0, 60.0, 25.0),
+    seed=0,
+    staleness_bound=30.0,
+    expected_trips=1,
+    expected_probes=2,
+    expected_recoveries=1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_soak():
+    params = default_soak_params(seed=0, insertions=600)
+    return run_soak(SMALL_SCRIPT, params=params)
+
+
+def test_small_soak_passes_every_slo(small_soak):
+    assert small_soak.passed, small_soak.violations
+    c = small_soak.counters
+    assert c["trips"] == 1 and c["recoveries"] == 1
+    assert c["kills"] == 1 and c["reopens"] == 1
+    assert c["degraded_answers"] >= 1
+    assert c["retries"] >= 1
+    assert c["backlog_enqueued"] == c["backlog_replayed"] > 0
+    assert c["backlog_remaining"] == 0
+    assert c["shed_writes"] == 0 and c["failed_queries"] == 0
+    assert c["shed_queries"] + c["deadline_timeouts"] > 0, "overload bit"
+    assert c["max_staleness"] <= SMALL_SCRIPT.staleness_bound
+
+
+def test_soak_is_deterministic(small_soak):
+    again = run_soak(
+        SMALL_SCRIPT, params=default_soak_params(seed=0, insertions=600)
+    )
+    assert again.counters == small_soak.counters
+    assert again.violations == small_soak.violations
+    assert again.total_writes == small_soak.total_writes
+
+
+def test_pinned_expectations_catch_drift():
+    params = default_soak_params(seed=0, insertions=300)
+    report = run_soak(FaultScript(seed=0, expected_trips=2), params=params)
+    assert not report.passed
+    assert any("trips" in v for v in report.violations)
+
+
+def test_fault_script_json_round_trip():
+    script = default_fault_script(seed=3)
+    payload = json.loads(json.dumps(script.to_json()))
+    assert FaultScript.from_json(payload) == script
+    # A minimal payload fills in every default.
+    assert FaultScript.from_json({}) == FaultScript()
+
+
+def test_fault_script_injector_incarnations():
+    script = SMALL_SCRIPT
+    first = script.injector(0)
+    assert first.crash_at_write == script.kill_at_write
+    assert first.transient_writes == frozenset(script.transient_writes)
+    later = script.injector(1)
+    assert later.crash_at_write is None, "recovered incarnations never die"
+    assert later.transient_writes == frozenset(
+        script.post_kill_transient_writes
+    )
+
+
+def test_fault_script_bursts():
+    (burst,) = SMALL_SCRIPT.bursts()
+    assert (burst.start, burst.end, burst.compress) == (40.0, 60.0, 25.0)
+    assert FaultScript().bursts() == ()
+
+
+def test_write_report_round_trips(tmp_path, small_soak):
+    path = tmp_path / "BENCH_soak.json"
+    write_report(small_soak, str(path))
+    payload = json.loads(path.read_text())
+    assert payload["passed"] is True
+    assert payload["ops"] == small_soak.ops
+    assert payload["counters"]["trips"] == 1
+    assert payload["script"]["kill_at_write"] == SMALL_SCRIPT.kill_at_write
+
+
+def test_soak_report_summary_mentions_verdict():
+    report = SoakReport(ops=10, queries=2, total_writes=5)
+    assert "PASS" in report.summary()
+    report.violations.append("boom")
+    assert "FAIL" in report.summary()
+    assert not report.passed

@@ -1,0 +1,83 @@
+"""Tests for the circuit breaker state machine and health monitor."""
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    HealthMonitor,
+)
+
+
+def test_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0)
+    assert not breaker.record_failure(1.0)
+    assert not breaker.record_failure(1.1)
+    assert breaker.record_failure(1.2)
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert breaker.open_until == pytest.approx(6.2)
+
+
+def test_success_resets_the_failure_run():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_success()
+    assert not breaker.record_failure(0.0)
+    assert breaker.state == CLOSED
+
+
+def test_probe_cycle_success():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+    breaker.record_failure(10.0)
+    assert breaker.state == OPEN
+    assert not breaker.ready_to_probe(11.0)
+    assert breaker.ready_to_probe(12.0)
+    breaker.begin_probe()
+    assert breaker.state == HALF_OPEN
+    breaker.probe_succeeded()
+    assert breaker.state == CLOSED
+    assert breaker.recoveries == 1
+    assert breaker.consecutive_failures == 0
+
+
+def test_probe_failure_reopens_with_fresh_cooldown():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+    breaker.record_failure(10.0)
+    breaker.begin_probe()
+    breaker.probe_failed(12.5)
+    assert breaker.state == OPEN
+    assert breaker.probe_failures == 1
+    assert breaker.open_until == pytest.approx(14.5)
+    assert breaker.recoveries == 0
+
+
+def test_manual_trip_is_idempotent_while_open():
+    breaker = CircuitBreaker(failure_threshold=5, cooldown=1.0)
+    assert breaker.trip(3.0)
+    assert not breaker.trip(3.5), "already open"
+    assert breaker.trips == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)
+    with pytest.raises(ValueError):
+        HealthMonitor(window=0)
+
+
+def test_health_monitor_window():
+    monitor = HealthMonitor(window=4)
+    assert monitor.error_rate == 0.0
+    for ok in (True, False, False, True):
+        monitor.record(ok)
+    assert monitor.error_rate == pytest.approx(0.5)
+    assert monitor.sample_count == 4
+    # Window slides: the oldest success falls out.
+    monitor.record(False)
+    assert monitor.error_rate == pytest.approx(0.75)

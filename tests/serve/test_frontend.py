@@ -1,0 +1,244 @@
+"""End-to-end tests for the overload-safe serving frontend."""
+
+import os
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import TreeConfig
+from repro.core.forest import ForestConfig, PartitionedMovingObjectForest
+from repro.core.tree import MovingObjectTree
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import (
+    REJECT_NEWEST,
+    FrontendConfig,
+    ServiceFrontend,
+)
+from repro.storage.faults import FaultInjector
+from repro.workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.pacing import ArrivalPacer, BurstWindow
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+CONFIG = TreeConfig(page_size=512, buffer_pages=8)
+
+
+def _workload(insertions=200, seed=1, queries_per_insertions=10):
+    params = UniformParams(
+        target_population=30,
+        insertions=insertions,
+        update_interval=10.0,
+        space=100.0,
+        queries_per_insertions=queries_per_insertions,
+        seed=seed,
+    )
+    return generate_uniform_workload(params, FixedPeriod(20.0))
+
+
+def _oracle_answers(ops):
+    """Fault-free replay on a simulated tree: op index -> answer set."""
+    clock = SimulationClock()
+    tree = MovingObjectTree(CONFIG, clock)
+    answers = {}
+    for i, op in enumerate(ops):
+        clock.advance_to(op.time)
+        if isinstance(op, InsertOp):
+            tree.insert(op.oid, op.point)
+        elif isinstance(op, UpdateOp):
+            tree.delete(op.oid, op.old_point)
+            tree.insert(op.oid, op.new_point)
+        elif isinstance(op, DeleteOp):
+            tree.delete(op.oid, op.point)
+        elif isinstance(op, QueryOp):
+            answers[i] = set(tree.query(op.query))
+    return answers
+
+
+def _durable_frontend(tmp_path, injector_factory, config=None,
+                      tree_config=CONFIG, registry=None, tracer=None):
+    """A durable tree behind a frontend wired for crash reopen."""
+    directory = os.path.join(str(tmp_path), "store")
+    incarnations = [injector_factory(0)]
+    tree = MovingObjectTree.create_durable(
+        directory, tree_config, SimulationClock(), injector=incarnations[0]
+    )
+
+    def reopen():
+        reopened = MovingObjectTree.open_from(
+            directory, tree_config, SimulationClock()
+        )
+        fresh = injector_factory(len(incarnations))
+        incarnations.append(fresh)
+        reopened.disk.arm_injector(fresh)
+        return reopened, fresh
+
+    frontend = ServiceFrontend(
+        tree,
+        config or FrontendConfig(),
+        registry=registry,
+        tracer=tracer,
+        injector=incarnations[0],
+        reopen=reopen,
+    )
+    return frontend
+
+
+def test_no_faults_matches_direct_replay():
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    frontend = ServiceFrontend(
+        MovingObjectTree(CONFIG, SimulationClock())
+    )
+    report = frontend.run(workload.ops)
+    assert report.admitted == len(workload.ops)
+    assert report.trips == 0 and report.retries == 0
+    assert report.shed_queries == 0 and report.shed_writes == 0
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want
+
+
+def test_no_faults_forest_matches_direct_replay():
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    forest = PartitionedMovingObjectForest(
+        ForestConfig(tree=CONFIG, partitions=2)
+    )
+    report = ServiceFrontend(forest).run(workload.ops)
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want
+
+
+def test_transient_write_fault_is_retried(tmp_path):
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    frontend = _durable_frontend(
+        tmp_path,
+        lambda inc: FaultInjector(transient_writes={40}),
+    )
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    assert report.retries >= 1
+    assert report.retry_successes >= 1
+    assert report.trips == 0
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want
+
+
+def test_transient_read_fault_is_retried(tmp_path):
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    frontend = _durable_frontend(
+        tmp_path,
+        # Guarded reads are only counted while a query executes; a tiny
+        # buffer pool forces queries onto the physical read path.
+        lambda inc: FaultInjector(transient_reads={1}),
+        tree_config=TreeConfig(page_size=512, buffer_pages=2),
+    )
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    assert report.retries >= 1
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want
+
+
+def test_fault_burst_trips_degrades_and_recovers(tmp_path):
+    workload = _workload(insertions=300)
+    want = _oracle_answers(workload.ops)
+    frontend = _durable_frontend(
+        tmp_path,
+        lambda inc: FaultInjector(
+            transient_writes={400, 401, 402, 403, 404}
+        ),
+        config=FrontendConfig(failure_threshold=3, cooldown=3.0),
+    )
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    assert report.trips == 1
+    assert report.recoveries == 1
+    assert report.degraded_answers >= 1
+    assert report.backlog_enqueued >= 1
+    assert report.backlog_replayed == report.backlog_enqueued
+    assert report.backlog_remaining == 0
+    # Every fresh answer — including all post-recovery ones — is exact.
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert all(got[i] == want[i] for i in got)
+    # Degraded answers carry their staleness and snapshot provenance.
+    degraded = [o for o in report.outcomes if o.status == "degraded"]
+    assert degraded and all(o.staleness >= 0.0 for o in degraded)
+
+
+def test_kill_and_recovery_preserve_answers(tmp_path):
+    workload = _workload(insertions=300)
+    want = _oracle_answers(workload.ops)
+
+    def injectors(incarnation):
+        if incarnation == 0:
+            return FaultInjector(crash_at_write=500, mode="kill")
+        return FaultInjector()
+
+    frontend = _durable_frontend(tmp_path, injectors)
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    assert report.kills == 1 and report.reopens == 1
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want, "recovery plus redo must reproduce every answer"
+
+
+def test_overload_sheds_and_times_out():
+    workload = _workload(insertions=400, queries_per_insertions=5)
+    burst = BurstWindow(50.0, 90.0, 50.0)
+    frontend = ServiceFrontend(
+        MovingObjectTree(CONFIG, SimulationClock()),
+        FrontendConfig(queue_capacity=16, service_time=0.05,
+                       query_deadline=2.0),
+    )
+    report = frontend.run(workload.ops, pacer=ArrivalPacer([burst]))
+    assert report.shed_queries + report.deadline_timeouts > 0
+    # Shed and timed-out queries still get recorded outcomes.
+    statuses = {o.status for o in report.outcomes}
+    assert statuses & {"shed", "timeout"}
+
+
+def test_reject_newest_policy_sheds_arrivals():
+    workload = _workload(insertions=400, queries_per_insertions=5)
+    burst = BurstWindow(50.0, 90.0, 50.0)
+    frontend = ServiceFrontend(
+        MovingObjectTree(CONFIG, SimulationClock()),
+        FrontendConfig(queue_capacity=8, service_time=0.05,
+                       shed_policy=REJECT_NEWEST),
+    )
+    report = frontend.run(workload.ops, pacer=ArrivalPacer([burst]))
+    assert report.shed_queries + report.shed_writes > 0
+
+
+def test_observability_counters_mirror_report(tmp_path):
+    workload = _workload()
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    frontend = _durable_frontend(
+        tmp_path,
+        lambda inc: FaultInjector(transient_writes={40}),
+        registry=registry, tracer=tracer,
+    )
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    assert registry.value("serve.admitted") == report.admitted
+    assert registry.value("serve.retries") == report.retries == 1
+    depth = registry.get("serve.queue_depth")
+    assert depth is not None and depth.count == len(workload.ops)
+    latency = registry.get("serve.retry_latency")
+    assert latency is not None and latency.count == report.retries
+    assert tracer.spans("serve.retry")
+
+
+def test_run_rejects_mismatched_arrivals():
+    workload = _workload(insertions=50)
+    frontend = ServiceFrontend(MovingObjectTree(CONFIG, SimulationClock()))
+    with pytest.raises(ValueError):
+        frontend.run(workload.ops, arrivals=[0.0])

@@ -1,0 +1,87 @@
+"""Tests for the bounded admission queue and its shedding policies."""
+
+import pytest
+
+from repro.geometry import Rect, TimesliceQuery
+from repro.geometry.kinematics import MovingPoint
+from repro.serve.queue import (
+    REJECT_NEWEST,
+    REJECT_OLDEST,
+    SHED_QUERIES_FIRST,
+    AdmissionQueue,
+    Request,
+)
+from repro.workloads.base import InsertOp, QueryOp
+
+
+def _write(i):
+    point = MovingPoint((1.0, 1.0), (0.0, 0.0), 0.0, 100.0)
+    return Request(i, InsertOp(float(i), i, point), float(i))
+
+
+def _query(i):
+    q = TimesliceQuery(Rect((0.0, 0.0), (10.0, 10.0)), float(i))
+    return Request(i, QueryOp(float(i), q), float(i), deadline=float(i) + 5.0)
+
+
+def test_fifo_below_capacity():
+    queue = AdmissionQueue(4, REJECT_NEWEST)
+    for i in range(3):
+        assert queue.offer(_write(i)) is None
+    assert len(queue) == 3
+    assert queue.peek().index == 0
+    assert [queue.pop().index for _ in range(3)] == [0, 1, 2]
+
+
+def test_reject_newest_sheds_the_arrival():
+    queue = AdmissionQueue(2, REJECT_NEWEST)
+    queue.offer(_write(0))
+    queue.offer(_query(1))
+    shed = queue.offer(_write(2))
+    assert shed is not None and shed.index == 2
+    assert [queue.pop().index for _ in range(2)] == [0, 1]
+
+
+def test_reject_oldest_evicts_the_head():
+    queue = AdmissionQueue(2, REJECT_OLDEST)
+    queue.offer(_write(0))
+    queue.offer(_write(1))
+    shed = queue.offer(_write(2))
+    assert shed is not None and shed.index == 0
+    assert [queue.pop().index for _ in range(2)] == [1, 2]
+
+
+def test_shed_queries_first_evicts_oldest_queued_query():
+    queue = AdmissionQueue(3, SHED_QUERIES_FIRST)
+    queue.offer(_write(0))
+    queue.offer(_query(1))
+    queue.offer(_query(2))
+    shed = queue.offer(_write(3))
+    assert shed is not None and shed.index == 1
+    assert [queue.pop().index for _ in range(3)] == [0, 2, 3]
+
+
+def test_shed_queries_first_rejects_write_only_as_last_resort():
+    queue = AdmissionQueue(2, SHED_QUERIES_FIRST)
+    queue.offer(_write(0))
+    queue.offer(_write(1))
+    # A query arrival into an all-write queue sheds the query itself.
+    shed = queue.offer(_query(2))
+    assert shed is not None and shed.index == 2 and shed.is_query
+    # A write arrival into an all-write queue sheds the arriving write.
+    shed = queue.offer(_write(3))
+    assert shed is not None and shed.index == 3 and not shed.is_query
+    assert [queue.pop().index for _ in range(2)] == [0, 1]
+
+
+def test_request_kind_flag():
+    assert not _write(0).is_query
+    assert _query(0).is_query
+    assert _write(0).deadline == float("inf")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionQueue(0, REJECT_NEWEST)
+    with pytest.raises(ValueError):
+        AdmissionQueue(4, "drop-everything")

@@ -1,0 +1,76 @@
+"""The serving layer must not perturb the classic no-frontend path.
+
+The frontend, pending-commit retry logic and snapshot machinery are all
+opt-in; a plain ``run_workload`` replay (simulated or durable) must
+behave exactly as before — same answers, same I/O charges, and for
+durable runs a byte-identical page file across repeated runs.
+"""
+
+import os
+
+from repro.core.presets import rexp_config
+from repro.experiments.adapters import TreeAdapter
+from repro.experiments.runner import run_workload
+from repro.storage.pagefile import PAGES_FILENAME
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+CONFIG = rexp_config(page_size=512, buffer_pages=8, default_ui=10.0)
+
+
+def _workload():
+    params = UniformParams(
+        target_population=40,
+        insertions=400,
+        update_interval=10.0,
+        space=100.0,
+        queries_per_insertions=10,
+        seed=11,
+    )
+    return generate_uniform_workload(params, FixedPeriod(20.0))
+
+
+def test_simulated_run_workload_verifies_clean():
+    result = run_workload(TreeAdapter("t", CONFIG), _workload(), verify=True)
+    assert result.oracle_mismatches == 0
+    assert result.search_ops > 0 and result.update_ops > 0
+
+
+def test_durable_run_workload_is_reproducible(tmp_path):
+    """Two no-frontend durable replays are bit-identical on disk."""
+    workload = _workload()
+    results = []
+    for name in ("a", "b"):
+        adapter = TreeAdapter(name, CONFIG)
+        results.append(
+            run_workload(
+                adapter, workload, verify=True,
+                durability=str(tmp_path / name),
+            )
+        )
+    a, b = results
+    assert a.oracle_mismatches == b.oracle_mismatches == 0
+    for field in (
+        "avg_search_io", "avg_update_io", "avg_update_io_with_aux",
+        "search_ops", "update_ops", "page_count", "leaf_entries",
+        "failed_deletes", "auxiliary_io", "avg_result_size",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    bytes_a = (tmp_path / "a" / PAGES_FILENAME).read_bytes()
+    bytes_b = (tmp_path / "b" / PAGES_FILENAME).read_bytes()
+    assert bytes_a == bytes_b, "the durable image must be deterministic"
+    assert os.path.getsize(tmp_path / "a" / PAGES_FILENAME) > 0
+
+
+def test_durable_run_matches_simulated_io(tmp_path):
+    """Durability (and this PR's retry plumbing) adds zero index I/O."""
+    workload = _workload()
+    simulated = run_workload(TreeAdapter("sim", CONFIG), workload)
+    durable = run_workload(
+        TreeAdapter("dur", CONFIG), workload,
+        durability=str(tmp_path / "store"),
+    )
+    assert durable.avg_search_io == simulated.avg_search_io
+    assert durable.avg_update_io == simulated.avg_update_io
+    assert durable.page_count == simulated.page_count
+    assert durable.auxiliary_io > 0, "WAL traffic is charged separately"

@@ -1,0 +1,45 @@
+"""Tests for the retry policy's backoff ladder."""
+
+import random
+
+import pytest
+
+from repro.serve.retry import RetryPolicy
+
+
+def test_backoff_grows_geometrically_without_jitter():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                         jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay(a, rng) for a in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.4, 0.8]
+
+
+def test_backoff_caps_at_max_delay():
+    policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.5,
+                         jitter=0.0)
+    rng = random.Random(0)
+    assert policy.delay(5, rng) == 2.5
+
+
+def test_jitter_is_bounded_and_seeded():
+    policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                         jitter=0.25)
+    a = [policy.delay(1, random.Random(7)) for _ in range(5)]
+    assert len(set(a)) == 1, "same seed must give the same jitter"
+    for _ in range(50):
+        d = policy.delay(1, random.Random(_))
+        assert 0.75 <= d <= 1.25
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(budget=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(0, random.Random(0))

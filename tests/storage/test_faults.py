@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.storage.faults import MODES, FaultInjector, SimulatedCrash
+from repro.storage.faults import (
+    MODES,
+    FaultInjector,
+    SimulatedCrash,
+    TransientIOError,
+)
 
 
 def test_counting_mode_never_crashes():
@@ -65,3 +70,41 @@ def test_mode_validation():
     assert set(MODES) == {"kill", "torn", "bitflip"}
     with pytest.raises(ValueError):
         FaultInjector(crash_at_write=1, mode="meteor")
+
+
+# -- transient schedules ------------------------------------------------------
+
+
+def test_transient_write_schedule_fires_once_per_index():
+    injector = FaultInjector(transient_writes={2, 4})
+    assert injector.before_write(b"a") == b"a"
+    with pytest.raises(TransientIOError):
+        injector.before_write(b"b")
+    assert injector.before_write(b"c") == b"c"
+    with pytest.raises(TransientIOError):
+        injector.before_write(b"d")
+    # The counter has passed both indices: nothing ever fires again.
+    for _ in range(10):
+        assert injector.before_write(b"e") == b"e"
+    assert injector.writes == 14
+    assert not injector.crashed, "transient faults must not kill the process"
+
+
+def test_transient_reads_counted_only_while_armed():
+    injector = FaultInjector(transient_reads={2})
+    injector.before_read()  # armed: guarded read #1
+    injector.reads_armed = False
+    for _ in range(5):
+        injector.before_read()  # disarmed: neither counted nor faulted
+    assert injector.reads == 1
+    injector.reads_armed = True
+    with pytest.raises(TransientIOError):
+        injector.before_read()  # guarded read #2 fires the fault
+    assert injector.reads == 2
+
+
+def test_transient_schedule_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(transient_writes={0})
+    with pytest.raises(ValueError):
+        FaultInjector(transient_reads={-1})

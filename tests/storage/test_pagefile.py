@@ -1,13 +1,12 @@
 """Tests for the durable page file and FilePageStore."""
 
-import os
-
 import pytest
 
 from repro.core.clock import SimulationClock
 from repro.geometry.kinematics import MovingPoint
 from repro.rstar.node import Node
-from repro.storage.disk import INVALID_PAGE, DiskManager, PageError
+from repro.storage.disk import DiskManager, PageError
+from repro.storage.faults import FaultInjector, TransientIOError
 from repro.storage.layout import EntryLayout
 from repro.storage.pagefile import (
     PAGES_FILENAME,
@@ -241,3 +240,61 @@ def test_op_seq_advances_once_per_commit(tmp_path):
     store.commit()
     assert store.op_seq == base + 1
     store.abandon()
+
+
+# -- transient faults, pending commits, idempotent shutdown -------------------
+
+
+def test_transient_commit_stays_pending_and_retries(tmp_path):
+    store, clock = make_store(tmp_path, "pending")
+    pid = store.allocate()
+    store.write(pid, disk_payload(store, 3.0))
+    store.set_root(pid)
+    store.commit()
+    base = store.op_seq
+    store.write(pid, disk_payload(store, 7.0))
+    # The very next physical write (the WAL append of the batch) fails.
+    store.arm_injector(FaultInjector(transient_writes={1}))
+    with pytest.raises(TransientIOError):
+        store.commit()
+    assert store.op_seq == base, "a faulted commit must not advance op_seq"
+    # Re-driving the pending batch succeeds and commits exactly once.
+    store.commit()
+    assert store.op_seq == base + 1
+    store.close()
+    reopened = FilePageStore.open_dir(
+        str(tmp_path / "pending"), LAYOUT, SimulationClock().now
+    )
+    assert reopened.peek(pid).entries[0][1] == 7
+    reopened.abandon()
+
+
+def test_close_and_checkpoint_are_idempotent(tmp_path):
+    store, clock = make_store(tmp_path, "idem")
+    pid = store.allocate()
+    store.write(pid, disk_payload(store, 1.0))
+    store.set_root(pid)
+    store.close()
+    assert store.closed
+    store.close()       # a second close is a no-op
+    store.checkpoint()  # so is a checkpoint on a closed store
+    assert store.closed
+
+
+def test_close_tolerates_transient_fault_and_reopen_recovers(tmp_path):
+    store, clock = make_store(tmp_path, "tclose")
+    pid = store.allocate()
+    store.write(pid, disk_payload(store, 5.0))
+    store.set_root(pid)
+    store.commit()
+    store.write(pid, disk_payload(store, 9.0))  # staged, never committed
+    store.arm_injector(FaultInjector(transient_writes={1}))
+    store.close()  # swallows the transient fault; handles are released
+    assert store.closed
+    reopened = FilePageStore.open_dir(
+        str(tmp_path / "tclose"), LAYOUT, SimulationClock().now
+    )
+    # Only the committed image survives; the interrupted tail is lost,
+    # exactly as if the process had stopped one operation earlier.
+    assert reopened.peek(pid).entries[0][1] == 5
+    reopened.abandon()

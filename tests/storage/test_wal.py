@@ -1,6 +1,9 @@
 """Tests for the write-ahead log, scan, and recovery."""
 
 import os
+import struct
+
+import pytest
 
 from repro.core.clock import SimulationClock
 from repro.geometry.kinematics import MovingPoint
@@ -12,6 +15,7 @@ from repro.storage.wal import (
     COMMIT_RECORD,
     PAGE_RECORD,
     WriteAheadLog,
+    _skippable,
     scan_wal,
 )
 
@@ -247,3 +251,43 @@ def test_recovery_counters_reach_registry(tmp_path):
     assert registry.get("wal.commits_applied").value == 1
     assert registry.get("wal_skipped_expired").value == 0
     recovered.abandon()
+
+
+# -- the recovery skip rule's exception contract ------------------------------
+#
+# ``_skippable`` evaluates the all-expired predicate over raw logged
+# bytes.  Decode/IO failures (OSError, ValueError, struct.error) mean
+# "cannot prove the page is all-expired" and must make recovery replay
+# the image verbatim; any *other* exception is a bug in the predicate
+# and must propagate instead of being silently treated as unskippable.
+
+
+def test_skippable_decode_errors_mean_replay():
+    def undecodable(data, now):
+        raise ValueError("garbage page image")
+
+    assert _skippable(None, 0, b"\x00" * 16, 0.0, undecodable) is False
+
+
+def test_skippable_struct_errors_mean_replay():
+    def truncated(data, now):
+        struct.unpack("<Q", data)  # wrong size: struct.error
+        return True
+
+    assert _skippable(None, 0, b"\x00", 0.0, truncated) is False
+
+
+def test_skippable_unexpected_errors_propagate():
+    def buggy(data, now):
+        raise RuntimeError("defect in the predicate itself")
+
+    with pytest.raises(RuntimeError):
+        _skippable(None, 0, b"\x00" * 16, 0.0, buggy)
+
+
+def test_skippable_assertion_errors_propagate():
+    def asserting(data, now):
+        assert False, "invariant violated"
+
+    with pytest.raises(AssertionError):
+        _skippable(None, 0, b"\x00" * 16, 0.0, asserting)

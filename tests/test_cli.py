@@ -161,3 +161,31 @@ def test_compare_durability(tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "aux=" in out
+
+
+def test_soak_cli_scripted(tmp_path, capsys):
+    import json
+
+    # A tiny no-fault script with pinned-zero breaker counts keeps the
+    # CLI test fast while still exercising the full SLO pipeline.
+    script = {
+        "expected_trips": 0,
+        "expected_probes": 0,
+        "expected_recoveries": 0,
+    }
+    script_path = tmp_path / "script.json"
+    script_path.write_text(json.dumps(script))
+    out_path = tmp_path / "BENCH_soak.json"
+    trace_path = tmp_path / "soak_trace.jsonl"
+    code = main([
+        "soak", "--insertions", "300",
+        "--script", str(script_path),
+        "--out", str(out_path),
+        "--trace", str(trace_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "soak PASS" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["passed"] is True
+    assert trace_path.exists()

@@ -9,11 +9,13 @@ import pytest
 from repro.workloads.base import InsertOp, UpdateOp
 from repro.workloads.expiration import FixedDistance, FixedPeriod
 from repro.workloads.network import (
+    SPEED_GROUPS,
     NetworkParams,
     RouteNetwork,
     _route_reports,
     generate_network_workload,
     mean_reported_speed,
+    network_journey_factory,
 )
 
 
@@ -172,3 +174,74 @@ def test_determinism_by_seed():
     c = generate_network_workload(small_params(seed=6))
     assert a.ops == b.ops
     assert a.ops != c.ops
+
+
+# -- speed groups and report shape (the Section 5.1 generator contract) -------
+
+
+def test_speed_group_assignment_frequencies():
+    """Each of the three groups gets roughly a third of the objects.
+
+    The assigned group is observed black-box: every route's report list
+    contains one report exactly at cruise entry, where the speed equals
+    the group maximum, so the max reported speed over an early stretch
+    of the journey identifies the group.  Small space keeps routes
+    short enough that 40 reports always cover one full route.
+    """
+    params = small_params(space=100.0, destinations=6)
+    network = RouteNetwork(params, random.Random(0))
+    factory = network_journey_factory(params, network)
+    n = 300
+    counts = defaultdict(int)
+    for i in range(n):
+        journey = factory(random.Random(i), 0.0)
+        observed = max(next(journey)[3] for _ in range(40))
+        group = min(SPEED_GROUPS, key=lambda g: abs(g - observed))
+        assert observed == pytest.approx(group, rel=1e-9)
+        counts[group] += 1
+    assert set(counts) == set(SPEED_GROUPS)
+    for group in SPEED_GROUPS:
+        assert 0.25 <= counts[group] / n <= 0.42
+
+
+def test_route_report_counts_follow_the_accel_decel_split():
+    """Route of length 90 at vmax 3 with UI 10: exactly 1+3 reports."""
+    reports = list(_route_reports(0.0, (0.0, 0.0), (90.0, 0.0), 3.0, 10.0))
+    # t_accel = 10, t_cruise = 20, total = 40 -> updates = 3, split 2/1.
+    assert len(reports) == 4
+    times = [r[0] for r in reports]
+    speeds = [r[3] for r in reports]
+    assert times == pytest.approx([0.0, 5.0, 10.0, 35.0])
+    assert speeds == pytest.approx([0.0, 1.5, 3.0, 1.5])
+    # The last acceleration report lands exactly at cruise entry; the
+    # deceleration report sits midway down the final sixth.
+    assert speeds[2] == pytest.approx(3.0)
+
+
+def test_accel_decel_report_split_for_even_and_odd_budgets():
+    for ui, want_total in ((10.0, 4), (5.0, 8), (40.0, 2)):
+        reports = list(
+            _route_reports(0.0, (0.0, 0.0), (90.0, 0.0), 3.0, ui)
+        )
+        assert len(reports) == want_total
+        t_accel, total = 10.0, 40.0
+        accel = [r for r in reports[1:] if r[0] <= t_accel + 1e-9]
+        decel = [r for r in reports[1:] if r[0] > total - t_accel - 1e-9]
+        updates = want_total - 1
+        assert len(accel) == (updates + 1) // 2
+        assert len(decel) == updates - len(accel)
+
+
+def test_mean_inter_report_gap_approximates_ui():
+    """Over a long route the mean gap between reports is about UI."""
+    ui = 10.0
+    reports = list(
+        _route_reports(0.0, (0.0, 0.0), (1200.0, 0.0), 2.0, ui)
+    )
+    times = [r[0] for r in reports]
+    # total = 4 * 1200 / (3 * 2) = 800 -> 79 updates + the start report.
+    assert len(reports) == 80
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(ui, rel=0.05)
+    assert all(g > 0 for g in gaps)

@@ -1,0 +1,49 @@
+"""Tests for arrival pacing and overload burst windows."""
+
+import pytest
+
+from repro.workloads.pacing import ArrivalPacer, BurstWindow
+
+
+class _Op:
+    def __init__(self, t):
+        self.time = t
+
+
+def _ops(times):
+    return [_Op(t) for t in times]
+
+
+def test_no_bursts_arrivals_equal_op_times():
+    times = [0.0, 1.0, 2.5, 2.5, 7.0]
+    assert ArrivalPacer().arrivals(_ops(times)) == times
+
+
+def test_burst_compresses_gaps_inside_window():
+    pacer = ArrivalPacer([BurstWindow(10.0, 20.0, 4.0)])
+    arrivals = pacer.arrivals(_ops([0.0, 8.0, 12.0, 16.0, 24.0]))
+    assert arrivals[0] == 0.0 and arrivals[1] == 8.0
+    # The gaps ending at t=12 and t=16 are divided by the factor 4.
+    assert arrivals[2] == pytest.approx(9.0)
+    assert arrivals[3] == pytest.approx(10.0)
+    # The gap ending at t=24 is outside the window: the full 8 units.
+    assert arrivals[4] == pytest.approx(18.0)
+    assert arrivals == sorted(arrivals), "arrivals stay ordered"
+
+
+def test_factor_below_one_stretches_arrivals():
+    pacer = ArrivalPacer([BurstWindow(0.0, 100.0, 0.5)])
+    assert pacer.arrivals(_ops([0.0, 10.0])) == [0.0, 20.0]
+
+
+def test_window_is_half_open():
+    burst = BurstWindow(1.0, 2.0, 2.0)
+    assert burst.covers(1.0)
+    assert not burst.covers(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BurstWindow(5.0, 4.0, 2.0)
+    with pytest.raises(ValueError):
+        BurstWindow(0.0, 1.0, 0.0)
