@@ -15,6 +15,7 @@
     python -m repro recover out.d            # replay the WAL, audit, report
     python -m repro faultcheck --stride 4    # crash-at-every-write matrix
     python -m repro soak                     # chaos soak: serve through faults
+    python -m repro shards --workers 1 2 4   # process-parallel sharded index
 
 Figure sweeps honour the same cache as the benchmarks.
 """
@@ -658,6 +659,96 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_shards(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+    import time as _time
+
+    from .core.clock import SimulationClock
+    from .core.tree import MovingObjectTree
+    from .shard import ShardConfig, ShardedForest
+    from .workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+
+    scale = _resolve_scale(args)
+    ui = args.ui
+    policy = _expiration_policy(args) or FixedPeriod(2.0 * ui)
+    params = NetworkParams(
+        target_population=scale.target_population,
+        insertions=scale.insertions,
+        update_interval=ui,
+        queries_per_insertions=args.queries,
+        seed=args.seed,
+    )
+    workload = generate_network_workload(params, policy)
+    tree_config = rexp_config(
+        page_size=scale.page_size,
+        buffer_pages=scale.buffer_pages,
+        default_ui=ui,
+    )
+    print(f"network workload: {len(workload.ops)} ops "
+          f"({scale.insertions} insertions, population "
+          f"{scale.target_population})")
+
+    expected = None
+    if args.verify:
+        clock = SimulationClock()
+        oracle = MovingObjectTree(tree_config, clock)
+        expected = {}
+        for index, op in enumerate(workload.ops):
+            clock.advance_to(op.time)
+            if isinstance(op, InsertOp):
+                oracle.insert(op.oid, op.point)
+            elif isinstance(op, UpdateOp):
+                oracle.update(op.oid, op.old_point, op.new_point)
+            elif isinstance(op, DeleteOp):
+                oracle.delete(op.oid, op.point)
+            elif isinstance(op, QueryOp):
+                expected[index] = sorted(oracle.query(op.query))
+
+    base = args.directory or tempfile.mkdtemp(prefix="repro-shards-")
+    print(f"{'workers':>7} {'wall s':>8} {'ops/s':>9} {'capacity/s':>11} "
+          f"{'busiest s':>9} {'batches':>8}")
+    failures = 0
+    for workers in args.workers:
+        config = ShardConfig(
+            workers=workers,
+            tree=tree_config,
+            partitioner=args.partitioner,
+            max_speed=max(params.speed_groups),
+            space=params.space,
+            reach=max(params.speed_groups) * policy.period
+            if isinstance(policy, FixedPeriod) else None,
+            batch_ops=args.batch_ops,
+        )
+        directory = os.path.join(base, f"w{workers}")
+        forest = ShardedForest.create(directory, config)
+        try:
+            result = forest.apply_ops(workload.ops)
+        finally:
+            forest.close()
+        capacity = result.ops / max(result.model_makespan_seconds, 1e-9)
+        print(f"{workers:>7} {result.wall_seconds:>8.2f} "
+              f"{result.ops / max(result.wall_seconds, 1e-9):>9.0f} "
+              f"{capacity:>11.0f} "
+              f"{max(result.shard_busy_seconds, default=0.0):>9.2f} "
+              f"{result.batches:>8}")
+        if expected is not None:
+            mismatches = sum(
+                1 for index, answer in expected.items()
+                if sorted(result.answers.get(index, [])) != answer
+            )
+            if mismatches:
+                failures += 1
+                print(f"        VERIFY FAILED: {mismatches} of "
+                      f"{len(expected)} answers differ from the oracle")
+            else:
+                print(f"        verified: {len(expected)} scatter-gather "
+                      f"answers identical to the single-tree oracle")
+    if args.directory is None:
+        shutil.rmtree(base, ignore_errors=True)
+    return 1 if failures else 0
+
+
 def cmd_layout(args: argparse.Namespace) -> int:
     print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
     combos = [
@@ -841,6 +932,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None,
                    help="also write a JSONL trace of serving events")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "shards",
+        help="process-parallel sharded index: scatter-gather replay "
+        "with per-worker durable stores",
+    )
+    p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                   help="worker counts to replay (one run each)")
+    p.add_argument("--partitioner", choices=("grid", "speed", "direction"),
+                   default="grid")
+    p.add_argument("--batch-ops", type=int, default=256,
+                   help="operations per wire batch")
+    p.add_argument("--queries", type=int, default=100,
+                   help="queries per 100 insertions (paper's parameter)")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--verify", action="store_true",
+                   help="check answers against a single-tree oracle")
+    p.add_argument("--directory", default=None,
+                   help="keep the shard stores here (default: temp dir)")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_shards)
 
     return parser
 

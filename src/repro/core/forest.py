@@ -35,6 +35,7 @@ from .clock import SimulationClock
 from .config import TreeConfig
 from .partition import (
     DirectionPartitioner,
+    GridPartitioner,
     Partitioner,
     SpeedPartitioner,
     make_partitioner,
@@ -89,6 +90,18 @@ def _partitioner_manifest(partitioner: Partitioner) -> dict:
             "sectors": partitioner.sectors,
             "slow_speed": partitioner.slow_speed,
         }
+    if isinstance(partitioner, GridPartitioner):
+        manifest = {
+            "kind": "grid",
+            "cells_x": partitioner.cells_x,
+            "cells_y": partitioner.cells_y,
+            "space": partitioner.space,
+            "reach": partitioner.reach,
+        }
+        if partitioner.x_cuts is not None:
+            manifest["x_cuts"] = list(partitioner.x_cuts)
+            manifest["y_cuts"] = [list(col) for col in partitioner.y_cuts]
+        return manifest
     raise ValueError(
         f"cannot persist partitioner of type {type(partitioner).__name__}"
     )
@@ -103,6 +116,15 @@ def _partitioner_from_manifest(payload: dict) -> Partitioner:
         return DirectionPartitioner(
             payload["sectors"], payload["slow_speed"]
         )
+    if kind == "grid":
+        return GridPartitioner(
+            payload["cells_x"],
+            payload["cells_y"],
+            space=payload["space"],
+            reach=payload["reach"],
+            x_cuts=payload.get("x_cuts"),
+            y_cuts=payload.get("y_cuts"),
+        )
     raise ValueError(f"unknown partitioner kind {kind!r} in manifest")
 
 
@@ -113,9 +135,9 @@ class ForestConfig:
     Attributes:
         tree: configuration applied to every member tree.
         partitions: number of velocity classes (member trees).
-        partitioner: partition function kind, ``"speed"`` or
-            ``"direction"`` (ignored when an explicit partitioner
-            instance is passed to the forest).
+        partitioner: partition function kind, ``"speed"``,
+            ``"direction"`` or ``"grid"`` (ignored when an explicit
+            partitioner instance is passed to the forest).
         max_speed: anchor of the equal-width speed buckets used before
             any data-driven fit.
         slow_speed: the direction variant's near-stationary threshold.
@@ -151,12 +173,24 @@ class ForestConfig:
     def dims(self) -> int:
         return self.tree.dims
 
-    def member_tree_config(self) -> TreeConfig:
-        """The per-member tree configuration (buffer budget applied)."""
+    def member_tree_config(self, index: int = 0) -> TreeConfig:
+        """The configuration of member ``index`` (buffer budget applied).
+
+        The buffer budget divides so the members' shares sum back to the
+        single tree's ``buffer_pages``: every member gets the floor
+        share and the first ``buffer_pages % partitions`` members absorb
+        one remainder page each (a plain floor division would silently
+        shrink the forest total, e.g. 10 pages over 4 members to 8).
+        Every member still gets at least one page, so with more members
+        than pages the total exceeds the budget — the minimum workable
+        pool wins over exactness.
+        """
         if not self.split_buffer:
             return self.tree
-        share = max(1, self.tree.buffer_pages // self.partitions)
-        return self.tree.with_(buffer_pages=share)
+        share, remainder = divmod(self.tree.buffer_pages, self.partitions)
+        if index < remainder:
+            share += 1
+        return self.tree.with_(buffer_pages=max(1, share))
 
     def with_(self, **changes) -> "ForestConfig":
         """A copy with the given fields replaced."""
@@ -246,11 +280,10 @@ class PartitionedMovingObjectForest:
                 f"configuration asks for {self.config.partitions}"
             )
         self.partitioner = partitioner
-        member_config = self.config.member_tree_config()
         if member_factory is None:
             member_factory = lambda i, cfg, clk: MovingObjectTree(cfg, clk)  # noqa: E731
         self.trees = [
-            member_factory(i, member_config, self.clock)
+            member_factory(i, self.config.member_tree_config(i), self.clock)
             for i in range(self.config.partitions)
         ]
         self.stats = ForestStats(self)
@@ -460,14 +493,17 @@ class PartitionedMovingObjectForest:
         return existed
 
     def query(self, query: SpatioTemporalQuery) -> List[int]:
-        """Fan a query out across all member trees and merge the answers.
+        """Fan a query out across the reachable members and merge answers.
 
         Each object lives in exactly one member, so concatenation
-        preserves the single tree's answer multiset.
+        preserves the single tree's answer multiset.  The partitioner
+        may prune the fan-out to the members its partitions can reach
+        (spatial grids with a finite reach); velocity partitioners
+        always fan out to every member.
         """
         results: List[int] = []
-        for tree in self.trees:
-            results.extend(tree.query(query))
+        for index in self.partitioner.query_partitions(query.region()):
+            results.extend(self.trees[index].query(query))
         return results
 
     def bulk_load(self, entries: Sequence[LeafEntry]) -> None:

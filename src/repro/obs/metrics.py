@@ -176,8 +176,32 @@ class Histogram:
         """Estimated 99th percentile."""
         return self.percentile(99.0)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        The merge is bucket-wise and therefore exact at bucket
+        resolution, but both histograms must share identical bounds;
+        min/max/count/sum merge losslessly.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ"
+            )
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
     def to_dict(self) -> Dict[str, object]:
-        """Export count, sum, extrema and key percentiles."""
+        """Export count, sum, extrema, key percentiles and raw buckets.
+
+        ``bounds`` and ``buckets`` make the export lossless at bucket
+        resolution, so :meth:`MetricsRegistry.from_dict` can rebuild a
+        mergeable histogram from it.
+        """
         return {
             "type": "histogram",
             "count": self.count,
@@ -189,6 +213,8 @@ class Histogram:
             "p90": self.p90,
             "p95": self.p95,
             "p99": self.p99,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
         }
 
 
@@ -261,6 +287,67 @@ class MetricsRegistry:
             name: metric.to_dict()
             for name, metric in sorted(self._metrics.items())
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` export.
+
+        Counters and gauges restore their values; histograms restore
+        their raw buckets (exports predating the ``bounds``/``buckets``
+        fields are rejected — they are not mergeable).  Derived gauges
+        come back as plain point-in-time values.
+        """
+        registry = cls()
+        for name, entry in payload.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                registry.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                registry.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                if "bounds" not in entry or "buckets" not in entry:
+                    raise ValueError(
+                        f"histogram {name!r} export lacks raw buckets; "
+                        f"re-export with a current to_dict()"
+                    )
+                hist = registry.histogram(name, bounds=entry["bounds"])
+                hist.buckets = list(entry["buckets"])
+                hist.count = entry["count"]
+                hist.total = entry["sum"]
+                hist.min = (
+                    entry["min"] if entry["min"] is not None else float("inf")
+                )
+                hist.max = (
+                    entry["max"] if entry["max"] is not None else float("-inf")
+                )
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Aggregate another registry into this one, name by name.
+
+        Counters and gauges sum (a merged gauge is a point-in-time total
+        across sources, e.g. pages across shards; deriving functions on
+        this registry's gauges are dropped in favour of the summed
+        value), and histograms merge bucket-wise via
+        :meth:`Histogram.merge`.  Metrics only present in ``other`` are
+        created.  This is how per-shard worker registries, shipped as
+        :meth:`to_dict` exports, aggregate into one parent registry.
+        """
+        for name in other.names():
+            metric = other.get(name)
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(name)
+                total = mine.value + metric.value
+                mine._fn = None
+                mine.set(total)
+            elif isinstance(metric, Histogram):
+                self.histogram(name, bounds=metric.bounds).merge(metric)
+            else:  # pragma: no cover - registries only hold the three kinds
+                raise TypeError(f"unmergeable metric {name!r}: {metric!r}")
 
     def export_json(self, path: str) -> None:
         """Write :meth:`to_dict` to ``path`` as pretty-printed JSON."""

@@ -286,6 +286,11 @@ class ServiceFrontend:
         return self._breaker.state == OPEN
 
     def _stores(self):
+        local = getattr(self.index, "local_stores", None)
+        if local is not None:
+            # Sharded indexes keep their page stores in worker
+            # processes; commit bookkeeping happens there, not here.
+            return local()
         if hasattr(self.index, "trees"):
             return [tree.disk for tree in self.index.trees]
         return [self.index.disk]

@@ -1,0 +1,252 @@
+"""Packed-struct wire format for shard operation batches.
+
+Everything the router exchanges with a worker travels as flat
+``struct``-packed byte strings: operation batches (reports, deletions
+and queries), gathered query answers, and leaf-entry sets (bulk loads
+and snapshot gathers).  All coordinates and times are IEEE-754 doubles
+— the workers must reconstruct byte-identical
+:class:`~repro.geometry.kinematics.MovingPoint` objects, or scatter-
+gather answers could drift from a single-tree run — and object ids are
+signed 64-bit integers.
+
+The format is deliberately dumb: fixed-size records, no compression,
+one :class:`OpCodec` per dimensionality with every ``struct`` layout
+precompiled.  Encoding a batch is a single join of per-record packs;
+decoding is sequential ``unpack_from``.  A four-byte magic and a
+version byte guard against driving a worker with a foreign payload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import (
+    MovingQuery,
+    SpatioTemporalQuery,
+    TimesliceQuery,
+    WindowQuery,
+)
+from ..geometry.rect import Rect
+from ..workloads.base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp
+
+#: Batch magic ("RXSB": R-exp-tree shard batch) and format version.
+MAGIC = 0x52585342
+VERSION = 1
+
+#: Operation record kinds.
+OP_INSERT, OP_DELETE, OP_UPDATE, OP_QUERY = 1, 2, 3, 4
+#: Query record sub-kinds (the three query types of Section 2.1).
+Q_TIMESLICE, Q_WINDOW, Q_MOVING = 1, 2, 3
+
+_HEADER = struct.Struct("<IBBHI")  # magic, version, dims, reserved, count
+_KIND = struct.Struct("<B")
+_ANSWER_HEADER = struct.Struct("<I")  # number of answered queries
+_ANSWER_ENTRY = struct.Struct("<II")  # op index in batch, oid count
+
+LeafEntry = Tuple[MovingPoint, int]
+Answer = Tuple[int, List[int]]
+
+
+class OpCodec:
+    """Encode/decode operation batches for one dimensionality.
+
+    Parameters
+    ----------
+    dims : int
+        Dimensionality of the indexed space; every point and rectangle
+        in a batch must match it.
+    """
+
+    def __init__(self, dims: int):
+        if dims < 1:
+            raise ValueError(f"dims must be positive, got {dims}")
+        self.dims = dims
+        d = dims
+        # A point is pos(d), vel(d), t_ref, t_exp.
+        self._write = struct.Struct(f"<Bq{2 * d + 3}d")  # kind, oid, time, pt
+        self._update = struct.Struct(f"<Bq{2 * (2 * d + 2) + 1}d")
+        self._query = {
+            Q_TIMESLICE: struct.Struct(f"<BB{2 * d + 2}d"),
+            Q_WINDOW: struct.Struct(f"<BB{2 * d + 3}d"),
+            Q_MOVING: struct.Struct(f"<BB{4 * d + 3}d"),
+        }
+        self._entry = struct.Struct(f"<q{2 * d + 2}d")
+
+    # -- points and rectangles ----------------------------------------------
+
+    def _point_fields(self, point: MovingPoint) -> Tuple[float, ...]:
+        if point.dims != self.dims:
+            raise ValueError(
+                f"point has {point.dims} dims, codec expects {self.dims}"
+            )
+        return (*point.pos, *point.vel, point.t_ref, point.t_exp)
+
+    def _point_from(self, fields: Sequence[float]) -> MovingPoint:
+        d = self.dims
+        return MovingPoint(
+            tuple(fields[:d]), tuple(fields[d:2 * d]),
+            fields[2 * d], fields[2 * d + 1],
+        )
+
+    # -- encoding ------------------------------------------------------------
+
+    def _encode_op(self, op: Operation) -> bytes:
+        if isinstance(op, InsertOp):
+            return self._write.pack(
+                OP_INSERT, op.oid, op.time, *self._point_fields(op.point)
+            )
+        if isinstance(op, DeleteOp):
+            return self._write.pack(
+                OP_DELETE, op.oid, op.time, *self._point_fields(op.point)
+            )
+        if isinstance(op, UpdateOp):
+            return self._update.pack(
+                OP_UPDATE, op.oid, op.time,
+                *self._point_fields(op.old_point),
+                *self._point_fields(op.new_point),
+            )
+        if isinstance(op, QueryOp):
+            return self._encode_query(op)
+        raise TypeError(f"cannot encode operation {op!r}")
+
+    def _encode_query(self, op: QueryOp) -> bytes:
+        q = op.query
+        if isinstance(q, TimesliceQuery):
+            return self._query[Q_TIMESLICE].pack(
+                OP_QUERY, Q_TIMESLICE, op.time, *q.rect.lo, *q.rect.hi, q.t
+            )
+        if isinstance(q, WindowQuery):
+            return self._query[Q_WINDOW].pack(
+                OP_QUERY, Q_WINDOW, op.time,
+                *q.rect.lo, *q.rect.hi, q.t1, q.t2,
+            )
+        if isinstance(q, MovingQuery):
+            return self._query[Q_MOVING].pack(
+                OP_QUERY, Q_MOVING, op.time,
+                *q.rect1.lo, *q.rect1.hi, *q.rect2.lo, *q.rect2.hi,
+                q.t1, q.t2,
+            )
+        raise TypeError(f"cannot encode query {q!r}")
+
+    def encode_ops(self, ops: Sequence[Operation]) -> bytes:
+        """Pack a batch of operations into one byte string."""
+        parts = [_HEADER.pack(MAGIC, VERSION, self.dims, 0, len(ops))]
+        parts.extend(self._encode_op(op) for op in ops)
+        return b"".join(parts)
+
+    # -- decoding ------------------------------------------------------------
+
+    def _check_header(self, buf: bytes) -> int:
+        magic, version, dims, _, count = _HEADER.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise ValueError(f"bad batch magic {magic:#x}")
+        if version != VERSION:
+            raise ValueError(f"unsupported batch version {version}")
+        if dims != self.dims:
+            raise ValueError(
+                f"batch encoded for {dims} dims, codec expects {self.dims}"
+            )
+        return count
+
+    def decode_ops(self, buf: bytes) -> List[Operation]:
+        """Unpack a batch back into operation objects (exact fields)."""
+        count = self._check_header(buf)
+        offset = _HEADER.size
+        d = self.dims
+        ops: List[Operation] = []
+        for _ in range(count):
+            (kind,) = _KIND.unpack_from(buf, offset)
+            if kind in (OP_INSERT, OP_DELETE):
+                _, oid, time, *fields = self._write.unpack_from(buf, offset)
+                offset += self._write.size
+                point = self._point_from(fields)
+                cls = InsertOp if kind == OP_INSERT else DeleteOp
+                ops.append(cls(time, oid, point))
+            elif kind == OP_UPDATE:
+                _, oid, time, *fields = self._update.unpack_from(buf, offset)
+                offset += self._update.size
+                half = 2 * d + 2
+                ops.append(UpdateOp(
+                    time, oid,
+                    self._point_from(fields[:half]),
+                    self._point_from(fields[half:]),
+                ))
+            elif kind == OP_QUERY:
+                op, offset = self._decode_query(buf, offset)
+                ops.append(op)
+            else:
+                raise ValueError(f"unknown op kind {kind} at offset {offset}")
+        return ops
+
+    def _decode_query(self, buf: bytes, offset: int) -> Tuple[QueryOp, int]:
+        _, qkind = struct.unpack_from("<BB", buf, offset)
+        layout = self._query.get(qkind)
+        if layout is None:
+            raise ValueError(f"unknown query kind {qkind} at offset {offset}")
+        fields = layout.unpack_from(buf, offset)
+        offset += layout.size
+        d = self.dims
+        values = fields[2:]  # skip kind, qkind
+        time = values[0]
+        values = values[1:]
+        query: SpatioTemporalQuery
+        if qkind == Q_TIMESLICE:
+            rect = Rect(tuple(values[:d]), tuple(values[d:2 * d]))
+            query = TimesliceQuery(rect, values[2 * d])
+        elif qkind == Q_WINDOW:
+            rect = Rect(tuple(values[:d]), tuple(values[d:2 * d]))
+            query = WindowQuery(rect, values[2 * d], values[2 * d + 1])
+        else:
+            rect1 = Rect(tuple(values[:d]), tuple(values[d:2 * d]))
+            rect2 = Rect(
+                tuple(values[2 * d:3 * d]), tuple(values[3 * d:4 * d])
+            )
+            query = MovingQuery(rect1, rect2, values[4 * d], values[4 * d + 1])
+        return QueryOp(time, query), offset
+
+    # -- answers -------------------------------------------------------------
+
+    def encode_answers(self, answers: Sequence[Answer]) -> bytes:
+        """Pack per-query answers: (batch op index, matching oids)."""
+        parts = [_ANSWER_HEADER.pack(len(answers))]
+        for index, oids in answers:
+            parts.append(_ANSWER_ENTRY.pack(index, len(oids)))
+            parts.append(struct.pack(f"<{len(oids)}q", *oids))
+        return b"".join(parts)
+
+    def decode_answers(self, buf: bytes) -> List[Answer]:
+        """Unpack an answer block back into (op index, oids) pairs."""
+        (count,) = _ANSWER_HEADER.unpack_from(buf, 0)
+        offset = _ANSWER_HEADER.size
+        answers: List[Answer] = []
+        for _ in range(count):
+            index, n = _ANSWER_ENTRY.unpack_from(buf, offset)
+            offset += _ANSWER_ENTRY.size
+            oids = list(struct.unpack_from(f"<{n}q", buf, offset))
+            offset += 8 * n
+            answers.append((index, oids))
+        return answers
+
+    # -- leaf entries --------------------------------------------------------
+
+    def encode_entries(self, entries: Sequence[LeafEntry]) -> bytes:
+        """Pack ``(point, oid)`` leaf entries (bulk loads, snapshots)."""
+        parts = [_ANSWER_HEADER.pack(len(entries))]
+        parts.extend(
+            self._entry.pack(oid, *self._point_fields(point))
+            for point, oid in entries
+        )
+        return b"".join(parts)
+
+    def decode_entries(self, buf: bytes) -> List[LeafEntry]:
+        """Unpack a leaf-entry block back into ``(point, oid)`` pairs."""
+        (count,) = _ANSWER_HEADER.unpack_from(buf, 0)
+        offset = _ANSWER_HEADER.size
+        entries: List[LeafEntry] = []
+        for _ in range(count):
+            oid, *fields = self._entry.unpack_from(buf, offset)
+            offset += self._entry.size
+            entries.append((self._point_from(fields), oid))
+        return entries

@@ -1,0 +1,187 @@
+"""The shard worker process: one durable member tree behind a pipe.
+
+``worker_main`` is the ``spawn`` entry point of every shard.  A worker
+owns exactly one :class:`~repro.core.tree.MovingObjectTree` backed by a
+durable :class:`~repro.storage.pagefile.FilePageStore` (its own page
+file, write-ahead log and buffer budget) and serves a simple
+request/reply protocol over its end of a ``multiprocessing`` pipe:
+operation batches to apply, stats/snapshot/audit gathers, checkpoints
+and a clean close.  Requests carry a sequence number that the reply
+echoes; the router matches them FIFO since the worker is strictly
+sequential.
+
+Every ``apply`` reply reports the worker's busy time: *CPU seconds*
+(``time.process_time``) spent decoding and applying the batch, so the
+number measures the shard's actual work even when many workers
+time-slice one core — wall clocks would count the neighbours'
+slices too.  The shard benchmark sums these per shard to model the
+scatter-gather critical path on a machine with one core per worker —
+see ``benchmarks/bench_shards.py``.
+
+A worker never shares state with the parent: the tree, clock, metrics
+registry and page store all live in this process, and everything that
+crosses the pipe is a packed batch (:mod:`repro.shard.wire`) or a small
+picklable summary.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.clock import SimulationClock
+from ..core.config import TreeConfig
+from ..core.tree import MovingObjectTree
+from ..obs.metrics import MetricsRegistry
+from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+from .wire import OpCodec
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs to build (or reopen) its tree.
+
+    Parameters
+    ----------
+    index : int
+        Shard index, for error messages and metric labels.
+    directory : str
+        The shard's page-store directory.
+    config : TreeConfig
+        Member-tree configuration (buffer budget already applied).
+    recover : bool
+        Reopen an existing store (running WAL recovery) instead of
+        creating a fresh one.
+    fsync : bool
+        Whether the worker's write-ahead log fsyncs on commit.
+    observability : bool
+        Attach a per-worker metrics registry to the tree; its export
+        ships back on ``stats`` requests for parent-side merging.
+    """
+
+    index: int
+    directory: str
+    config: TreeConfig
+    recover: bool = False
+    fsync: bool = False
+    observability: bool = True
+
+
+def _build_tree(
+    spec: WorkerSpec, clock: SimulationClock, registry: Optional[MetricsRegistry]
+) -> MovingObjectTree:
+    """Create or recover the worker's durable member tree."""
+    if spec.recover:
+        return MovingObjectTree.open_from(
+            spec.directory, spec.config, clock,
+            fsync=spec.fsync, registry=registry,
+        )
+    tree = MovingObjectTree.create_durable(
+        spec.directory, spec.config, clock, fsync=spec.fsync
+    )
+    if registry is not None:
+        tree.enable_observability(registry)
+    return tree
+
+
+def _apply_batch(tree, clock, codec, payload):
+    """Apply one decoded batch; return (answers bytes, failed deletes)."""
+    answers = []
+    failed_deletes = 0
+    for position, op in enumerate(codec.decode_ops(payload)):
+        clock.advance_to(op.time)
+        if isinstance(op, InsertOp):
+            tree.insert(op.oid, op.point)
+        elif isinstance(op, UpdateOp):
+            if not tree.update(op.oid, op.old_point, op.new_point):
+                failed_deletes += 1
+        elif isinstance(op, DeleteOp):
+            if not tree.delete(op.oid, op.point):
+                failed_deletes += 1
+        elif isinstance(op, QueryOp):
+            answers.append((position, tree.query(op.query)))
+        else:  # pragma: no cover - decode_ops only yields the four kinds
+            raise TypeError(f"unsupported operation {op!r}")
+    return codec.encode_answers(answers), failed_deletes
+
+
+def _stats_payload(tree, registry: Optional[MetricsRegistry]) -> dict:
+    """The worker's aggregable state summary for a ``stats`` request."""
+    return {
+        "metrics": registry.to_dict() if registry is not None else {},
+        "io": {
+            "reads": tree.stats.reads,
+            "writes": tree.stats.writes,
+            "allocations": tree.stats.allocations,
+            "frees": tree.stats.frees,
+        },
+        "pages": tree.page_count,
+        "entries": tree.leaf_entry_count,
+        "height": tree.height,
+    }
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Serve shard requests until ``close`` (or parent disappearance).
+
+    The protocol is strict request/reply: every request tuple starts
+    with a verb and a sequence number, and every reply is either
+    ``("ok", seq, ...)`` or ``("err", seq, traceback_text)``.  An
+    exception inside a request is reported, not fatal — the tree's own
+    durability guarantees cover whatever the failed request left
+    behind.  A lost parent (EOF on the pipe) closes the tree and exits.
+    """
+    registry = MetricsRegistry() if spec.observability else None
+    clock = SimulationClock()
+    tree = _build_tree(spec, clock, registry)
+    codec = OpCodec(spec.config.dims)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            verb, seq = message[0], message[1]
+            try:
+                if verb == "apply":
+                    started = _time.process_time()
+                    answers, failed = _apply_batch(
+                        tree, clock, codec, message[2]
+                    )
+                    busy = _time.process_time() - started
+                    conn.send(("ok", seq, answers, busy, failed))
+                elif verb == "bulk":
+                    clock.advance_to(message[2])
+                    entries = codec.decode_entries(message[3])
+                    tree.bulk_load(entries)
+                    conn.send(("ok", seq, len(entries)))
+                elif verb == "stats":
+                    conn.send(("ok", seq, _stats_payload(tree, registry)))
+                elif verb == "snapshot":
+                    snapshot = tree.snapshot()
+                    entries = codec.encode_entries(
+                        list(snapshot.leaf_entries())
+                    )
+                    conn.send(("ok", seq, snapshot.taken_at, entries))
+                elif verb == "audit":
+                    conn.send(("ok", seq, tree.audit()))
+                elif verb == "checkpoint":
+                    tree.checkpoint()
+                    conn.send(("ok", seq))
+                elif verb == "close":
+                    tree.close()
+                    conn.send(("ok", seq))
+                    return
+                elif verb == "crash":
+                    # Test hook: die without flushing or replying, as a
+                    # power loss would.  WAL recovery picks up the shard.
+                    os._exit(13)
+                else:
+                    raise ValueError(f"unknown request verb {verb!r}")
+            except Exception:
+                conn.send(("err", seq, traceback.format_exc()))
+    finally:
+        tree.close()

@@ -44,9 +44,34 @@ def velocity_point(rng, clock, space=100.0, max_speed=3.0, max_life=30.0):
 
 def test_forest_config_splits_buffer_budget():
     config = ForestConfig(tree=rexp_config(buffer_pages=50), partitions=4)
-    assert config.member_tree_config().buffer_pages == 12
+    # 50 = 13 + 13 + 12 + 12: the first members absorb the remainder.
+    shares = [
+        config.member_tree_config(i).buffer_pages
+        for i in range(config.partitions)
+    ]
+    assert shares == [13, 13, 12, 12]
     whole = config.with_(split_buffer=False)
     assert whole.member_tree_config().buffer_pages == 50
+
+
+def test_forest_buffer_split_preserves_total_budget():
+    # Regression: the old floor-division split dropped the remainder
+    # (10 pages over 4 members summed to 8, contradicting the "forest
+    # total matches a single tree" contract).
+    config = ForestConfig(tree=rexp_config(buffer_pages=10), partitions=4)
+    shares = [
+        config.member_tree_config(i).buffer_pages
+        for i in range(config.partitions)
+    ]
+    assert sum(shares) == 10
+    assert shares == [3, 3, 2, 2]
+    forest = PartitionedMovingObjectForest(config)
+    assert sum(tree.buffer.capacity for tree in forest.trees) == 10
+    # More members than pages: the one-page floor wins over exactness.
+    starved = ForestConfig(tree=rexp_config(buffer_pages=2), partitions=4)
+    assert [
+        starved.member_tree_config(i).buffer_pages for i in range(4)
+    ] == [1, 1, 1, 1]
 
 
 def test_forest_config_passthroughs():

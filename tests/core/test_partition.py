@@ -133,3 +133,88 @@ def test_make_partitioner_rejects_unknown_kind():
         make_partitioner("acceleration", 4)
     with pytest.raises(ValueError):
         make_partitioner("direction", 1)
+
+
+# -- spatial grid -------------------------------------------------------------
+
+
+def grid_point(x, y):
+    return MovingPoint((x, y), (0.0, 0.0), 0.0, 100.0)
+
+
+def test_grid_for_partitions_factorizes_near_square():
+    from repro.core.partition import GridPartitioner
+
+    grid = GridPartitioner.for_partitions(8, space=100.0)
+    assert (grid.cells_x, grid.cells_y) == (4, 2)
+    assert grid.partitions == 8
+    strip = GridPartitioner.for_partitions(7, space=100.0)
+    assert (strip.cells_x, strip.cells_y) == (7, 1)
+
+
+def test_grid_routes_by_reference_position_and_clamps():
+    from repro.core.partition import GridPartitioner
+
+    grid = GridPartitioner(2, 2, space=100.0)
+    assert grid.partition_of(grid_point(10.0, 10.0)) == 0
+    assert grid.partition_of(grid_point(90.0, 10.0)) == 1
+    assert grid.partition_of(grid_point(10.0, 90.0)) == 2
+    assert grid.partition_of(grid_point(90.0, 90.0)) == 3
+    # Out-of-space positions clamp to edge cells: routing stays total.
+    assert grid.partition_of(grid_point(-5.0, 1e9)) == 2
+    assert len({grid.label(i) for i in range(4)}) == 4
+
+
+def test_grid_scatter_prunes_with_reach_and_defaults_to_all():
+    from repro.core.partition import GridPartitioner
+    from repro.geometry.queries import TimesliceQuery
+    from repro.geometry.rect import Rect
+
+    query = TimesliceQuery(Rect((5.0, 5.0), (10.0, 10.0)), 1.0)
+    everywhere = GridPartitioner(2, 2, space=100.0)
+    assert everywhere.query_partitions(query.region()) == (0, 1, 2, 3)
+    pruned = GridPartitioner(2, 2, space=100.0, reach=10.0)
+    assert pruned.query_partitions(query.region()) == (0,)
+
+
+def test_fitted_grid_balances_a_skewed_sample():
+    from repro.core.partition import GridPartitioner
+
+    # Three quarters of the mass crammed into the lower-left corner.
+    sample = [(x / 10.0, x / 10.0) for x in range(75)]
+    sample += [(50.0 + x / 2.0, 80.0) for x in range(25)]
+    grid = GridPartitioner.fitted(sample, 2, 2, space=100.0)
+    counts = [0, 0, 0, 0]
+    for x, y in sample:
+        counts[grid.partition_of(grid_point(x, y))] += 1
+    assert max(counts) <= 30  # a uniform grid would put 75 in one cell
+    uniform = GridPartitioner(2, 2, space=100.0)
+    uniform_counts = [0, 0, 0, 0]
+    for x, y in sample:
+        uniform_counts[uniform.partition_of(grid_point(x, y))] += 1
+    assert max(uniform_counts) >= 70
+
+
+def test_fitted_grid_validates_cut_shapes():
+    from repro.core.partition import GridPartitioner
+
+    with pytest.raises(ValueError, match="together"):
+        GridPartitioner(2, 2, x_cuts=(50.0,))
+    with pytest.raises(ValueError, match="column cuts"):
+        GridPartitioner(2, 2, x_cuts=(1.0, 2.0), y_cuts=((1.0,), (1.0,)))
+    with pytest.raises(ValueError, match="sorted"):
+        GridPartitioner(
+            3, 2, x_cuts=(2.0, 1.0), y_cuts=((1.0,), (1.0,), (1.0,))
+        )
+    with pytest.raises(ValueError):
+        GridPartitioner.fitted([], 2, 2)
+
+
+def test_make_partitioner_grid():
+    from repro.core.partition import GridPartitioner
+
+    part = make_partitioner("grid", 4, space=200.0, reach=30.0)
+    assert isinstance(part, GridPartitioner)
+    assert part.partitions == 4
+    assert part.space == 200.0
+    assert part.reach == 30.0

@@ -1,0 +1,175 @@
+"""Property tests for partitioner routing (hypothesis).
+
+Sharding correctness rests on two routing invariants:
+
+* **Totality** — every well-formed report maps to exactly one bucket
+  in ``range(partitions)``, deterministically, for every partitioner
+  kind.  A report that routed nowhere (or differently on delete than
+  on insert) would silently corrupt a shard.
+* **Scatter soundness** — a query must be scattered to every bucket
+  that can hold a matching entry.  For the grid partitioner this holds
+  whenever live entries obey the configured ``reach`` drift bound.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import GridPartitioner, make_partitioner
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.geometry.intersection import region_matches_point
+
+SPACE = 100.0
+MAX_SPEED = 3.0
+HORIZON = 20.0
+KINDS = ["speed", "direction", "grid"]
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+coordinates = st.floats(
+    min_value=-10.0 * SPACE, max_value=10.0 * SPACE,
+    allow_nan=False, allow_infinity=False,
+)
+velocities = st.floats(
+    min_value=-MAX_SPEED, max_value=MAX_SPEED,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def wild_points(draw):
+    """Reports with unconstrained (finite) coordinates and velocities."""
+    pos = (draw(finite), draw(finite))
+    vel = (draw(finite), draw(finite))
+    t_ref = draw(finite)
+    delta = draw(
+        st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=0.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return MovingPoint(pos, vel, t_ref, t_ref + delta)
+
+
+def partitioner_for(kind, partitions):
+    return make_partitioner(
+        kind, partitions,
+        max_speed=MAX_SPEED, space=SPACE, reach=MAX_SPEED * HORIZON,
+    )
+
+
+@given(
+    kind=st.sampled_from(KINDS),
+    # Two is every kind's floor: direction reserves a slow bucket.
+    partitions=st.integers(min_value=2, max_value=9),
+    point=wild_points(),
+)
+def test_every_report_routes_to_exactly_one_bucket(kind, partitions, point):
+    partitioner = partitioner_for(kind, partitions)
+    bucket = partitioner.partition_of(point)
+    assert 0 <= bucket < partitioner.partitions
+    # Deterministic: deletes must reach the bucket their insert chose.
+    assert partitioner.partition_of(point) == bucket
+    groups = partitioner.split([(point, 7)])
+    assert [len(g) for g in groups] == [
+        1 if i == bucket else 0 for i in range(partitioner.partitions)
+    ]
+
+
+@given(
+    kind=st.sampled_from(KINDS),
+    partitions=st.integers(min_value=2, max_value=9),
+    xs=st.tuples(coordinates, coordinates),
+    ys=st.tuples(coordinates, coordinates),
+    t1=st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False),
+    dt=st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False),
+)
+def test_query_scatter_targets_are_valid_buckets(
+    kind, partitions, xs, ys, t1, dt
+):
+    partitioner = partitioner_for(kind, partitions)
+    rect = Rect(
+        (min(xs), min(ys)), (max(xs), max(ys))
+    )
+    region = WindowQuery(rect, t1, t1 + dt).region()
+    targets = partitioner.query_partitions(region)
+    assert targets
+    assert len(set(targets)) == len(targets)
+    assert all(0 <= t < partitioner.partitions for t in targets)
+
+
+@st.composite
+def bounded_queries(draw):
+    """Queries inside the horizon the grid's reach is budgeted for."""
+    t1 = draw(st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False))
+    t2 = t1 + draw(
+        st.floats(min_value=0.0, max_value=HORIZON - t1, allow_nan=False)
+    )
+    xs = sorted(draw(st.tuples(coordinates, coordinates)))
+    ys = sorted(draw(st.tuples(coordinates, coordinates)))
+    rect = Rect((xs[0], ys[0]), (xs[1], ys[1]))
+    kind = draw(st.sampled_from(["timeslice", "window", "moving"]))
+    if kind == "timeslice":
+        return TimesliceQuery(rect, t2)
+    if kind == "window":
+        return WindowQuery(rect, t1, t2)
+    dx = draw(st.floats(min_value=-SPACE, max_value=SPACE, allow_nan=False))
+    dy = draw(st.floats(min_value=-SPACE, max_value=SPACE, allow_nan=False))
+    rect2 = Rect((xs[0] + dx, ys[0] + dy), (xs[1] + dx, ys[1] + dy))
+    return MovingQuery(rect, rect2, t1, t2)
+
+
+@given(
+    partitions=st.integers(min_value=1, max_value=9),
+    pos=st.tuples(coordinates, coordinates),
+    vel=st.tuples(velocities, velocities),
+    query=bounded_queries(),
+    fitted=st.booleans(),
+    sample=st.lists(
+        st.tuples(coordinates, coordinates), min_size=1, max_size=12
+    ),
+)
+def test_grid_scatter_is_sound_under_the_reach_bound(
+    partitions, pos, vel, query, fitted, sample
+):
+    """A matching report's bucket is always among the scatter targets.
+
+    Reports reference time 0 with per-axis speed at most ``MAX_SPEED``
+    and queries end by ``HORIZON``, so per-axis drift from the routing
+    (reference) position never exceeds ``reach = MAX_SPEED * HORIZON``
+    — exactly the soundness precondition of grid query pruning, for
+    uniform and fitted (quantile-cut) grids alike.
+    """
+    if fitted:
+        grid = GridPartitioner.for_partitions(partitions, space=SPACE)
+        partitioner = GridPartitioner.fitted(
+            sample, grid.cells_x, grid.cells_y,
+            space=SPACE, reach=MAX_SPEED * HORIZON,
+        )
+    else:
+        partitioner = partitioner_for("grid", partitions)
+    point = MovingPoint(pos, vel, 0.0, math.inf)
+    region = query.region()
+    if region_matches_point(region, point):
+        assert partitioner.partition_of(point) in (
+            partitioner.query_partitions(region)
+        )
+
+
+@given(
+    partitions=st.integers(min_value=2, max_value=9),
+    sample=st.lists(
+        st.tuples(coordinates, coordinates), min_size=1, max_size=30
+    ),
+    point=wild_points(),
+)
+def test_fitted_grid_routing_is_total_too(partitions, sample, point):
+    grid = GridPartitioner.for_partitions(partitions, space=SPACE)
+    partitioner = GridPartitioner.fitted(
+        sample, grid.cells_x, grid.cells_y, space=SPACE
+    )
+    bucket = partitioner.partition_of(point)
+    assert 0 <= bucket < partitioner.partitions
+    assert partitioner.partition_of(point) == bucket

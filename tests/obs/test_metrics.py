@@ -172,3 +172,89 @@ def test_null_registry_is_inert():
     assert NULL_REGISTRY.to_dict() == {}
     assert NULL_REGISTRY.names() == []
     assert NULL_REGISTRY.value("x", default=7) == 7
+
+
+# -- merge and from_dict (per-shard aggregation) -------------------------------
+
+
+def shard_registry(base: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("tree.splits").inc(base)
+    reg.gauge("forest.pages").set(10 * base)
+    h = reg.histogram("io.reads", bounds=[1.0, 2.0, 4.0])
+    h.record_many([0.5 * base, 1.5, 3.0])
+    return reg
+
+
+def test_registry_merge_sums_counters_and_gauges():
+    parent = shard_registry(1)
+    parent.merge(shard_registry(2))
+    assert parent.value("tree.splits") == 3
+    assert parent.value("forest.pages") == 30
+
+
+def test_registry_merge_histograms_bucket_wise():
+    parent = shard_registry(1)
+    parent.merge(shard_registry(2))
+    h = parent.get("io.reads")
+    assert h.count == 6
+    assert h.buckets == [2, 2, 2, 0]  # 0.5+1.0 | 1.5x2 | 3.0x2 | overflow
+    assert h.min == 0.5 and h.max == 3.0
+    assert h.total == pytest.approx(0.5 + 1.5 + 3.0 + 1.0 + 1.5 + 3.0)
+
+
+def test_registry_merge_creates_missing_metrics():
+    parent = MetricsRegistry()
+    parent.merge(shard_registry(4))
+    assert parent.value("tree.splits") == 4
+    assert parent.get("io.reads").count == 3
+
+
+def test_registry_merge_rejects_mismatched_histogram_bounds():
+    parent = MetricsRegistry()
+    parent.histogram("io.reads", bounds=[1.0, 8.0]).record(1)
+    with pytest.raises(ValueError):
+        parent.merge(shard_registry(1))
+
+
+def test_registry_merge_drops_derived_gauge_function():
+    parent = MetricsRegistry()
+    parent.gauge("forest.pages", fn=lambda: 7)
+    parent.merge(shard_registry(1))
+    # After a merge the gauge is a plain summed value, not a callable.
+    assert parent.value("forest.pages") == 17
+
+
+def test_registry_from_dict_round_trips_through_export():
+    original = shard_registry(3)
+    rebuilt = MetricsRegistry.from_dict(original.to_dict())
+    assert rebuilt.to_dict() == original.to_dict()
+    # A rebuilt registry merges like the live one.
+    parent = shard_registry(1)
+    parent.merge(rebuilt)
+    assert parent.value("tree.splits") == 4
+
+
+def test_registry_from_dict_survives_json_round_trip():
+    payload = json.loads(json.dumps(shard_registry(2).to_dict()))
+    rebuilt = MetricsRegistry.from_dict(payload)
+    assert rebuilt.value("tree.splits") == 2
+    assert rebuilt.get("io.reads").p50 == shard_registry(2).get("io.reads").p50
+
+
+def test_registry_from_dict_rejects_legacy_histogram_export():
+    legacy = {"io.reads": {"type": "histogram", "count": 1, "sum": 1.0,
+                           "min": 1.0, "max": 1.0, "mean": 1.0,
+                           "p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0}}
+    with pytest.raises(ValueError):
+        MetricsRegistry.from_dict(legacy)
+
+
+def test_registry_from_dict_empty_histogram():
+    reg = MetricsRegistry()
+    reg.histogram("h", bounds=[1.0])
+    rebuilt = MetricsRegistry.from_dict(reg.to_dict())
+    h = rebuilt.get("h")
+    assert h.count == 0 and math.isinf(h.min)
+    rebuilt.merge(reg)
+    assert rebuilt.get("h").count == 0

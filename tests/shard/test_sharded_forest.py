@@ -1,0 +1,294 @@
+"""End-to-end tests for the process-parallel sharded index.
+
+Every test that spawns workers keeps the shard count at two and the
+workload small: worker startup is a full interpreter ``spawn``, so the
+suite buys its coverage with as few forests as possible.
+"""
+
+import math
+import os
+import random
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import TreeConfig
+from repro.core.tree import MovingObjectTree
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.serve import FrontendConfig, ServiceFrontend
+from repro.shard import (
+    ShardConfig,
+    ShardCrashError,
+    ShardedForest,
+    ShardWorkerError,
+)
+from repro.storage.faults import TransientIOError
+from repro.workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.network import NetworkParams, generate_network_workload
+
+TREE = TreeConfig(page_size=512, buffer_pages=16, default_ui=10.0)
+SPACE = 100.0
+
+
+def shard_config(**overrides):
+    base = dict(
+        workers=2, tree=TREE, partitioner="grid",
+        space=SPACE, reach=90.0, join_timeout=10.0,
+    )
+    base.update(overrides)
+    return ShardConfig(**base)
+
+
+def random_report(rng, t, max_life=30.0):
+    speed = rng.uniform(0.0, 3.0)
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    return MovingPoint(
+        (rng.uniform(0.0, SPACE), rng.uniform(0.0, SPACE)),
+        (speed * math.cos(angle), speed * math.sin(angle)),
+        t,
+        t + rng.uniform(5.0, max_life),
+    )
+
+
+def sample_queries(t):
+    rect1 = Rect((10.0, 10.0), (60.0, 60.0))
+    rect2 = Rect((30.0, 30.0), (80.0, 80.0))
+    return (
+        TimesliceQuery(rect1, t + 1.0),
+        WindowQuery(rect1, t, t + 8.0),
+        MovingQuery(rect1, rect2, t, t + 8.0),
+    )
+
+
+def small_workload(seed=0, insertions=150):
+    params = NetworkParams(
+        target_population=40,
+        insertions=insertions,
+        update_interval=10.0,
+        space=SPACE,
+        queries_per_insertions=10,
+        seed=seed,
+    )
+    return generate_network_workload(params, FixedPeriod(20.0))
+
+
+def oracle_replay(ops, config=TREE):
+    """Single-tree fault-free replay: (answers by op index, failures)."""
+    clock = SimulationClock()
+    tree = MovingObjectTree(config, clock)
+    answers, failed = {}, 0
+    for i, op in enumerate(ops):
+        clock.advance_to(op.time)
+        if isinstance(op, InsertOp):
+            tree.insert(op.oid, op.point)
+        elif isinstance(op, UpdateOp):
+            if not tree.update(op.oid, op.old_point, op.new_point):
+                failed += 1
+        elif isinstance(op, DeleteOp):
+            if not tree.delete(op.oid, op.point):
+                failed += 1
+        elif isinstance(op, QueryOp):
+            answers[i] = op.query
+            answers[i] = tree.query(op.query)
+    return answers, failed
+
+
+# -- scatter-gather equals a single tree --------------------------------------
+
+
+def test_interactive_ops_match_single_tree_oracle(tmp_path):
+    rng = random.Random(11)
+    oracle = MovingObjectTree(TREE, SimulationClock())
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        live = {}
+        for oid in range(60):
+            point = random_report(rng, forest.clock.time)
+            forest.insert(oid, point)
+            oracle.insert(oid, point)
+            live[oid] = point
+        for oid in list(live)[:12]:
+            new = random_report(rng, forest.clock.time)
+            assert forest.update(oid, live[oid], new) == oracle.update(
+                oid, live[oid], new
+            )
+            live[oid] = new
+        for oid in list(live)[:8]:
+            point = live.pop(oid)
+            assert forest.delete(oid, point) == oracle.delete(oid, point)
+        assert not forest.delete(10_000, random_report(rng, 0.0))
+        for query in sample_queries(forest.clock.time):
+            assert sorted(forest.query(query)) == sorted(oracle.query(query))
+        assert forest.leaf_entry_count == oracle.leaf_entry_count
+        assert forest.audit().leaf_entries == oracle.audit().leaf_entries
+
+
+def test_batched_replay_matches_oracle_and_reports_spans(tmp_path):
+    workload = small_workload(seed=3)
+    expected, expected_failed = oracle_replay(workload.ops)
+    with ShardedForest.create(
+        str(tmp_path / "s"), shard_config(batch_ops=32)
+    ) as forest:
+        result = forest.apply_ops(workload.ops)
+    assert result.ops == len(workload.ops)
+    assert result.failed_deletes == expected_failed
+    assert set(result.answers) == set(expected)
+    for index, answer in expected.items():
+        assert sorted(result.answers[index]) == sorted(answer)
+    assert result.batches >= 2
+    assert len(result.shard_busy_seconds) == 2
+    assert result.wall_seconds >= result.blocked_seconds >= 0.0
+    assert result.model_makespan_seconds > 0.0
+    assert max(result.shard_busy_seconds) <= sum(result.shard_busy_seconds)
+    # Grid pruning: at least one query must scatter below full fan-out.
+    queries = len(expected)
+    assert queries <= result.scattered_queries <= 2 * queries
+
+
+def test_snapshot_gathers_all_shards(tmp_path):
+    rng = random.Random(5)
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        points = {
+            oid: random_report(rng, 0.0) for oid in range(40)
+        }
+        for oid, point in points.items():
+            forest.insert(oid, point)
+        snapshot = forest.snapshot()
+        assert snapshot.leaf_entry_count == 40
+        assert {oid for _, oid in snapshot.leaf_entries()} == set(points)
+        answer = snapshot.query(TimesliceQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 1.0))
+        assert sorted(answer) == sorted(points)
+
+
+# -- durability ---------------------------------------------------------------
+
+
+def test_close_checkpoints_and_reopen_preserves_answers(tmp_path):
+    rng = random.Random(7)
+    directory = str(tmp_path / "s")
+    oracle = MovingObjectTree(TREE, SimulationClock())
+    with ShardedForest.create(directory, shard_config()) as forest:
+        for oid in range(50):
+            point = random_report(rng, forest.clock.time)
+            forest.insert(oid, point)
+            oracle.insert(oid, point)
+        last_time = forest.clock.time
+    reopened = ShardedForest.open(directory)
+    try:
+        reopened.clock.advance_to(last_time)
+        for query in sample_queries(last_time):
+            assert sorted(reopened.query(query)) == sorted(oracle.query(query))
+        assert reopened.leaf_entry_count == oracle.leaf_entry_count
+    finally:
+        reopened.close()
+
+
+def test_open_rejects_missing_or_mismatched_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ShardedForest.open(str(tmp_path / "nowhere"))
+    directory = str(tmp_path / "s")
+    ShardedForest.create(directory, shard_config()).close()
+    with pytest.raises(ValueError, match="workers"):
+        ShardedForest.open(directory, shard_config(workers=3))
+
+
+# -- worker lifecycle ---------------------------------------------------------
+
+
+def test_worker_crash_surfaces_as_retryable_then_revives(tmp_path):
+    rng = random.Random(13)
+    oracle = MovingObjectTree(TREE, SimulationClock())
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        live = {}
+        for oid in range(30):
+            point = random_report(rng, forest.clock.time)
+            forest.insert(oid, point)
+            oracle.insert(oid, point)
+            live[oid] = point
+        forest.checkpoint()
+        victim = forest.partitioner.partition_of(live[0])
+        forest.crash_worker(victim)
+        # The next operation touching the dead shard fails fast with a
+        # *retryable* storage fault rather than hanging the router.
+        with pytest.raises(ShardCrashError) as caught:
+            forest.query(TimesliceQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 1.0))
+        assert isinstance(caught.value, TransientIOError)
+        # The retry revives the shard through WAL recovery; committed
+        # state survives and answers again equal the oracle.
+        for query in sample_queries(forest.clock.time):
+            assert sorted(forest.query(query)) == sorted(oracle.query(query))
+        point = random_report(rng, forest.clock.time)
+        forest.insert(999, point)
+        oracle.insert(999, point)
+        assert forest.leaf_entry_count == oracle.leaf_entry_count
+
+
+def test_close_is_bounded_and_idempotent_after_crash(tmp_path):
+    forest = ShardedForest.create(
+        str(tmp_path / "s"), shard_config(join_timeout=2.0)
+    )
+    forest.insert(1, MovingPoint((5.0, 5.0), (0.1, 0.0), 0.0, 50.0))
+    forest.crash_worker(forest.partitioner.partition_of(
+        MovingPoint((5.0, 5.0), (0.1, 0.0), 0.0, 50.0)
+    ))
+    forest.close()  # must not hang on the dead worker
+    forest.close()  # idempotent
+    with pytest.raises(Exception, match="closed"):
+        forest.insert(2, MovingPoint((5.0, 5.0), (0.1, 0.0), 0.0, 50.0))
+
+
+def test_worker_errors_report_the_traceback(tmp_path):
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        point = MovingPoint((5.0, 5.0), (0.1, 0.0), 0.0, 50.0)
+        forest.insert(1, point)
+        # Bulk-loading a non-empty shard is a worker-side ValueError;
+        # it must come back as a reported fault with the traceback.
+        with pytest.raises(ShardWorkerError, match="Traceback"):
+            forest.bulk_load([(point, 2)])
+        # The worker survives a reported error and keeps serving.
+        assert forest.leaf_entry_count == 1
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def test_buffer_budget_splits_across_workers():
+    config = shard_config(workers=2, tree=TREE.with_(buffer_pages=9))
+    shares = [config.member_tree_config(i).buffer_pages for i in range(2)]
+    assert shares == [5, 4]
+    whole = config.with_(split_buffer=False)
+    assert whole.member_tree_config(0).buffer_pages == 9
+
+
+def test_config_rejects_degenerate_values():
+    with pytest.raises(ValueError):
+        ShardConfig(workers=0)
+    with pytest.raises(ValueError):
+        ShardConfig(batch_ops=0)
+    with pytest.raises(ValueError):
+        ShardConfig(window=0)
+
+
+# -- serving frontend over shards ---------------------------------------------
+
+
+def test_frontend_serves_sharded_index(tmp_path):
+    workload = small_workload(seed=9, insertions=120)
+    expected, _ = oracle_replay(workload.ops)
+    forest = ShardedForest.create(str(tmp_path / "s"), shard_config())
+    try:
+        frontend = ServiceFrontend(
+            forest,
+            FrontendConfig(queue_capacity=10_000, checkpoint_interval=60),
+        )
+        report = frontend.run(workload.ops)
+        assert report.served_queries == len(expected)
+        assert report.failed_queries == 0
+        by_index = {o.index: o for o in report.outcomes}
+        for index, answer in expected.items():
+            assert by_index[index].answer == tuple(sorted(answer))
+        assert report.checkpoints >= 1
+    finally:
+        forest.close()

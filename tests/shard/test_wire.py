@@ -1,0 +1,182 @@
+"""Property tests for the shard wire format: round-trip identity.
+
+Scatter-gather answers can only be bit-identical to a single-tree run
+if every report crossing the pipe reconstructs the exact IEEE-754
+doubles it was encoded from — including negative zero, subnormal
+("denormal") magnitudes and infinite expirations.  Equality via ``==``
+would paper over ``-0.0 == 0.0``, so these tests compare raw bit
+patterns.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.shard.wire import MAGIC, OpCodec
+from repro.workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+
+DIMS = 2
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+oids = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def f64_bits(value):
+    return struct.pack("<d", value)
+
+
+def same_bits(a, b):
+    return f64_bits(a) == f64_bits(b)
+
+
+@st.composite
+def points(draw):
+    pos = tuple(draw(finite) for _ in range(DIMS))
+    vel = tuple(draw(finite) for _ in range(DIMS))
+    t_ref = draw(finite)
+    # Expirations stress subnormal offsets and the infinite sentinel.
+    delta = draw(
+        st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=0.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+    t_exp = t_ref + delta
+    return MovingPoint(pos, vel, t_ref, t_exp)
+
+
+@st.composite
+def rects(draw):
+    lows, highs = [], []
+    for _ in range(DIMS):
+        a, b = draw(finite), draw(finite)
+        lows.append(min(a, b))
+        highs.append(max(a, b))
+    return Rect(tuple(lows), tuple(highs))
+
+
+@st.composite
+def queries(draw):
+    t1 = draw(finite)
+    t2 = t1 + draw(
+        st.floats(min_value=0.0, allow_nan=False, allow_infinity=False)
+    )
+    kind = draw(st.sampled_from(["timeslice", "window", "moving"]))
+    if kind == "timeslice":
+        return TimesliceQuery(draw(rects()), t1)
+    if kind == "window":
+        return WindowQuery(draw(rects()), t1, t2)
+    return MovingQuery(draw(rects()), draw(rects()), t1, t2)
+
+
+@st.composite
+def operations(draw):
+    time = draw(finite)
+    kind = draw(st.sampled_from(["insert", "delete", "update", "query"]))
+    if kind == "insert":
+        return InsertOp(time, draw(oids), draw(points()))
+    if kind == "delete":
+        return DeleteOp(time, draw(oids), draw(points()))
+    if kind == "update":
+        return UpdateOp(time, draw(oids), draw(points()), draw(points()))
+    return QueryOp(time, draw(queries()))
+
+
+def assert_point_identical(a, b):
+    assert a.dims == b.dims
+    for x, y in zip((*a.pos, *a.vel, a.t_ref, a.t_exp),
+                    (*b.pos, *b.vel, b.t_ref, b.t_exp)):
+        assert same_bits(x, y)
+
+
+def assert_rect_identical(a, b):
+    for x, y in zip((*a.lo, *a.hi), (*b.lo, *b.hi)):
+        assert same_bits(x, y)
+
+
+def assert_op_identical(a, b):
+    assert type(a) is type(b)
+    assert same_bits(a.time, b.time)
+    if isinstance(a, (InsertOp, DeleteOp)):
+        assert a.oid == b.oid
+        assert_point_identical(a.point, b.point)
+    elif isinstance(a, UpdateOp):
+        assert a.oid == b.oid
+        assert_point_identical(a.old_point, b.old_point)
+        assert_point_identical(a.new_point, b.new_point)
+    else:
+        qa, qb = a.query, b.query
+        assert type(qa) is type(qb)
+        if isinstance(qa, TimesliceQuery):
+            assert_rect_identical(qa.rect, qb.rect)
+            assert same_bits(qa.t, qb.t)
+        elif isinstance(qa, WindowQuery):
+            assert_rect_identical(qa.rect, qb.rect)
+            assert same_bits(qa.t1, qb.t1)
+            assert same_bits(qa.t2, qb.t2)
+        else:
+            assert_rect_identical(qa.rect1, qb.rect1)
+            assert_rect_identical(qa.rect2, qb.rect2)
+            assert same_bits(qa.t1, qb.t1)
+            assert same_bits(qa.t2, qb.t2)
+
+
+@given(ops=st.lists(operations(), max_size=12))
+def test_op_batch_round_trips_bit_identically(ops):
+    codec = OpCodec(DIMS)
+    decoded = codec.decode_ops(codec.encode_ops(ops))
+    assert len(decoded) == len(ops)
+    for original, back in zip(ops, decoded):
+        assert_op_identical(original, back)
+
+
+@given(
+    answers=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.lists(oids, max_size=20),
+        ),
+        max_size=8,
+    )
+)
+def test_answer_block_round_trips_exactly(answers):
+    codec = OpCodec(DIMS)
+    decoded = codec.decode_answers(
+        codec.encode_answers([(i, list(o)) for i, o in answers])
+    )
+    assert decoded == [(i, list(o)) for i, o in answers]
+
+
+@given(entries=st.lists(st.tuples(points(), oids), max_size=15))
+def test_leaf_entries_round_trip_bit_identically(entries):
+    codec = OpCodec(DIMS)
+    decoded = codec.decode_entries(codec.encode_entries(entries))
+    assert len(decoded) == len(entries)
+    for (point, oid), (back, back_oid) in zip(entries, decoded):
+        assert oid == back_oid
+        assert_point_identical(point, back)
+
+
+def test_codec_rejects_foreign_and_mismatched_batches():
+    codec = OpCodec(DIMS)
+    batch = codec.encode_ops([InsertOp(0.0, 1, MovingPoint((1.0, 2.0), (0.0, 0.0)))])
+    with pytest.raises(ValueError, match="magic"):
+        codec.decode_ops(b"\x00" * len(batch))
+    with pytest.raises(ValueError, match="version"):
+        codec.decode_ops(batch[:4] + b"\x7f" + batch[5:])
+    with pytest.raises(ValueError, match="dims"):
+        OpCodec(3).decode_ops(batch)
+    with pytest.raises(ValueError, match="dims"):
+        OpCodec(3).encode_ops([InsertOp(0.0, 1, MovingPoint((1.0, 2.0), (0.0, 0.0)))])
+    assert batch[:4] == struct.pack("<I", MAGIC)
+
+
+def test_codec_rejects_nonpositive_dimensionality():
+    with pytest.raises(ValueError):
+        OpCodec(0)

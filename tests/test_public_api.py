@@ -24,6 +24,9 @@ def test_top_level_exports():
     "repro.core",
     "repro.workloads",
     "repro.experiments",
+    "repro.serve",
+    "repro.obs",
+    "repro.shard",
 ])
 def test_subpackage_all_exports_resolve(module):
     mod = importlib.import_module(module)
