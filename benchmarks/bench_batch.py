@@ -1,0 +1,317 @@
+"""Cross-query batched traversal vs sequential queries, with identity.
+
+Builds one population (the uniform workload's first reports), answers a
+1000-query mixed batch (timeslice / window / moving) both ways on every
+index shape, and holds the run to two promises:
+
+1. **Identity** — ``query_batch`` returns *bit-identical* answers (same
+   oids, same order) to K sequential ``query`` calls on the single
+   tree, the partitioned forest and the process-parallel sharded index.
+2. **Throughput** — the batched traversal answers the 1000-query batch
+   at least 5x faster than the sequential loop on the single tree at
+   the CI scale (tiny); at larger scales the tree gates at 3x and the
+   best shape must still clear 5x (see ``MIN_TREE_SPEEDUP``).
+
+The run also profiles a full durable cycle (create → insert →
+checkpoint → close → recover → query) twice: once with the zero-copy
+``numpy.frombuffer`` page decode and once with the per-entry ``struct``
+loop it replaced, recording both cProfile top-10s.  The gate: no
+``serial.py`` frame may appear in the zero-copy cycle's top-10 — page
+encode/decode must stay off the hot path.
+
+Writes ``BENCH_batch.json`` for CI artifacts.  Scale follows
+``REPRO_SCALE`` (default: tiny).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pstats
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.clock import SimulationClock
+from repro.core.forest import PartitionedMovingObjectForest
+from repro.core.presets import forest_config, rexp_config
+from repro.core.tree import MovingObjectTree
+from repro.experiments.runner import split_initial_population
+from repro.experiments.scale import SCALES
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.shard import ShardConfig, ShardedForest
+from repro.storage import serial
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+SCALE = SCALES[os.environ.get("REPRO_SCALE", "tiny")]
+QUERY_COUNT = 1000
+#: The 5x gate applies to the single tree at the CI scale (tiny).  At
+#: larger scales per-node entry counts grow, so the sequential numpy
+#: kernels already amortize more of the per-node cost and the tree's
+#: batch advantage shrinks toward the floor below — while the forest
+#: and sharded shapes (more Python-level routing per sequential query)
+#: keep gaining well past 5x.  The best shape must clear 5x everywhere.
+MIN_TREE_SPEEDUP = 5.0 if SCALE.name == "tiny" else 3.0
+MIN_BEST_SPEEDUP = 5.0
+SPACE = 1000.0
+PROFILE_QUERIES = 600
+
+_REPORT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def _population():
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=SCALE.target_population,
+            insertions=SCALE.insertions,
+            update_interval=60.0,
+            # No queries in the stream (one query per this many
+            # insertions): the whole report prefix becomes the
+            # bulk-loadable population the batch is measured on.
+            queries_per_insertions=SCALE.insertions + 1,
+            seed=0,
+        ),
+        FixedPeriod(120.0),
+    )
+    initial, _ = split_initial_population(workload)
+    return initial
+
+
+def _queries(t_end, count=QUERY_COUNT, seed=1):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        x, y = rng.uniform(0.0, SPACE - 100.0), rng.uniform(0.0, SPACE - 100.0)
+        rect = Rect((x, y), (x + 100.0, y + 100.0))
+        kind = rng.randrange(3)
+        if kind == 0:
+            queries.append(TimesliceQuery(rect, t_end + rng.uniform(0.0, 30.0)))
+            continue
+        t1 = t_end + rng.uniform(0.0, 20.0)
+        if kind == 1:
+            queries.append(WindowQuery(rect, t1, t1 + rng.uniform(0.0, 10.0)))
+            continue
+        x2 = rng.uniform(0.0, SPACE - 100.0)
+        y2 = rng.uniform(0.0, SPACE - 100.0)
+        rect2 = Rect((x2, y2), (x2 + 100.0, y2 + 100.0))
+        queries.append(MovingQuery(rect, rect2, t1, t1 + rng.uniform(0.0, 10.0)))
+    return queries
+
+
+def _sizing():
+    return dict(page_size=SCALE.page_size, buffer_pages=SCALE.buffer_pages)
+
+
+def _timed_pair(index, queries):
+    """(sequential answers, batched answers, t_seq, t_batch)."""
+    start = time.perf_counter()
+    sequential = [index.query(query) for query in queries]
+    t_seq = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = index.query_batch(queries)
+    t_batch = time.perf_counter() - start
+    return sequential, batched, t_seq, t_batch
+
+
+def _assert_identical(label, sequential, batched):
+    for position, (want, got) in enumerate(zip(sequential, batched)):
+        assert got == want, (
+            f"{label}: query {position} returned {got}, sequential said "
+            f"{want}"
+        )
+
+
+def _profile_durable_cycle(initial, queries, use_numpy_codec):
+    """cProfile a create→checkpoint→close→recover→query durable cycle."""
+    directory = tempfile.mkdtemp(prefix="bench-batch-prof-")
+    config = rexp_config(**_sizing(), default_ui=60.0)
+    saved = serial.np
+    if not use_numpy_codec:
+        serial.np = None  # the pre-zero-copy per-entry struct loop
+    profiler = cProfile.Profile()
+    try:
+        clock = SimulationClock()
+        tree = MovingObjectTree.create_durable(directory, config, clock)
+        for oid, point in initial:
+            clock.advance_to(point.t_ref)
+            tree.insert(oid, point)
+        tree.checkpoint()
+        tree.close()
+        # Profile the codec-heavy half: recovery decodes every live
+        # page, and the first queries fault them through the buffer.
+        profiler.enable()
+        reopened = MovingObjectTree.open_from(
+            directory, config, SimulationClock()
+        )
+        for query in queries[:PROFILE_QUERIES]:
+            reopened.query(query)
+        reopened.close()
+        profiler.disable()
+    finally:
+        serial.np = saved
+        shutil.rmtree(directory, ignore_errors=True)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (_, calls, _, cumulative, _) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    ):
+        filename, line, name = func
+        if "~" in filename or "cProfile" in filename:
+            continue  # profiler bookkeeping frames
+        rows.append({
+            "function": f"{os.path.basename(filename)}:{line}({name})",
+            "file": os.path.basename(filename),
+            "calls": calls,
+            "cumulative_seconds": round(cumulative, 4),
+        })
+        if len(rows) >= 10:
+            break
+    return rows
+
+
+def test_batched_queries_beat_sequential_with_identical_answers():
+    initial = _population()
+    assert initial, "workload produced no initial population"
+    t_end = max(point.t_ref for _, point in initial)
+    queries = _queries(t_end)
+    runs = {}
+    out_lines = [
+        f"[repro] batched traversal: {len(initial)} objects, "
+        f"{len(queries)} mixed queries (scale {SCALE.name})",
+        f"[repro] {'index':<10} {'seq s':>8} {'batch s':>8} {'speedup':>8}",
+    ]
+
+    # Single tree: the 5x gate applies here.
+    clock = SimulationClock()
+    tree = MovingObjectTree(rexp_config(**_sizing(), default_ui=60.0), clock)
+    clock.advance_to(initial[0][1].t_ref)
+    tree.bulk_load([(point, oid) for oid, point in initial])
+    clock.advance_to(t_end)
+    sequential, batched, t_seq, t_batch = _timed_pair(tree, queries)
+    _assert_identical("tree", sequential, batched)
+    tree_speedup = t_seq / max(t_batch, 1e-9)
+    runs["tree"] = {
+        "sequential_seconds": round(t_seq, 4),
+        "batched_seconds": round(t_batch, 4),
+        "speedup": round(tree_speedup, 2),
+    }
+    out_lines.append(f"[repro] {'tree':<10} {t_seq:>8.3f} {t_batch:>8.3f} "
+                     f"{tree_speedup:>7.1f}x")
+
+    # Partitioned forest: identity (and an honest number).
+    clock = SimulationClock()
+    forest = PartitionedMovingObjectForest(
+        forest_config(partitions=4, **_sizing(), default_ui=60.0), clock
+    )
+    clock.advance_to(initial[0][1].t_ref)
+    forest.insert_batch(initial)
+    clock.advance_to(t_end)
+    sequential, batched, t_seq, t_batch = _timed_pair(forest, queries)
+    _assert_identical("forest", sequential, batched)
+    runs["forest"] = {
+        "sequential_seconds": round(t_seq, 4),
+        "batched_seconds": round(t_batch, 4),
+        "speedup": round(t_seq / max(t_batch, 1e-9), 2),
+    }
+    out_lines.append(f"[repro] {'forest':<10} {t_seq:>8.3f} {t_batch:>8.3f} "
+                     f"{runs['forest']['speedup']:>7.1f}x")
+
+    # Sharded index: one wire batch of K queries per reachable shard.
+    base = tempfile.mkdtemp(prefix="bench-batch-shards-")
+    try:
+        sharded = ShardedForest.create(
+            os.path.join(base, "s"),
+            ShardConfig(
+                workers=2,
+                tree=rexp_config(**_sizing(), default_ui=60.0),
+                space=SPACE,
+                batch_ops=256,
+            ),
+        )
+        try:
+            sharded.clock.advance_to(initial[0][1].t_ref)
+            for oid, point in initial:
+                sharded.insert(oid, point)
+            sharded.clock.advance_to(t_end)
+            sequential, batched, t_seq, t_batch = _timed_pair(
+                sharded, queries
+            )
+            _assert_identical("sharded", sequential, batched)
+        finally:
+            sharded.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    runs["sharded"] = {
+        "sequential_seconds": round(t_seq, 4),
+        "batched_seconds": round(t_batch, 4),
+        "speedup": round(t_seq / max(t_batch, 1e-9), 2),
+    }
+    out_lines.append(f"[repro] {'sharded':<10} {t_seq:>8.3f} {t_batch:>8.3f} "
+                     f"{runs['sharded']['speedup']:>7.1f}x")
+
+    # Profile evidence: page codec off the durable cycle's top-10.
+    struct_top = _profile_durable_cycle(initial, queries,
+                                        use_numpy_codec=False)
+    zero_copy_top = _profile_durable_cycle(initial, queries,
+                                           use_numpy_codec=True)
+    offenders = [row["function"] for row in zero_copy_top
+                 if row["file"] == "serial.py"]
+
+    payload = {
+        "scale": SCALE.name,
+        "objects": len(initial),
+        "queries": len(queries),
+        "query_mix": "timeslice / window / moving, uniform thirds",
+        "oracle": "K sequential query() calls; every batched answer "
+                  "asserted bit-identical (same oids, same order)",
+        "gates": {
+            "tree_min_speedup": MIN_TREE_SPEEDUP,
+            "best_shape_min_speedup": MIN_BEST_SPEEDUP,
+            "note": "the single-tree 5x gate applies at the CI scale "
+                    "(tiny); larger per-node entry counts let the "
+                    "sequential kernels amortize more, so bigger scales "
+                    "gate the tree at 3x and require the best shape "
+                    "(forest or sharded) to clear 5x",
+        },
+        "runs": runs,
+        "profile_durable_cycle": {
+            "workload": f"open_from (WAL recovery) -> {PROFILE_QUERIES} "
+                        "queries over a checkpointed store; the "
+                        "codec-heavy half of the cycle (the build half "
+                        "is identical either way)",
+            "before_struct_loop_top10": struct_top,
+            "after_zero_copy_top10": zero_copy_top,
+        },
+    }
+    _REPORT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    out = __import__("sys").__stdout__
+    print("", file=out)
+    for line in out_lines:
+        print(line, file=out)
+    print(f"[repro] wrote {_REPORT.name}; durable-cycle top-10 serial.py "
+          f"frames: {offenders or 'none'}", file=out)
+
+    assert not offenders, (
+        "page encode/decode still on the durable cycle's profile top-10: "
+        f"{offenders}"
+    )
+    assert tree_speedup >= MIN_TREE_SPEEDUP, (
+        f"batched traversal only {tree_speedup:.2f}x over sequential on "
+        f"the {QUERY_COUNT}-query batch (need >= {MIN_TREE_SPEEDUP}x at "
+        f"scale {SCALE.name})"
+    )
+    best = max(run["speedup"] for run in runs.values())
+    assert best >= MIN_BEST_SPEEDUP, (
+        f"no index shape cleared {MIN_BEST_SPEEDUP}x on the "
+        f"{QUERY_COUNT}-query batch (best {best:.2f}x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    test_batched_queries_beat_sequential_with_identical_answers()

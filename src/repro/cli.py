@@ -8,6 +8,7 @@
     python -m repro workload --expt 120      # generate + summarize
     python -m repro compare                  # quick R^exp vs TPR duel
     python -m repro bulkload --scale small   # STR packing vs insertion
+    python -m repro batch --queries 1000     # batched vs sequential queries
     python -m repro forest --partitions 2 4  # velocity-partitioned forest
     python -m repro profile                  # traced run: tails + events
     python -m repro layout --page-size 4096  # node fan-outs
@@ -475,6 +476,97 @@ def cmd_bulkload(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from .core.clock import SimulationClock
+    from .core.forest import PartitionedMovingObjectForest
+    from .core.tree import MovingObjectTree
+    from .experiments.runner import split_initial_population
+    from .geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+    from .geometry.rect import Rect
+
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=args.ui,
+            seed=args.seed,
+        ),
+        policy,
+    )
+    initial, _ = split_initial_population(workload)
+    if not initial:
+        print("workload produced no initial population", file=sys.stderr)
+        return 2
+    t_end = max(point.t_ref for _, point in initial)
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+
+    rng = random.Random(args.seed + 1)
+
+    def make_query():
+        x, y = rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)
+        rect = Rect((x, y), (x + 100.0, y + 100.0))
+        kind = rng.randrange(3)
+        if kind == 0:
+            return TimesliceQuery(rect, t_end + rng.uniform(0.0, 30.0))
+        t1 = t_end + rng.uniform(0.0, 20.0)
+        if kind == 1:
+            return WindowQuery(rect, t1, t1 + rng.uniform(0.0, 10.0))
+        x2, y2 = rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)
+        rect2 = Rect((x2, y2), (x2 + 100.0, y2 + 100.0))
+        return MovingQuery(rect, rect2, t1, t1 + rng.uniform(0.0, 10.0))
+
+    queries = [make_query() for _ in range(args.queries)]
+    print(f"population: {len(initial)} first reports, "
+          f"{len(queries)} mixed queries (scale {scale.name}, "
+          f"seed {args.seed})")
+
+    def build_tree():
+        clock = SimulationClock()
+        tree = MovingObjectTree(rexp_config(**sizing), clock)
+        clock.advance_to(initial[0][1].t_ref)
+        tree.bulk_load([(point, oid) for oid, point in initial])
+        clock.advance_to(t_end)
+        return tree
+
+    def build_forest():
+        clock = SimulationClock()
+        forest = PartitionedMovingObjectForest(
+            forest_config(partitions=args.partitions, **sizing), clock
+        )
+        clock.advance_to(initial[0][1].t_ref)
+        forest.insert_batch([(oid, point) for oid, point in initial])
+        clock.advance_to(t_end)
+        return forest
+
+    print(f"{'index':<10}{'sequential (s)':>16}{'batched (s)':>14}"
+          f"{'speedup':>9}{'answers':>9}")
+    mismatches = 0
+    for label, index in (("tree", build_tree()), ("forest", build_forest())):
+        start = time.perf_counter()
+        sequential = [index.query(query) for query in queries]
+        t_seq = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = index.query_batch(queries)
+        t_bat = time.perf_counter() - start
+        bad = sum(1 for a, b in zip(sequential, batched) if a != b)
+        mismatches += bad
+        speedup = t_seq / t_bat if t_bat > 0.0 else float("inf")
+        status = "equal" if bad == 0 else f"{bad} DIFFER"
+        print(f"{label:<10}{t_seq:>16.3f}{t_bat:>14.3f}{speedup:>8.1f}x"
+              f"{status:>9}")
+    if mismatches:
+        print(f"batched answers differ from sequential on {mismatches} "
+              f"queries", file=sys.stderr)
+        return 1
+    print("batched answers identical to sequential on both indexes")
+    return 0
+
+
 def _sniff_tree_config(directory: str, buffer_pages: int):
     """Rebuild a tree configuration from a durable store's header."""
     from .core.config import TreeConfig
@@ -825,6 +917,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeslice queries compared across both trees")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_bulkload)
+
+    p = sub.add_parser(
+        "batch",
+        help="cross-query batched traversal vs sequential queries",
+    )
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    p.add_argument("--queries", type=int, default=1000,
+                   help="queries answered both ways and compared")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="velocity classes in the forest comparison")
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
         "forest",

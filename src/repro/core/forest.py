@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
@@ -171,6 +171,7 @@ class ForestConfig:
 
     @property
     def dims(self) -> int:
+        """Spatial dimensionality shared by every member tree."""
         return self.tree.dims
 
     def member_tree_config(self, index: int = 0) -> TreeConfig:
@@ -216,28 +217,35 @@ class ForestStats:
 
     @property
     def reads(self) -> int:
+        """Page reads summed over all members."""
         return self._sum("reads")
 
     @property
     def writes(self) -> int:
+        """Page writes summed over all members."""
         return self._sum("writes")
 
     @property
     def allocations(self) -> int:
+        """Page allocations summed over all members."""
         return self._sum("allocations")
 
     @property
     def frees(self) -> int:
+        """Page frees summed over all members."""
         return self._sum("frees")
 
     @property
     def total(self) -> int:
+        """Total page I/O operations (reads plus writes)."""
         return self.reads + self.writes
 
     def snapshot(self) -> IOSnapshot:
+        """Capture the current aggregate counters as a snapshot."""
         return IOSnapshot(self.reads, self.writes, self.allocations, self.frees)
 
     def since(self, snap: IOSnapshot) -> IOSnapshot:
+        """Aggregate I/O accrued since ``snap`` was captured."""
         return IOSnapshot(
             self.reads - snap.reads,
             self.writes - snap.writes,
@@ -329,6 +337,7 @@ class PartitionedMovingObjectForest:
         os.makedirs(directory, exist_ok=True)
 
         def factory(i, cfg, clk):
+            """Create member ``i``'s durable tree under the forest root."""
             return MovingObjectTree.create_durable(
                 cls.member_directory(directory, i), cfg, clk, fsync=fsync
             )
@@ -372,6 +381,7 @@ class PartitionedMovingObjectForest:
         partitioner = _partitioner_from_manifest(manifest["partitioner"])
 
         def factory(i, cfg, clk):
+            """Reopen member ``i``'s durable tree from disk."""
             return MovingObjectTree.open_from(
                 cls.member_directory(directory, i),
                 cfg,
@@ -443,6 +453,7 @@ class PartitionedMovingObjectForest:
             registry.gauge("forest.pages", fn=lambda: self.page_count)
 
     def disable_observability(self) -> None:
+        """Detach the metrics registry from the forest and members."""
         self._obs_routes = None
         for tree in self.trees:
             tree.disable_observability()
@@ -451,10 +462,12 @@ class PartitionedMovingObjectForest:
 
     @property
     def now(self) -> float:
+        """The current simulation time."""
         return self.clock.time
 
     @property
     def partitions(self) -> int:
+        """Number of member trees in the forest."""
         return len(self.trees)
 
     def tree_for(self, point: MovingPoint) -> MovingObjectTree:
@@ -506,6 +519,69 @@ class PartitionedMovingObjectForest:
             results.extend(self.trees[index].query(query))
         return results
 
+    def query_batch(
+        self, queries: Sequence[SpatioTemporalQuery]
+    ) -> List[List[int]]:
+        """Answer K queries with one shared traversal per reachable member.
+
+        Queries are grouped by the members their regions reach, each
+        member answers its group through
+        :meth:`MovingObjectTree.query_batch`, and every query's partial
+        answers are concatenated in *that query's own*
+        ``query_partitions`` order — grid partitioners with a finite
+        reach do not enumerate cells in ascending member order, so a
+        global merge order would not match :meth:`query`.  The result
+        is bit-identical (including order) to
+        ``[self.query(q) for q in queries]``.
+        """
+        if not queries:
+            return []
+        targets = [
+            self.partitioner.query_partitions(query.region())
+            for query in queries
+        ]
+        per_member: Dict[int, List[int]] = {}
+        for position, members in enumerate(targets):
+            for index in members:
+                per_member.setdefault(index, []).append(position)
+        parts: List[Dict[int, List[int]]] = [{} for _ in queries]
+        for index, positions in per_member.items():
+            answers = self.trees[index].query_batch(
+                [queries[position] for position in positions]
+            )
+            for position, answer in zip(positions, answers):
+                parts[position][index] = answer
+        return [
+            [
+                oid
+                for index in targets[position]
+                for oid in parts[position][index]
+            ]
+            for position in range(len(queries))
+        ]
+
+    def insert_batch(self, reports: Sequence[Tuple[int, MovingPoint]]) -> None:
+        """Index a report batch grouped by routing target (group update).
+
+        The batch is stably grouped by member *before* any page is
+        touched, so each member tree works through one contiguous run
+        of inserts instead of interleaving buffer traffic with the
+        other members.  Within a member the insertion order is the
+        batch order, so the resulting forest state is identical to
+        inserting the reports one by one.
+        """
+        groups: Dict[int, List[Tuple[int, MovingPoint]]] = {}
+        for oid, point in reports:
+            index = self.partitioner.partition_of(point)
+            groups.setdefault(index, []).append((oid, point))
+        for index in sorted(groups):
+            group = groups[index]
+            if self._obs_routes is not None:
+                self._obs_routes[index].inc(len(group))
+            tree = self.trees[index]
+            for oid, point in group:
+                tree.insert(oid, point)
+
     def bulk_load(self, entries: Sequence[LeafEntry]) -> None:
         """Partition the population, then STR-pack each member tree.
 
@@ -537,6 +613,7 @@ class PartitionedMovingObjectForest:
 
     @property
     def height(self) -> int:
+        """Height of the tallest member tree."""
         return max(tree.height for tree in self.trees)
 
     @property
@@ -546,9 +623,11 @@ class PartitionedMovingObjectForest:
 
     @property
     def leaf_entry_count(self) -> int:
+        """Live leaf entries summed over all members."""
         return sum(tree.leaf_entry_count for tree in self.trees)
 
     def partition_page_counts(self) -> List[int]:
+        """Per-member index sizes in disk pages."""
         return [tree.page_count for tree in self.trees]
 
     def partition_snapshots(self) -> List[IOSnapshot]:
@@ -556,9 +635,11 @@ class PartitionedMovingObjectForest:
         return [tree.stats.snapshot() for tree in self.trees]
 
     def partition_audits(self) -> List[TreeAudit]:
+        """Per-member structural audits (invariant checks)."""
         return [tree.audit() for tree in self.trees]
 
     def partition_labels(self) -> List[str]:
+        """Human-readable label for each partition slot."""
         return [self.partitioner.label(i) for i in range(self.partitions)]
 
     def level_occupancy(self) -> "dict[int, tuple]":

@@ -23,14 +23,18 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..geometry import kernels as _kernels
 from ..geometry.bounding import compute_tpbr
 from ..geometry.kernels import (
     batch_region_intersects,
     batch_region_matches,
+    multi_query_hits,
     pack_points,
+    pack_queries,
     pack_tpbrs,
+    select_queries,
 )
-from ..geometry.intersection import region_matches_point
+from ..geometry.intersection import region_intersects_tpbr, region_matches_point
 from ..geometry.kinematics import NEVER, MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
 from ..geometry.tpbr import TPBR
@@ -68,6 +72,7 @@ class TreeAudit:
 
     @property
     def expired_fraction(self) -> float:
+        """Fraction of leaf entries whose expiration time has passed."""
         if self.leaf_entries == 0:
             return 0.0
         return self.expired_leaf_entries / self.leaf_entries
@@ -205,6 +210,7 @@ class MovingObjectTree:
         layout = self.config.layout()
         self.leaf_capacity = layout.leaf_capacity
         self.internal_capacity = layout.internal_capacity
+        self.max_oid = layout.max_oid
         self._rng = random.Random(self.config.seed)
         self.horizon = HorizonTracker(
             now=self.clock.now,
@@ -426,6 +432,7 @@ class MovingObjectTree:
             )
 
     def disable_observability(self) -> None:
+        """Detach the metrics registry and tracer from this tree."""
         self._obs = None
         self._tracer = None
 
@@ -433,6 +440,7 @@ class MovingObjectTree:
 
     @property
     def now(self) -> float:
+        """The current simulation time."""
         return self.clock.time
 
     def insert(self, oid: int, point: MovingPoint) -> None:
@@ -443,7 +451,19 @@ class MovingObjectTree:
         else:
             self._insert(oid, point)
 
+    def _check_oid(self, oid: int) -> None:
+        # The page codec stores oids as u32 (the shard wire format is
+        # i64, so the codec is the narrower of the two); rejecting here
+        # gives a clear error instead of a struct.error when the page
+        # is eventually encoded inside a commit or snapshot.
+        if oid < 0 or oid > self.max_oid:
+            raise ValueError(
+                f"oid {oid} outside the page codec's unsigned "
+                f"32-bit range [0, {self.max_oid}]"
+            )
+
     def _insert(self, oid: int, point: MovingPoint) -> None:
+        self._check_oid(oid)
         if point.dims != self.config.dims:
             raise ValueError(
                 f"expected {self.config.dims}-d point, got {point.dims}-d"
@@ -475,6 +495,7 @@ class MovingObjectTree:
             raise ValueError("bulk_load requires an empty tree")
         prepared: List[LeafEntry] = []
         for point, oid in entries:
+            self._check_oid(oid)
             if point.dims != self.config.dims:
                 raise ValueError(
                     f"expected {self.config.dims}-d point, got {point.dims}-d"
@@ -578,6 +599,114 @@ class MovingObjectTree:
         self.buffer.flush_all()
         return results
 
+    def query_batch(
+        self, queries: Sequence[SpatioTemporalQuery]
+    ) -> List[List[int]]:
+        """Answer K concurrent queries in **one** shared traversal.
+
+        The frontier is a stack of ``(page, active-query set)`` pairs:
+        a node is visited at most once per batch (instead of once per
+        matching query) and its cached struct-of-arrays form is tested
+        against every active query at once by the multi-query kernel.
+        The answers are bit-identical to ``[self.query(q) for q in
+        queries]``, *including order*: each tree node has exactly one
+        parent, so a query's frames form a proper LIFO subsequence of
+        the shared stack — frames of other queries interleave but never
+        reorder it — which reproduces the query's own depth-first leaf
+        visit order, and hits within a leaf are appended in entry
+        order just as the sequential descent does.
+
+        Observability note: the batch path records one ``tree.queries``
+        increment per query and a single ``tree.query_batch`` span; the
+        per-query node/depth histograms are only fed by the sequential
+        path.
+        """
+        if self._tracer is not None:
+            with self._tracer.span(
+                "tree.query_batch", queries=len(queries)
+            ) as span:
+                results = self._query_batch(queries)
+                span.set(results=sum(len(r) for r in results))
+        else:
+            results = self._query_batch(queries)
+        if self._obs is not None and queries:
+            self._obs.queries.inc(len(queries))
+        return results
+
+    def _query_batch(
+        self, queries: Sequence[SpatioTemporalQuery]
+    ) -> List[List[int]]:
+        count = len(queries)
+        if count == 0:
+            return []
+        regions = [query.region() for query in queries]
+        packed = pack_queries(regions)
+        results: List[List[int]] = [[] for _ in range(count)]
+        if packed is not None:
+            # pack_queries returned arrays, so kernels' numpy is bound.
+            np = _kernels.np
+            stack = [(self.root_pid, np.arange(count, dtype=np.intp))]
+        else:
+            stack = [(self.root_pid, list(range(count)))]
+        while stack:
+            pid, active = stack.pop()
+            node = self._load(pid)
+            entries = node.entries
+            if node.is_leaf:
+                if node.soa is None:
+                    node.soa = pack_points([p for p, _ in entries])
+                if packed is not None and node.soa is not None:
+                    hits = multi_query_hits(
+                        select_queries(packed, active), node.soa
+                    ).tolist()
+                    oids = [oid for _, oid in entries]
+                    for row, position in zip(hits, active.tolist()):
+                        bucket = results[position]
+                        bucket.extend(
+                            oid for oid, hit in zip(oids, row) if hit
+                        )
+                else:
+                    for position in (
+                        active if packed is None else active.tolist()
+                    ):
+                        region = regions[position]
+                        results[position].extend(
+                            oid for point, oid in entries
+                            if region_matches_point(region, point)
+                        )
+            else:
+                if node.soa is None:
+                    node.soa = pack_tpbrs([br for br, _ in entries])
+                if packed is not None and node.soa is not None:
+                    hits = multi_query_hits(
+                        select_queries(packed, active), node.soa
+                    )
+                    # Push in entry order (the sequential descent's
+                    # stack.extend order) so LIFO pops preserve each
+                    # query's own leaf visit sequence.
+                    for column, (_, child) in enumerate(entries):
+                        mask = hits[:, column]
+                        if mask.any():
+                            stack.append((child, active[mask]))
+                else:
+                    for br, child in entries:
+                        sub = [
+                            position
+                            for position in (
+                                active if packed is None
+                                else active.tolist()
+                            )
+                            if region_intersects_tpbr(regions[position], br)
+                        ]
+                        if sub:
+                            if packed is not None:
+                                sub = _kernels.np.asarray(
+                                    sub, dtype=np.intp
+                                )
+                            stack.append((child, sub))
+        self.buffer.flush_all()
+        return results
+
     def _query_observed(self, query: SpatioTemporalQuery) -> List[int]:
         """The :meth:`query` descent with depth/visit accounting.
 
@@ -641,6 +770,7 @@ class MovingObjectTree:
 
     @property
     def height(self) -> int:
+        """The tree's height in levels (a lone leaf root is height 1)."""
         return self.disk.peek(self.root_pid).level + 1
 
     @property

@@ -109,11 +109,12 @@ def _batch_feasible(region, s_lo_off, s_lo_vel, s_hi_off, s_hi_vel, t_exp):
 
 
 def pack_points(points: Sequence[MovingPoint]):
-    """Precompute the struct-of-arrays form consumed by
-    :func:`batch_region_matches`, or ``None`` when the scalar loop would
-    run anyway.  The pack is query-independent, so callers evaluating
-    many queries against the same point set (the tree caches one per
-    node) pay the array extraction once instead of per query.
+    """Precompute the SoA form consumed by :func:`batch_region_matches`.
+
+    Returns ``None`` when the scalar loop would run anyway.  The pack is
+    query-independent, so callers evaluating many queries against the
+    same point set (the tree caches one per node) pay the array
+    extraction once instead of per query.
     """
     if np is None or len(points) < _MIN_BATCH:
         return None
@@ -126,8 +127,10 @@ def pack_points(points: Sequence[MovingPoint]):
 
 
 def pack_tpbrs(brs: Sequence[TPBR]):
-    """Precompute the struct-of-arrays form consumed by
-    :func:`batch_region_intersects` (``None`` → use the scalar loop)."""
+    """Precompute the SoA form consumed by :func:`batch_region_intersects`.
+
+    Returns ``None`` when the scalar loop would run anyway.
+    """
     if np is None or len(brs) < _MIN_BATCH:
         return None
     lo, hi, vlo, vhi, t_ref, t_exp = _tpbr_soa(brs)
@@ -170,6 +173,78 @@ def batch_region_intersects(
     if packed is None:
         return [region_intersects_tpbr(region, br) for br in brs]
     return _batch_feasible(region, *packed)
+
+
+# ---------------------------------------------------------------------------
+# Multi-query intersection kernel
+# ---------------------------------------------------------------------------
+
+
+def pack_queries(regions: Sequence[QueryRegion]):
+    """Precompute the struct-of-arrays form of K query regions.
+
+    The per-query bound lines are evaluated with the same Python-float
+    expressions as :func:`_query_lines`, so row ``k`` of the pack holds
+    exactly the arrays a single-query evaluation of ``regions[k]``
+    would see.  Returns ``None`` when numpy is unbound (callers fall
+    back to per-query scalar loops).
+    """
+    if np is None or not regions:
+        return None
+    dims = regions[0].dims
+    q_lo = np.array(
+        [[r.lo[d] - r.vlo[d] * r.t1 for d in range(dims)] for r in regions]
+    )
+    q_hi = np.array(
+        [[r.hi[d] - r.vhi[d] * r.t1 for d in range(dims)] for r in regions]
+    )
+    q_vlo = np.array([r.vlo for r in regions], dtype=np.float64)
+    q_vhi = np.array([r.vhi for r in regions], dtype=np.float64)
+    t1 = np.array([r.t1 for r in regions], dtype=np.float64)
+    t2 = np.array([r.t2 for r in regions], dtype=np.float64)
+    return (q_lo, q_hi, q_vlo, q_vhi, t1, t2)
+
+
+def select_queries(packed, rows):
+    """Row-select a :func:`pack_queries` result (one row per query)."""
+    q_lo, q_hi, q_vlo, q_vhi, t1, t2 = packed
+    return (q_lo[rows], q_hi[rows], q_vlo[rows], q_vhi[rows],
+            t1[rows], t2[rows])
+
+
+def multi_query_hits(queries, soa):
+    """(K, N) boolean hit matrix of K packed queries against one node.
+
+    ``queries`` is a (possibly row-selected) :func:`pack_queries`
+    result; ``soa`` is the node's cached :func:`pack_points` /
+    :func:`pack_tpbrs` tuple.  Row ``k`` is **bit-identical** to
+    ``_batch_feasible(regions[k], *soa)``: every elementwise operation
+    matches the single-query kernel, and the max/min reductions are
+    order-independent for non-NaN inputs (no NaN can arise — slack is
+    finite and const-masked divisors are at least EPS), so broadcasting
+    K queries against N entries changes nothing.
+    """
+    q_lo, q_hi, q_vlo, q_vhi, t1, t2 = queries
+    s_lo_off, s_lo_vel, s_hi_off, s_hi_vel, t_exp = soa
+    offsets = np.concatenate(
+        [s_hi_off[None, :, :] - q_lo[:, None, :],
+         q_hi[:, None, :] - s_lo_off[None, :, :]], axis=2
+    )
+    slopes = np.concatenate(
+        [s_hi_vel[None, :, :] - q_vlo[:, None, :],
+         q_vhi[:, None, :] - s_lo_vel[None, :, :]], axis=2
+    )
+    slack = offsets + EPS
+    const = np.abs(slopes) < EPS
+    violated = np.any(const & (slack < 0.0), axis=2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        roots = -slack / np.where(const, 1.0, slopes)
+    starts = np.where(~const & (slopes > 0.0), roots, -np.inf)
+    ends = np.where(~const & (slopes < 0.0), roots, np.inf)
+    t_end = np.minimum(t2[:, None], t_exp[None, :])
+    a = np.maximum(t1[:, None], starts.max(axis=2))
+    b = np.minimum(t_end, ends.min(axis=2))
+    return (t_end >= t1[:, None]) & ~violated & (b >= a)
 
 
 # ---------------------------------------------------------------------------

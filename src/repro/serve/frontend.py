@@ -86,6 +86,13 @@ class FrontendConfig:
         sheds the arriving write.
     seed : int
         Seed for the backoff-jitter RNG.
+    batch_queries : int
+        Maximum queries served per tick.  Above 1, a run of already-
+        arrived queries at the head of the admission queue is answered
+        through the index's ``query_batch`` (one shared traversal, one
+        ``service_time`` for the whole run); the default of 1 keeps the
+        one-request-per-tick serving model bit-identical to earlier
+        revisions.
     """
 
     queue_capacity: int = 64
@@ -98,6 +105,7 @@ class FrontendConfig:
     checkpoint_interval: int = 25
     backlog_capacity: int = 256
     seed: int = 0
+    batch_queries: int = 1
 
 
 @dataclass
@@ -511,7 +519,101 @@ class ServiceFrontend:
             start = max(self._vfree, self._queue.peek().arrival)
             if start > horizon:
                 return
-            self._serve(self._queue.pop(), start)
+            batch = self._pop_query_batch(start)
+            if batch is not None:
+                self._serve_query_batch(batch, start)
+            else:
+                self._serve(self._queue.pop(), start)
+
+    def _pop_query_batch(self, start: float) -> Optional[List[Request]]:
+        """Pop up to ``batch_queries`` compatible head queries, or ``None``.
+
+        Compatible means: the breaker is closed, the head request is a
+        query, and every further query has already arrived by ``start``
+        (a tick cannot serve a request from the future).  Returns
+        ``None`` — leaving the queue untouched — whenever batching is
+        off or the head must go through the one-request path.
+        """
+        limit = self.config.batch_queries
+        if limit <= 1 or self._is_open or not self._queue.peek().is_query:
+            return None
+        batch = [self._queue.pop()]
+        while len(batch) < limit and len(self._queue):
+            head = self._queue.peek()
+            if not head.is_query or head.arrival > start:
+                break
+            batch.append(self._queue.pop())
+        return batch
+
+    def _serve_query_batch(self, batch: List[Request], start: float) -> None:
+        """Answer a run of queries in one serving tick.
+
+        Requests whose deadline cannot fit ``start + service_time``
+        time out individually; the survivors are answered through the
+        index's ``query_batch`` (bit-identical to one-by-one queries)
+        and share a single ``service_time``.  A transient fault or a
+        crash during the shared traversal falls back to serving each
+        survivor through the sequential path, which owns the full
+        retry/degraded machinery; the failed batch attempt itself is
+        not counted against the retry budget or the breaker.
+        """
+        live: List[Request] = []
+        for request in batch:
+            if start + self.config.service_time > request.deadline:
+                self._timeout(request, start)
+            else:
+                live.append(request)
+        if live:
+            for request in live:
+                self.index.clock.advance_to(request.op.time)
+            try:
+                self._arm_reads()
+                try:
+                    if hasattr(self.index, "query_batch"):
+                        answers = self.index.query_batch(
+                            [request.op.query for request in live]
+                        )
+                    else:
+                        answers = [
+                            self.index.query(request.op.query)
+                            for request in live
+                        ]
+                finally:
+                    self._disarm_reads()
+            except SimulatedCrash:
+                self._handle_crash(start)
+                self._serve_queries_sequentially(live, start)
+            except TransientIOError:
+                self._serve_queries_sequentially(live, start)
+            else:
+                self._breaker.record_success()
+                self.health.record(True)
+                self._vfree = start + self.config.service_time
+                self.report.served_queries += len(live)
+                self._since_checkpoint += len(live)
+                for request, answer in zip(live, answers):
+                    self.report.outcomes.append(
+                        QueryOutcome(
+                            request.index, request.op.time, "ok",
+                            answer=tuple(sorted(answer)),
+                        )
+                    )
+        for request in batch:
+            self._served = max(self._served, request.index + 1)
+        if (
+            not self._is_open
+            and self._since_checkpoint >= self.config.checkpoint_interval
+        ):
+            self._refresh_snapshot()
+
+    def _serve_queries_sequentially(
+        self, requests: List[Request], start: float
+    ) -> None:
+        """Fallback after a failed batch attempt: one query at a time."""
+        cur = start
+        for request in requests:
+            self._serve_query(request, cur)
+            cur = max(cur, self._vfree)
 
     def _record_shed(self, shed: Request) -> None:
         if shed.is_query:

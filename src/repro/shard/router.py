@@ -615,6 +615,68 @@ class ShardedForest:
                 results.extend(oids)
         return results
 
+    def query_batch(
+        self, queries: Sequence[SpatioTemporalQuery]
+    ) -> List[List[int]]:
+        """Answer K queries with one wire batch per reachable shard.
+
+        Instead of K independent scatters, every shard receives the
+        queries that reach it as packed ``apply`` batches (chunked at
+        ``config.batch_ops``, riding the same pipelined in-flight
+        window as :meth:`apply_ops`); each worker answers its chunk in
+        one shared traversal via
+        :meth:`~repro.core.tree.MovingObjectTree.query_batch`.  Every
+        query's answer is assembled in *that query's own*
+        ``query_partitions`` order, which is exactly the merge order of
+        :meth:`query` — so the answers are bit-identical (including
+        order) to ``[self.query(q) for q in queries]``.
+        """
+        if not queries:
+            return []
+        time = self.clock.time
+        targets = [
+            self.partitioner.query_partitions(query.region())
+            for query in queries
+        ]
+        buffers: List[List[Operation]] = [[] for _ in self._shards]
+        metas: List[List[int]] = [[] for _ in self._shards]
+        for position, (query, reach) in enumerate(zip(queries, targets)):
+            op = QueryOp(time, query)
+            for index in reach:
+                buffers[index].append(op)
+                metas[index].append(position)
+        parts: List[Dict[int, List[int]]] = [{} for _ in queries]
+
+        def consume(shard: _Shard) -> None:
+            seq, batch_metas = shard.inflight[0]
+            reply = self._await(shard, seq)
+            shard.inflight.pop(0)
+            for offset, oids in self.codec.decode_answers(reply[2]):
+                parts[batch_metas[offset]][shard.index] = oids
+
+        limit = self.config.batch_ops
+        for index, shard in enumerate(self._shards):
+            for start in range(0, len(buffers[index]), limit):
+                chunk = buffers[index][start:start + limit]
+                payload = self.codec.encode_ops(chunk)
+                seq = self._send(shard, "apply", payload)
+                shard.inflight.append(
+                    (seq, metas[index][start:start + limit])
+                )
+                while len(shard.inflight) > self.config.window:
+                    consume(shard)
+        for shard in self._shards:
+            while shard.inflight:
+                consume(shard)
+        return [
+            [
+                oid
+                for index in targets[position]
+                for oid in parts[position][index]
+            ]
+            for position in range(len(queries))
+        ]
+
     def bulk_load(self, entries: Sequence[Tuple[MovingPoint, int]]) -> None:
         """Partition a population and STR-pack every shard's tree."""
         groups = self.partitioner.split(entries)

@@ -88,11 +88,38 @@ def _build_tree(
 
 
 def _apply_batch(tree, clock, codec, payload):
-    """Apply one decoded batch; return (answers bytes, failed deletes)."""
+    """Apply one decoded batch; return (answers bytes, failed deletes).
+
+    Runs of consecutive queries at the same timestamp are answered
+    through :meth:`~repro.core.tree.MovingObjectTree.query_batch` — one
+    shared traversal for the whole run — whose answers are bit-identical
+    to querying them one by one, so a router-side query batch costs the
+    shard a single descent per shared node.
+    """
     answers = []
     failed_deletes = 0
-    for position, op in enumerate(codec.decode_ops(payload)):
+    ops = list(codec.decode_ops(payload))
+    total = len(ops)
+    position = 0
+    while position < total:
+        op = ops[position]
         clock.advance_to(op.time)
+        if isinstance(op, QueryOp):
+            stop = position + 1
+            while (
+                stop < total
+                and isinstance(ops[stop], QueryOp)
+                and ops[stop].time == op.time
+            ):
+                stop += 1
+            if stop == position + 1:
+                answers.append((position, tree.query(op.query)))
+            else:
+                run = [ops[i].query for i in range(position, stop)]
+                for offset, oids in enumerate(tree.query_batch(run)):
+                    answers.append((position + offset, oids))
+            position = stop
+            continue
         if isinstance(op, InsertOp):
             tree.insert(op.oid, op.point)
         elif isinstance(op, UpdateOp):
@@ -101,10 +128,9 @@ def _apply_batch(tree, clock, codec, payload):
         elif isinstance(op, DeleteOp):
             if not tree.delete(op.oid, op.point):
                 failed_deletes += 1
-        elif isinstance(op, QueryOp):
-            answers.append((position, tree.query(op.query)))
         else:  # pragma: no cover - decode_ops only yields the four kinds
             raise TypeError(f"unsupported operation {op!r}")
+        position += 1
     return codec.encode_answers(answers), failed_deletes
 
 

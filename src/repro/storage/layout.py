@@ -87,6 +87,18 @@ class EntryLayout:
         return size
 
     @property
+    def max_oid(self) -> int:
+        """Largest object id the page codec can store (unsigned).
+
+        With the default 4-byte oid field this is ``2**32 - 1``.  The
+        shard wire format carries oids as i64, so insert paths validate
+        against this bound up front — otherwise an oversized oid only
+        surfaces as a ``struct.error`` when its page is encoded, deep
+        inside a commit or recovery.
+        """
+        return (1 << (8 * self.oid_bytes)) - 1
+
+    @property
     def leaf_capacity(self) -> int:
         """Maximum number of entries in a leaf node."""
         return (self.page_size - NODE_HEADER_BYTES) // self.leaf_entry_bytes

@@ -527,6 +527,8 @@ class FilePageStore:
                 f"flags {header.flags:#x} vs {layout_flags(layout):#x})"
             )
         codec = NodeCodec(layout)
+        if registry is not None:
+            codec.bind_repair_counter(registry.counter("codec.bound_repairs"))
         report = recover(
             file, wal_path,
             all_expired=_all_expired_predicate(codec),
@@ -537,6 +539,10 @@ class FilePageStore:
             wal=WriteAheadLog(wal_path, stats=wal_stats, fsync=fsync),
             stats=stats,
         )
+        # Share the recovery codec so tolerated bound-inversion repairs
+        # during the slot sweep below (and later reads) keep counting
+        # into the bound registry counter.
+        store.codec = codec
         header = file.read_header()
         for pid in range(file.slot_count):
             slot = file.read_slot(pid)

@@ -6,7 +6,7 @@ that claim concrete: it encodes tree nodes into exactly ``page_size``
 bytes and back.  The in-memory trees keep Python objects in the page
 store for speed (the measured quantity is I/O *count*), but the codec is
 exercised by tests over real trees to prove every node genuinely fits
-its page.
+its page, and by the durable store on every commit and recovery.
 
 Layout notes:
 
@@ -17,32 +17,116 @@ Layout notes:
   same reason); velocities are unaffected.
 * Coordinates, velocities and expiration times are IEEE-754 binary32 —
   the rounding this introduces is the fidelity cost of the paper's
-  4-byte fields.
+  4-byte fields.  Expiration times round toward *+inf* so a decoded
+  bound never under-covers: an entry can linger one binary32 ulp past
+  its true expiration (harmless — lazy purging removes it), but it can
+  never expire early and drop a genuinely-live object after recovery.
+* Object ids are unsigned 32-bit.  The shard wire format
+  (:mod:`repro.shard.wire`) carries oids as i64, so the page codec is
+  the narrower of the two; the trees validate oids at insert time
+  against :attr:`EntryLayout.max_oid` so out-of-range ids fail fast
+  with a clear error instead of a ``struct.error`` deep inside a
+  commit (see DESIGN.md §11).
+
+Decoding widens every binary32 field back to binary64 exactly (both the
+``struct`` and the numpy paths perform the IEEE-754 widening conversion,
+which is lossless, including subnormals, signed zeros and infinities).
+When numpy is importable, whole pages decode through a zero-copy
+:func:`numpy.frombuffer` structured view — one bulk float32→float64
+widening per page instead of a per-entry ``struct.unpack_from`` loop —
+and the widened columns are reused to prepopulate the node's
+struct-of-arrays query cache (``Node.soa``), so a freshly recovered
+page is immediately servable by the batched kernels without re-packing.
 """
 
 from __future__ import annotations
 
 import math
 import struct
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.tpbr import TPBR
 from ..rstar.node import Node
 from .layout import NODE_HEADER_BYTES, EntryLayout
 
+try:  # pragma: no cover - exercised via monkeypatch in tests
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Below this many entries the batched kernels fall back to the scalar
+#: loop (mirrors ``repro.geometry.kernels._MIN_BATCH``), so decode only
+#: prepopulates the SoA cache from this size on.
+_SOA_MIN_ENTRIES = 4
+
 _HEADER = struct.Struct("<HHHxxd")
 assert _HEADER.size == NODE_HEADER_BYTES
 
 _LEAF_FLAG = 0x1
 
+#: Largest finite binary32 value.
+_F32_MAX = float.fromhex("0x1.fffffep+127")
 
-class CodecError(Exception):
-    """Raised when a node cannot be encoded into one page."""
+#: Bound-inversion tolerance for decoded internal entries.  Encoding
+#: rounds the lower bound up and the upper bound down by at most half a
+#: binary32 ulp each, so a legitimate inversion of a degenerate (or
+#: near-degenerate) rectangle is within ~2^-23 relative; anything
+#: beyond twice that is corruption, not rounding.  The absolute floor
+#: covers subnormal bounds whose relative tolerance would underflow.
+_INVERSION_REL_TOL = 2.0 ** -22
+_INVERSION_ABS_TOL = 1e-37
+
+
+class CodecError(ValueError):
+    """Raised when a node cannot be encoded into one page, or when a
+    page image is provably corrupt (inconsistent header, inverted
+    bounds beyond binary32 rounding tolerance).
+
+    Subclasses :class:`ValueError` so the WAL recovery skip predicate's
+    conservative "undecodable → replay verbatim" contract covers codec
+    corruption too; the replayed image then surfaces the error at the
+    open-time decode instead of aborting recovery mid-replay.
+    """
+
+
+def _f32_round_up(value: float) -> float:
+    """Round ``value`` to the nearest binary32 at or above it.
+
+    Used for expiration times so the stored bound never under-covers
+    the true one.  Values beyond the finite binary32 range round to
+    the enclosing representable value (``+inf`` above, ``-FLT_MAX``
+    below); infinities pass through.
+    """
+    if value > _F32_MAX:
+        return math.inf if value != math.inf else value
+    if value < -_F32_MAX:
+        return -_F32_MAX if value != -math.inf else value
+    (widened,) = struct.unpack("<f", struct.pack("<f", value))
+    if widened >= value:
+        return widened
+    # Rounded down: step one binary32 ulp toward +inf via the bit
+    # pattern (math.nextafter works in binary64 and would not land on
+    # the next *binary32*).
+    (bits,) = struct.unpack("<I", struct.pack("<f", widened))
+    bits = bits - 1 if bits & 0x80000000 else bits + 1
+    (result,) = struct.unpack("<f", struct.pack("<I", bits))
+    return result
+
+
+def _inversion_tolerance(lo: float, hi: float) -> float:
+    """Largest ``lo - hi`` excursion attributable to binary32 rounding."""
+    scale = max(abs(lo), abs(hi))
+    return max(_INVERSION_REL_TOL * scale, _INVERSION_ABS_TOL)
 
 
 class NodeCodec:
-    """Encodes/decodes tree nodes under a byte-accurate entry layout."""
+    """Encodes/decodes tree nodes under a byte-accurate entry layout.
+
+    The codec counts silently repaired bound inversions (see
+    :meth:`decode`) in :attr:`repairs`; callers with a metrics registry
+    can mirror the count into a counter via :meth:`bind_repair_counter`.
+    """
 
     def __init__(self, layout: EntryLayout):
         if layout.coord_bytes != 4:
@@ -50,15 +134,48 @@ class NodeCodec:
         self.layout = layout
         d = layout.dims
         leaf_fields = 2 * d + (1 if layout.store_leaf_expiration else 0)
+        self._leaf_fields = leaf_fields
         self._leaf_struct = struct.Struct(f"<{leaf_fields}fI")
         internal_fields = 2 * d
         if layout.store_velocities:
             internal_fields += 2 * d
         if layout.store_br_expiration:
             internal_fields += 1
+        self._internal_fields = internal_fields
         self._internal_struct = struct.Struct(f"<{internal_fields}fI")
         assert self._leaf_struct.size == layout.leaf_entry_bytes
         assert self._internal_struct.size == layout.internal_entry_bytes
+        #: Bound inversions repaired (within tolerance) across decodes.
+        self.repairs = 0
+        self._repair_counter = None
+        if np is not None:
+            self._leaf_dtype = np.dtype(
+                [("f", "<f4", (leaf_fields,)), ("id", "<u4")]
+            )
+            self._internal_dtype = np.dtype(
+                [("f", "<f4", (internal_fields,)), ("id", "<u4")]
+            )
+        else:  # pragma: no cover - import-time fallback
+            self._leaf_dtype = None
+            self._internal_dtype = None
+
+    def bind_repair_counter(self, counter) -> None:
+        """Mirror future bound-inversion repairs into ``counter``.
+
+        Parameters
+        ----------
+        counter : repro.obs.metrics.Counter
+            Incremented once per repaired bound (a registry counter,
+            typically ``codec.bound_repairs``).
+        """
+        self._repair_counter = counter
+
+    def _record_repairs(self, count: int) -> None:
+        """Count ``count`` tolerated bound inversions."""
+        if count:
+            self.repairs += count
+            if self._repair_counter is not None:
+                self._repair_counter.inc(count)
 
     # -- encoding ---------------------------------------------------------------
 
@@ -83,7 +200,12 @@ class NodeCodec:
                 f"{len(node.entries)} entries exceed capacity {capacity}"
             )
         flags = _LEAF_FLAG if node.is_leaf else 0
-        parts = [_HEADER.pack(node.level, len(node.entries), flags, t_ref)]
+        header = _HEADER.pack(node.level, len(node.entries), flags, t_ref)
+        if np is not None and node.entries and self._leaf_dtype is not None:
+            body = self._encode_np(node, t_ref)
+            if body is not None:
+                return (header + body).ljust(self.layout.page_size, b"\0")
+        parts = [header]
         if node.is_leaf:
             for point, oid in node.entries:
                 parts.append(self._encode_leaf_entry(point, oid, t_ref))
@@ -93,31 +215,118 @@ class NodeCodec:
         payload = b"".join(parts)
         return payload.ljust(self.layout.page_size, b"\0")
 
+    def _encode_np(self, node: Node, t_ref: float) -> Optional[bytes]:
+        """Vectorized entry encoding (``None`` → use the struct loop).
+
+        Bit-identical to the per-entry path: float64→float32 narrowing
+        is round-to-nearest in both, the expiration column gets the
+        same round-toward-+inf adjustment, and entries whose coordinate
+        narrowing would overflow fall back to the struct loop so they
+        raise the same ``OverflowError``.
+        """
+        layout = self.layout
+        d = layout.dims
+        count = len(node.entries)
+        if node.is_leaf:
+            fields = self._leaf_fields
+            values = np.empty((count, fields), dtype=np.float64)
+            pos = np.array([p.pos for p, _ in node.entries], dtype=np.float64)
+            vel = np.array([p.vel for p, _ in node.entries], dtype=np.float64)
+            ref = np.array([p.t_ref for p, _ in node.entries], dtype=np.float64)
+            dt = t_ref - ref
+            values[:, :d] = pos + vel * dt[:, None]
+            values[:, d:2 * d] = vel
+            exp_col = 2 * d if layout.store_leaf_expiration else None
+            if exp_col is not None:
+                values[:, exp_col] = [p.t_exp for p, _ in node.entries]
+            dtype = self._leaf_dtype
+        else:
+            fields = self._internal_fields
+            values = np.empty((count, fields), dtype=np.float64)
+            lo = np.array([b.lo for b, _ in node.entries], dtype=np.float64)
+            hi = np.array([b.hi for b, _ in node.entries], dtype=np.float64)
+            vlo = np.array([b.vlo for b, _ in node.entries], dtype=np.float64)
+            vhi = np.array([b.vhi for b, _ in node.entries], dtype=np.float64)
+            ref = np.array([b.t_ref for b, _ in node.entries], dtype=np.float64)
+            dt = t_ref - ref
+            values[:, :d] = lo + vlo * dt[:, None]
+            values[:, d:2 * d] = hi + vhi * dt[:, None]
+            cursor = 2 * d
+            if layout.store_velocities:
+                values[:, cursor:cursor + d] = vlo
+                values[:, cursor + d:cursor + 2 * d] = vhi
+                cursor += 2 * d
+            exp_col = cursor if layout.store_br_expiration else None
+            if exp_col is not None:
+                values[:, exp_col] = [b.t_exp for b, _ in node.entries]
+            dtype = self._internal_dtype
+        with np.errstate(over="ignore"):
+            narrow = values.astype(np.float32)
+        if exp_col is not None:
+            col = narrow[:, exp_col]
+            under = col.astype(np.float64) < values[:, exp_col]
+            if under.any():
+                narrow[:, exp_col] = np.where(
+                    under, np.nextafter(col, np.float32(np.inf)), col
+                )
+        coord = narrow if exp_col is None else np.delete(narrow, exp_col, axis=1)
+        coord64 = (
+            values if exp_col is None else np.delete(values, exp_col, axis=1)
+        )
+        if (~np.isfinite(coord) & np.isfinite(coord64)).any():
+            return None  # struct loop raises the usual OverflowError
+        idents = [ident for _, ident in node.entries]
+        if min(idents) < 0 or max(idents) > self.layout.max_oid:
+            return None  # struct loop raises the usual struct.error
+        out = np.empty(count, dtype=dtype)
+        out["f"] = narrow
+        out["id"] = idents
+        return out.tobytes()
+
     def _encode_leaf_entry(
         self, point: MovingPoint, oid: int, t_ref: float
     ) -> bytes:
+        """Pack one leaf entry at ``t_ref`` (expiration rounded up)."""
         values: List[float] = list(point.position_at(t_ref))
         values.extend(point.vel)
         if self.layout.store_leaf_expiration:
-            values.append(point.t_exp)
+            values.append(_f32_round_up(point.t_exp))
         return self._leaf_struct.pack(*values, oid)
 
     def _encode_internal_entry(
         self, br: TPBR, child: int, t_ref: float
     ) -> bytes:
+        """Pack one internal entry at ``t_ref`` (expiration rounded up)."""
         d = self.layout.dims
         values: List[float] = [br.lower_at(i, t_ref) for i in range(d)]
         values += [br.upper_at(i, t_ref) for i in range(d)]
         if self.layout.store_velocities:
             values += list(br.vlo) + list(br.vhi)
         if self.layout.store_br_expiration:
-            values.append(br.t_exp)
+            values.append(_f32_round_up(br.t_exp))
         return self._internal_struct.pack(*values, child)
 
     # -- decoding ----------------------------------------------------------------
 
     def decode(self, page: bytes) -> Tuple[Node, float]:
-        """Deserialize a page back into a node and its reference time."""
+        """Deserialize a page back into a node and its reference time.
+
+        All binary32 fields widen to binary64 exactly.  Internal-entry
+        bound inversions within binary32 rounding tolerance are
+        repaired (upper := lower) and counted in :attr:`repairs`;
+        larger inversions raise :class:`CodecError` — a bit-flipped
+        page must surface, not silently shrink the answer set.
+
+        On the numpy path the decoded columns also prepopulate
+        ``Node.soa`` (the packed form consumed by the batched query
+        kernels) for nodes large enough to use them.
+
+        Raises
+        ------
+        CodecError
+            If the page has the wrong size, an inconsistent header, or
+            a corrupt internal entry.
+        """
         if len(page) != self.layout.page_size:
             raise CodecError(
                 f"page is {len(page)} bytes, expected {self.layout.page_size}"
@@ -126,7 +335,15 @@ class NodeCodec:
         is_leaf = bool(flags & _LEAF_FLAG)
         if is_leaf != (level == 0):
             raise CodecError("leaf flag inconsistent with level")
+        if count > self.layout.capacity(leaf=is_leaf):
+            raise CodecError(
+                f"entry count {count} exceeds page capacity "
+                f"{self.layout.capacity(leaf=is_leaf)}"
+            )
         node = Node(level)
+        if np is not None and count and self._leaf_dtype is not None:
+            self._decode_np(page, node, count, is_leaf, t_ref)
+            return node, t_ref
         offset = NODE_HEADER_BYTES
         d = self.layout.dims
         for _ in range(count):
@@ -136,7 +353,7 @@ class NodeCodec:
                 pos = tuple(fields[:d])
                 vel = tuple(fields[d:2 * d])
                 if self.layout.store_leaf_expiration:
-                    t_exp = _widen(fields[2 * d])
+                    t_exp = fields[2 * d]
                 else:
                     t_exp = math.inf
                 node.entries.append(
@@ -147,7 +364,7 @@ class NodeCodec:
                 fields = self._internal_struct.unpack_from(page, offset)
                 offset += self._internal_struct.size
                 lo = tuple(fields[:d])
-                hi = tuple(max(l, h) for l, h in zip(lo, fields[d:2 * d]))
+                hi = self._checked_upper(lo, fields[d:2 * d])
                 cursor = 2 * d
                 if self.layout.store_velocities:
                     vlo = tuple(fields[cursor:cursor + d])
@@ -156,7 +373,7 @@ class NodeCodec:
                 else:
                     vlo = vhi = (0.0,) * d
                 if self.layout.store_br_expiration:
-                    t_exp = _widen(fields[cursor])
+                    t_exp = fields[cursor]
                 else:
                     t_exp = math.inf
                 node.entries.append(
@@ -165,7 +382,105 @@ class NodeCodec:
                 )
         return node, t_ref
 
+    def _checked_upper(self, lo, hi_raw) -> tuple:
+        """Validate (and minimally repair) decoded upper bounds."""
+        hi = []
+        repaired = 0
+        for low, high in zip(lo, hi_raw):
+            if high < low:
+                if high < low - _inversion_tolerance(low, high):
+                    raise CodecError(
+                        f"corrupt internal entry: upper bound {high!r} "
+                        f"inverted below lower bound {low!r} beyond "
+                        "binary32 rounding tolerance"
+                    )
+                repaired += 1
+                high = low
+            hi.append(high)
+        self._record_repairs(repaired)
+        return tuple(hi)
 
-def _widen(value: float) -> float:
-    """binary32 round-trip keeps inf as inf; pass values through."""
-    return value
+    def _decode_np(
+        self, page: bytes, node: Node, count: int, is_leaf: bool, t_ref: float
+    ) -> None:
+        """Zero-copy page decode via a structured :func:`numpy.frombuffer`.
+
+        One structured view over the page body replaces the per-entry
+        ``struct.unpack_from`` loop; the single ``astype(float64)``
+        performs the exact IEEE-754 widening for every field at once.
+        Produces bit-identical entries to the struct path and leaves
+        the widened columns in ``node.soa`` when the node is large
+        enough for the batched kernels.
+        """
+        d = self.layout.dims
+        dtype = self._leaf_dtype if is_leaf else self._internal_dtype
+        raw = np.frombuffer(page, dtype=dtype, count=count,
+                            offset=NODE_HEADER_BYTES)
+        fields = raw["f"].astype(np.float64)
+        idents = raw["id"].tolist()
+        if is_leaf:
+            if self.layout.store_leaf_expiration:
+                # Same selection as the scalar max(t_exp, t_ref), so the
+                # two paths agree bitwise even on signed zeros.
+                col = fields[:, 2 * d]
+                t_exp = np.where(col < t_ref, t_ref, col)
+            else:
+                t_exp = np.full(count, math.inf)
+            pos = fields[:, :d]
+            vel = fields[:, d:2 * d]
+            pos_rows = pos.tolist()
+            vel_rows = vel.tolist()
+            exp_list = t_exp.tolist()
+            node.entries = [
+                (MovingPoint(tuple(pos_rows[i]), tuple(vel_rows[i]),
+                             t_ref, exp_list[i]), idents[i])
+                for i in range(count)
+            ]
+            if count >= _SOA_MIN_ENTRIES:
+                base = pos - vel * t_ref
+                node.soa = (base, vel, base, vel, t_exp)
+        else:
+            lo = fields[:, :d]
+            hi = fields[:, d:2 * d]
+            inverted = hi < lo
+            if inverted.any():
+                tol = np.maximum(
+                    _INVERSION_REL_TOL * np.maximum(np.abs(lo), np.abs(hi)),
+                    _INVERSION_ABS_TOL,
+                )
+                if (inverted & (hi < lo - tol)).any():
+                    raise CodecError(
+                        "corrupt internal entry: upper bound inverted "
+                        "below lower bound beyond binary32 rounding "
+                        "tolerance"
+                    )
+                self._record_repairs(int(inverted.sum()))
+                hi = np.where(inverted, lo, hi)
+            cursor = 2 * d
+            if self.layout.store_velocities:
+                vlo = fields[:, cursor:cursor + d]
+                vhi = fields[:, cursor + d:cursor + 2 * d]
+                cursor += 2 * d
+            else:
+                vlo = np.zeros((count, d))
+                vhi = np.zeros((count, d))
+            if self.layout.store_br_expiration:
+                col = fields[:, cursor]
+                t_exp = np.where(col < t_ref, t_ref, col)
+            else:
+                t_exp = np.full(count, math.inf)
+            lo_rows = lo.tolist()
+            hi_rows = hi.tolist()
+            vlo_rows = vlo.tolist()
+            vhi_rows = vhi.tolist()
+            exp_list = t_exp.tolist()
+            node.entries = [
+                (TPBR(tuple(lo_rows[i]), tuple(hi_rows[i]),
+                      tuple(vlo_rows[i]), tuple(vhi_rows[i]),
+                      t_ref, exp_list[i]), idents[i])
+                for i in range(count)
+            ]
+            if count >= _SOA_MIN_ENTRIES:
+                s_lo = lo - vlo * t_ref
+                s_hi = hi - vhi * t_ref
+                node.soa = (s_lo, vlo, s_hi, vhi, t_exp)

@@ -242,3 +242,65 @@ def test_run_rejects_mismatched_arrivals():
     frontend = ServiceFrontend(MovingObjectTree(CONFIG, SimulationClock()))
     with pytest.raises(ValueError):
         frontend.run(workload.ops, arrivals=[0.0])
+
+
+def test_batched_serving_matches_direct_replay():
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    frontend = ServiceFrontend(
+        MovingObjectTree(CONFIG, SimulationClock()),
+        FrontendConfig(batch_queries=8),
+    )
+    report = frontend.run(workload.ops)
+    assert report.admitted == len(workload.ops)
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    assert got == want
+    assert report.served_queries == len(want)
+
+
+def test_batched_serving_times_out_per_request():
+    """Deadlines stay per-request inside a batch: expired ones time
+    out individually while a later-arriving batchmate is still served."""
+    from repro.geometry.queries import TimesliceQuery
+    from repro.geometry.rect import Rect
+    from repro.workloads.base import QueryOp
+
+    query = TimesliceQuery(Rect((0.0, 0.0), (100.0, 100.0)), 1.0)
+    ops = [QueryOp(0.0, query) for _ in range(9)]
+    # Eight queries arrive at once, the ninth at t=1.5.  One second of
+    # service, a two-second relative deadline, batches of three: the
+    # head query is served alone at t=0, the next three batch at t=1,
+    # and everything else reaches the server at t=2 — past every t=0
+    # deadline but within the late arrival's.
+    arrivals = [0.0] * 8 + [1.5]
+    report = ServiceFrontend(
+        MovingObjectTree(CONFIG, SimulationClock()),
+        FrontendConfig(queue_capacity=16, service_time=1.0,
+                       query_deadline=2.0, batch_queries=3,
+                       failure_threshold=10),
+    ).run(ops, arrivals=arrivals)
+    statuses = [o.status for o in report.outcomes]
+    assert statuses == ["ok"] * 4 + ["timeout"] * 4 + ["ok"]
+    assert report.deadline_timeouts == 4
+    assert report.served_queries == 5
+
+
+def test_batched_serving_with_transient_faults_matches_oracle(tmp_path):
+    workload = _workload()
+    want = _oracle_answers(workload.ops)
+    frontend = _durable_frontend(
+        tmp_path,
+        # Read faults land mid-batch; the frontend falls back to the
+        # sequential retry path without losing any answer.
+        lambda inc: FaultInjector(transient_reads={1, 20}),
+        config=FrontendConfig(batch_queries=8),
+        tree_config=TreeConfig(page_size=512, buffer_pages=2),
+    )
+    report = frontend.run(workload.ops)
+    frontend.index.close()
+    got = {o.index: set(o.answer) for o in report.outcomes
+           if o.status == "ok"}
+    for index in got:
+        assert got[index] == want[index]
+    assert set(want) == set(got)

@@ -292,3 +292,48 @@ def test_frontend_serves_sharded_index(tmp_path):
         assert report.checkpoints >= 1
     finally:
         forest.close()
+
+
+# -- cross-query batching ------------------------------------------------------
+
+
+def test_query_batch_matches_sequential_queries(tmp_path):
+    """One wire batch per shard answers exactly like one-at-a-time."""
+    rng = random.Random(17)
+    # A small window and batch size force mid-send pipelining.
+    config = shard_config(batch_ops=5, window=2)
+    with ShardedForest.create(str(tmp_path / "s"), config) as forest:
+        for oid in range(80):
+            forest.insert(oid, random_report(rng, forest.clock.time))
+        t = forest.clock.time
+        queries = list(sample_queries(t))
+        for _ in range(27):
+            x = rng.uniform(0.0, SPACE - 20.0)
+            y = rng.uniform(0.0, SPACE - 20.0)
+            rect = Rect((x, y), (x + 20.0, y + 20.0))
+            queries.append(WindowQuery(rect, t, t + rng.uniform(0.0, 8.0)))
+        sequential = [forest.query(query) for query in queries]
+        assert forest.query_batch(queries) == sequential
+        assert forest.query_batch([]) == []
+        assert forest.query_batch(queries[:1]) == sequential[:1]
+
+
+def test_frontend_batched_serving_matches_oracle(tmp_path):
+    """batch_queries > 1 drains query runs without changing answers."""
+    workload = small_workload(seed=9, insertions=120)
+    expected, _ = oracle_replay(workload.ops)
+    forest = ShardedForest.create(str(tmp_path / "s"), shard_config())
+    try:
+        frontend = ServiceFrontend(
+            forest,
+            FrontendConfig(queue_capacity=10_000, checkpoint_interval=60,
+                           batch_queries=8),
+        )
+        report = frontend.run(workload.ops)
+        assert report.served_queries == len(expected)
+        assert report.failed_queries == 0
+        by_index = {o.index: o for o in report.outcomes}
+        for index, answer in expected.items():
+            assert by_index[index].answer == tuple(sorted(answer))
+    finally:
+        forest.close()

@@ -189,3 +189,14 @@ def test_soak_cli_scripted(tmp_path, capsys):
     payload = json.loads(out_path.read_text())
     assert payload["passed"] is True
     assert trace_path.exists()
+
+
+def test_batch_queries_identical(capsys):
+    code = main([
+        "batch", "--scale", "tiny", "--queries", "120",
+        "--population", "80", "--insertions", "400",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tree" in out and "forest" in out
+    assert "identical to sequential" in out
