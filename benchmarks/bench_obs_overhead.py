@@ -35,12 +35,31 @@ from repro.workloads.expiration import FixedPeriod
 from repro.workloads.uniform import UniformParams, generate_uniform_workload
 
 SCALE = SCALES["tiny"]
+# Wire batches touch a handful of trace guards each (encode flag check,
+# decode flags word, extras slot test); a generous overcount.
+GUARDS_PER_BATCH = 16
 # A deliberate overcount of disabled-path guard checks per operation:
 # an op entry touches 2-4 guards and structural events a handful more;
 # real counts are well below this.
 GUARDS_PER_OP = 24
 
 _REPORT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _merge_report(update: dict) -> None:
+    """Fold one test's numbers into ``BENCH_obs.json``.
+
+    Two tests share the report file, so each merges over whatever the
+    other (or a previous run) left behind rather than clobbering it.
+    """
+    existing: dict = {}
+    if _REPORT.exists():
+        try:
+            existing = json.loads(_REPORT.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(update)
+    _REPORT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
 def _workload():
@@ -131,8 +150,109 @@ def test_disabled_path_is_exact_and_under_2_percent():
         "trace_records": len(tracer),
         "metric_names": len(registry.names()),
     }
-    _REPORT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _merge_report(payload)
     print(f"\n[repro] obs overhead: disabled bound {overhead:.3%} "
           f"(guard {guard_ns:.0f} ns x {GUARDS_PER_OP}/op), "
           f"enabled {slowdown:.2f}x over {ops} ops; wrote {_REPORT.name}",
           file=sys.__stdout__)
+
+
+def test_sharded_tracing_is_exact_and_disabled_path_under_2_percent():
+    """The cross-process path keeps the same promise as the tree path.
+
+    A two-worker scatter-gather replay with distributed tracing on must
+    produce answers and per-shard page I/O identical to the last digit
+    to a run with observability off entirely; and the disabled path's
+    only new cost — the trace guards on the wire hot path — must bound
+    under 2% of the plain run's wall time.
+    """
+    import shutil
+    import tempfile
+
+    from repro.shard import ShardConfig, ShardedForest
+    from repro.workloads.network import (
+        NetworkParams, generate_network_workload,
+    )
+
+    params = NetworkParams(
+        target_population=400,
+        insertions=1_500,
+        update_interval=60.0,
+        queries_per_insertions=50,
+        seed=0,
+    )
+    workload = generate_network_workload(params, FixedPeriod(120.0))
+    config = dict(
+        workers=2,
+        tree=rexp_config(
+            page_size=SCALE.page_size, buffer_pages=SCALE.buffer_pages,
+            default_ui=60.0,
+        ),
+        max_speed=max(params.speed_groups),
+        space=params.space,
+        reach=max(params.speed_groups) * 120.0,
+        batch_ops=128,
+    )
+
+    def _replay(observability, registry=None, tracer=None):
+        base = tempfile.mkdtemp(prefix="repro-obs-shards-")
+        forest = ShardedForest.create(
+            base,
+            ShardConfig(observability=observability, **config),
+            registry=registry,
+            tracer=tracer,
+        )
+        try:
+            t0 = time.perf_counter()
+            result = forest.apply_ops(workload.ops)
+            wall = time.perf_counter() - t0
+            stats = forest.stats_payloads()
+            merged = forest.live_registry().names() if registry else []
+        finally:
+            forest.close()
+            shutil.rmtree(base, ignore_errors=True)
+        return result, wall, [
+            {k: p[k] for k in ("io", "pages", "entries", "height")}
+            for p in stats
+        ], merged
+
+    plain, plain_wall, plain_stats, _ = _replay(observability=False)
+    registry, tracer = MetricsRegistry(), Tracer(capacity=1 << 20)
+    traced, traced_wall, traced_stats, merged_names = _replay(
+        observability=True, registry=registry, tracer=tracer
+    )
+
+    # 1. Exactness: tracing observes shard I/O, it must not cause any.
+    assert traced.answers == plain.answers
+    assert traced.failed_deletes == plain.failed_deletes
+    assert traced_stats == plain_stats
+
+    # 2. Disabled-path cost: the wire path's trace guards, bounded.
+    guard_ns = _guard_cost_ns()
+    bound = plain.batches * GUARDS_PER_BATCH * guard_ns * 1e-9
+    overhead = bound / plain_wall
+    assert overhead < 0.02, (
+        f"sharded disabled-path guard bound {bound * 1e3:.4f} ms is "
+        f"{overhead:.2%} of the {plain_wall:.2f} s replay"
+    )
+
+    # 3. Enabled-path cost: report alongside the tree-path numbers.
+    slowdown = traced_wall / plain_wall if plain_wall else float("inf")
+    adopted = sum(
+        1 for r in tracer.records()
+        if r.get("kind") == "span" and r.get("name") == "worker.batch"
+    )
+    _merge_report({"sharded": {
+        "workers": 2,
+        "operations": len(workload.ops),
+        "batches": plain.batches,
+        "disabled_wall_s": round(plain_wall, 4),
+        "enabled_wall_s": round(traced_wall, 4),
+        "enabled_slowdown": round(slowdown, 3),
+        "disabled_overhead_bound": round(overhead, 6),
+        "adopted_worker_spans": adopted,
+        "merged_metric_names": len(merged_names),
+    }})
+    print(f"\n[repro] sharded obs overhead: disabled bound {overhead:.3%}, "
+          f"enabled {slowdown:.2f}x over {plain.batches} batches "
+          f"({adopted} adopted worker spans)", file=sys.__stdout__)

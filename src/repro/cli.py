@@ -17,6 +17,7 @@
     python -m repro faultcheck --stride 4    # crash-at-every-write matrix
     python -m repro soak                     # chaos soak: serve through faults
     python -m repro shards --workers 1 2 4   # process-parallel sharded index
+    python -m repro top --workers 2 --once   # live observability dashboard
 
 Figure sweeps honour the same cache as the benchmarks.
 """
@@ -841,6 +842,155 @@ def cmd_shards(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _top_bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_top(records, registry, slo_statuses, heading) -> None:
+    from .obs.export import latency_breakdown, shard_shares
+
+    print(heading)
+    shares = shard_shares(records)
+    if shares:
+        print("  shard load share (worker wall time)")
+        for shard in sorted(shares):
+            frac = shares[shard]
+            print(f"    shard {shard:<3} {_top_bar(frac)} {frac * 100:5.1f}%")
+    queue_s = 0.0
+    if registry is not None:
+        wait = registry.get("serve.queue_wait")
+        queue_s = getattr(wait, "total", 0.0) or 0.0
+    breakdown = latency_breakdown(records, queue_s=queue_s)
+    total = breakdown["total_s"]
+    if total > 0:
+        print("  latency breakdown (cumulative)")
+        stages = (
+            ("queue", "queue_s"),
+            ("router", "router_s"),
+            ("wire", "wire_s"),
+            ("worker-cpu", "worker_cpu_s"),
+            ("worker-io", "worker_io_s"),
+        )
+        for label, key in stages:
+            seconds = breakdown[key]
+            print(f"    {label:<11} {seconds * 1e3:9.3f} ms "
+                  f"{_top_bar(seconds / total)} {seconds / total * 100:5.1f}%")
+        print(f"    {'total':<11} {total * 1e3:9.3f} ms   "
+              f"(worker wall raw "
+              f"{breakdown['worker_wall_raw_s'] * 1e3:.3f} ms)")
+    if registry is not None:
+        hits = registry.value("buffer.hits")
+        misses = registry.value("buffer.misses")
+        if hits or misses:
+            rate = hits / (hits + misses)
+            print(f"  buffer pool: hit rate {rate * 100:5.1f}%  "
+                  f"(hits {hits:.0f}, misses {misses:.0f}, evictions "
+                  f"{registry.value('buffer.evictions'):.0f})")
+    for status in slo_statuses:
+        state = "OK  " if status["met"] else "MISS"
+        print(f"  SLO {status['name']:<13} {state} "
+              f"ratio {status['ratio']:.3f} vs target "
+              f"{status['target']:.3f}  "
+              f"budget {status['budget_remaining'] * 100:6.1f}% left  "
+              f"burn {status['burn_rate']:.2f}")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from .obs.export import (
+        MetricsSnapshotter, accumulate, read_snapshots,
+    )
+    from .obs.slo import SLOTracker, check_slos, default_serve_slos
+    from .obs.trace import read_jsonl
+    from .shard import ShardConfig, ShardedForest
+    from .workloads.base import QueryOp
+
+    if args.from_trace or args.from_metrics:
+        records = read_jsonl(args.from_trace) if args.from_trace else []
+        registry = None
+        statuses = []
+        if args.from_metrics:
+            registry = accumulate(read_snapshots(args.from_metrics))
+            tracker = SLOTracker(registry, default_serve_slos())
+            statuses = [
+                s for s in tracker.to_dict().values()
+                if s["good"] or s["bad"]
+            ]
+        _render_top(records, registry, statuses,
+                    "repro top — from artifacts")
+        return 0
+
+    ui = 60.0
+    params = NetworkParams(
+        target_population=max(args.insertions // 4, 16),
+        insertions=args.insertions,
+        update_interval=ui,
+        queries_per_insertions=args.queries,
+        seed=args.seed,
+    )
+    workload = generate_network_workload(params, FixedPeriod(2.0 * ui))
+    tree_config = rexp_config(page_size=2048, buffer_pages=64, default_ui=ui)
+    registry = MetricsRegistry()
+    tracer = Tracer(capacity=65536)
+    tracker = SLOTracker(registry, default_serve_slos())
+    rounds = 1 if args.once else args.rounds
+    config = ShardConfig(
+        workers=args.workers,
+        tree=tree_config,
+        max_speed=max(params.speed_groups),
+        space=params.space,
+        reach=max(params.speed_groups) * 2.0 * ui,
+        batch_ops=args.batch_ops,
+        flush_every=1,
+    )
+    base = tempfile.mkdtemp(prefix="repro-top-")
+    snapper = None
+    if args.snapshots:
+        snapper = MetricsSnapshotter(registry, args.snapshots,
+                                     interval_s=1e-9)
+    forest = ShardedForest.create(
+        base, config, registry=registry, tracer=tracer
+    )
+    try:
+        ops = workload.ops
+        size = max(1, (len(ops) + rounds - 1) // rounds)
+        for round_no in range(rounds):
+            chunk = ops[round_no * size:(round_no + 1) * size]
+            if not chunk and round_no:
+                break
+            plain = [op for op in chunk if not isinstance(op, QueryOp)]
+            queries = [op.query for op in chunk if isinstance(op, QueryOp)]
+            if plain:
+                forest.apply_ops(plain)
+            try:
+                answers = forest.query_batch(queries)
+                registry.counter("serve.queries_ok").inc(len(answers))
+            except Exception:
+                registry.counter("serve.failed_queries").inc(len(queries))
+                raise
+            tracker.checkpoint()
+            live = forest.live_registry()
+            if snapper is not None:
+                snapper.registry = live
+                snapper.snapshot()
+            _, statuses = check_slos(tracker)
+            _render_top(
+                tracer.records(), live, statuses,
+                f"repro top — round {round_no + 1}/{rounds} "
+                f"({args.workers} workers, {len(plain)} ops, "
+                f"{len(queries)} queries)",
+            )
+    finally:
+        forest.close()
+        shutil.rmtree(base, ignore_errors=True)
+    if args.trace_out:
+        tracer.export_jsonl(args.trace_out)
+    return 0
+
+
 def cmd_layout(args: argparse.Namespace) -> int:
     print(f"{'configuration':<42} {'leaf':>6} {'internal':>9}")
     combos = [
@@ -1061,6 +1211,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep the shard stores here (default: temp dir)")
     _add_scale_arguments(p)
     p.set_defaults(func=cmd_shards)
+
+    p = sub.add_parser(
+        "top",
+        help="observability dashboard: shard load share, latency "
+        "breakdown, buffer hit rates and SLO budgets",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker processes for the live run")
+    p.add_argument("--rounds", type=int, default=5,
+                   help="dashboard refresh rounds over the workload")
+    p.add_argument("--once", action="store_true",
+                   help="render a single round and exit (CI smoke)")
+    p.add_argument("--insertions", type=int, default=400,
+                   help="insertions in the generated network workload")
+    p.add_argument("--queries", type=int, default=50,
+                   help="queries per 100 insertions")
+    p.add_argument("--batch-ops", type=int, default=128,
+                   help="operations per wire batch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--snapshots", default=None,
+                   help="write per-round metrics snapshots (JSONL) here")
+    p.add_argument("--trace-out", default=None,
+                   help="write the run's span records (JSONL) here")
+    p.add_argument("--from-trace", default=None,
+                   help="render from a trace JSONL instead of a live run")
+    p.add_argument("--from-metrics", default=None,
+                   help="render from a metrics snapshot JSONL "
+                   "(combinable with --from-trace)")
+    p.set_defaults(func=cmd_top)
 
     return parser
 

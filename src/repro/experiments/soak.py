@@ -41,6 +41,8 @@ from ..core.clock import SimulationClock
 from ..core.config import TreeConfig
 from ..core.tree import MovingObjectTree
 from ..geometry.intersection import region_matches_point
+from ..obs.metrics import MetricsRegistry
+from ..obs.slo import default_serve_slos
 from ..serve.frontend import FrontendConfig, ServiceFrontend, ServiceReport
 from ..serve.retry import RetryPolicy
 from ..storage.faults import FaultInjector
@@ -221,6 +223,9 @@ class SoakReport:
     violations: List[str] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     script: Optional[dict] = None
+    #: Per-objective status exports from the frontend's SLOTracker
+    #: (availability / freshness error budgets), keyed by SLO name.
+    slos: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -253,6 +258,7 @@ class SoakReport:
             "counters": self.counters,
             "violations": self.violations,
             "script": self.script,
+            "slos": self.slos,
         }
 
 
@@ -445,7 +451,11 @@ def run_soak(
     frontend_config : FrontendConfig, optional
         Serving parameters; defaults matched to the default script.
     registry, tracer : optional
-        Observability sinks passed through to the frontend.
+        Observability sinks passed through to the frontend.  A
+        registry is created when none is given: the soak always
+        *measures* its SLOs through the frontend's SLOTracker (error
+        budgets are asserted like every other SLO), rather than only
+        re-deriving them from report counters.
 
     Returns
     -------
@@ -454,6 +464,8 @@ def run_soak(
     """
     if script is None:
         script = default_fault_script()
+    if registry is None:
+        registry = MetricsRegistry()
     if params is None:
         params = default_soak_params(seed=script.seed)
     if tree_config is None:
@@ -481,6 +493,10 @@ def run_soak(
             reopened.disk.arm_injector(fresh)
             return reopened, fresh
 
+        # The chaos script *deliberately* sheds and times out queries
+        # (the pinned default burns ~15% of them), so the soak asserts
+        # chaos-mode error budgets rather than the production serving
+        # targets of :func:`~repro.obs.slo.default_serve_slos`.
         frontend = ServiceFrontend(
             tree,
             frontend_config,
@@ -488,14 +504,25 @@ def run_soak(
             tracer=tracer,
             injector=injector,
             reopen=reopen,
+            slos=default_serve_slos(
+                availability_target=0.75, freshness_target=0.70
+            ),
         )
         served = frontend.run(
             ops, pacer=ArrivalPacer(script.bursts())
         )
         total_writes = sum(inj.writes for inj in injectors)
+        slo_statuses = frontend.slo_status()
         frontend.index.close()
 
     violations = _check_slos(script, served, ops, oracle_answers, history)
+    for name, status in sorted(slo_statuses.items()):
+        if not status["met"]:
+            violations.append(
+                f"SLO {name!r} error budget exhausted: success ratio "
+                f"{status['ratio']:.4f} < target {status['target']:.4f} "
+                f"(burn rate {status['burn_rate']:.2f})"
+            )
     counters = {
         name: getattr(served, name)
         for name in (
@@ -515,6 +542,7 @@ def run_soak(
         violations=violations,
         counters=counters,
         script=script.to_json(),
+        slos=slo_statuses,
     )
 
 

@@ -18,7 +18,16 @@ See DESIGN.md §7 for the event taxonomy and which tree algorithm each
 event maps to.
 """
 
+from .export import (
+    MetricsSnapshotter,
+    accumulate,
+    latency_breakdown,
+    prometheus_text,
+    read_snapshots,
+    shard_shares,
+)
 from .metrics import (
+    HISTOGRAM_KINDS,
     IO_BUCKETS,
     LATENCY_BUCKETS,
     Counter,
@@ -29,9 +38,18 @@ from .metrics import (
     NullRegistry,
     ScopedRegistry,
 )
+from .slo import (
+    SLO,
+    SLOStatus,
+    SLOTracker,
+    check_slos,
+    default_serve_slos,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
+    TraceContext,
+    TraceFileMeta,
     Tracer,
     read_jsonl,
     sum_event_attr,
@@ -41,17 +59,31 @@ from .trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HISTOGRAM_KINDS",
     "Histogram",
     "IO_BUCKETS",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "MetricsSnapshotter",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
     "ScopedRegistry",
+    "TraceContext",
+    "TraceFileMeta",
     "Tracer",
+    "accumulate",
+    "check_slos",
+    "default_serve_slos",
+    "latency_breakdown",
+    "prometheus_text",
     "read_jsonl",
+    "read_snapshots",
+    "shard_shares",
     "sum_event_attr",
     "traced",
 ]

@@ -1,0 +1,339 @@
+"""Live metrics export: JSONL snapshots and Prometheus text exposition.
+
+Two ways out of a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :class:`MetricsSnapshotter` — a periodic, delta-aware JSON Lines time
+  series.  Each snapshot is wall-clock stamped and carries only the
+  metrics that changed since the previous one (plus per-counter deltas),
+  so a long soak produces a compact file that still replays to the full
+  cumulative registry via :func:`accumulate`.
+* :func:`prometheus_text` — the text exposition format scraped by
+  Prometheus-compatible collectors, rendered from any registry export.
+
+The module also holds the analysis helpers behind ``repro top``:
+:func:`latency_breakdown` decomposes a traced scatter-gather run into
+queue / router / wire / worker-CPU / worker-I/O stages, and
+:func:`shard_shares` computes per-shard load share, both from exported
+trace records — so ``top`` works identically on a live run and on
+artifacts pulled from CI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .metrics import MetricsRegistry
+
+#: Span names recorded by the router around a full scatter-gather fan-out.
+ROOT_SPAN_NAMES = ("shards.query", "shards.query_batch", "shards.apply_ops")
+
+#: Span name recorded by a shard worker around one applied wire batch.
+WORKER_SPAN_NAME = "worker.batch"
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Mangle a registry metric name into a legal Prometheus name."""
+    mangled = _PROM_NAME.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _prom_value(value: object) -> str:
+    """Format one sample value (Prometheus spells infinities oddly)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters map to ``counter`` samples, gauges to ``gauge``, and
+    histograms to the conventional ``_bucket{le=...}`` cumulative
+    series plus ``_sum`` and ``_count``.  Anything with a ``to_dict``
+    (a full registry, a scoped view, or a rebuilt
+    :meth:`~repro.obs.metrics.MetricsRegistry.from_dict` export)
+    renders; dots in metric names become underscores.
+
+    Parameters
+    ----------
+    registry : MetricsRegistry or ScopedRegistry
+        The metrics to expose.
+
+    Returns
+    -------
+    str
+        The exposition body, one ``# TYPE`` comment per metric.
+    """
+    lines: List[str] = []
+    for name, entry in registry.to_dict().items():
+        prom = _prom_name(name)
+        kind = entry.get("type")
+        if kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            bounds = entry.get("bounds", [])
+            buckets = entry.get("buckets", [])
+            for bound, count in zip(bounds, buckets):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {entry.get("count", 0)}')
+            lines.append(f"{prom}_sum {_prom_value(entry.get('sum', 0.0))}")
+            lines.append(f"{prom}_count {entry.get('count', 0)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsSnapshotter:
+    """Periodic, delta-aware JSONL time series of one registry.
+
+    Every :meth:`snapshot` appends one wall-clock-stamped record to
+    ``path``.  The first snapshot carries the full registry export;
+    later ones carry only the metrics that changed, with counters and
+    histograms annotated with their ``delta`` / ``delta_count`` since
+    the previous snapshot — entries stay *cumulative*, so the latest
+    record for a name is always the current truth and
+    :func:`accumulate` needs no replay arithmetic.
+
+    Drive it from a serving loop with :meth:`maybe_snapshot`, which is
+    a cheap clock check until ``interval_s`` has elapsed.
+
+    Parameters
+    ----------
+    registry : MetricsRegistry
+        The registry to sample (live references, not a copy).
+    path : str
+        JSONL file to append snapshots to (truncated on construction).
+    interval_s : float
+        Minimum seconds between :meth:`maybe_snapshot` samples.
+    clock : callable
+        Monotonic cadence clock; injectable for deterministic tests.
+    wall_clock : callable
+        Wall-clock stamp source (``time.time`` by default).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.registry = registry
+        self.path = path
+        self.interval_s = interval_s
+        self._clock = clock
+        self._wall = wall_clock
+        self._prev: Dict[str, Dict[str, object]] = {}
+        self._last: Optional[float] = None
+        self.seq = 0
+        open(path, "w", encoding="utf-8").close()
+
+    def due(self) -> bool:
+        """Whether ``interval_s`` has elapsed since the last snapshot."""
+        return self._last is None or self._clock() - self._last >= self.interval_s
+
+    def maybe_snapshot(self) -> bool:
+        """Snapshot if due; returns whether one was taken."""
+        if not self.due():
+            return False
+        self.snapshot()
+        return True
+
+    def _changed(
+        self, name: str, entry: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """Return the entry (delta-annotated) if it moved, else None."""
+        prev = self._prev.get(name)
+        kind = entry.get("type")
+        if kind == "counter":
+            before = prev["value"] if prev else 0
+            delta = entry["value"] - before
+            if prev is not None and delta == 0:
+                return None
+            return {**entry, "delta": delta}
+        if kind == "histogram":
+            before = prev.get("count", 0) if prev else 0
+            delta = entry.get("count", 0) - before
+            if prev is not None and delta == 0:
+                return None
+            return {**entry, "delta_count": delta}
+        if prev is not None and prev.get("value") == entry.get("value"):
+            return None
+        return dict(entry)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Append one snapshot record; returns it (also when empty).
+
+        The record's ``metrics`` map holds cumulative entries for every
+        metric that changed since the previous snapshot (all of them,
+        the first time); a snapshot where nothing moved is still
+        written, so gaps in the series mean the *process* stalled, not
+        the workload.
+        """
+        export = self.registry.to_dict()
+        changed: Dict[str, Dict[str, object]] = {}
+        for name, entry in export.items():
+            annotated = self._changed(name, entry)
+            if annotated is not None:
+                changed[name] = annotated
+        record: Dict[str, object] = {
+            "kind": "metrics_snapshot",
+            "seq": self.seq,
+            "wall": self._wall(),
+            "metrics": changed,
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+        self._prev = export
+        self._last = self._clock()
+        self.seq += 1
+        return record
+
+
+def read_snapshots(path: str) -> List[Dict[str, object]]:
+    """Read a :class:`MetricsSnapshotter` JSONL file back, in order."""
+    snapshots: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "metrics_snapshot":
+                snapshots.append(record)
+    return snapshots
+
+
+def accumulate(snapshots: Iterable[Dict[str, object]]) -> MetricsRegistry:
+    """Rebuild the final cumulative registry from a snapshot series.
+
+    Snapshot entries are cumulative, so the reconstruction is simply
+    "latest record wins" per metric name; the delta annotations are
+    ignored (``from_dict`` tolerates extra keys).
+    """
+    latest: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        latest.update(snapshot.get("metrics", {}))
+    return MetricsRegistry.from_dict(latest)
+
+
+def latency_breakdown(
+    records: Iterable[Dict[str, object]], queue_s: float = 0.0
+) -> Dict[str, float]:
+    """Decompose traced scatter-gather time into per-stage seconds.
+
+    Works on span records from :func:`~repro.obs.trace.read_jsonl` (or
+    ``Tracer.records()``) after a run with cross-process tracing on.
+    Only worker spans stamped with a fan-out root's trace id count —
+    spans from untraced single-op applies are excluded, so the worker
+    stages attribute exactly the work the roots fanned out.
+    The stages, and how each is measured:
+
+    - ``queue_s`` — admission-queue wait, passed in by the caller (the
+      frontend measures it; pure trace artifacts carry none).
+    - ``router_s`` — router-side CPU: root fan-out span duration minus
+      the time the router spent blocked on worker replies (``wait_s``).
+    - ``wire_s`` — codec + transport: the router's op-batch encode time
+      plus the blocked-wait remainder not covered by worker wall time.
+    - ``worker_cpu_s`` — shard process CPU, from ``time.process_time``
+      deltas shipped on replies (scheduler-independent).
+    - ``worker_io_s`` — worker span wall time minus worker CPU: page
+      I/O plus anything the OS scheduled away.
+
+    Workers run in parallel, so their *summed* wall time can exceed
+    the router's blocked wait; the worker stages are therefore the raw
+    sums projected onto the wait window (critical-path attribution),
+    keeping the stages **additive**: their sum equals ``total_s``
+    (queue plus root-span wall time) up to clamping slack, which is
+    what lets ``repro top`` render them as a percentage bar.  The raw
+    unprojected sums ride along as ``worker_wall_raw_s`` /
+    ``worker_cpu_raw_s`` so parallelism stays visible.
+
+    Returns
+    -------
+    dict
+        Stage name → seconds, plus ``total_s`` and the raw worker sums.
+    """
+    records = list(records)
+    roots = [
+        r
+        for r in records
+        if r.get("kind") == "span" and r.get("name") in ROOT_SPAN_NAMES
+    ]
+    trace_ids = {
+        r["attrs"]["trace_id"] for r in roots if "trace_id" in r.get("attrs", {})
+    }
+    workers = [
+        r
+        for r in records
+        if r.get("kind") == "span"
+        and r.get("name") == WORKER_SPAN_NAME
+        and r.get("attrs", {}).get("trace_id") in trace_ids
+    ]
+    total = sum(r["dur"] for r in roots)
+    encode = sum(r.get("attrs", {}).get("encode_s", 0.0) for r in roots)
+    wait = sum(r.get("attrs", {}).get("wait_s", 0.0) for r in roots)
+    worker_wall = sum(r["dur"] for r in workers)
+    worker_cpu = sum(
+        min(r.get("attrs", {}).get("cpu_s", 0.0), r["dur"]) for r in workers
+    )
+    covered = min(worker_wall, wait)
+    scale = covered / worker_wall if worker_wall > 0 else 0.0
+    router = max(total - wait - encode, 0.0)
+    wire = encode + (wait - covered)
+    return {
+        "queue_s": queue_s,
+        "router_s": router,
+        "wire_s": wire,
+        "worker_cpu_s": worker_cpu * scale,
+        "worker_io_s": (worker_wall - worker_cpu) * scale,
+        "total_s": queue_s + total,
+        "worker_wall_raw_s": worker_wall,
+        "worker_cpu_raw_s": worker_cpu,
+    }
+
+
+def shard_shares(records: Iterable[Dict[str, object]]) -> Dict[int, float]:
+    """Per-shard share of total worker wall time, from worker spans.
+
+    Adopted worker spans carry a ``shard`` attribute (stamped by the
+    router at adoption); the share of shard *i* is its summed span
+    duration over the grand total.  An empty trace yields an empty map.
+
+    Returns
+    -------
+    dict
+        Shard index → fraction of worker wall time (sums to 1.0).
+    """
+    totals: Dict[int, float] = {}
+    for r in records:
+        if r.get("kind") != "span" or r.get("name") != WORKER_SPAN_NAME:
+            continue
+        shard = r.get("attrs", {}).get("shard")
+        if shard is None:
+            continue
+        totals[shard] = totals.get(shard, 0.0) + r["dur"]
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {shard: 0.0 for shard in totals}
+    return {shard: dur / grand for shard, dur in totals.items()}

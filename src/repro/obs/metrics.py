@@ -78,20 +78,78 @@ IO_BUCKETS: List[float] = [float(i) for i in range(257)] + [
 #: geometric with ~26 % resolution.
 LATENCY_BUCKETS: List[float] = [1e-6 * 1.26 ** i for i in range(79)]
 
+#: Named default bucket layouts selectable via ``Histogram(kind=...)``.
+HISTOGRAM_KINDS: Dict[str, List[float]] = {
+    "io": IO_BUCKETS,
+    "latency": LATENCY_BUCKETS,
+}
+
+#: Name fragments that mark a metric as a wall-time measurement; such
+#: histograms must choose their buckets explicitly (see ``_pick_bounds``).
+_TIME_NAME_HINTS = ("latency", "seconds", "duration", "wall", "_s")
+
+
+def _pick_bounds(
+    name: str, bounds: Optional[Sequence[float]], kind: Optional[str]
+) -> Sequence[float]:
+    """Resolve a histogram's bucket bounds, loudly refusing a foot-gun.
+
+    The historical default is :data:`IO_BUCKETS` — unit-width integer
+    buckets that resolve small page counts exactly but collapse every
+    sub-second latency into the first bucket.  A latency histogram
+    created without explicit ``bounds`` therefore *silently* misbins,
+    so a time-scented name (``latency``, ``seconds``, ``duration``,
+    ``wall``, or an ``_s`` suffix) with neither ``bounds`` nor ``kind``
+    is rejected rather than defaulted.
+    """
+    if bounds is not None:
+        if kind is not None:
+            raise ValueError(
+                f"histogram {name!r}: pass bounds or kind, not both"
+            )
+        return bounds
+    if kind is not None:
+        try:
+            return HISTOGRAM_KINDS[kind]
+        except KeyError:
+            raise ValueError(
+                f"histogram {name!r}: unknown kind {kind!r}; choose from "
+                f"{sorted(HISTOGRAM_KINDS)}"
+            ) from None
+    lowered = name.lower()
+    if any(hint in lowered for hint in _TIME_NAME_HINTS) or lowered.endswith(
+        "_s"
+    ):
+        raise ValueError(
+            f"histogram {name!r} looks like a wall-time metric but was "
+            f"created without bounds; the IO_BUCKETS default would misbin "
+            f"every sub-second value — pass bounds=LATENCY_BUCKETS or "
+            f"kind='latency' (or explicit bounds)"
+        )
+    return IO_BUCKETS
+
 
 class Histogram:
     """Fixed-bucket histogram with percentile estimation.
 
     ``bounds`` are ascending bucket *upper* bounds; values above the last
     bound land in an implicit overflow bucket.  Exact count, sum, min and
-    max are tracked alongside the buckets.
+    max are tracked alongside the buckets.  ``kind`` picks a named
+    default layout (``"io"`` or ``"latency"``) instead of explicit
+    bounds; with neither, :data:`IO_BUCKETS` apply unless the name
+    scents like a wall-time metric, which raises (see ``_pick_bounds``).
     """
 
     __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
 
-    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        kind: Optional[str] = None,
+    ):
         self.name = name
-        self.bounds = list(bounds) if bounds is not None else list(IO_BUCKETS)
+        self.bounds = list(_pick_bounds(name, bounds, kind))
         if self.bounds != sorted(self.bounds):
             raise ValueError("histogram bounds must be ascending")
         if not self.bounds:
@@ -257,11 +315,14 @@ class MetricsRegistry:
         return gauge
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        kind: Optional[str] = None,
     ) -> Histogram:
         """Get or create the histogram registered under ``name``."""
         return self._get_or_create(
-            name, Histogram, lambda: Histogram(name, bounds)
+            name, Histogram, lambda: Histogram(name, bounds, kind)
         )
 
     def scope(self, prefix: str) -> "ScopedRegistry":
@@ -374,10 +435,13 @@ class ScopedRegistry:
         return self._root.gauge(self._prefix + name, fn)
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        kind: Optional[str] = None,
     ) -> Histogram:
         """Get or create ``<prefix>.<name>`` in the root registry."""
-        return self._root.histogram(self._prefix + name, bounds)
+        return self._root.histogram(self._prefix + name, bounds, kind)
 
     def scope(self, prefix: str) -> "ScopedRegistry":
         """Nest a further prefix under this view."""
@@ -471,7 +535,7 @@ class NullRegistry:
         """Return the shared no-op gauge."""
         return self._gauge
 
-    def histogram(self, name: str, bounds=None) -> _NullHistogram:
+    def histogram(self, name: str, bounds=None, kind=None) -> _NullHistogram:
         """Return the shared no-op histogram."""
         return self._histogram
 

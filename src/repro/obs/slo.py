@@ -1,0 +1,270 @@
+"""Service-level objectives: targets, windows, and error-budget burn.
+
+An :class:`SLO` names a good/bad event split over registry counters
+(e.g. good = answered queries, bad = deadline misses + shed queries)
+and a target success ratio.  An :class:`SLOTracker` evaluates a set of
+SLOs against a live :class:`~repro.obs.metrics.MetricsRegistry`, both
+cumulatively and over a sliding window of recent checkpoints, and
+reports the **error-budget burn rate**: how fast the allowed failure
+fraction is being consumed, where 1.0 means "failing at exactly the
+budgeted rate" and anything sustained above 1.0 exhausts the budget
+before the period ends.
+
+The discipline matches the rest of the observability layer: trackers
+only exist when a real registry does, and the serving path's disabled
+branch stays a ``None``-guard no-op.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: a target ratio of good events over a counter split.
+
+    Attributes
+    ----------
+    name : str
+        Objective name, e.g. ``"availability"``.
+    target : float
+        Required success ratio in ``(0, 1)``; the error budget is
+        ``1 - target``.
+    good : tuple of str
+        Registry counter names tallying successful events.
+    bad : tuple of str
+        Registry counter names tallying budget-consuming events.
+    description : str
+        One-line human framing for reports and ``repro top``.
+    """
+
+    name: str
+    target: float
+    good: Tuple[str, ...]
+    bad: Tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        """Validate the target leaves a non-empty, non-trivial budget."""
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: target must be in (0, 1), "
+                f"got {self.target}"
+            )
+        if not self.good:
+            raise ValueError(f"SLO {self.name!r}: needs >= 1 good counter")
+
+
+@dataclass
+class SLOStatus:
+    """Point-in-time evaluation of one :class:`SLO`.
+
+    ``burn_rate`` is ``error_rate / (1 - target)``: 1.0 consumes the
+    budget exactly as fast as allowed, 2.0 twice as fast.  The
+    ``window_*`` twins cover only the tracker's sliding window of
+    recent checkpoints, so a fresh incident shows up there long before
+    it moves the cumulative numbers.  With no events observed the
+    objective is vacuously met (ratio 1.0, burn 0.0).
+    """
+
+    slo: SLO
+    good: int = 0
+    bad: int = 0
+    window_good: int = 0
+    window_bad: int = 0
+
+    @staticmethod
+    def _ratio(good: int, bad: int) -> float:
+        total = good + bad
+        return good / total if total else 1.0
+
+    @property
+    def ratio(self) -> float:
+        """Cumulative success ratio (1.0 when nothing happened yet)."""
+        return self._ratio(self.good, self.bad)
+
+    @property
+    def window_ratio(self) -> float:
+        """Success ratio over the sliding window only."""
+        return self._ratio(self.window_good, self.window_bad)
+
+    @property
+    def burn_rate(self) -> float:
+        """Cumulative error-budget burn rate (1.0 = exactly on budget)."""
+        return (1.0 - self.ratio) / (1.0 - self.slo.target)
+
+    @property
+    def window_burn_rate(self) -> float:
+        """Burn rate over the sliding window only."""
+        return (1.0 - self.window_ratio) / (1.0 - self.slo.target)
+
+    @property
+    def met(self) -> bool:
+        """Whether the cumulative ratio meets the target."""
+        return self.ratio >= self.slo.target
+
+    @property
+    def budget_remaining(self) -> float:
+        """Unburned fraction of the error budget (can go negative)."""
+        return 1.0 - self.burn_rate
+
+    def to_dict(self) -> Dict[str, object]:
+        """Export the status for JSON reports (``repro soak``/``top``)."""
+        return {
+            "name": self.slo.name,
+            "description": self.slo.description,
+            "target": self.slo.target,
+            "good": self.good,
+            "bad": self.bad,
+            "ratio": self.ratio,
+            "burn_rate": self.burn_rate,
+            "budget_remaining": self.budget_remaining,
+            "window_ratio": self.window_ratio,
+            "window_burn_rate": self.window_burn_rate,
+            "met": self.met,
+        }
+
+
+@dataclass
+class _Checkpoint:
+    """One sampled (good, bad) cumulative pair per objective."""
+
+    totals: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+class SLOTracker:
+    """Evaluates a set of SLOs against a registry, with a burn window.
+
+    The tracker reads counters straight off the registry, so a status
+    is always current; :meth:`checkpoint` additionally pushes the
+    cumulative totals into a bounded deque so the ``window_*`` fields
+    of :class:`SLOStatus` cover only the last ``window`` checkpoints —
+    call it on a steady cadence (the frontend ticks it from its
+    serving loop) to make the window a time window.
+
+    Parameters
+    ----------
+    registry : MetricsRegistry
+        Source of the good/bad counters.
+    slos : sequence of SLO
+        The objectives to track.
+    window : int
+        Number of checkpoints the sliding window spans.
+    """
+
+    def __init__(self, registry, slos: Sequence[SLO], window: int = 60):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self.registry = registry
+        self.slos = list(slos)
+        self.window = window
+        self._checkpoints: Deque[_Checkpoint] = deque(maxlen=window + 1)
+
+    def _totals(self, slo: SLO) -> Tuple[int, int]:
+        """Current cumulative (good, bad) for one objective."""
+        good = sum(self.registry.value(name) for name in slo.good)
+        bad = sum(self.registry.value(name) for name in slo.bad)
+        return good, bad
+
+    def checkpoint(self) -> None:
+        """Sample cumulative totals into the sliding window."""
+        cp = _Checkpoint(
+            {slo.name: self._totals(slo) for slo in self.slos}
+        )
+        self._checkpoints.append(cp)
+
+    def status(self, name: str) -> SLOStatus:
+        """Evaluate one objective by name (raises KeyError if unknown)."""
+        for slo in self.slos:
+            if slo.name == name:
+                return self._status(slo)
+        raise KeyError(f"unknown SLO {name!r}")
+
+    def _status(self, slo: SLO) -> SLOStatus:
+        good, bad = self._totals(slo)
+        window_good, window_bad = good, bad
+        if self._checkpoints:
+            base = self._checkpoints[0].totals.get(slo.name)
+            if base is not None:
+                window_good = good - base[0]
+                window_bad = bad - base[1]
+        return SLOStatus(
+            slo=slo,
+            good=good,
+            bad=bad,
+            window_good=window_good,
+            window_bad=window_bad,
+        )
+
+    def statuses(self) -> List[SLOStatus]:
+        """Evaluate every objective, in declaration order."""
+        return [self._status(slo) for slo in self.slos]
+
+    def violations(self) -> List[SLOStatus]:
+        """The objectives currently missing their target."""
+        return [status for status in self.statuses() if not status.met]
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Export every objective's status, keyed by SLO name."""
+        return {
+            status.slo.name: status.to_dict() for status in self.statuses()
+        }
+
+
+def default_serve_slos(
+    availability_target: float = 0.97, freshness_target: float = 0.90
+) -> List[SLO]:
+    """The stock objectives for :class:`~repro.serve.ServiceFrontend`.
+
+    Two objectives over the frontend's own counters:
+
+    - **availability** — a query is good when answered at full fidelity
+      or via an explained degraded read; bad when it timed out past its
+      deadline, was shed by admission control, or failed outright.
+    - **freshness** — a query is good when served from the live index;
+      degraded reads (stale snapshot served under a tripped breaker)
+      spend freshness budget even though availability forgives them.
+
+    Targets default to values the chaos soak comfortably meets (see
+    EXPERIMENTS.md); override per deployment.
+    """
+    return [
+        SLO(
+            name="availability",
+            target=availability_target,
+            good=("serve.queries_ok", "serve.degraded_answers"),
+            bad=(
+                "serve.deadline_timeouts",
+                "serve.shed_queries",
+                "serve.failed_queries",
+            ),
+            description="answered (possibly degraded) vs timed-out/shed/failed",
+        ),
+        SLO(
+            name="freshness",
+            target=freshness_target,
+            good=("serve.queries_ok",),
+            bad=("serve.degraded_answers",),
+            description="full-fidelity answers vs degraded (stale) reads",
+        ),
+    ]
+
+
+def check_slos(
+    tracker: Optional[SLOTracker],
+) -> Tuple[bool, List[Dict[str, object]]]:
+    """Evaluate a tracker, tolerating its absence.
+
+    Convenience for harness code holding an optional tracker: returns
+    ``(all_met, status_dicts)``; a ``None`` tracker is vacuously met.
+    """
+    if tracker is None:
+        return True, []
+    statuses = tracker.statuses()
+    return all(s.met for s in statuses), [s.to_dict() for s in statuses]

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import LATENCY_BUCKETS, NULL_REGISTRY
+from ..obs.slo import SLOTracker, default_serve_slos
 from ..obs.trace import NULL_TRACER
 from ..storage.faults import SimulatedCrash, TransientIOError
 from ..storage.pagefile import FilePageStore
@@ -228,6 +229,11 @@ class ServiceFrontend:
         Zero-argument callback invoked after a simulated crash; must
         return ``(new_index, new_injector)`` with recovery already run.
         Without it a crash propagates.
+    slos : sequence of SLO, optional
+        Objectives for the frontend's :class:`~repro.obs.slo.SLOTracker`;
+        defaults to :func:`~repro.obs.slo.default_serve_slos`.  The
+        tracker only exists when a real ``registry`` is given — the
+        disabled path stays a ``None``-guard no-op.
     """
 
     def __init__(
@@ -239,6 +245,7 @@ class ServiceFrontend:
         tracer=None,
         injector=None,
         reopen=None,
+        slos=None,
     ):
         self.index = index
         self.config = config if config is not None else FrontendConfig()
@@ -273,14 +280,25 @@ class ServiceFrontend:
                 "retry_exhausted", "deadline_timeouts", "breaker_trips",
                 "breaker_probes", "breaker_recoveries", "degraded_answers",
                 "backlog_enqueued", "backlog_replayed", "kills", "reopens",
+                "queries_ok", "failed_queries",
             )
         }
         self._queue_depth = reg.histogram("serve.queue_depth")
+        self._queue_wait = reg.histogram("serve.queue_wait", kind="latency")
         self._retry_latency = reg.histogram(
             "serve.retry_latency", bounds=LATENCY_BUCKETS
         )
         reg.gauge("serve.backlog", fn=lambda: len(self._backlog))
         reg.gauge("serve.breaker_open", fn=lambda: int(self._is_open))
+        self._staleness = reg.gauge("serve.staleness")
+        # SLO accounting exists only alongside a real registry: the
+        # tracker reads the serve.* counters straight off it, and the
+        # registry-less path stays the zero-overhead no-op.
+        self._slo: Optional[SLOTracker] = None
+        if registry is not None:
+            self._slo = SLOTracker(
+                registry, slos if slos is not None else default_serve_slos()
+            )
 
     # -- plumbing -----------------------------------------------------------
 
@@ -288,6 +306,27 @@ class ServiceFrontend:
     def breaker(self) -> CircuitBreaker:
         """The frontend's circuit breaker (read-mostly introspection)."""
         return self._breaker
+
+    @property
+    def slo_tracker(self) -> Optional[SLOTracker]:
+        """The frontend's SLO tracker (``None`` without a registry)."""
+        return self._slo
+
+    def slo_status(self) -> Dict[str, Dict[str, object]]:
+        """Current per-objective SLO status (empty without a registry).
+
+        Maps objective name to its
+        :meth:`~repro.obs.slo.SLOStatus.to_dict` export — the payload
+        ``repro soak`` asserts on and ``repro top`` renders.
+        """
+        if self._slo is None:
+            return {}
+        return self._slo.to_dict()
+
+    def _tick_slo(self) -> None:
+        """Advance the SLO burn window by one served-request checkpoint."""
+        if self._slo is not None:
+            self._slo.checkpoint()
 
     @property
     def _is_open(self) -> bool:
@@ -559,6 +598,7 @@ class ServiceFrontend:
         """
         live: List[Request] = []
         for request in batch:
+            self._queue_wait.record(max(0.0, start - request.arrival))
             if start + self.config.service_time > request.deadline:
                 self._timeout(request, start)
             else:
@@ -591,6 +631,7 @@ class ServiceFrontend:
                 self._vfree = start + self.config.service_time
                 self.report.served_queries += len(live)
                 self._since_checkpoint += len(live)
+                self._c["queries_ok"].inc(len(live))
                 for request, answer in zip(live, answers):
                     self.report.outcomes.append(
                         QueryOutcome(
@@ -600,6 +641,7 @@ class ServiceFrontend:
                     )
         for request in batch:
             self._served = max(self._served, request.index + 1)
+        self._tick_slo()
         if (
             not self._is_open
             and self._since_checkpoint >= self.config.checkpoint_interval
@@ -630,6 +672,7 @@ class ServiceFrontend:
         )
 
     def _serve(self, request: Request, start: float) -> None:
+        self._queue_wait.record(max(0.0, start - request.arrival))
         if self._is_open and self._breaker.ready_to_probe(start):
             self._attempt_probe(start)
         if self._is_open:
@@ -639,6 +682,7 @@ class ServiceFrontend:
         else:
             self._serve_write(request, start)
         self._served = max(self._served, request.index + 1)
+        self._tick_slo()
         if (
             not self._is_open
             and self._since_checkpoint >= self.config.checkpoint_interval
@@ -678,6 +722,7 @@ class ServiceFrontend:
                     self.report.retry_successes += 1
                 self.report.served_queries += 1
                 self._since_checkpoint += 1
+                self._c["queries_ok"].inc()
                 self.report.outcomes.append(
                     QueryOutcome(
                         request.index, now, "ok",
@@ -712,6 +757,7 @@ class ServiceFrontend:
                 self._answer_degraded(request, cur)
             else:
                 self.report.failed_queries += 1
+                self._c["failed_queries"].inc()
                 self.report.outcomes.append(
                     QueryOutcome(request.index, request.op.time, "failed")
                 )
@@ -833,6 +879,7 @@ class ServiceFrontend:
         self.report.max_staleness = max(
             self.report.max_staleness, answer.staleness
         )
+        self._staleness.set(answer.staleness)
         self.report.outcomes.append(
             QueryOutcome(
                 request.index, now, "degraded",

@@ -51,6 +51,7 @@ from ..geometry.queries import SpatioTemporalQuery
 from ..storage.faults import TransientIOError
 from ..storage.stats import IOSnapshot
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext
 from ..workloads.base import (
     DeleteOp,
     InsertOp,
@@ -110,6 +111,10 @@ class ShardConfig:
     observability : bool
         Run a metrics registry in every worker; exports merge in the
         parent via :meth:`ShardedForest.registry_snapshot`.
+    flush_every : int
+        Workers piggyback their full registry export on every Nth
+        apply acknowledgement, keeping :meth:`ShardedForest.live_registry`
+        current without explicit stats gathers (0 disables).
     batch_ops : int
         Maximum operations per wire batch in :meth:`ShardedForest.apply_ops`.
     window : int
@@ -132,6 +137,7 @@ class ShardConfig:
     split_buffer: bool = True
     fsync: bool = False
     observability: bool = True
+    flush_every: int = 8
     batch_ops: int = 256
     window: int = 2
     request_timeout: float = 120.0
@@ -306,6 +312,8 @@ class ShardedForest:
         config: ShardConfig,
         partitioner: Partitioner,
         clock: Optional[SimulationClock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         if partitioner.partitions != config.workers:
             raise ValueError(
@@ -323,6 +331,17 @@ class ShardedForest:
             for i in range(config.workers)
         ]
         self._closed = False
+        #: Router-side observability (both optional; None = no-op path).
+        self._registry = registry
+        self._tracer = tracer
+        self._trace_seq = 0
+        #: Latest full stats payload per shard index, replaced wholesale
+        #: on every piggybacked flush or explicit gather — replacement
+        #: (not accumulation) of cumulative exports is what makes
+        #: repeated flushes idempotent.
+        self._worker_exports: Dict[int, dict] = {}
+        if registry is not None:
+            registry.gauge("shards.workers").set(config.workers)
 
     # -- construction --------------------------------------------------------
 
@@ -337,8 +356,15 @@ class ShardedForest:
         directory: str,
         config: Optional[ShardConfig] = None,
         partitioner: Optional[Partitioner] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> "ShardedForest":
-        """Create a fresh sharded index and spawn its workers."""
+        """Create a fresh sharded index and spawn its workers.
+
+        ``registry`` / ``tracer`` attach router-side observability;
+        with a tracer, workers spawn with tracing on and every
+        scatter-gather reassembles into one cross-process span tree.
+        """
         config = config if config is not None else ShardConfig()
         if partitioner is None:
             partitioner = make_partitioner(
@@ -350,7 +376,9 @@ class ShardedForest:
                 reach=config.reach,
             )
         os.makedirs(directory, exist_ok=True)
-        forest = cls(directory, config, partitioner)
+        forest = cls(
+            directory, config, partitioner, registry=registry, tracer=tracer
+        )
         forest._write_manifest()
         for shard in forest._shards:
             forest._spawn(shard, recover=False)
@@ -361,6 +389,8 @@ class ShardedForest:
         cls,
         directory: str,
         config: Optional[ShardConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> "ShardedForest":
         """Reopen a sharded index; every worker runs WAL recovery."""
         path = os.path.join(directory, MANIFEST_FILENAME)
@@ -387,7 +417,9 @@ class ShardedForest:
         else:
             config = config.with_(tree=stored.tree)
         partitioner = _partitioner_from_manifest(manifest["partitioner"])
-        forest = cls(directory, config, partitioner)
+        forest = cls(
+            directory, config, partitioner, registry=registry, tracer=tracer
+        )
         for shard in forest._shards:
             forest._spawn(shard, recover=True)
         return forest
@@ -417,6 +449,8 @@ class ShardedForest:
             recover=recover,
             fsync=self.config.fsync,
             observability=self.config.observability,
+            tracing=self._tracer is not None,
+            flush_every=self.config.flush_every,
         )
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
@@ -508,7 +542,8 @@ class ShardedForest:
 
         Stale replies (sequence numbers below ``seq``) exist only after
         an aborted scatter left acknowledgements unconsumed; their
-        effects are already applied, so they are dropped here.
+        effects are already applied, so they are dropped here — after
+        absorbing their observability extras, which remain valid.
         """
         timeout = timeout if timeout is not None else self.config.request_timeout
         while True:
@@ -521,9 +556,39 @@ class ShardedForest:
                 raise ShardWorkerError(
                     f"shard {shard.index} request failed:\n{reply[2]}"
                 )
+            if len(reply) == 6:  # an apply acknowledgement
+                self._absorb(shard, reply)
             if got == seq:
                 return reply
             # got < seq: stale acknowledgement from an aborted scatter.
+
+    def _absorb(self, shard: _Shard, reply: tuple) -> None:
+        """Fold an apply acknowledgement's observability into the router.
+
+        Busy seconds feed the per-shard load counters; shipped span
+        records are adopted into the router's tracer (re-parented under
+        the wire trace context's parent span — the fan-out span that
+        stamped the batch — and labelled with the shard index); a
+        piggybacked stats flush *replaces* the shard's stored export,
+        so re-absorbing the same cumulative flush never double-counts.
+        """
+        registry = self._registry
+        if registry is not None:
+            registry.counter(f"shards.shard{shard.index}.busy_s").inc(reply[3])
+            registry.counter("shards.batches").inc()
+        extras = reply[5]
+        if not extras:
+            return
+        spans = extras.get("spans")
+        if spans and self._tracer is not None:
+            ctx = extras.get("ctx")
+            parent = ctx[1] if ctx is not None and ctx[1] else None
+            self._tracer.adopt(
+                spans, parent_id=parent, extra_attrs={"shard": shard.index}
+            )
+        stats = extras.get("stats")
+        if stats is not None:
+            self._worker_exports[shard.index] = stats
 
     def _request(
         self, shard: _Shard, verb: str, *parts, timeout: Optional[float] = None
@@ -593,6 +658,13 @@ class ShardedForest:
         self.insert(oid, new_point)
         return existed
 
+    def _begin_trace(self, root) -> TraceContext:
+        """Mint a trace id for one fan-out and stamp its root span."""
+        self._trace_seq += 1
+        trace_id = self._trace_seq
+        root.set(trace_id=trace_id)
+        return TraceContext(trace_id, root.span_id)
+
     def query(self, query: SpatioTemporalQuery) -> List[int]:
         """Scatter a query to the reachable shards and gather answers.
 
@@ -600,17 +672,42 @@ class ShardedForest:
         is collected, so shards execute concurrently; answers merge in
         shard order (each object lives in exactly one shard, so
         concatenation preserves the single-tree answer multiset).
+        With a router tracer attached, the whole fan-out runs under a
+        ``shards.query`` span whose trace id rides the wire batches;
+        the workers' shipped spans are adopted under it, so one query
+        yields one reassembled cross-process span tree.
         """
+        if self._tracer is None:
+            return self._query_impl(query, None, None, None)
+        with self._tracer.span("shards.query") as root:
+            trace = self._begin_trace(root)
+            enc, blocked = [0.0], [0.0]
+            results = self._query_impl(query, trace, enc, blocked)
+            root.set(encode_s=enc[0], wait_s=blocked[0], results=len(results))
+        return results
+
+    def _query_impl(
+        self,
+        query: SpatioTemporalQuery,
+        trace: Optional[TraceContext],
+        enc: Optional[List[float]],
+        blocked: Optional[List[float]],
+    ) -> List[int]:
         targets = self.partitioner.query_partitions(query.region())
         op = QueryOp(self.clock.time, query)
-        payload = self.codec.encode_ops([op])
+        if enc is None:
+            payload = self.codec.encode_ops([op])
+        else:
+            t0 = _time.perf_counter()
+            payload = self.codec.encode_ops([op], trace=trace)
+            enc[0] += _time.perf_counter() - t0
         pending: List[Tuple[_Shard, int]] = []
         for index in targets:
             shard = self._shards[index]
             pending.append((shard, self._send(shard, "apply", payload)))
         results: List[int] = []
         for shard, seq in pending:
-            reply = self._await(shard, seq)
+            reply = self._await(shard, seq, blocked=blocked)
             for _, oids in self.codec.decode_answers(reply[2]):
                 results.extend(oids)
         return results
@@ -630,9 +727,30 @@ class ShardedForest:
         ``query_partitions`` order, which is exactly the merge order of
         :meth:`query` — so the answers are bit-identical (including
         order) to ``[self.query(q) for q in queries]``.
+
+        Under tracing, the whole batch shares one ``shards.query_batch``
+        span (and one trace id across all its wire batches).
         """
         if not queries:
             return []
+        if self._tracer is None:
+            return self._query_batch_impl(queries, None, None, None)
+        with self._tracer.span("shards.query_batch") as root:
+            trace = self._begin_trace(root)
+            enc, blocked = [0.0], [0.0]
+            answers = self._query_batch_impl(queries, trace, enc, blocked)
+            root.set(
+                encode_s=enc[0], wait_s=blocked[0], queries=len(queries)
+            )
+        return answers
+
+    def _query_batch_impl(
+        self,
+        queries: Sequence[SpatioTemporalQuery],
+        trace: Optional[TraceContext],
+        enc: Optional[List[float]],
+        blocked: Optional[List[float]],
+    ) -> List[List[int]]:
         time = self.clock.time
         targets = [
             self.partitioner.query_partitions(query.region())
@@ -649,7 +767,7 @@ class ShardedForest:
 
         def consume(shard: _Shard) -> None:
             seq, batch_metas = shard.inflight[0]
-            reply = self._await(shard, seq)
+            reply = self._await(shard, seq, blocked=blocked)
             shard.inflight.pop(0)
             for offset, oids in self.codec.decode_answers(reply[2]):
                 parts[batch_metas[offset]][shard.index] = oids
@@ -658,7 +776,12 @@ class ShardedForest:
         for index, shard in enumerate(self._shards):
             for start in range(0, len(buffers[index]), limit):
                 chunk = buffers[index][start:start + limit]
-                payload = self.codec.encode_ops(chunk)
+                if enc is None:
+                    payload = self.codec.encode_ops(chunk)
+                else:
+                    t0 = _time.perf_counter()
+                    payload = self.codec.encode_ops(chunk, trace=trace)
+                    enc[0] += _time.perf_counter() - t0
                 seq = self._send(shard, "apply", payload)
                 shard.inflight.append(
                     (seq, metas[index][start:start + limit])
@@ -709,7 +832,31 @@ class ShardedForest:
         exactly the writes that precede it in the stream), and its
         merged answer is assembled from the per-shard acknowledgements
         at the end of the replay.
+
+        Under tracing, the whole replay shares one ``shards.apply_ops``
+        span and one trace id across every wire batch it sends.
         """
+        if self._tracer is None:
+            return self._apply_ops_impl(ops, batch_ops, None, None)
+        with self._tracer.span("shards.apply_ops") as root:
+            trace = self._begin_trace(root)
+            enc = [0.0]
+            result = self._apply_ops_impl(ops, batch_ops, trace, enc)
+            root.set(
+                ops=result.ops,
+                batches=result.batches,
+                encode_s=enc[0],
+                wait_s=result.blocked_seconds,
+            )
+        return result
+
+    def _apply_ops_impl(
+        self,
+        ops: Sequence[Operation],
+        batch_ops: Optional[int],
+        trace: Optional[TraceContext],
+        enc: Optional[List[float]],
+    ) -> ShardRunResult:
         limit = batch_ops if batch_ops is not None else self.config.batch_ops
         result = ShardRunResult(shard_busy_seconds=[0.0] * self.partitions)
         started = _time.perf_counter()
@@ -733,7 +880,12 @@ class ShardedForest:
             if not buffers[index]:
                 return
             shard = self._shards[index]
-            payload = self.codec.encode_ops(buffers[index])
+            if enc is None:
+                payload = self.codec.encode_ops(buffers[index])
+            else:
+                t0 = _time.perf_counter()
+                payload = self.codec.encode_ops(buffers[index], trace=trace)
+                enc[0] += _time.perf_counter() - t0
             seq = self._send(shard, "apply", payload)
             shard.inflight.append((seq, metas[index]))
             buffers[index] = []
@@ -860,8 +1012,15 @@ class ShardedForest:
         return GatheredSnapshot(entries, self.clock.time)
 
     def stats_payloads(self) -> List[dict]:
-        """Per-shard stats exports (metrics, I/O counters, sizes)."""
-        return [reply[2] for reply in self._gather("stats")]
+        """Per-shard stats exports (metrics, I/O counters, sizes).
+
+        An explicit gather; it also refreshes the piggyback cache
+        behind :meth:`live_registry` / :meth:`worker_summaries`.
+        """
+        payloads = [reply[2] for reply in self._gather("stats")]
+        for index, payload in enumerate(payloads):
+            self._worker_exports[index] = payload
+        return payloads
 
     def io_snapshot(self) -> IOSnapshot:
         """Summed I/O counters across all shards."""
@@ -885,6 +1044,37 @@ class ShardedForest:
             merged.merge(MetricsRegistry.from_dict(payload["metrics"]))
         merged.gauge("shards.workers").set(self.partitions)
         return merged
+
+    def live_registry(self) -> MetricsRegistry:
+        """Merge the latest piggybacked worker flushes, without a gather.
+
+        Like :meth:`registry_snapshot` but built entirely from the
+        stats flushes workers piggyback on apply acknowledgements
+        (``config.flush_every``) plus the router's own registry — no
+        round trips, so it is safe to call from a serving loop.  Each
+        call merges fresh from the stored cumulative exports, so
+        repeated calls (and repeated identical flushes) are idempotent.
+        Shards that have not flushed yet simply contribute nothing.
+        """
+        merged = MetricsRegistry()
+        for payload in self._worker_exports.values():
+            merged.merge(MetricsRegistry.from_dict(payload["metrics"]))
+        if self._registry is not None:
+            merged.merge(self._registry)
+        merged.gauge("shards.workers").set(self.partitions)
+        return merged
+
+    def worker_summaries(self) -> Dict[int, dict]:
+        """Latest per-shard size/I-O summaries from the piggyback cache.
+
+        Maps shard index to its most recent stats payload (``io``,
+        ``pages``, ``entries``, ``height``) — live to within
+        ``config.flush_every`` applies, no round trip.
+        """
+        return {
+            index: {k: v for k, v in payload.items() if k != "metrics"}
+            for index, payload in sorted(self._worker_exports.items())
+        }
 
     @property
     def page_count(self) -> int:

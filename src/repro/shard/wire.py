@@ -19,7 +19,7 @@ version byte guard against driving a worker with a foreign payload.
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import (
@@ -29,18 +29,27 @@ from ..geometry.queries import (
     WindowQuery,
 )
 from ..geometry.rect import Rect
+from ..obs.trace import TraceContext
 from ..workloads.base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp
 
 #: Batch magic ("RXSB": R-exp-tree shard batch) and format version.
 MAGIC = 0x52585342
 VERSION = 1
 
+#: Header flag: an optional trace-context frame (``_TRACE``) follows
+#: the header.  Flags live in the header's formerly-reserved u16, so a
+#: flag-free batch is byte-identical to the pre-flags format and the
+#: version byte stays 1.
+FLAG_TRACE = 0x0001
+_KNOWN_FLAGS = FLAG_TRACE
+
 #: Operation record kinds.
 OP_INSERT, OP_DELETE, OP_UPDATE, OP_QUERY = 1, 2, 3, 4
 #: Query record sub-kinds (the three query types of Section 2.1).
 Q_TIMESLICE, Q_WINDOW, Q_MOVING = 1, 2, 3
 
-_HEADER = struct.Struct("<IBBHI")  # magic, version, dims, reserved, count
+_HEADER = struct.Struct("<IBBHI")  # magic, version, dims, flags, count
+_TRACE = struct.Struct("<QQ")  # trace id, parent span id (0 = none)
 _KIND = struct.Struct("<B")
 _ANSWER_HEADER = struct.Struct("<I")  # number of answered queries
 _ANSWER_ENTRY = struct.Struct("<II")  # op index in batch, oid count
@@ -130,16 +139,31 @@ class OpCodec:
             )
         raise TypeError(f"cannot encode query {q!r}")
 
-    def encode_ops(self, ops: Sequence[Operation]) -> bytes:
-        """Pack a batch of operations into one byte string."""
-        parts = [_HEADER.pack(MAGIC, VERSION, self.dims, 0, len(ops))]
+    def encode_ops(
+        self, ops: Sequence[Operation], trace: Optional[TraceContext] = None
+    ) -> bytes:
+        """Pack a batch of operations into one byte string.
+
+        With ``trace`` given, the batch carries a trace-context frame
+        (trace id + parent span id) between header and records and
+        sets :data:`FLAG_TRACE`; workers decode it via
+        :meth:`decode_ops_traced` and hang their spans under the
+        router's fan-out span.  Without it the bytes are identical to
+        the untraced format.
+        """
+        flags = 0
+        parts = [b""]
+        if trace is not None:
+            flags |= FLAG_TRACE
+            parts.append(_TRACE.pack(trace.trace_id, trace.parent_span_id))
+        parts[0] = _HEADER.pack(MAGIC, VERSION, self.dims, flags, len(ops))
         parts.extend(self._encode_op(op) for op in ops)
         return b"".join(parts)
 
     # -- decoding ------------------------------------------------------------
 
-    def _check_header(self, buf: bytes) -> int:
-        magic, version, dims, _, count = _HEADER.unpack_from(buf, 0)
+    def _check_header(self, buf: bytes) -> Tuple[int, int]:
+        magic, version, dims, flags, count = _HEADER.unpack_from(buf, 0)
         if magic != MAGIC:
             raise ValueError(f"bad batch magic {magic:#x}")
         if version != VERSION:
@@ -148,12 +172,30 @@ class OpCodec:
             raise ValueError(
                 f"batch encoded for {dims} dims, codec expects {self.dims}"
             )
-        return count
+        if flags & ~_KNOWN_FLAGS:
+            raise ValueError(f"unknown batch flags {flags:#06x}")
+        return count, flags
 
     def decode_ops(self, buf: bytes) -> List[Operation]:
-        """Unpack a batch back into operation objects (exact fields)."""
-        count = self._check_header(buf)
+        """Unpack a batch back into operation objects (exact fields).
+
+        Any trace-context frame is skipped; use
+        :meth:`decode_ops_traced` to receive it.
+        """
+        ops, _ = self.decode_ops_traced(buf)
+        return ops
+
+    def decode_ops_traced(
+        self, buf: bytes
+    ) -> Tuple[List[Operation], Optional[TraceContext]]:
+        """Unpack a batch plus its trace context (None when untraced)."""
+        count, flags = self._check_header(buf)
         offset = _HEADER.size
+        trace: Optional[TraceContext] = None
+        if flags & FLAG_TRACE:
+            trace_id, parent = _TRACE.unpack_from(buf, offset)
+            offset += _TRACE.size
+            trace = TraceContext(trace_id, parent)
         d = self.dims
         ops: List[Operation] = []
         for _ in range(count):
@@ -178,7 +220,7 @@ class OpCodec:
                 ops.append(op)
             else:
                 raise ValueError(f"unknown op kind {kind} at offset {offset}")
-        return ops
+        return ops, trace
 
     def _decode_query(self, buf: bytes, offset: int) -> Tuple[QueryOp, int]:
         _, qkind = struct.unpack_from("<BB", buf, offset)

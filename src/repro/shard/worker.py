@@ -36,8 +36,14 @@ from ..core.clock import SimulationClock
 from ..core.config import TreeConfig
 from ..core.tree import MovingObjectTree
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
 from .wire import OpCodec
+
+#: Span name a worker records around one applied batch; the router
+#: adopts these (re-parented under its fan-out span) and ``repro top``
+#: keys its worker-stage arithmetic on the name.
+BATCH_SPAN = "worker.batch"
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,14 @@ class WorkerSpec:
     observability : bool
         Attach a per-worker metrics registry to the tree; its export
         ships back on ``stats`` requests for parent-side merging.
+    tracing : bool
+        Run a per-worker :class:`~repro.obs.trace.Tracer`; each apply
+        reply then carries the batch's span records (plus any wire
+        trace context) for router-side adoption.
+    flush_every : int
+        Piggyback the worker's full registry export on every Nth apply
+        reply, so router-side stats stay live without explicit gathers
+        (0 disables the piggyback).
     """
 
     index: int
@@ -68,27 +82,36 @@ class WorkerSpec:
     recover: bool = False
     fsync: bool = False
     observability: bool = True
+    tracing: bool = False
+    flush_every: int = 8
 
 
 def _build_tree(
-    spec: WorkerSpec, clock: SimulationClock, registry: Optional[MetricsRegistry]
+    spec: WorkerSpec,
+    clock: SimulationClock,
+    registry: Optional[MetricsRegistry],
+    tracer: Optional[Tracer] = None,
 ) -> MovingObjectTree:
     """Create or recover the worker's durable member tree."""
     if spec.recover:
         return MovingObjectTree.open_from(
             spec.directory, spec.config, clock,
-            fsync=spec.fsync, registry=registry,
+            fsync=spec.fsync, registry=registry, tracer=tracer,
         )
     tree = MovingObjectTree.create_durable(
         spec.directory, spec.config, clock, fsync=spec.fsync
     )
-    if registry is not None:
-        tree.enable_observability(registry)
+    if registry is not None or tracer is not None:
+        tree.enable_observability(registry, tracer)
     return tree
 
 
 def _apply_batch(tree, clock, codec, payload):
-    """Apply one decoded batch; return (answers bytes, failed deletes).
+    """Apply one decoded batch.
+
+    Returns ``(answers bytes, failed deletes, trace context, op
+    count)`` — the trace context is the wire batch's, ``None`` when the
+    router sent it untraced.
 
     Runs of consecutive queries at the same timestamp are answered
     through :meth:`~repro.core.tree.MovingObjectTree.query_batch` — one
@@ -98,7 +121,7 @@ def _apply_batch(tree, clock, codec, payload):
     """
     answers = []
     failed_deletes = 0
-    ops = list(codec.decode_ops(payload))
+    ops, trace = codec.decode_ops_traced(payload)
     total = len(ops)
     position = 0
     while position < total:
@@ -131,7 +154,7 @@ def _apply_batch(tree, clock, codec, payload):
         else:  # pragma: no cover - decode_ops only yields the four kinds
             raise TypeError(f"unsupported operation {op!r}")
         position += 1
-    return codec.encode_answers(answers), failed_deletes
+    return codec.encode_answers(answers), failed_deletes, trace, total
 
 
 def _stats_payload(tree, registry: Optional[MetricsRegistry]) -> dict:
@@ -159,11 +182,21 @@ def worker_main(conn, spec: WorkerSpec) -> None:
     exception inside a request is reported, not fatal — the tree's own
     durability guarantees cover whatever the failed request left
     behind.  A lost parent (EOF on the pipe) closes the tree and exits.
+
+    Every ``apply`` reply ends with an *extras* slot: ``None`` on the
+    plain path, else a dict carrying the batch's span records (under
+    ``spans``/``dropped``/``ctx`` when tracing) and, every
+    ``flush_every`` applies, the worker's full stats payload (under
+    ``stats``) — the piggybacked flush that keeps router-side metrics
+    live.  The flush is the *cumulative* registry export, so the
+    router replacing its stored copy is idempotent by construction.
     """
     registry = MetricsRegistry() if spec.observability else None
+    tracer = Tracer() if spec.tracing else None
     clock = SimulationClock()
-    tree = _build_tree(spec, clock, registry)
+    tree = _build_tree(spec, clock, registry, tracer)
     codec = OpCodec(spec.config.dims)
+    applies = 0
     try:
         while True:
             try:
@@ -173,12 +206,38 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             verb, seq = message[0], message[1]
             try:
                 if verb == "apply":
+                    extras = None
                     started = _time.process_time()
-                    answers, failed = _apply_batch(
-                        tree, clock, codec, message[2]
-                    )
-                    busy = _time.process_time() - started
-                    conn.send(("ok", seq, answers, busy, failed))
+                    if tracer is None:
+                        answers, failed, _, _ = _apply_batch(
+                            tree, clock, codec, message[2]
+                        )
+                        busy = _time.process_time() - started
+                    else:
+                        with tracer.span(BATCH_SPAN) as span:
+                            answers, failed, trace, nops = _apply_batch(
+                                tree, clock, codec, message[2]
+                            )
+                            busy = _time.process_time() - started
+                            span.set(ops=nops, cpu_s=busy)
+                            if trace is not None:
+                                span.set(trace_id=trace.trace_id)
+                        extras = {
+                            "spans": tracer.records(),
+                            "dropped": tracer.dropped,
+                        }
+                        if trace is not None:
+                            extras["ctx"] = tuple(trace)
+                        tracer.clear()
+                    applies += 1
+                    if (
+                        registry is not None
+                        and spec.flush_every
+                        and applies % spec.flush_every == 0
+                    ):
+                        extras = extras if extras is not None else {}
+                        extras["stats"] = _stats_payload(tree, registry)
+                    conn.send(("ok", seq, answers, busy, failed, extras))
                 elif verb == "bulk":
                     clock.advance_to(message[2])
                     entries = codec.decode_entries(message[3])

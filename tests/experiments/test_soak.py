@@ -110,3 +110,12 @@ def test_soak_report_summary_mentions_verdict():
     report.violations.append("boom")
     assert "FAIL" in report.summary()
     assert not report.passed
+
+
+def test_report_exports_slo_budget_statuses(small_soak):
+    assert set(small_soak.slos) == {"availability", "freshness"}
+    for status in small_soak.slos.values():
+        assert status["met"] is True
+        assert status["good"] + status["bad"] > 0
+        assert status["burn_rate"] < 1.0
+        assert 0.0 < status["target"] < 1.0

@@ -1,0 +1,186 @@
+"""Unit tests for metrics export: snapshots, Prometheus text, breakdowns."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    MetricsSnapshotter,
+    accumulate,
+    latency_breakdown,
+    prometheus_text,
+    read_snapshots,
+    shard_shares,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    """Settable clock for deterministic snapshot cadence."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- snapshotter ---------------------------------------------------------------
+
+
+def test_first_snapshot_is_full_later_ones_delta_only(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("ops").inc(5)
+    reg.gauge("depth").set(2)
+    path = str(tmp_path / "m.jsonl")
+    snap = MetricsSnapshotter(reg, path, interval_s=1.0,
+                              clock=FakeClock(), wall_clock=lambda: 99.0)
+
+    first = snap.snapshot()
+    assert set(first["metrics"]) == {"ops", "depth"}
+    assert first["metrics"]["ops"]["delta"] == 5
+    assert first["seq"] == 0 and first["wall"] == 99.0
+
+    reg.counter("ops").inc(2)  # gauge unchanged: only the counter ships
+    second = snap.snapshot()
+    assert set(second["metrics"]) == {"ops"}
+    assert second["metrics"]["ops"] == {"type": "counter", "value": 7,
+                                        "delta": 2}
+
+    third = snap.snapshot()  # nothing moved: record written, empty map
+    assert third["metrics"] == {}
+    assert [r["seq"] for r in read_snapshots(path)] == [0, 1, 2]
+
+
+def test_snapshot_histogram_delta_counts(tmp_path):
+    reg = MetricsRegistry()
+    hist = reg.histogram("io", bounds=[1.0, 2.0, 4.0])
+    snap = MetricsSnapshotter(reg, str(tmp_path / "m.jsonl"),
+                              clock=FakeClock())
+    hist.record(1)
+    assert snap.snapshot()["metrics"]["io"]["delta_count"] == 1
+    hist.record(3)
+    hist.record(3)
+    entry = snap.snapshot()["metrics"]["io"]
+    assert entry["delta_count"] == 2
+    assert entry["count"] == 3  # entries stay cumulative
+
+
+def test_maybe_snapshot_honours_interval(tmp_path):
+    clock = FakeClock()
+    reg = MetricsRegistry()
+    snap = MetricsSnapshotter(reg, str(tmp_path / "m.jsonl"),
+                              interval_s=10.0, clock=clock)
+    assert snap.maybe_snapshot()       # first is always due
+    assert not snap.maybe_snapshot()   # no time passed
+    clock.t = 9.0
+    assert not snap.due()
+    clock.t = 10.0
+    assert snap.maybe_snapshot()
+
+
+def test_snapshotter_rejects_nonpositive_interval(tmp_path):
+    with pytest.raises(ValueError, match="interval"):
+        MetricsSnapshotter(MetricsRegistry(), str(tmp_path / "m.jsonl"),
+                           interval_s=0.0)
+
+
+def test_accumulate_rebuilds_final_registry(tmp_path):
+    reg = MetricsRegistry()
+    path = str(tmp_path / "m.jsonl")
+    snap = MetricsSnapshotter(reg, path, clock=FakeClock())
+    reg.counter("ops").inc(1)
+    reg.histogram("io", bounds=[1.0, 8.0]).record(4)
+    snap.snapshot()
+    reg.counter("ops").inc(9)
+    reg.gauge("pages").set(7)
+    snap.snapshot()
+
+    rebuilt = accumulate(read_snapshots(path))
+    assert rebuilt.value("ops") == 10
+    assert rebuilt.value("pages") == 7
+    assert rebuilt.get("io").count == 1
+
+
+# -- prometheus exposition -----------------------------------------------------
+
+
+def test_prometheus_text_exposes_all_three_kinds():
+    reg = MetricsRegistry()
+    reg.counter("serve.ok").inc(3)
+    reg.gauge("tree.height").set(4)
+    reg.histogram("io", bounds=[1.0, 2.0]).record(1.5)
+    text = prometheus_text(reg)
+    assert "# TYPE serve_ok counter" in text
+    assert "serve_ok 3" in text
+    assert "tree_height 4" in text
+    assert 'io_bucket{le="2.0"} 1' in text
+    assert 'io_bucket{le="+Inf"} 1' in text
+    assert "io_sum 1.5" in text
+    assert "io_count 1" in text
+
+
+# -- latency breakdown and shard shares ----------------------------------------
+
+
+def _span(name, dur, attrs):
+    return {"kind": "span", "name": name, "dur": dur, "attrs": attrs}
+
+
+def test_latency_breakdown_stages_are_additive():
+    records = [
+        _span("shards.query_batch", 1.0,
+              {"trace_id": 7, "encode_s": 0.1, "wait_s": 0.6}),
+        # Two parallel workers: raw wall 0.8 exceeds covered wait 0.6.
+        _span("worker.batch", 0.5, {"trace_id": 7, "cpu_s": 0.4}),
+        _span("worker.batch", 0.3, {"trace_id": 7, "cpu_s": 0.1}),
+    ]
+    b = latency_breakdown(records, queue_s=0.2)
+    total = b["queue_s"] + b["router_s"] + b["wire_s"] + \
+        b["worker_cpu_s"] + b["worker_io_s"]
+    assert total == pytest.approx(b["total_s"])
+    assert b["total_s"] == pytest.approx(1.2)
+    assert b["router_s"] == pytest.approx(0.3)   # 1.0 - 0.6 - 0.1
+    assert b["worker_wall_raw_s"] == pytest.approx(0.8)
+    assert b["worker_cpu_raw_s"] == pytest.approx(0.5)
+
+
+def test_latency_breakdown_ignores_untraced_worker_spans():
+    records = [
+        _span("shards.query", 1.0,
+              {"trace_id": 1, "encode_s": 0.0, "wait_s": 0.5}),
+        _span("worker.batch", 0.4, {"trace_id": 1, "cpu_s": 0.2}),
+        # From an untraced single-op apply: no trace id, must not count.
+        _span("worker.batch", 9.0, {"cpu_s": 9.0}),
+    ]
+    assert latency_breakdown(records)["worker_wall_raw_s"] == \
+        pytest.approx(0.4)
+
+
+def test_latency_breakdown_empty_trace():
+    b = latency_breakdown([], queue_s=0.0)
+    assert b["total_s"] == 0.0
+    assert b["worker_cpu_s"] == 0.0
+
+
+def test_shard_shares_sum_to_one():
+    records = [
+        _span("worker.batch", 0.3, {"shard": 0}),
+        _span("worker.batch", 0.1, {"shard": 1}),
+        _span("worker.batch", 0.1, {"shard": 0}),
+        _span("other", 5.0, {"shard": 2}),       # not a worker span
+        _span("worker.batch", 0.5, {}),          # unadopted: no shard
+    ]
+    shares = shard_shares(records)
+    assert shares == {0: pytest.approx(0.8), 1: pytest.approx(0.2)}
+    assert shard_shares([]) == {}
+
+
+def test_snapshot_file_round_trips_as_json(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    path = str(tmp_path / "m.jsonl")
+    MetricsSnapshotter(reg, path, clock=FakeClock()).snapshot()
+    for line in open(path, encoding="utf-8"):
+        record = json.loads(line)
+        assert record["kind"] == "metrics_snapshot"

@@ -258,3 +258,102 @@ def test_registry_from_dict_empty_histogram():
     assert h.count == 0 and math.isinf(h.min)
     rebuilt.merge(reg)
     assert rebuilt.get("h").count == 0
+
+
+# -- histogram kinds and the time-scented foot-gun guard -----------------------
+
+
+def test_histogram_kind_selects_named_bounds():
+    from repro.obs.metrics import HISTOGRAM_KINDS, LATENCY_BUCKETS
+
+    h = Histogram("serve.latency", kind="latency")
+    assert h.bounds == LATENCY_BUCKETS
+    assert Histogram("search_io", kind="io").bounds == HISTOGRAM_KINDS["io"]
+
+
+def test_histogram_rejects_bounds_and_kind_together():
+    with pytest.raises(ValueError, match="both"):
+        Histogram("x", bounds=[1.0, 2.0], kind="io")
+
+
+def test_histogram_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown kind"):
+        Histogram("x", kind="bytes")
+
+
+def test_time_scented_name_without_bounds_is_loud():
+    # A histogram whose name smells like wall time must not silently
+    # fall back to the unit-width I/O buckets (which top out at ~1 s
+    # resolution steps of 1.0 — useless for latencies).
+    for name in ("serve.latency", "wait_seconds", "op_duration",
+                 "wall_time", "encode_s"):
+        with pytest.raises(ValueError, match="explicit bounds"):
+            Histogram(name)
+    # Explicit choices stay allowed, as does a non-time name.
+    Histogram("serve.latency", kind="latency")
+    Histogram("wait_seconds", bounds=[0.1, 1.0])
+    assert Histogram("query_nodes").bounds == IO_BUCKETS
+
+
+def test_registry_histogram_threads_kind_and_scoped_view():
+    reg = MetricsRegistry()
+    h = reg.scope("serve.").histogram("queue_wait", kind="latency")
+    assert reg.get("serve.queue_wait") is h
+    with pytest.raises(ValueError, match="explicit bounds"):
+        reg.histogram("serve.latency")
+
+
+# -- merge/from_dict edge cases (router flush semantics) -----------------------
+
+
+def test_merge_rejects_gauge_histogram_name_conflict():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("x").set(1)
+    b.histogram("x", bounds=[1.0]).record(0.5)
+    with pytest.raises((TypeError, ValueError)):
+        a.merge(b)
+
+
+def test_scoped_view_export_merges_into_parent():
+    worker = MetricsRegistry()
+    worker.scope("tree.").counter("inserts").inc(7)
+    worker.scope("tree.").histogram("search_io", kind="io").record(3)
+    parent = MetricsRegistry()
+    parent.merge(MetricsRegistry.from_dict(worker.scope("tree.").to_dict()))
+    assert parent.value("tree.inserts") == 7
+    assert parent.get("tree.search_io").count == 1
+
+
+def test_repeated_cumulative_flushes_replace_idempotently():
+    # The piggyback protocol ships FULL cumulative exports; the router
+    # stores the latest per shard and merges fresh each read.  Applying
+    # the same (or a newer) flush repeatedly must never double-count.
+    worker = MetricsRegistry()
+    worker.counter("ops").inc(5)
+    worker.histogram("search_io", kind="io").record(2)
+    flush1 = worker.to_dict()
+    worker.counter("ops").inc(3)
+    flush2 = worker.to_dict()
+
+    stored = {}
+    for flush in (flush1, flush1, flush2, flush2):
+        stored[0] = flush  # replace, never accumulate
+        merged = MetricsRegistry()
+        merged.merge(MetricsRegistry.from_dict(stored[0]))
+        assert merged.value("ops") in (5, 8)
+    assert merged.value("ops") == 8
+    assert merged.get("search_io").count == 1
+
+
+def test_from_dict_tolerates_snapshot_delta_annotations():
+    reg = MetricsRegistry()
+    reg.counter("ops").inc(4)
+    export = reg.to_dict()
+    export["ops"]["delta"] = 4  # as written by MetricsSnapshotter
+    rebuilt = MetricsRegistry.from_dict(export)
+    assert rebuilt.value("ops") == 4
+
+
+def test_from_dict_rejects_unknown_metric_type():
+    with pytest.raises((ValueError, KeyError, TypeError)):
+        MetricsRegistry.from_dict({"x": {"type": "summary", "value": 1}})

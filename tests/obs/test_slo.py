@@ -1,0 +1,140 @@
+"""Unit tests for SLO definitions, the tracker, and budget arithmetic."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    SLOTracker,
+    check_slos,
+    default_serve_slos,
+)
+
+
+def _slo(target=0.9):
+    return SLO(name="avail", target=target, good=("ok",), bad=("bad",))
+
+
+# -- definitions ---------------------------------------------------------------
+
+
+def test_slo_validates_target_and_good_counters():
+    with pytest.raises(ValueError, match="target"):
+        SLO(name="x", target=1.0, good=("ok",), bad=())
+    with pytest.raises(ValueError, match="target"):
+        SLO(name="x", target=0.0, good=("ok",), bad=())
+    with pytest.raises(ValueError, match="good"):
+        SLO(name="x", target=0.5, good=(), bad=())
+
+
+def test_tracker_rejects_duplicate_names_and_bad_window():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="duplicate"):
+        SLOTracker(reg, [_slo(), _slo()])
+    with pytest.raises(ValueError, match="window"):
+        SLOTracker(reg, [_slo()], window=0)
+
+
+# -- budget arithmetic ---------------------------------------------------------
+
+
+def test_burn_rate_and_budget():
+    reg = MetricsRegistry()
+    tracker = SLOTracker(reg, [_slo(target=0.9)])
+    reg.counter("ok").inc(90)
+    reg.counter("bad").inc(10)
+    status = tracker.status("avail")
+    # Failing at exactly the budgeted rate: burn 1.0, nothing left.
+    assert status.ratio == pytest.approx(0.9)
+    assert status.burn_rate == pytest.approx(1.0)
+    assert status.budget_remaining == pytest.approx(0.0)
+    assert status.met
+
+    reg.counter("bad").inc(10)  # 90/110: budget overdrawn
+    status = tracker.status("avail")
+    assert not status.met
+    assert status.burn_rate > 1.0
+    assert status.budget_remaining < 0.0
+
+
+def test_no_events_is_vacuously_met():
+    tracker = SLOTracker(MetricsRegistry(), [_slo()])
+    status = tracker.status("avail")
+    assert status.ratio == 1.0
+    assert status.burn_rate == 0.0
+    assert status.met
+
+
+def test_multiple_counters_sum_per_side():
+    reg = MetricsRegistry()
+    slo = SLO(name="a", target=0.5, good=("g1", "g2"), bad=("b1", "b2"))
+    tracker = SLOTracker(reg, [slo])
+    reg.counter("g1").inc(2)
+    reg.counter("g2").inc(1)
+    reg.counter("b1").inc(1)
+    status = tracker.status("a")
+    assert (status.good, status.bad) == (3, 1)
+
+
+def test_unknown_slo_name_raises():
+    with pytest.raises(KeyError):
+        SLOTracker(MetricsRegistry(), [_slo()]).status("nope")
+
+
+# -- sliding window ------------------------------------------------------------
+
+
+def test_window_sees_recent_incident_before_cumulative():
+    reg = MetricsRegistry()
+    tracker = SLOTracker(reg, [_slo(target=0.9)], window=2)
+    reg.counter("ok").inc(1000)  # long healthy history
+    for _ in range(3):
+        tracker.checkpoint()
+    reg.counter("bad").inc(50)  # fresh incident inside the window
+    status = tracker.status("avail")
+    assert status.met                      # cumulative barely moves
+    assert status.window_ratio == pytest.approx(0.0)
+    assert status.window_burn_rate > status.burn_rate
+
+
+def test_window_is_bounded():
+    reg = MetricsRegistry()
+    tracker = SLOTracker(reg, [_slo()], window=2)
+    reg.counter("bad").inc(10)
+    for _ in range(10):
+        tracker.checkpoint()
+    reg.counter("ok").inc(5)
+    status = tracker.status("avail")
+    # The old failures predate every retained checkpoint: only the new
+    # good events land in the window.
+    assert (status.window_good, status.window_bad) == (5, 0)
+
+
+# -- harness helpers -----------------------------------------------------------
+
+
+def test_violations_and_to_dict():
+    reg = MetricsRegistry()
+    tracker = SLOTracker(reg, default_serve_slos())
+    reg.counter("serve.queries_ok").inc(50)
+    reg.counter("serve.shed_queries").inc(50)
+    names = [v.slo.name for v in tracker.violations()]
+    assert names == ["availability"]
+    export = tracker.to_dict()
+    assert set(export) == {"availability", "freshness"}
+    assert export["availability"]["met"] is False
+    assert export["freshness"]["met"] is True
+
+
+def test_check_slos_tolerates_absent_tracker():
+    assert check_slos(None) == (True, [])
+    reg = MetricsRegistry()
+    tracker = SLOTracker(reg, [_slo()])
+    ok, statuses = check_slos(tracker)
+    assert ok and statuses[0]["name"] == "avail"
+
+
+def test_default_serve_slos_cover_frontend_counters():
+    for slo in default_serve_slos():
+        for name in slo.good + slo.bad:
+            assert name.startswith("serve.")

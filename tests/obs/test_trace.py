@@ -158,3 +158,119 @@ def test_null_tracer_is_inert(tmp_path):
     path = tmp_path / "empty.jsonl"
     assert NULL_TRACER.export_jsonl(str(path)) == 0
     assert read_jsonl(str(path)) == []
+
+
+# -- export brackets and file meta ---------------------------------------------
+
+
+def test_export_brackets_surface_drops_and_open_spans(tmp_path):
+    from repro.obs.trace import TraceFileMeta
+
+    tracer = Tracer(capacity=2, clock=FakeClock())
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    outer = tracer.span("still-open")
+    outer.__enter__()
+    path = tmp_path / "t.jsonl"
+    n = tracer.export_jsonl(str(path))
+    assert n == 2  # data records only; brackets don't count
+
+    records, meta = read_jsonl(str(path), meta=True)
+    assert len(records) == 2
+    assert isinstance(meta, TraceFileMeta)
+    assert meta.segments == 1
+    assert meta.dropped == 3
+    assert meta.open_spans == 1
+    assert meta.records == 2
+    assert not meta.truncated
+    assert not meta.complete  # drops happened: the file is partial
+    outer.__exit__(None, None, None)
+
+
+def test_appended_exports_accumulate_segments(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    path = tmp_path / "t.jsonl"
+    with tracer.span("a"):
+        pass
+    tracer.export_jsonl(str(path))
+    tracer.clear()
+    with tracer.span("b"):
+        pass
+    tracer.export_jsonl(str(path), append=True)
+
+    records, meta = read_jsonl(str(path), meta=True)
+    assert [r["name"] for r in records] == ["a", "b"]
+    assert meta.segments == 2
+    assert meta.complete
+
+
+def test_truncated_export_is_flagged(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        pass
+    path = tmp_path / "t.jsonl"
+    tracer.export_jsonl(str(path))
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")  # chop the footer
+    _, meta = read_jsonl(str(path), meta=True)
+    assert meta.truncated
+    assert not meta.complete
+
+
+# -- cross-tracer span adoption ------------------------------------------------
+
+
+def test_adopt_reparents_foreign_spans_under_parent():
+    worker = Tracer(clock=FakeClock())
+    with worker.span("worker.batch") as outer:
+        with worker.span("inner"):
+            pass
+        worker.event("flush", pages=2)
+    foreign = worker.records()
+
+    router = Tracer(clock=FakeClock())
+    with router.span("shards.query") as root:
+        root_id = root.span_id
+        router.adopt(foreign, parent_id=root_id, extra_attrs={"shard": 3})
+
+    spans = {r["name"]: r for r in router.spans()}
+    batch, inner = spans["worker.batch"], spans["inner"]
+    # The foreign root hangs off the router's span; internal structure
+    # and relative depth survive the id remap.
+    assert batch["parent_id"] == root_id
+    assert inner["parent_id"] == batch["span_id"]
+    assert inner["depth"] == batch["depth"] + 1
+    assert batch["attrs"]["shard"] == 3
+    # Ids were re-minted into the adopting tracer's id space.
+    assert batch["span_id"] != foreign[0]["span_id"] or root_id != 1
+    # The event follows its span across the remap.
+    (event,) = router.events("flush")
+    assert event["span_id"] == batch["span_id"]
+    assert event["attrs"]["shard"] == 3
+
+
+def test_adopt_orphan_event_falls_back_to_parent():
+    worker = Tracer(clock=FakeClock())
+    worker.event("lonely")
+    router = Tracer(clock=FakeClock())
+    with router.span("root") as root:
+        router.adopt(worker.records(), parent_id=root.span_id)
+    (event,) = router.events("lonely")
+    assert event["span_id"] == root.span_id
+
+
+def test_adopt_without_parent_leaves_roots_detached():
+    worker = Tracer(clock=FakeClock())
+    with worker.span("w"):
+        pass
+    router = Tracer(clock=FakeClock())
+    router.adopt(worker.records())
+    (span,) = router.spans("w")
+    assert span["parent_id"] is None
+
+
+def test_null_tracer_adopt_is_inert():
+    assert NULL_TRACER.adopt([{"kind": "span", "span_id": 1}]) == 0
+    assert NULL_TRACER.current_span_id is None
+    assert NULL_TRACER.open_spans == 0

@@ -200,3 +200,33 @@ def test_batch_queries_identical(capsys):
     out = capsys.readouterr().out
     assert "tree" in out and "forest" in out
     assert "identical to sequential" in out
+
+
+def test_top_live_run_and_artifact_replay(tmp_path, capsys):
+    snapshots = str(tmp_path / "m.jsonl")
+    trace = str(tmp_path / "t.jsonl")
+    code = main([
+        "top", "--workers", "2", "--once",
+        "--insertions", "200", "--batch-ops", "64",
+        "--snapshots", snapshots, "--trace-out", trace,
+    ])
+    live = capsys.readouterr().out
+    assert code == 0
+    assert "round 1/1" in live
+    assert "shard load share" in live
+    assert "latency breakdown" in live
+    for stage in ("queue", "router", "wire", "worker-cpu", "worker-io"):
+        assert stage in live
+    assert "SLO availability" in live and "SLO freshness" in live
+
+    code = main(["top", "--from-trace", trace, "--from-metrics", snapshots])
+    offline = capsys.readouterr().out
+    assert code == 0
+    assert "from artifacts" in offline
+    assert "shard load share" in offline
+    # The artifact render reproduces the live run's load shares.
+    live_shares = [ln.split()[-1] for ln in live.splitlines()
+                   if ln.strip().startswith("shard ")]
+    offline_shares = [ln.split()[-1] for ln in offline.splitlines()
+                      if ln.strip().startswith("shard ")]
+    assert live_shares == offline_shares
