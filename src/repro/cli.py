@@ -9,6 +9,7 @@
     python -m repro compare                  # quick R^exp vs TPR duel
     python -m repro bulkload --scale small   # STR packing vs insertion
     python -m repro batch --queries 1000     # batched vs sequential queries
+    python -m repro knn --k 10               # best-first kNN vs brute force
     python -m repro forest --partitions 2 4  # velocity-partitioned forest
     python -m repro profile                  # traced run: tails + events
     python -m repro layout --page-size 4096  # node fan-outs
@@ -568,6 +569,112 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_knn(args: argparse.Namespace) -> int:
+    import random
+    import shutil
+    import tempfile
+    import time
+
+    from .core.clock import SimulationClock
+    from .core.forest import PartitionedMovingObjectForest
+    from .core.tree import MovingObjectTree
+    from .experiments.runner import split_initial_population
+    from .geometry.knn import brute_force_knn
+
+    scale = _resolve_scale(args)
+    policy = _expiration_policy(args) or FixedPeriod(120.0)
+    workload = generate_uniform_workload(
+        UniformParams(
+            target_population=scale.target_population,
+            insertions=scale.insertions,
+            update_interval=args.ui,
+            seed=args.seed,
+        ),
+        policy,
+    )
+    initial, _ = split_initial_population(workload)
+    if not initial:
+        print("workload produced no initial population", file=sys.stderr)
+        return 2
+    t_end = max(point.t_ref for _, point in initial)
+    sizing = dict(page_size=scale.page_size, buffer_pages=scale.buffer_pages)
+    entries = [(point, oid) for oid, point in initial]
+
+    rng = random.Random(args.seed + 1)
+    probes = [
+        (
+            (rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)),
+            t_end + rng.uniform(0.0, 30.0),
+        )
+        for _ in range(args.queries)
+    ]
+    print(f"population: {len(initial)} first reports, "
+          f"{len(probes)} kNN probes at k={args.k} "
+          f"(scale {scale.name}, seed {args.seed})")
+
+    oracle = [brute_force_knn(entries, x, t, args.k) for x, t in probes]
+
+    def build_tree():
+        clock = SimulationClock()
+        tree = MovingObjectTree(rexp_config(**sizing), clock)
+        clock.advance_to(initial[0][1].t_ref)
+        tree.bulk_load(entries)
+        clock.advance_to(t_end)
+        return tree
+
+    def build_forest():
+        clock = SimulationClock()
+        forest = PartitionedMovingObjectForest(
+            forest_config(partitions=args.partitions, **sizing), clock
+        )
+        clock.advance_to(initial[0][1].t_ref)
+        forest.insert_batch([(oid, point) for oid, point in initial])
+        clock.advance_to(t_end)
+        return forest
+
+    indexes = [("tree", build_tree()), ("forest", build_forest())]
+    base = None
+    if args.workers:
+        from .shard import ShardConfig, ShardedForest
+
+        base = tempfile.mkdtemp(prefix="repro-knn-")
+        sharded = ShardedForest.create(
+            base,
+            ShardConfig(
+                workers=args.workers,
+                tree=rexp_config(**sizing),
+                space=1000.0,
+            ),
+        )
+        sharded.clock.advance_to(initial[0][1].t_ref)
+        sharded.bulk_load(entries)
+        sharded.clock.advance_to(t_end)
+        indexes.append((f"sharded/{args.workers}", sharded))
+
+    print(f"{'index':<12}{'wall (s)':>10}{'answers':>10}")
+    mismatches = 0
+    try:
+        for label, index in indexes:
+            start = time.perf_counter()
+            got = [index.knn_entries(x, t, args.k) for x, t in probes]
+            wall = time.perf_counter() - start
+            bad = sum(1 for a, b in zip(got, oracle) if a != b)
+            mismatches += bad
+            status = "exact" if bad == 0 else f"{bad} DIFFER"
+            print(f"{label:<12}{wall:>10.3f}{status:>10}")
+    finally:
+        if base is not None:
+            indexes[-1][1].close()
+            shutil.rmtree(base, ignore_errors=True)
+    if mismatches:
+        print("kNN answers differ from the brute-force oracle",
+              file=sys.stderr)
+        return 1
+    print("every kNN answer bit-identical to the brute-force oracle "
+          "(distances, membership and tie order)")
+    return 0
+
+
 def _sniff_tree_config(directory: str, buffer_pages: int):
     """Rebuild a tree configuration from a durable store's header."""
     from .core.config import TreeConfig
@@ -739,9 +846,19 @@ def cmd_soak(args: argparse.Namespace) -> int:
     print(f"chaos soak: {params.insertions} insertions, "
           f"script seed {script.seed} "
           f"(kill at write {script.kill_at_write}, "
-          f"{len(script.transient_writes)} transient writes) ...")
-    report = run_soak(script, params=params, tracer=tracer)
+          f"{len(script.transient_writes)} transient writes, "
+          f"{args.subscriptions} standing queries) ...")
+    report = run_soak(
+        script, params=params, tracer=tracer,
+        subscriptions=args.subscriptions,
+    )
     print(report.summary())
+    if report.subscriptions:
+        s = report.subscriptions
+        print(f"  standing queries: {s['subscriptions']} subs, "
+              f"{s['adds']} adds, {s['removes']} removes, "
+              f"{s['expirations']} expirations, {s['delivered']} deltas "
+              f"delivered, {s['dropped']} dropped")
     for violation in report.violations:
         print(f"  SLO violation: {violation}")
     write_report(report, args.out)
@@ -1083,6 +1200,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
+        "knn",
+        help="best-first k-nearest-neighbor search vs a brute-force oracle",
+    )
+    p.add_argument("--k", type=int, default=10,
+                   help="neighbors returned per probe")
+    p.add_argument("--queries", type=int, default=200,
+                   help="kNN probes answered and verified")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="velocity classes in the forest comparison")
+    p.add_argument("--workers", type=int, default=0,
+                   help="also run a sharded index with this many workers")
+    p.add_argument("--ui", type=float, default=60.0)
+    p.add_argument("--expt", type=float, default=None)
+    p.add_argument("--expd", type=float, default=None)
+    _add_scale_arguments(p)
+    p.set_defaults(func=cmd_knn)
+
+    p = sub.add_parser(
         "forest",
         help="velocity-partitioned forest vs a single R^exp-tree",
     )
@@ -1183,6 +1318,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for the default fault script and workload")
     p.add_argument("--script", default=None,
                    help="JSON fault-script file (overrides the default)")
+    p.add_argument("--subscriptions", type=int, default=0,
+                   help="standing queries maintained (and verified) "
+                   "through the chaos run")
     p.add_argument("--out", default="BENCH_soak.json",
                    help="report JSON path")
     p.add_argument("--trace", default=None,

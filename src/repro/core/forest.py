@@ -22,6 +22,7 @@ the total cost and the per-partition breakdown.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -559,6 +560,71 @@ class PartitionedMovingObjectForest:
             ]
             for position in range(len(queries))
         ]
+
+    def query_knn(self, x, t: float, k: int) -> List[int]:
+        """The ``k`` objects nearest to ``x`` at ``t``, across all members.
+
+        A kNN query has no region, so it fans out to *every* member
+        (velocity partitioners are spatially uninformative anyway); the
+        members are probed sequentially under a **shared global
+        k-th-distance bound** — once ``k`` candidates are held, each
+        later member's best-first descent prunes every subtree whose
+        lower bound strictly exceeds the current k-th distance.
+        Per-member candidates merge by the canonical
+        ``(squared distance, oid)`` order, so the answer is
+        bit-identical to a single tree's over the same population.
+
+        Parameters
+        ----------
+        x : tuple of float
+            The query location.
+        t : float
+            The evaluation time.
+        k : int
+            Number of neighbors.
+
+        Returns
+        -------
+        list of int
+            Object ids ordered by ``(squared distance at t, oid)``.
+        """
+        return [oid for _, oid in self.knn_entries(x, t, k)]
+
+    def knn_entries(
+        self, x, t: float, k: int, bound_sq: float = math.inf
+    ) -> List[Tuple[float, int]]:
+        """Scored forest kNN (see :meth:`MovingObjectTree.knn_entries`).
+
+        Accepts and propagates an external ``bound_sq`` so the shard
+        router can thread one tightening bound through a whole scatter.
+
+        Parameters
+        ----------
+        x : tuple of float
+            The query location.
+        t : float
+            The evaluation time.
+        k : int
+            Number of neighbors.
+        bound_sq : float, optional
+            Squared-distance cutoff from a caller already holding ``k``
+            candidates.
+
+        Returns
+        -------
+        list of (float, int)
+            At most ``k`` pairs, ascending by ``(distance, oid)``.
+        """
+        if k == 0:
+            return []
+        best: List[Tuple[float, int]] = []
+        for tree in self.trees:
+            best.extend(tree.knn_entries(x, t, k, bound_sq))
+            best.sort()
+            del best[k:]
+            if len(best) == k:
+                bound_sq = min(bound_sq, best[-1][0])
+        return best
 
     def insert_batch(self, reports: Sequence[Tuple[int, MovingPoint]]) -> None:
         """Index a report batch grouped by routing target (group update).

@@ -18,6 +18,8 @@ paper's Section 4:
 
 from __future__ import annotations
 
+import heapq
+import math
 import os
 import random
 from dataclasses import dataclass
@@ -36,6 +38,11 @@ from ..geometry.kernels import (
 )
 from ..geometry.intersection import region_intersects_tpbr, region_matches_point
 from ..geometry.kinematics import NEVER, MovingPoint
+from ..geometry.knn import (
+    batch_point_distances_sq,
+    batch_tpbr_min_distances_sq,
+    validate_knn_args,
+)
 from ..geometry.queries import SpatioTemporalQuery
 from ..geometry.tpbr import TPBR
 from ..obs.metrics import NULL_REGISTRY
@@ -145,6 +152,7 @@ class _TreeInstruments:
         "leaf_added", "leaf_removed_delete", "leaf_removed_condense",
         "leaf_removed_reinsert",
         "query_nodes", "query_depth",
+        "knn_queries", "knn_nodes",
     )
 
     def __init__(self, registry):
@@ -172,6 +180,8 @@ class _TreeInstruments:
         self.leaf_removed_reinsert = counter("tree.leaf_entries_reinserted")
         self.query_nodes = histogram("tree.query_nodes_visited")
         self.query_depth = histogram("tree.query_descent_depth")
+        self.knn_queries = counter("tree.knn_queries")
+        self.knn_nodes = histogram("tree.knn_nodes_visited")
 
 
 class MovingObjectTree:
@@ -761,6 +771,154 @@ class MovingObjectTree:
                 span.set(
                     nodes=nodes_visited, depth=max_depth, results=len(results)
                 )
+            return results
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def query_knn(self, x, t: float, k: int) -> List[int]:
+        """The ``k`` objects nearest to ``x`` at time ``t``, nearest first.
+
+        Best-first descent on a priority queue keyed by the admissible
+        TPBR min-distance lower bound of :mod:`repro.geometry.knn`:
+        internal entries enter the queue under their rectangle's lower
+        bound at ``t``, leaf points under their exact squared distance,
+        and a point popped from the queue is final — every unexplored
+        subtree's bound already exceeds its distance.  Expired
+        information never qualifies: subtrees whose bounding rectangle
+        expires before ``t`` are pruned and leaf points must satisfy
+        ``not t_exp < t`` (alive at the exact expiration instant, the
+        tree's usual convention).  Ties in distance resolve by
+        ascending oid, so the answer is bit-identical to the
+        brute-force oracle :func:`repro.geometry.knn.brute_force_knn`.
+
+        Parameters
+        ----------
+        x : tuple of float
+            The query location (``config.dims`` finite coordinates).
+        t : float
+            The evaluation time.
+        k : int
+            Number of neighbors; ``k = 0`` returns ``[]`` and a ``k``
+            beyond the live population returns every live object.
+
+        Returns
+        -------
+        list of int
+            Object ids ordered by ``(squared distance at t, oid)``.
+        """
+        return [oid for _, oid in self.knn_entries(x, t, k)]
+
+    def knn_entries(
+        self, x, t: float, k: int, bound_sq: float = math.inf
+    ) -> List[Tuple[float, int]]:
+        """Scored kNN: the ``(squared distance, oid)`` pairs behind ``query_knn``.
+
+        The forest and shard layers merge per-member answers by exact
+        distance, so this variant exposes the scores and accepts an
+        external pruning bound: entries whose distance (or subtree
+        lower bound) strictly exceeds ``bound_sq`` are skipped —
+        entries *at* the bound survive so equal-distance ties can still
+        be resolved by oid across members.
+
+        Parameters
+        ----------
+        x : tuple of float
+            The query location.
+        t : float
+            The evaluation time.
+        k : int
+            Number of neighbors.
+        bound_sq : float, optional
+            Squared-distance cutoff from a caller that already holds
+            ``k`` candidates (default: no cutoff).
+
+        Returns
+        -------
+        list of (float, int)
+            At most ``k`` pairs, ascending by ``(distance, oid)``.
+        """
+        validate_knn_args(x, t, k, self.config.dims)
+        x = tuple(float(c) for c in x)
+        if k == 0:
+            return []
+        if self._obs is not None or self._tracer is not None:
+            return self._knn_observed(x, t, k, bound_sq)
+        results, _ = self._knn_descent(x, t, k, bound_sq)
+        self.buffer.flush_all()
+        return results
+
+    def _knn_descent(
+        self, x, t: float, k: int, bound_sq: float
+    ) -> Tuple[List[Tuple[float, int]], int]:
+        """The best-first loop shared by the plain and observed paths.
+
+        One priority queue holds both node frames and point candidates:
+        ``(key, kind, tie, payload)`` where nodes carry ``kind = 0``
+        (so at an equal key a node expands *before* a point finalizes —
+        it may contain an equal-distance point with a smaller oid) and
+        points carry ``kind = 1`` with their oid as the tie, which
+        makes equal-distance points pop in oid order.  Distances and
+        bounds come from the batched kernels over the node's cached
+        struct-of-arrays form, bit-identical to the scalar fallback.
+        """
+        heap = [(0.0, 0, 0, self.root_pid)]
+        seq = 0
+        results: List[Tuple[float, int]] = []
+        nodes_visited = 0
+        while heap:
+            key, kind, tie, payload = heapq.heappop(heap)
+            if key > bound_sq:
+                break
+            if kind == 1:
+                results.append((key, tie))
+                if len(results) == k:
+                    break
+                continue
+            node = self._load(payload)
+            nodes_visited += 1
+            entries = node.entries
+            if node.is_leaf:
+                points = [point for point, _ in entries]
+                if node.soa is None:
+                    node.soa = pack_points(points)
+                dists = batch_point_distances_sq(x, points, t, node.soa)
+                for (point, oid), dist in zip(entries, dists):
+                    if point.t_exp < t or dist > bound_sq:
+                        continue
+                    heapq.heappush(heap, (dist, 1, oid, None))
+            else:
+                brs = [br for br, _ in entries]
+                if node.soa is None:
+                    node.soa = pack_tpbrs(brs)
+                lowers = batch_tpbr_min_distances_sq(x, brs, t, node.soa)
+                for (br, child), lower in zip(entries, lowers):
+                    if br.t_exp < t or lower > bound_sq:
+                        continue
+                    seq += 1
+                    heapq.heappush(heap, (lower, 0, seq, child))
+        return results, nodes_visited
+
+    def _knn_observed(
+        self, x, t: float, k: int, bound_sq: float
+    ) -> List[Tuple[float, int]]:
+        """The :meth:`knn_entries` descent with metric/trace accounting."""
+        span = (
+            self._tracer.span("tree.query_knn", k=k)
+            if self._tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            results, nodes_visited = self._knn_descent(x, t, k, bound_sq)
+            self.buffer.flush_all()
+            obs = self._obs
+            if obs is not None:
+                obs.knn_queries.inc()
+                obs.knn_nodes.record(nodes_visited)
+            if span is not None:
+                span.set(nodes=nodes_visited, results=len(results))
             return results
         finally:
             if span is not None:

@@ -45,6 +45,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.slo import default_serve_slos
 from ..serve.frontend import FrontendConfig, ServiceFrontend, ServiceReport
 from ..serve.retry import RetryPolicy
+from ..serve.subscriptions import SubscriptionIndex
 from ..storage.faults import FaultInjector
 from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
 from ..workloads.network import NetworkParams, generate_network_workload
@@ -226,6 +227,9 @@ class SoakReport:
     #: Per-objective status exports from the frontend's SLOTracker
     #: (availability / freshness error budgets), keyed by SLO name.
     slos: Dict[str, dict] = field(default_factory=dict)
+    #: Standing-query counters (adds/removes/expirations/delivered/
+    #: dropped), present only when the soak ran with subscriptions.
+    subscriptions: Dict[str, int] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -259,6 +263,7 @@ class SoakReport:
             "violations": self.violations,
             "script": self.script,
             "slos": self.slos,
+            "subscriptions": self.subscriptions,
         }
 
 
@@ -429,6 +434,98 @@ def _check_slos(
     return violations
 
 
+def _standing_queries(
+    count: int, space: float, duration: float, seed: int
+) -> List:
+    """Seeded standing queries mixing all three paper query types."""
+    import random as _random
+
+    from ..geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+    from ..geometry.rect import Rect
+
+    rng = _random.Random(seed)
+
+    def rect() -> Rect:
+        x = rng.uniform(0.0, 0.8 * space)
+        y = rng.uniform(0.0, 0.8 * space)
+        w = rng.uniform(0.05, 0.25) * space
+        return Rect((x, y), (x + w, y + w))
+
+    queries = []
+    for _ in range(count):
+        kind = rng.randrange(3)
+        t1 = rng.uniform(0.0, duration)
+        if kind == 0:
+            queries.append(TimesliceQuery(rect(), t1))
+        elif kind == 1:
+            queries.append(
+                WindowQuery(rect(), t1, t1 + rng.uniform(0.0, duration / 4))
+            )
+        else:
+            queries.append(MovingQuery(
+                rect(), rect(), t1, t1 + rng.uniform(1.0, duration / 4)
+            ))
+    return queries
+
+
+def _check_subscriptions(
+    subs: SubscriptionIndex,
+    sids: Sequence[int],
+    final_entries: Sequence[Tuple],
+    now: float,
+) -> List[str]:
+    """Assert the continuous-query SLOs; return violations found.
+
+    Three checks per subscription: no deltas were dropped, replaying
+    the published deltas from empty reconstructs exactly the maintained
+    answer, and that answer equals a fresh brute-force evaluation of
+    the standing query over the mirrored live population.  Finally the
+    mirrored population itself must agree with the served index's final
+    expiration-visible leaf entries.
+    """
+    violations: List[str] = []
+    if subs.dropped:
+        violations.append(
+            f"{subs.dropped} subscription deltas dropped to queue overflow"
+        )
+    for sid in sids:
+        if subs.is_lagged(sid):
+            violations.append(f"subscription {sid} lagged")
+            continue
+        replayed: set = set()
+        for delta in subs.poll(sid):
+            replayed |= set(delta.added)
+            replayed -= set(delta.removed)
+        answer = set(subs.answer(sid))
+        if replayed != answer:
+            violations.append(
+                f"subscription {sid}: delta replay {sorted(replayed)} != "
+                f"maintained answer {sorted(answer)}"
+            )
+        region = subs._subs[sid].region
+        fresh = {
+            oid for point, oid in subs.live_entries()
+            if not point.t_exp < now and region_matches_point(region, point)
+        }
+        if answer != fresh:
+            violations.append(
+                f"subscription {sid}: maintained answer {sorted(answer)} "
+                f"!= re-evaluated answer {sorted(fresh)}"
+            )
+    mirrored = {
+        oid for point, oid in subs.live_entries() if not point.t_exp < now
+    }
+    indexed = {
+        oid for point, oid in final_entries if not point.t_exp < now
+    }
+    if mirrored != indexed:
+        violations.append(
+            f"subscription live mirror diverged from the index: "
+            f"{len(mirrored ^ indexed)} oids differ"
+        )
+    return violations
+
+
 def run_soak(
     script: Optional[FaultScript] = None,
     params: Optional[NetworkParams] = None,
@@ -436,6 +533,7 @@ def run_soak(
     frontend_config: Optional[FrontendConfig] = None,
     registry=None,
     tracer=None,
+    subscriptions: int = 0,
 ) -> SoakReport:
     """Run the chaos soak and verify every SLO.
 
@@ -456,6 +554,13 @@ def run_soak(
         *measures* its SLOs through the frontend's SLOTracker (error
         budgets are asserted like every other SLO), rather than only
         re-deriving them from report counters.
+    subscriptions : int, optional
+        Standing queries registered on a
+        :class:`~repro.serve.subscriptions.SubscriptionIndex` the
+        frontend notifies through every fault, crash and backlog
+        replay.  After the run, every subscription's delta stream must
+        replay to exactly its re-evaluated answer set (see
+        :func:`_check_subscriptions`); 0 disables the scenario.
 
     Returns
     -------
@@ -475,6 +580,24 @@ def run_soak(
     workload = generate_network_workload(params)
     ops = workload.ops
     oracle_answers, history = _oracle_replay(ops)
+
+    subs = None
+    sub_sids: List[int] = []
+    if subscriptions:
+        duration = ops[-1].time if ops else 0.0
+        # An unbounded-in-practice queue: the soak polls only at the
+        # end, and a dropped delta would (correctly) fail the replay
+        # check rather than model consumer lag.
+        subs = SubscriptionIndex(
+            space=params.space,
+            cells=8,
+            max_pending=1 << 30,
+            registry=registry,
+        )
+        for query in _standing_queries(
+            subscriptions, params.space, max(duration, 1.0), script.seed + 1
+        ):
+            sub_sids.append(subs.register(query))
 
     with tempfile.TemporaryDirectory(prefix="soak-") as tmp:
         directory = os.path.join(tmp, "store")
@@ -507,15 +630,25 @@ def run_soak(
             slos=default_serve_slos(
                 availability_target=0.75, freshness_target=0.70
             ),
+            subscriptions=subs,
         )
         served = frontend.run(
             ops, pacer=ArrivalPacer(script.bursts())
         )
         total_writes = sum(inj.writes for inj in injectors)
         slo_statuses = frontend.slo_status()
+        final_entries: List[Tuple] = []
+        if subs is not None:
+            final_entries = list(frontend.index.snapshot().leaf_entries())
         frontend.index.close()
 
     violations = _check_slos(script, served, ops, oracle_answers, history)
+    sub_stats: Dict[str, int] = {}
+    if subs is not None:
+        violations.extend(_check_subscriptions(
+            subs, sub_sids, final_entries, subs.now
+        ))
+        sub_stats = subs.stats()
     for name, status in sorted(slo_statuses.items()):
         if not status["met"]:
             violations.append(
@@ -543,6 +676,7 @@ def run_soak(
         counters=counters,
         script=script.to_json(),
         slos=slo_statuses,
+        subscriptions=sub_stats,
     )
 
 

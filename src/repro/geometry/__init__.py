@@ -25,6 +25,11 @@ from .intersection import (
     tpbrs_intersect,
 )
 from .kinematics import NEVER, MovingPoint
+from .knn import (
+    brute_force_knn,
+    point_distance_sq,
+    tpbr_min_distance_sq,
+)
 from .queries import (
     MovingQuery,
     QueryRegion,
@@ -49,6 +54,7 @@ __all__ = [
     "WindowQuery",
     "area_integral",
     "bridge_edge",
+    "brute_force_knn",
     "bridge_line",
     "center_distance_sq_integral",
     "compute_tpbr",
@@ -62,9 +68,11 @@ __all__ = [
     "near_optimal_tpbr",
     "optimal_tpbr",
     "overlap_integral",
+    "point_distance_sq",
     "region_intersects_tpbr",
     "region_matches_point",
     "static_tpbr",
+    "tpbr_min_distance_sq",
     "tpbrs_intersect",
     "update_minimum_tpbr",
     "upper_hull",

@@ -36,20 +36,25 @@ class QueryRegion:
     t2: float
 
     def __post_init__(self) -> None:
+        """Validate the query interval's orientation."""
         if self.t2 < self.t1:
             raise ValueError(f"query interval end {self.t2} precedes start {self.t1}")
 
     @property
     def dims(self) -> int:
+        """Spatial dimensionality of the region."""
         return len(self.lo)
 
     def lower_at(self, dim: int, t: float) -> float:
+        """Lower bound in dimension ``dim`` at time ``t``."""
         return self.lo[dim] + self.vlo[dim] * (t - self.t1)
 
     def upper_at(self, dim: int, t: float) -> float:
+        """Upper bound in dimension ``dim`` at time ``t``."""
         return self.hi[dim] + self.vhi[dim] * (t - self.t1)
 
     def rect_at(self, t: float) -> Rect:
+        """The static rectangle the region occupies at time ``t``."""
         return Rect(
             tuple(self.lower_at(d, t) for d in range(self.dims)),
             tuple(self.upper_at(d, t) for d in range(self.dims)),
@@ -65,13 +70,16 @@ class TimesliceQuery:
 
     @property
     def t1(self) -> float:
+        """Start of the (degenerate) query interval: ``t`` itself."""
         return self.t
 
     @property
     def t2(self) -> float:
+        """End of the (degenerate) query interval: ``t`` itself."""
         return self.t
 
     def region(self) -> QueryRegion:
+        """Normalize to a static :class:`QueryRegion` over ``[t, t]``."""
         zeros = (0.0,) * self.rect.dims
         return QueryRegion(self.rect.lo, self.rect.hi, zeros, zeros, self.t, self.t)
 
@@ -85,10 +93,12 @@ class WindowQuery:
     t2: float
 
     def __post_init__(self) -> None:
+        """Validate the window interval's orientation."""
         if self.t2 < self.t1:
             raise ValueError(f"window end {self.t2} precedes start {self.t1}")
 
     def region(self) -> QueryRegion:
+        """Normalize to a static :class:`QueryRegion` over ``[t1, t2]``."""
         zeros = (0.0,) * self.rect.dims
         return QueryRegion(self.rect.lo, self.rect.hi, zeros, zeros, self.t1, self.t2)
 
@@ -103,12 +113,19 @@ class MovingQuery:
     t2: float
 
     def __post_init__(self) -> None:
+        """Validate interval orientation and rectangle dimensionality."""
         if self.t2 < self.t1:
             raise ValueError(f"moving query end {self.t2} precedes start {self.t1}")
         if self.rect1.dims != self.rect2.dims:
             raise ValueError("moving query rectangles differ in dimensionality")
 
     def region(self) -> QueryRegion:
+        """Interpolate the two rectangles into a :class:`QueryRegion`.
+
+        The bound velocities are chosen so the region coincides with
+        ``rect1`` at ``t1`` and ``rect2`` at ``t2``; a zero-length
+        interval degenerates to a timeslice over the rectangles' union.
+        """
         span = self.t2 - self.t1
         if span <= 0.0:
             # Degenerate to a timeslice over the union of the rectangles.

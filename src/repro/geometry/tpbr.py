@@ -24,14 +24,21 @@ Vector = Tuple[float, ...]
 class TPBR:
     """A time-parameterized bounding rectangle valid for ``t >= t_ref``.
 
-    Attributes:
-        lo: lower corner at the reference time.
-        hi: upper corner at the reference time.
-        vlo: velocities of the lower bounds.
-        vhi: velocities of the upper bounds.
-        t_ref: time at which ``lo``/``hi`` hold (the computation time).
-        t_exp: expiration time — the maximum expiration time of the
-            enclosed entries; ``math.inf`` when some entry never expires.
+    Attributes
+    ----------
+    lo : tuple of float
+        Lower corner at the reference time.
+    hi : tuple of float
+        Upper corner at the reference time.
+    vlo : tuple of float
+        Velocities of the lower bounds.
+    vhi : tuple of float
+        Velocities of the upper bounds.
+    t_ref : float
+        Time at which ``lo``/``hi`` hold (the computation time).
+    t_exp : float
+        Expiration time — the maximum expiration time of the enclosed
+        entries; ``math.inf`` when some entry never expires.
     """
 
     lo: Vector
@@ -42,6 +49,7 @@ class TPBR:
     t_exp: float = NEVER
 
     def __post_init__(self) -> None:
+        """Validate dimensional consistency and edge orientation."""
         lengths = {len(self.lo), len(self.hi), len(self.vlo), len(self.vhi)}
         if len(lengths) != 1:
             raise ValueError("inconsistent dimensionality in TPBR components")
@@ -69,12 +77,15 @@ class TPBR:
 
     @property
     def dims(self) -> int:
+        """Spatial dimensionality of the rectangle."""
         return len(self.lo)
 
     def lower_at(self, dim: int, t: float) -> float:
+        """Lower bound in dimension ``dim`` at time ``t``."""
         return self.lo[dim] + self.vlo[dim] * (t - self.t_ref)
 
     def upper_at(self, dim: int, t: float) -> float:
+        """Upper bound in dimension ``dim`` at time ``t``."""
         return self.hi[dim] + self.vhi[dim] * (t - self.t_ref)
 
     def rect_at(self, t: float) -> Rect:
@@ -100,15 +111,18 @@ class TPBR:
         return max(0.0, self.upper_at(dim, t) - self.lower_at(dim, t))
 
     def area_at(self, t: float) -> float:
+        """Product of the edge lengths at time ``t``."""
         result = 1.0
         for d in range(self.dims):
             result *= self.extent_at(d, t)
         return result
 
     def margin_at(self, t: float) -> float:
+        """Sum of the edge lengths at time ``t``."""
         return sum(self.extent_at(d, t) for d in range(self.dims))
 
     def center_at(self, t: float) -> Vector:
+        """Midpoint of the rectangle at time ``t``."""
         return tuple(
             (self.lower_at(d, t) + self.upper_at(d, t)) / 2.0
             for d in range(self.dims)
@@ -147,7 +161,7 @@ class TPBR:
     def contains_point(
         self, point: MovingPoint, from_t: float, tol: float = 1e-7
     ) -> bool:
-        """Does this TPBR bound ``point`` from ``from_t`` until expiry?
+        """Check that this TPBR bounds ``point`` from ``from_t`` until expiry.
 
         Checked at the interval endpoints; both trajectories are linear so
         endpoint containment implies containment throughout.
@@ -171,7 +185,7 @@ class TPBR:
     def contains_tpbr(
         self, other: "TPBR", from_t: float, tol: float = 1e-7
     ) -> bool:
-        """Does this TPBR bound ``other`` from ``from_t`` until expiry?"""
+        """Check that this TPBR bounds ``other`` from ``from_t`` until expiry."""
         to_t = min(other.t_exp, self.t_exp)
         if to_t < from_t:
             return True

@@ -24,6 +24,12 @@ from .queue import (
     Request,
 )
 from .retry import RetryPolicy
+from .subscriptions import (
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionIndex,
+    subscription_slo,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -44,4 +50,8 @@ __all__ = [
     "ServiceReport",
     "SHED_POLICIES",
     "SHED_QUERIES_FIRST",
+    "Subscription",
+    "SubscriptionDelta",
+    "SubscriptionIndex",
+    "subscription_slo",
 ]

@@ -52,6 +52,7 @@ from .breaker import OPEN, CircuitBreaker, HealthMonitor
 from .degraded import DegradedReader
 from .queue import SHED_QUERIES_FIRST, AdmissionQueue, Request
 from .retry import RetryPolicy
+from .subscriptions import subscription_slo
 
 #: Outcome statuses a request can end with.
 STATUSES = ("ok", "degraded", "shed", "timeout", "failed")
@@ -234,6 +235,15 @@ class ServiceFrontend:
         defaults to :func:`~repro.obs.slo.default_serve_slos`.  The
         tracker only exists when a real ``registry`` is given — the
         disabled path stays a ``None``-guard no-op.
+    subscriptions : SubscriptionIndex, optional
+        Standing-query index notified after every successfully applied
+        write atom (and advanced with the index clock, sweeping
+        expirations).  Notifications are idempotent, so the frontend's
+        at-least-once redo paths (crash recovery, backlog replay) never
+        double-publish a delta.  With a registry, the tracker
+        additionally watches the
+        :func:`~repro.serve.subscriptions.subscription_slo` delivery
+        objective.
     """
 
     def __init__(
@@ -246,6 +256,7 @@ class ServiceFrontend:
         injector=None,
         reopen=None,
         slos=None,
+        subscriptions=None,
     ):
         self.index = index
         self.config = config if config is not None else FrontendConfig()
@@ -294,11 +305,15 @@ class ServiceFrontend:
         # SLO accounting exists only alongside a real registry: the
         # tracker reads the serve.* counters straight off it, and the
         # registry-less path stays the zero-overhead no-op.
+        self._subs = subscriptions
         self._slo: Optional[SLOTracker] = None
         if registry is not None:
-            self._slo = SLOTracker(
-                registry, slos if slos is not None else default_serve_slos()
+            slos = list(
+                slos if slos is not None else default_serve_slos()
             )
+            if subscriptions is not None:
+                slos.append(subscription_slo())
+            self._slo = SLOTracker(registry, slos)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -392,13 +407,26 @@ class ServiceFrontend:
     # -- atom application with crash/pending bookkeeping --------------------
 
     def _drive(self, atom: tuple) -> None:
-        """Apply one atom to the live index at its workload time."""
+        """Apply one atom to the live index at its workload time.
+
+        A successfully applied atom also notifies the subscription
+        index (when one is attached): the clock advance sweeps
+        expirations, then the atom itself publishes add/remove deltas.
+        A faulted apply notifies nothing — the atom re-drives later and
+        notification is idempotent anyway.
+        """
         kind, time, oid, point = atom
         self.index.clock.advance_to(time)
         if kind == "insert":
             self.index.insert(oid, point)
         else:
             self.index.delete(oid, point)
+        if self._subs is not None:
+            self._subs.advance_to(time)
+            if kind == "insert":
+                self._subs.notify_insert(oid, point)
+            else:
+                self._subs.notify_delete(oid)
 
     def _apply_atom(self, atom: tuple, serving_now: float) -> None:
         """Apply and commit one atom, surviving crashes.

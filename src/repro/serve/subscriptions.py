@@ -1,0 +1,554 @@
+"""Standing queries: continuous range subscriptions with delta publishing.
+
+The paper's queries are one-shot: a timeslice, window or moving query is
+answered against the index and forgotten.  A location-based service also
+needs the *continuous* form — "keep telling me who is in this region" —
+which this module provides without touching the index at all.  A
+:class:`SubscriptionIndex` registers standing queries (any of the three
+paper query types), mirrors the live object population, and on every
+insert, delete, update or expiration publishes **add/remove deltas** to
+exactly the subscriptions whose answers changed.
+
+The maintained invariant, checked verbatim by the test suite's naive
+oracle: after every notification point, a subscription's answer set is
+
+    { oid : region_matches_point(region, point) and not t_exp < now }
+
+over the live population — precisely the answer a fresh one-shot query
+through :func:`~repro.geometry.intersection.region_matches_point` would
+compute.  Replaying a subscription's deltas from registration therefore
+reconstructs exactly the re-evaluated answer set.
+
+Matching an event against every subscription would cost O(S) per
+update; a uniform **grid** over the subscriptions' swept bounding
+rectangles cuts the candidate set to the cells an object's trajectory
+envelope touches.  The grid is purely an accelerator — candidates are
+confirmed with the exact predicate — so clamping out-of-space
+coordinates into edge cells is safe (conservative), never wrong.
+
+Delivery is decoupled from maintenance: deltas queue per subscription
+(bounded), and a consumer drains them with :meth:`SubscriptionIndex.poll`.
+A consumer that falls behind loses the oldest deltas, the subscription
+is marked *lagged*, and the ``subs.dropped`` counter burns the delivery
+SLO (:func:`subscription_slo`); :meth:`SubscriptionIndex.resync` hands
+back the full answer and clears the lag — the standard bounded-queue
+pub/sub contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geometry.intersection import region_matches_point
+from ..geometry.kinematics import MovingPoint
+from ..geometry.queries import QueryRegion, SpatioTemporalQuery
+from ..obs.slo import SLO
+
+
+@dataclass(frozen=True)
+class SubscriptionDelta:
+    """One published change to a subscription's answer set.
+
+    Attributes
+    ----------
+    sid : int
+        The subscription the delta belongs to.
+    time : float
+        The notification point (index clock) that produced it.
+    added : tuple of int
+        Oids that entered the answer set, ascending.
+    removed : tuple of int
+        Oids that left the answer set, ascending.
+    """
+
+    sid: int
+    time: float
+    added: Tuple[int, ...] = ()
+    removed: Tuple[int, ...] = ()
+
+
+@dataclass
+class Subscription:
+    """One registered standing query and its maintained answer.
+
+    Attributes
+    ----------
+    sid : int
+        Registration id, unique per index.
+    query : SpatioTemporalQuery
+        The standing query (timeslice, window or moving).
+    region : QueryRegion
+        The query's normalized trapezoid, cached at registration.
+    members : set of int
+        The current answer set.
+    pending : list of SubscriptionDelta
+        Published but not yet polled deltas (bounded).
+    lagged : bool
+        True when the bounded queue overflowed and dropped deltas;
+        cleared by :meth:`SubscriptionIndex.resync`.
+    """
+
+    sid: int
+    query: SpatioTemporalQuery
+    region: QueryRegion
+    members: Set[int] = field(default_factory=set)
+    pending: List[SubscriptionDelta] = field(default_factory=list)
+    lagged: bool = False
+
+
+class SubscriptionIndex:
+    """Maintain standing range queries over a stream of object events.
+
+    Parameters
+    ----------
+    space : float, optional
+        Extent of the (assumed square) data space the grid covers;
+        coordinates outside clamp into edge cells, which is
+        conservative, never incorrect.
+    cells : int, optional
+        Grid resolution per dimension.
+    dims : int, optional
+        Dimensionality of the data space.
+    max_pending : int, optional
+        Per-subscription bound on queued deltas; overflow drops the
+        oldest delta and marks the subscription lagged.
+    registry : MetricsRegistry, optional
+        Receives the ``subs.*`` counters (adds, removes, expirations,
+        delivered, dropped) and the ``subs.standing`` gauge.
+    """
+
+    def __init__(
+        self,
+        space: float = 1000.0,
+        cells: int = 16,
+        dims: int = 2,
+        max_pending: int = 1024,
+        registry=None,
+    ):
+        if space <= 0.0:
+            raise ValueError(f"space must be positive, got {space}")
+        if cells < 1:
+            raise ValueError(f"cells must be positive, got {cells}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.space = space
+        self.cells = cells
+        self.dims = dims
+        self.max_pending = max_pending
+        self.now = 0.0
+        self._subs: Dict[int, Subscription] = {}
+        self._next_sid = 0
+        #: cell coordinates -> sids whose swept rect covers the cell
+        self._grid: Dict[Tuple[int, ...], Set[int]] = {}
+        #: oid -> (point, generation); generation invalidates heap entries
+        self._live: Dict[int, Tuple[MovingPoint, int]] = {}
+        self._generation = 0
+        #: oid -> sids currently holding it, for O(1) removal fan-out
+        self._membership: Dict[int, Set[int]] = {}
+        #: (t_exp, generation, oid) min-heap driving the expiry sweep
+        self._expiry: List[Tuple[float, int, int]] = []
+        #: envelope of every registered window, for trajectory sweeps
+        self._env_t1 = math.inf
+        self._env_t2 = -math.inf
+        self.adds = 0
+        self.removes = 0
+        self.expirations = 0
+        self.delivered = 0
+        self.dropped = 0
+        self._c_adds = self._c_removes = self._c_exp = None
+        self._c_delivered = self._c_dropped = None
+        if registry is not None:
+            self._c_adds = registry.counter("subs.adds")
+            self._c_removes = registry.counter("subs.removes")
+            self._c_exp = registry.counter("subs.expirations")
+            self._c_delivered = registry.counter("subs.delivered")
+            self._c_dropped = registry.counter("subs.dropped")
+            registry.gauge("subs.standing", fn=lambda: len(self._subs))
+
+    def __len__(self) -> int:
+        """Standing subscriptions currently registered."""
+        return len(self._subs)
+
+    # -- grid plumbing -------------------------------------------------------
+
+    def _cell_index(self, coordinate: float) -> int:
+        index = int(coordinate / self.space * self.cells)
+        return min(max(index, 0), self.cells - 1)
+
+    def _cell_range(self, lo: float, hi: float) -> range:
+        return range(self._cell_index(lo), self._cell_index(hi) + 1)
+
+    def _swept_rect(self, region: QueryRegion) -> List[Tuple[float, float]]:
+        """Static per-dim envelope of the region over its whole window."""
+        rect = []
+        for d in range(region.dims):
+            lo = min(region.lower_at(d, region.t1),
+                     region.lower_at(d, region.t2))
+            hi = max(region.upper_at(d, region.t1),
+                     region.upper_at(d, region.t2))
+            rect.append((lo, hi))
+        return rect
+
+    def _cells_of(self, rect: Sequence[Tuple[float, float]]):
+        return itertools.product(
+            *(self._cell_range(lo, hi) for lo, hi in rect)
+        )
+
+    def _candidates(self, point: MovingPoint) -> Set[int]:
+        """Sids whose swept rect can meet the point's trajectory envelope.
+
+        The envelope spans the registered windows' union clipped at the
+        point's expiration; an empty intersection means no standing
+        window can observe the point at all.
+        """
+        t_lo = self._env_t1
+        t_hi = min(self._env_t2, point.t_exp)
+        if t_hi < t_lo:
+            return set()
+        rect = []
+        for d in range(point.dims):
+            a = point.pos[d] + point.vel[d] * (t_lo - point.t_ref)
+            b = point.pos[d] + point.vel[d] * (t_hi - point.t_ref)
+            rect.append((min(a, b), max(a, b)))
+        found: Set[int] = set()
+        for cell in self._cells_of(rect):
+            found.update(self._grid.get(cell, ()))
+        return found
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, query: SpatioTemporalQuery) -> int:
+        """Register a standing query and publish its initial answer.
+
+        The current matches arrive as the subscription's first delta
+        (all adds), so replaying a subscription's deltas from an empty
+        set always reconstructs its answer.
+
+        Parameters
+        ----------
+        query : SpatioTemporalQuery
+            A timeslice, window or moving query to keep satisfied.
+
+        Returns
+        -------
+        int
+            The subscription id for :meth:`poll` / :meth:`answer`.
+        """
+        sid = self._next_sid
+        self._next_sid += 1
+        sub = Subscription(sid, query, query.region())
+        self._subs[sid] = sub
+        for cell in self._cells_of(self._swept_rect(sub.region)):
+            self._grid.setdefault(cell, set()).add(sid)
+        self._env_t1 = min(self._env_t1, sub.region.t1)
+        self._env_t2 = max(self._env_t2, sub.region.t2)
+        initial = sorted(
+            oid for oid, (point, _) in self._live.items()
+            if not point.t_exp < self.now
+            and region_matches_point(sub.region, point)
+        )
+        for oid in initial:
+            sub.members.add(oid)
+            self._membership.setdefault(oid, set()).add(sid)
+        if initial:
+            self.adds += len(initial)
+            if self._c_adds is not None:
+                self._c_adds.inc(len(initial))
+            self._publish(sub, SubscriptionDelta(
+                sid, self.now, added=tuple(initial)
+            ))
+        return sid
+
+    def unregister(self, sid: int) -> None:
+        """Drop a subscription and every grid/membership reference to it.
+
+        Parameters
+        ----------
+        sid : int
+            The subscription to remove; unknown ids raise ``KeyError``.
+        """
+        sub = self._subs.pop(sid)
+        for cell in self._cells_of(self._swept_rect(sub.region)):
+            bucket = self._grid.get(cell)
+            if bucket is not None:
+                bucket.discard(sid)
+                if not bucket:
+                    del self._grid[cell]
+        for oid in sub.members:
+            holders = self._membership.get(oid)
+            if holders is not None:
+                holders.discard(sid)
+                if not holders:
+                    del self._membership[oid]
+        if self._subs:
+            self._env_t1 = min(s.region.t1 for s in self._subs.values())
+            self._env_t2 = max(s.region.t2 for s in self._subs.values())
+        else:
+            self._env_t1, self._env_t2 = math.inf, -math.inf
+
+    # -- notifications -------------------------------------------------------
+
+    def advance_to(self, now: float) -> int:
+        """Advance the subscription clock, sweeping expired objects.
+
+        Objects whose expiration time precedes ``now`` leave every
+        answer set they were in (with removal deltas); an object is
+        still visible at its exact expiration instant, matching the
+        tree's convention.
+
+        Parameters
+        ----------
+        now : float
+            The new clock value; moves forward only.
+
+        Returns
+        -------
+        int
+            Objects expired by this sweep.
+        """
+        if now > self.now:
+            self.now = now
+        expired = 0
+        while self._expiry and self._expiry[0][0] < self.now:
+            _, generation, oid = heapq.heappop(self._expiry)
+            entry = self._live.get(oid)
+            if entry is None or entry[1] != generation:
+                continue  # superseded by a later report or a delete
+            del self._live[oid]
+            self._remove_everywhere(oid)
+            expired += 1
+        if expired:
+            self.expirations += expired
+            if self._c_exp is not None:
+                self._c_exp.inc(expired)
+        return expired
+
+    def notify_insert(self, oid: int, point: MovingPoint) -> int:
+        """An object reported (or re-reported) its motion parameters.
+
+        Re-notifying an identical report is idempotent — membership
+        diffs suppress empty deltas — so an at-least-once driver (crash
+        redo, backlog replay) never double-publishes.
+
+        Parameters
+        ----------
+        oid : int
+            The reporting object.
+        point : MovingPoint
+            Its new motion parameters.
+
+        Returns
+        -------
+        int
+            Subscriptions whose answers changed.
+        """
+        self._generation += 1
+        self._live[oid] = (point, self._generation)
+        if math.isfinite(point.t_exp):
+            heapq.heappush(
+                self._expiry, (point.t_exp, self._generation, oid)
+            )
+        visible = not point.t_exp < self.now
+        matches: Set[int] = set()
+        if visible:
+            matches = {
+                sid for sid in self._candidates(point)
+                if region_matches_point(self._subs[sid].region, point)
+            }
+        holders = self._membership.get(oid, set())
+        touched = 0
+        for sid in sorted(matches - holders):
+            sub = self._subs[sid]
+            sub.members.add(oid)
+            self._membership.setdefault(oid, set()).add(sid)
+            self.adds += 1
+            if self._c_adds is not None:
+                self._c_adds.inc()
+            self._publish(sub, SubscriptionDelta(
+                sid, self.now, added=(oid,)
+            ))
+            touched += 1
+        for sid in sorted(holders - matches):
+            sub = self._subs[sid]
+            sub.members.discard(oid)
+            self._membership[oid].discard(sid)
+            self.removes += 1
+            if self._c_removes is not None:
+                self._c_removes.inc()
+            self._publish(sub, SubscriptionDelta(
+                sid, self.now, removed=(oid,)
+            ))
+            touched += 1
+        if oid in self._membership and not self._membership[oid]:
+            del self._membership[oid]
+        return touched
+
+    def notify_delete(self, oid: int) -> int:
+        """An object left the service; remove it from every answer set.
+
+        Deleting an unknown (or already-removed) oid is a no-op, so
+        at-least-once redelivery stays safe.
+
+        Parameters
+        ----------
+        oid : int
+            The departing object.
+
+        Returns
+        -------
+        int
+            Subscriptions whose answers changed.
+        """
+        self._live.pop(oid, None)
+        return self._remove_everywhere(oid)
+
+    def _remove_everywhere(self, oid: int) -> int:
+        holders = self._membership.pop(oid, None)
+        if not holders:
+            return 0
+        for sid in sorted(holders):
+            sub = self._subs[sid]
+            sub.members.discard(oid)
+            self.removes += 1
+            if self._c_removes is not None:
+                self._c_removes.inc()
+            self._publish(sub, SubscriptionDelta(
+                sid, self.now, removed=(oid,)
+            ))
+        return len(holders)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _publish(self, sub: Subscription, delta: SubscriptionDelta) -> None:
+        sub.pending.append(delta)
+        if len(sub.pending) > self.max_pending:
+            sub.pending.pop(0)
+            sub.lagged = True
+            self.dropped += 1
+            if self._c_dropped is not None:
+                self._c_dropped.inc()
+
+    def poll(self, sid: int) -> List[SubscriptionDelta]:
+        """Drain a subscription's queued deltas, in publication order.
+
+        A lagged subscription (its bounded queue overflowed) keeps
+        returning deltas, but replaying them is no longer sufficient —
+        call :meth:`resync` to re-baseline.
+
+        Parameters
+        ----------
+        sid : int
+            The subscription to drain.
+
+        Returns
+        -------
+        list of SubscriptionDelta
+            Every delta published since the last poll.
+        """
+        sub = self._subs[sid]
+        drained = sub.pending
+        sub.pending = []
+        self.delivered += len(drained)
+        if self._c_delivered is not None:
+            self._c_delivered.inc(len(drained))
+        return drained
+
+    def answer(self, sid: int) -> Tuple[int, ...]:
+        """The subscription's current answer set, ascending.
+
+        Parameters
+        ----------
+        sid : int
+            The subscription to read.
+
+        Returns
+        -------
+        tuple of int
+            Every oid currently matching the standing query.
+        """
+        return tuple(sorted(self._subs[sid].members))
+
+    def is_lagged(self, sid: int) -> bool:
+        """Whether the subscription lost deltas to queue overflow.
+
+        Parameters
+        ----------
+        sid : int
+            The subscription to check.
+
+        Returns
+        -------
+        bool
+            True until :meth:`resync` re-baselines the consumer.
+        """
+        return self._subs[sid].lagged
+
+    def resync(self, sid: int) -> Tuple[int, ...]:
+        """Re-baseline a consumer: full answer, queue cleared, lag reset.
+
+        Parameters
+        ----------
+        sid : int
+            The subscription to re-baseline.
+
+        Returns
+        -------
+        tuple of int
+            The full current answer set, ascending.
+        """
+        sub = self._subs[sid]
+        sub.pending = []
+        sub.lagged = False
+        return self.answer(sid)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Objects currently mirrored as live (expired ones swept out)."""
+        return len(self._live)
+
+    def live_entries(self) -> List[Tuple[MovingPoint, int]]:
+        """The mirrored live population as ``(point, oid)`` pairs."""
+        return [(point, oid) for oid, (point, _) in self._live.items()]
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters as a plain dict (for reports)."""
+        return {
+            "subscriptions": len(self._subs),
+            "adds": self.adds,
+            "removes": self.removes,
+            "expirations": self.expirations,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }
+
+
+def subscription_slo(target: float = 0.99) -> SLO:
+    """The delta-delivery objective for subscription-serving frontends.
+
+    Good events are delivered deltas, bad events are deltas dropped by
+    bounded-queue overflow (each one forces a consumer resync).
+
+    Parameters
+    ----------
+    target : float, optional
+        Required delivery ratio.
+
+    Returns
+    -------
+    SLO
+        An objective over the ``subs.delivered`` / ``subs.dropped``
+        counters, for a frontend's :class:`~repro.obs.slo.SLOTracker`.
+    """
+    return SLO(
+        name="subscription_delivery",
+        target=target,
+        good=("subs.delivered",),
+        bad=("subs.dropped",),
+        description="polled deltas vs deltas lost to queue overflow",
+    )

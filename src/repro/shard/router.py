@@ -29,6 +29,7 @@ worker can fail an operation, never hang the router.
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing
 import os
 import time as _time
@@ -47,6 +48,7 @@ from ..core.tree import TreeAudit
 from ..geometry.bounding import BoundingKind
 from ..geometry.intersection import region_matches_point
 from ..geometry.kinematics import MovingPoint
+from ..geometry.knn import validate_knn_args
 from ..geometry.queries import SpatioTemporalQuery
 from ..storage.faults import TransientIOError
 from ..storage.stats import IOSnapshot
@@ -55,6 +57,7 @@ from ..obs.trace import TraceContext
 from ..workloads.base import (
     DeleteOp,
     InsertOp,
+    KnnOp,
     Operation,
     QueryOp,
     UpdateOp,
@@ -799,6 +802,103 @@ class ShardedForest:
             ]
             for position in range(len(queries))
         ]
+
+    def query_knn(self, x: Sequence[float], t: float, k: int) -> List[int]:
+        """The ``k`` objects nearest to ``x`` at time ``t``, nearest first.
+
+        Scatters a kNN record to every shard *sequentially*, tightening
+        the shared squared-distance bound between shards: once ``k``
+        candidates are held, the running k-th distance rides the next
+        shard's wire record as its ``bound_sq`` cutoff, so later shards
+        prune their descents against everything earlier shards found.
+        The merged answer is bit-identical (distances, membership and
+        tie order) to a single-tree descent over the union population.
+
+        Parameters
+        ----------
+        x : sequence of float
+            The query location (``config.tree.dims`` coordinates).
+        t : float
+            The evaluation time; objects whose expiration precedes
+            ``t`` are invisible.
+        k : int
+            The number of neighbors to return.
+
+        Returns
+        -------
+        list of int
+            At most ``k`` object ids, ascending by
+            ``(squared distance, oid)``.
+        """
+        return [oid for _, oid in self.knn_entries(x, t, k)]
+
+    def knn_entries(
+        self,
+        x: Sequence[float],
+        t: float,
+        k: int,
+        bound_sq: float = math.inf,
+    ) -> List[Tuple[float, int]]:
+        """kNN with distances: ``(squared distance, oid)`` pairs, ascending.
+
+        The scatter-side primitive behind :meth:`query_knn`; ``bound_sq``
+        is an optional externally-known cutoff (candidates strictly
+        farther are never returned).  Under tracing the whole scatter
+        runs beneath one ``shards.query_knn`` span.
+
+        Parameters
+        ----------
+        x : sequence of float
+            The query location.
+        t : float
+            The evaluation time.
+        k : int
+            The number of neighbors to return.
+        bound_sq : float, optional
+            Squared-distance cutoff; defaults to unbounded.
+
+        Returns
+        -------
+        list of (float, int)
+            At most ``k`` ``(squared distance, oid)`` pairs, ascending.
+        """
+        validate_knn_args(tuple(x), t, k, self.config.tree.dims)
+        x = tuple(float(c) for c in x)
+        if k == 0:
+            return []
+        if self._tracer is None:
+            return self._knn_impl(x, t, k, bound_sq, None, None)
+        with self._tracer.span("shards.query_knn") as root:
+            root.set(k=k)
+            trace = self._begin_trace(root)
+            blocked = [0.0]
+            best = self._knn_impl(x, t, k, bound_sq, trace, blocked)
+            root.set(wait_s=blocked[0], results=len(best))
+        return best
+
+    def _knn_impl(
+        self,
+        x: Tuple[float, ...],
+        t: float,
+        k: int,
+        bound_sq: float,
+        trace: Optional[TraceContext],
+        blocked: Optional[List[float]],
+    ) -> List[Tuple[float, int]]:
+        best: List[Tuple[float, int]] = []
+        for shard in self._shards:
+            op = KnnOp(self.clock.time, x, t, k, bound_sq)
+            payload = self.codec.encode_ops([op], trace=trace)
+            seq = self._send(shard, "apply", payload)
+            reply = self._await(shard, seq, blocked=blocked)
+            _, scored = self.codec.decode_answer_frame(reply[2])
+            for _, pairs in scored:
+                best.extend(pairs)
+            best.sort()
+            del best[k:]
+            if len(best) == k:
+                bound_sq = min(bound_sq, best[-1][0])
+        return best
 
     def bulk_load(self, entries: Sequence[Tuple[MovingPoint, int]]) -> None:
         """Partition a population and STR-pack every shard's tree."""

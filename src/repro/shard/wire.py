@@ -30,7 +30,14 @@ from ..geometry.queries import (
 )
 from ..geometry.rect import Rect
 from ..obs.trace import TraceContext
-from ..workloads.base import DeleteOp, InsertOp, Operation, QueryOp, UpdateOp
+from ..workloads.base import (
+    DeleteOp,
+    InsertOp,
+    KnnOp,
+    Operation,
+    QueryOp,
+    UpdateOp,
+)
 
 #: Batch magic ("RXSB": R-exp-tree shard batch) and format version.
 MAGIC = 0x52585342
@@ -41,10 +48,15 @@ VERSION = 1
 #: flag-free batch is byte-identical to the pre-flags format and the
 #: version byte stays 1.
 FLAG_TRACE = 0x0001
-_KNOWN_FLAGS = FLAG_TRACE
+#: Header flag: the batch contains at least one :data:`OP_KNN` record,
+#: and the worker's answer block uses the *framed* form (range answers
+#: followed by scored kNN answers).  A decoder predating kNN rejects
+#: the unknown flag loudly instead of mis-parsing the record.
+FLAG_KNN = 0x0002
+_KNOWN_FLAGS = FLAG_TRACE | FLAG_KNN
 
 #: Operation record kinds.
-OP_INSERT, OP_DELETE, OP_UPDATE, OP_QUERY = 1, 2, 3, 4
+OP_INSERT, OP_DELETE, OP_UPDATE, OP_QUERY, OP_KNN = 1, 2, 3, 4, 5
 #: Query record sub-kinds (the three query types of Section 2.1).
 Q_TIMESLICE, Q_WINDOW, Q_MOVING = 1, 2, 3
 
@@ -53,9 +65,11 @@ _TRACE = struct.Struct("<QQ")  # trace id, parent span id (0 = none)
 _KIND = struct.Struct("<B")
 _ANSWER_HEADER = struct.Struct("<I")  # number of answered queries
 _ANSWER_ENTRY = struct.Struct("<II")  # op index in batch, oid count
+_SCORED_PAIR = struct.Struct("<dq")  # squared distance, oid
 
 LeafEntry = Tuple[MovingPoint, int]
 Answer = Tuple[int, List[int]]
+ScoredAnswer = Tuple[int, List[Tuple[float, int]]]
 
 
 class OpCodec:
@@ -81,6 +95,8 @@ class OpCodec:
             Q_WINDOW: struct.Struct(f"<BB{2 * d + 3}d"),
             Q_MOVING: struct.Struct(f"<BB{4 * d + 3}d"),
         }
+        # A kNN record is kind, k, time, t, bound, x(d).
+        self._knn = struct.Struct(f"<BI{d + 3}d")
         self._entry = struct.Struct(f"<q{2 * d + 2}d")
 
     # -- points and rectangles ----------------------------------------------
@@ -118,6 +134,15 @@ class OpCodec:
             )
         if isinstance(op, QueryOp):
             return self._encode_query(op)
+        if isinstance(op, KnnOp):
+            if len(op.x) != self.dims:
+                raise ValueError(
+                    f"kNN point has {len(op.x)} dims, codec expects "
+                    f"{self.dims}"
+                )
+            return self._knn.pack(
+                OP_KNN, op.k, op.time, op.t, op.bound_sq, *op.x
+            )
         raise TypeError(f"cannot encode operation {op!r}")
 
     def _encode_query(self, op: QueryOp) -> bytes:
@@ -149,13 +174,18 @@ class OpCodec:
         sets :data:`FLAG_TRACE`; workers decode it via
         :meth:`decode_ops_traced` and hang their spans under the
         router's fan-out span.  Without it the bytes are identical to
-        the untraced format.
+        the untraced format.  A batch containing kNN records sets
+        :data:`FLAG_KNN` (the answer block is then framed); batches
+        without either feature stay byte-identical to the original
+        format.
         """
         flags = 0
         parts = [b""]
         if trace is not None:
             flags |= FLAG_TRACE
             parts.append(_TRACE.pack(trace.trace_id, trace.parent_span_id))
+        if any(isinstance(op, KnnOp) for op in ops):
+            flags |= FLAG_KNN
         parts[0] = _HEADER.pack(MAGIC, VERSION, self.dims, flags, len(ops))
         parts.extend(self._encode_op(op) for op in ops)
         return b"".join(parts)
@@ -218,6 +248,10 @@ class OpCodec:
             elif kind == OP_QUERY:
                 op, offset = self._decode_query(buf, offset)
                 ops.append(op)
+            elif kind == OP_KNN:
+                _, k, time, t, bound, *x = self._knn.unpack_from(buf, offset)
+                offset += self._knn.size
+                ops.append(KnnOp(time, tuple(x), t, k, bound))
             else:
                 raise ValueError(f"unknown op kind {kind} at offset {offset}")
         return ops, trace
@@ -260,8 +294,14 @@ class OpCodec:
 
     def decode_answers(self, buf: bytes) -> List[Answer]:
         """Unpack an answer block back into (op index, oids) pairs."""
-        (count,) = _ANSWER_HEADER.unpack_from(buf, 0)
-        offset = _ANSWER_HEADER.size
+        answers, _ = self._decode_answers_at(buf, 0)
+        return answers
+
+    def _decode_answers_at(
+        self, buf: bytes, offset: int
+    ) -> Tuple[List[Answer], int]:
+        (count,) = _ANSWER_HEADER.unpack_from(buf, offset)
+        offset += _ANSWER_HEADER.size
         answers: List[Answer] = []
         for _ in range(count):
             index, n = _ANSWER_ENTRY.unpack_from(buf, offset)
@@ -269,7 +309,75 @@ class OpCodec:
             oids = list(struct.unpack_from(f"<{n}q", buf, offset))
             offset += 8 * n
             answers.append((index, oids))
-        return answers
+        return answers, offset
+
+    # -- scored (kNN) answers ------------------------------------------------
+
+    def encode_answer_frame(
+        self,
+        answers: Sequence[Answer],
+        scored: Sequence[ScoredAnswer],
+    ) -> bytes:
+        """Pack the framed answer form of a :data:`FLAG_KNN` batch.
+
+        The frame is the ordinary range-answer block (byte-identical to
+        :meth:`encode_answers`) immediately followed by a scored block:
+        a count header, then per kNN op its batch index, pair count and
+        ``(squared distance, oid)`` pairs as double/int64.  Distances
+        travel as raw IEEE-754 doubles so the router's cross-shard merge
+        stays bit-identical to a single-tree descent.
+
+        Parameters
+        ----------
+        answers : sequence of (int, list of int)
+            Range-query answers, as for :meth:`encode_answers`.
+        scored : sequence of (int, list of (float, int))
+            Per kNN op: its index in the batch and the ascending
+            ``(squared distance, oid)`` result pairs.
+
+        Returns
+        -------
+        bytes
+            The framed answer block.
+        """
+        parts = [self.encode_answers(answers)]
+        parts.append(_ANSWER_HEADER.pack(len(scored)))
+        for index, pairs in scored:
+            parts.append(_ANSWER_ENTRY.pack(index, len(pairs)))
+            parts.extend(_SCORED_PAIR.pack(dist, oid) for dist, oid in pairs)
+        return b"".join(parts)
+
+    def decode_answer_frame(
+        self, buf: bytes
+    ) -> Tuple[List[Answer], List[ScoredAnswer]]:
+        """Unpack a framed answer block (see :meth:`encode_answer_frame`).
+
+        Parameters
+        ----------
+        buf : bytes
+            A framed answer block produced by a worker for a batch with
+            :data:`FLAG_KNN` set.
+
+        Returns
+        -------
+        tuple of (list of Answer, list of ScoredAnswer)
+            The range answers and the scored kNN answers, each keyed by
+            their op's index in the originating batch.
+        """
+        answers, offset = self._decode_answers_at(buf, 0)
+        (count,) = _ANSWER_HEADER.unpack_from(buf, offset)
+        offset += _ANSWER_HEADER.size
+        scored: List[ScoredAnswer] = []
+        for _ in range(count):
+            index, n = _ANSWER_ENTRY.unpack_from(buf, offset)
+            offset += _ANSWER_ENTRY.size
+            pairs: List[Tuple[float, int]] = []
+            for _ in range(n):
+                dist, oid = _SCORED_PAIR.unpack_from(buf, offset)
+                offset += _SCORED_PAIR.size
+                pairs.append((dist, oid))
+            scored.append((index, pairs))
+        return answers, scored
 
     # -- leaf entries --------------------------------------------------------
 

@@ -37,7 +37,7 @@ from ..core.config import TreeConfig
 from ..core.tree import MovingObjectTree
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
-from ..workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+from ..workloads.base import DeleteOp, InsertOp, KnnOp, QueryOp, UpdateOp
 from .wire import OpCodec
 
 #: Span name a worker records around one applied batch; the router
@@ -118,8 +118,13 @@ def _apply_batch(tree, clock, codec, payload):
     shared traversal for the whole run — whose answers are bit-identical
     to querying them one by one, so a router-side query batch costs the
     shard a single descent per shared node.
+
+    A batch containing kNN records yields a *framed* answer block
+    (range answers then scored answers); the router knows to expect the
+    frame because it built the batch with kNN ops in it.
     """
     answers = []
+    scored = []
     failed_deletes = 0
     ops, trace = codec.decode_ops_traced(payload)
     total = len(ops)
@@ -127,6 +132,13 @@ def _apply_batch(tree, clock, codec, payload):
     while position < total:
         op = ops[position]
         clock.advance_to(op.time)
+        if isinstance(op, KnnOp):
+            scored.append((
+                position,
+                tree.knn_entries(op.x, op.t, op.k, bound_sq=op.bound_sq),
+            ))
+            position += 1
+            continue
         if isinstance(op, QueryOp):
             stop = position + 1
             while (
@@ -151,10 +163,14 @@ def _apply_batch(tree, clock, codec, payload):
         elif isinstance(op, DeleteOp):
             if not tree.delete(op.oid, op.point):
                 failed_deletes += 1
-        else:  # pragma: no cover - decode_ops only yields the four kinds
+        else:  # pragma: no cover - decode_ops only yields known kinds
             raise TypeError(f"unsupported operation {op!r}")
         position += 1
-    return codec.encode_answers(answers), failed_deletes, trace, total
+    if scored:
+        payload = codec.encode_answer_frame(answers, scored)
+    else:
+        payload = codec.encode_answers(answers)
+    return payload, failed_deletes, trace, total
 
 
 def _stats_payload(tree, registry: Optional[MetricsRegistry]) -> dict:

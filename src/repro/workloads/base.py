@@ -8,8 +8,9 @@ experiment runner replays them against index adapters.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from ..geometry.kinematics import MovingPoint
 from ..geometry.queries import SpatioTemporalQuery
@@ -49,6 +50,25 @@ class QueryOp:
 
     time: float
     query: SpatioTemporalQuery
+
+
+@dataclass(frozen=True)
+class KnnOp:
+    """A k-nearest-neighbor request issued at ``time``.
+
+    Asks for the ``k`` objects nearest to location ``x`` at evaluation
+    time ``t``; ``bound_sq`` is an optional squared-distance cutoff a
+    scatter layer threads through to prune a member's descent (the
+    shard router tightens it shard by shard).  Not part of the
+    :data:`Operation` routing union — kNN rides its own scatter path,
+    not the report stream.
+    """
+
+    time: float
+    x: Tuple[float, ...]
+    t: float
+    k: int
+    bound_sq: float = math.inf
 
 
 Operation = Union[InsertOp, UpdateOp, DeleteOp, QueryOp]

@@ -62,3 +62,17 @@ def test_bounding_rectangles():
     for kind in ("conservative", "static", "update_minimum",
                  "near_optimal", "optimal"):
         assert kind in out
+
+
+def test_nearest_neighbors():
+    out = run_example("nearest_neighbors.py")
+    assert "5 nearest to the depot at t=15" in out
+    assert "matches the brute-force oracle exactly" in out
+    assert "expired ones pruned" in out
+
+
+def test_standing_queries():
+    out = run_example("standing_queries.py")
+    assert "registered 2 geofences" in out
+    assert "downtown:" in out and "airport:" in out
+    assert "0 dropped" in out

@@ -1,0 +1,334 @@
+"""Tests for standing-query subscriptions: the delta-stream invariant.
+
+The contract under test (DESIGN.md §13): at every notification point,
+for every subscription, ``answer(sid)`` equals the naive re-evaluation
+of its region over the live population — and the delta stream replays
+from an empty set to exactly that answer.  The tests drive the index
+with randomized insert/delete/expiration streams and check both sides
+at every step, then exercise the edges: late registration, bounded
+queues, lag, resync, idempotent redelivery, and frontend integration.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import SimulationClock
+from repro.core.config import TreeConfig
+from repro.core.tree import MovingObjectTree
+from repro.geometry.intersection import region_matches_point
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.queries import MovingQuery, TimesliceQuery, WindowQuery
+from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    FrontendConfig,
+    ServiceFrontend,
+    SubscriptionIndex,
+    subscription_slo,
+)
+from repro.workloads.base import DeleteOp, InsertOp, QueryOp
+from repro.workloads.expiration import FixedPeriod
+from repro.workloads.uniform import UniformParams, generate_uniform_workload
+
+SPACE = 100.0
+
+
+def random_rect(rng, span=30.0):
+    x, y = rng.uniform(0, 80), rng.uniform(0, 80)
+    return Rect((x, y), (x + rng.uniform(5, span), y + rng.uniform(5, span)))
+
+
+def random_query(rng, horizon=40.0):
+    kind = rng.randrange(3)
+    t1 = rng.uniform(0.0, horizon)
+    if kind == 0:
+        return TimesliceQuery(random_rect(rng), t1)
+    if kind == 1:
+        return WindowQuery(random_rect(rng), t1, t1 + rng.uniform(0, 20))
+    return MovingQuery(
+        random_rect(rng), random_rect(rng), t1, t1 + rng.uniform(1, 20)
+    )
+
+
+def random_point(rng, now, infinite_probability=0.3, life=15.0):
+    t_exp = (
+        math.inf if rng.random() < infinite_probability
+        else now + rng.uniform(0.5, life)
+    )
+    return MovingPoint(
+        (rng.uniform(0, SPACE), rng.uniform(0, SPACE)),
+        (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+        now,
+        t_exp,
+    )
+
+
+def naive_answer(subs, sid):
+    """Re-evaluate one subscription from scratch over the live set."""
+    region = subs._subs[sid].region
+    return tuple(sorted(
+        oid for point, oid in subs.live_entries()
+        if not point.t_exp < subs.now
+        and region_matches_point(region, point)
+    ))
+
+
+# -- the invariant, checked at every notification point ----------------------
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_invariant_and_replay_hold_at_every_step(seed):
+    rng = random.Random(seed)
+    subs = SubscriptionIndex(space=SPACE, cells=8)
+    sids = [subs.register(random_query(rng)) for _ in range(25)]
+    replayed = {sid: set() for sid in sids}
+    live = set()
+    now = 0.0
+    for step in range(400):
+        now += rng.uniform(0.0, 0.3)
+        subs.advance_to(now)
+        if rng.random() < 0.55 or not live:
+            oid = rng.randrange(80)
+            subs.notify_insert(oid, random_point(rng, now))
+            live.add(oid)
+        else:
+            oid = rng.choice(sorted(live))
+            subs.notify_delete(oid)
+            live.discard(oid)
+        for sid in sids:
+            assert subs.answer(sid) == naive_answer(subs, sid)
+        for sid in sids:
+            for delta in subs.poll(sid):
+                replayed[sid] |= set(delta.added)
+                replayed[sid] -= set(delta.removed)
+            assert tuple(sorted(replayed[sid])) == subs.answer(sid)
+    assert subs.dropped == 0
+    assert subs.adds > 0 and subs.removes > 0
+
+
+def test_expiration_sweep_emits_remove_deltas():
+    subs = SubscriptionIndex(space=SPACE, cells=4)
+    sid = subs.register(
+        WindowQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 0.0, 1000.0)
+    )
+    subs.notify_insert(1, MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, 5.0))
+    subs.notify_insert(2, MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0,
+                                      math.inf))
+    assert subs.answer(sid) == (1, 2)
+    # t_exp == now is still live (the paper's closed-interval semantics);
+    # strictly past it the sweep must evict and notify.
+    subs.advance_to(5.0)
+    assert subs.answer(sid) == (1, 2)
+    subs.advance_to(5.1)
+    assert subs.answer(sid) == (2,)
+    assert subs.expirations == 1
+    replay = set()
+    for delta in subs.poll(sid):
+        replay |= set(delta.added)
+        replay -= set(delta.removed)
+    assert replay == {2}
+
+
+def test_update_reinsert_keeps_membership_consistent():
+    subs = SubscriptionIndex(space=SPACE, cells=4)
+    sid = subs.register(TimesliceQuery(Rect((40.0, 40.0), (60.0, 60.0)),
+                                       10.0))
+    inside = MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, math.inf)
+    outside = MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, math.inf)
+    subs.notify_insert(7, inside)
+    assert subs.answer(sid) == (7,)
+    # A position report that moves the object out must remove it...
+    subs.notify_insert(7, outside)
+    assert subs.answer(sid) == ()
+    # ...and one that moves it back must re-add it, all under one oid.
+    subs.notify_insert(7, inside)
+    assert subs.answer(sid) == (7,)
+    subs.notify_delete(7)
+    assert subs.answer(sid) == ()
+
+
+def test_redelivered_notification_is_idempotent():
+    """At-least-once drivers (crash redo) must not duplicate deltas."""
+    subs = SubscriptionIndex(space=SPACE, cells=4)
+    sid = subs.register(
+        WindowQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 0.0, 1000.0)
+    )
+    point = MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, math.inf)
+    subs.notify_insert(3, point)
+    subs.notify_insert(3, point)  # redo replays the same atom
+    deltas = subs.poll(sid)
+    assert len(deltas) == 1
+    assert deltas[0].added == (3,)
+    subs.notify_delete(3)
+    subs.notify_delete(3)
+    deltas = subs.poll(sid)
+    assert len(deltas) == 1
+    assert deltas[0].removed == (3,)
+
+
+def test_late_registration_emits_initial_delta():
+    subs = SubscriptionIndex(space=SPACE, cells=4)
+    for oid in range(5):
+        subs.notify_insert(
+            oid, MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, math.inf)
+        )
+    sid = subs.register(
+        WindowQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 0.0, 1000.0)
+    )
+    deltas = subs.poll(sid)
+    assert len(deltas) == 1
+    assert deltas[0].added == (0, 1, 2, 3, 4)
+    assert subs.answer(sid) == (0, 1, 2, 3, 4)
+
+
+def test_unregister_stops_deltas_and_shrinks_gauge():
+    registry = MetricsRegistry()
+    subs = SubscriptionIndex(space=SPACE, cells=4, registry=registry)
+    sid = subs.register(
+        WindowQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 0.0, 1000.0)
+    )
+    assert registry.value("subs.standing") == 1
+    subs.unregister(sid)
+    assert registry.value("subs.standing") == 0
+    subs.notify_insert(
+        1, MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, math.inf)
+    )
+    with pytest.raises(KeyError):
+        subs.poll(sid)
+
+
+def test_bounded_queue_lags_then_resyncs():
+    subs = SubscriptionIndex(space=SPACE, cells=4, max_pending=2)
+    sid = subs.register(
+        WindowQuery(Rect((0.0, 0.0), (SPACE, SPACE)), 0.0, 1000.0)
+    )
+    for oid in range(10):
+        subs.notify_insert(
+            oid, MovingPoint((50.0, 50.0), (0.0, 0.0), 0.0, math.inf)
+        )
+    assert subs.is_lagged(sid)
+    assert subs.dropped > 0
+    # A lagged consumer cannot trust its replayed set; resync hands it
+    # the authoritative answer and re-arms the queue.
+    assert subs.resync(sid) == tuple(range(10))
+    assert not subs.is_lagged(sid)
+    subs.notify_delete(0)
+    deltas = subs.poll(sid)
+    assert deltas[-1].removed == (0,)
+
+
+def test_out_of_space_coordinates_are_handled():
+    # Clamped grid cells are conservative, never wrong.
+    subs = SubscriptionIndex(space=SPACE, cells=4)
+    sid = subs.register(TimesliceQuery(Rect((-50.0, -50.0), (0.0, 0.0)),
+                                       1.0))
+    subs.notify_insert(
+        1, MovingPoint((-25.0, -25.0), (0.0, 0.0), 0.0, math.inf)
+    )
+    subs.notify_insert(
+        2, MovingPoint((500.0, 500.0), (0.0, 0.0), 0.0, math.inf)
+    )
+    assert subs.answer(sid) == (1,)
+
+
+def test_subscription_slo_shape():
+    slo = subscription_slo(target=0.999)
+    assert slo.good == ("subs.delivered",)
+    assert slo.bad == ("subs.dropped",)
+    assert slo.target == 0.999
+
+
+# -- property: random streams, all three query types -------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=20, max_value=80),
+)
+def test_property_invariant_over_random_streams(seed, n_subs, n_steps):
+    rng = random.Random(seed)
+    subs = SubscriptionIndex(space=SPACE, cells=rng.choice((1, 4, 16)))
+    sids = [subs.register(random_query(rng)) for _ in range(n_subs)]
+    live = set()
+    now = 0.0
+    for _ in range(n_steps):
+        now += rng.uniform(0.0, 1.0)
+        subs.advance_to(now)
+        if rng.random() < 0.6 or not live:
+            oid = rng.randrange(30)
+            subs.notify_insert(
+                oid, random_point(rng, now, infinite_probability=0.2)
+            )
+            live.add(oid)
+        else:
+            oid = rng.choice(sorted(live))
+            subs.notify_delete(oid)
+            live.discard(oid)
+    for sid in sids:
+        assert subs.answer(sid) == naive_answer(subs, sid)
+
+
+# -- frontend integration ----------------------------------------------------
+
+
+def _workload(insertions=300, seed=5):
+    params = UniformParams(
+        target_population=40,
+        insertions=insertions,
+        update_interval=10.0,
+        space=SPACE,
+        queries_per_insertions=5,
+        seed=seed,
+    )
+    return generate_uniform_workload(params, FixedPeriod(20.0))
+
+
+def test_frontend_notifies_subscriptions_and_tracks_slo():
+    workload = _workload()
+    rng = random.Random(9)
+    registry = MetricsRegistry()
+    subs = SubscriptionIndex(
+        space=SPACE, cells=8, max_pending=1 << 30, registry=registry
+    )
+    duration = workload.ops[-1].time
+    sids = [
+        subs.register(random_query(rng, horizon=duration))
+        for _ in range(20)
+    ]
+    clock = SimulationClock()
+    tree = MovingObjectTree(
+        TreeConfig(page_size=512, buffer_pages=8), clock
+    )
+    frontend = ServiceFrontend(
+        tree, FrontendConfig(), registry=registry, subscriptions=subs,
+    )
+    report = frontend.run(workload.ops)
+    assert report.served_writes > 0
+    # Mirror agrees with the index: same expiration-visible live set.
+    mirrored = {
+        oid for point, oid in subs.live_entries()
+        if not point.t_exp < subs.now
+    }
+    indexed = {
+        oid for point, oid in tree.snapshot().leaf_entries()
+        if not point.t_exp < subs.now
+    }
+    assert mirrored == indexed
+    # Every subscription's delta stream replays to its invariant answer.
+    for sid in sids:
+        replay = set()
+        for delta in subs.poll(sid):
+            replay |= set(delta.added)
+            replay -= set(delta.removed)
+        assert tuple(sorted(replay)) == subs.answer(sid)
+        assert subs.answer(sid) == naive_answer(subs, sid)
+    # The delivery SLO is wired into the frontend's tracker.
+    slos = frontend.slo_status()
+    assert "subscription_delivery" in slos
+    assert slos["subscription_delivery"]["met"] is True

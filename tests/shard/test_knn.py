@@ -1,0 +1,195 @@
+"""Sharded kNN: wire round-trips and scatter-gather oracle identity.
+
+Distances cross the worker pipe as raw IEEE-754 doubles, so the merged
+cross-shard result can (and must) be bit-identical to a single-tree
+run and to :func:`~repro.geometry.knn.brute_force_knn`.  The codec
+tests compare bit patterns; the end-to-end tests compare full result
+lists including exact distance ties.
+"""
+
+import math
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TreeConfig
+from repro.geometry.kinematics import MovingPoint
+from repro.geometry.knn import brute_force_knn
+from repro.shard import ShardConfig, ShardedForest
+from repro.shard.wire import FLAG_KNN, OpCodec
+from repro.workloads.base import InsertOp, KnnOp
+
+TREE = TreeConfig(page_size=512, buffer_pages=16, default_ui=10.0)
+SPACE = 100.0
+DIMS = 2
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def f64_bits(*values):
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+# -- codec -------------------------------------------------------------------
+
+
+@given(
+    finite,
+    st.tuples(finite, finite),
+    finite,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.one_of(st.just(math.inf), finite),
+)
+def test_knn_op_roundtrips_bit_exact(time, x, t, k, bound):
+    codec = OpCodec(DIMS)
+    payload = codec.encode_ops([KnnOp(time, x, t, k, bound)])
+    (back,), trace = codec.decode_ops_traced(payload)
+    assert isinstance(back, KnnOp)
+    assert not trace
+    assert back.k == k
+    assert f64_bits(back.time, *back.x, back.t, back.bound_sq) == f64_bits(
+        time, *x, t, bound
+    )
+
+
+def test_knn_batches_set_the_knn_flag():
+    codec = OpCodec(DIMS)
+    point = MovingPoint((0.0, 0.0), (0.0, 0.0), 0.0, math.inf)
+    plain = codec.encode_ops([InsertOp(0.0, 1, point)])
+    mixed = codec.encode_ops(
+        [InsertOp(0.0, 1, point), KnnOp(0.0, (0.0, 0.0), 1.0, 3)]
+    )
+    header = struct.Struct("<IBBHI")
+    assert header.unpack_from(plain)[3] & FLAG_KNN == 0
+    assert header.unpack_from(mixed)[3] & FLAG_KNN == FLAG_KNN
+
+
+def test_knn_op_rejects_dimension_mismatch():
+    codec = OpCodec(DIMS)
+    with pytest.raises(ValueError):
+        codec.encode_ops([KnnOp(0.0, (1.0, 2.0, 3.0), 1.0, 2)])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.lists(st.integers(-100, 100), max_size=5),
+        ),
+        max_size=4,
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.lists(
+                st.tuples(finite, st.integers(-(2**63), 2**63 - 1)),
+                max_size=6,
+            ),
+        ),
+        max_size=4,
+    ),
+)
+def test_answer_frame_roundtrips_bit_exact(answers, scored):
+    codec = OpCodec(DIMS)
+    frame = codec.encode_answer_frame(answers, scored)
+    back_answers, back_scored = codec.decode_answer_frame(frame)
+    assert back_answers == answers
+    assert len(back_scored) == len(scored)
+    for (index, pairs), (bindex, bpairs) in zip(scored, back_scored):
+        assert bindex == index
+        assert [oid for _, oid in bpairs] == [oid for _, oid in pairs]
+        for (dist, _), (bdist, _) in zip(pairs, bpairs):
+            assert f64_bits(bdist) == f64_bits(dist)
+
+
+def test_plain_answers_stay_decodable_by_the_frame_decoder_prefix():
+    # The frame starts with a byte-identical encode_answers block, so a
+    # range-only reply and the frame prefix agree.
+    codec = OpCodec(DIMS)
+    answers = [(0, [1, 2, 3]), (2, []), (5, [9])]
+    plain = codec.encode_answers(answers)
+    framed = codec.encode_answer_frame(answers, [])
+    assert framed.startswith(plain)
+    assert codec.decode_answers(plain) == answers
+    assert codec.decode_answer_frame(framed) == (answers, [])
+
+
+# -- end-to-end --------------------------------------------------------------
+
+
+def shard_config(**overrides):
+    base = dict(
+        workers=2, tree=TREE, partitioner="grid",
+        space=SPACE, reach=90.0, join_timeout=10.0,
+    )
+    base.update(overrides)
+    return ShardConfig(**base)
+
+
+def random_entries(rng, n, t=0.0, life=30.0):
+    entries = []
+    for oid in range(n):
+        t_exp = math.inf if rng.random() < 0.2 else t + rng.uniform(0, life)
+        entries.append((
+            MovingPoint(
+                (rng.uniform(0, SPACE), rng.uniform(0, SPACE)),
+                (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                t,
+                t_exp,
+            ),
+            oid,
+        ))
+    return entries
+
+
+def test_sharded_knn_matches_brute_force_and_tracks_metrics(tmp_path):
+    rng = random.Random(11)
+    entries = random_entries(rng, 250)
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        forest.bulk_load(entries)
+        for t in (0.0, 9.0, 27.0):
+            for k in (0, 1, 6, 40, 500):
+                x = (rng.uniform(0, SPACE), rng.uniform(0, SPACE))
+                expected = brute_force_knn(entries, x, t, k)
+                assert forest.knn_entries(x, t, k) == expected
+                assert forest.query_knn(x, t, k) == [
+                    oid for _, oid in expected
+                ]
+
+
+def test_sharded_knn_exact_cross_shard_ties(tmp_path):
+    # Grid partitioning puts the left and right points on different
+    # workers; the merge must still interleave equal distances by oid.
+    entries = [
+        (MovingPoint((30.0, 50.0), (0.0, 0.0), 0.0, math.inf), 4),
+        (MovingPoint((70.0, 50.0), (0.0, 0.0), 0.0, math.inf), 1),
+        (MovingPoint((30.0, 50.0), (0.0, 0.0), 0.0, math.inf), 2),
+        (MovingPoint((70.0, 50.0), (0.0, 0.0), 0.0, math.inf), 3),
+    ]
+    with ShardedForest.create(str(tmp_path / "s"), shard_config()) as forest:
+        forest.bulk_load(entries)
+        assert forest.knn_entries((50.0, 50.0), 1.0, 4) == [
+            (400.0, 1), (400.0, 2), (400.0, 3), (400.0, 4)
+        ]
+        assert forest.query_knn((50.0, 50.0), 1.0, 3) == [1, 2, 3]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**16),
+    st.floats(min_value=0.0, max_value=35.0, allow_nan=False),
+    st.integers(min_value=0, max_value=40),
+)
+def test_sharded_knn_property_equals_oracle(tmp_path_factory, seed, t, k):
+    rng = random.Random(seed)
+    entries = random_entries(rng, 80)
+    x = (rng.uniform(-10, SPACE + 10), rng.uniform(-10, SPACE + 10))
+    directory = str(tmp_path_factory.mktemp("knn") / "s")
+    with ShardedForest.create(directory, shard_config()) as forest:
+        forest.bulk_load(entries)
+        assert forest.knn_entries(x, t, k) == brute_force_knn(
+            entries, x, t, k
+        )

@@ -230,3 +230,40 @@ def test_top_live_run_and_artifact_replay(tmp_path, capsys):
     offline_shares = [ln.split()[-1] for ln in offline.splitlines()
                       if ln.strip().startswith("shard ")]
     assert live_shares == offline_shares
+
+
+def test_knn_cli_matches_oracle(capsys):
+    code = main([
+        "knn", "--scale", "tiny", "--queries", "30", "--k", "5",
+        "--population", "80", "--insertions", "400",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "exact" in out
+    assert "mismatch" not in out
+
+
+def test_soak_cli_reports_subscription_stats(tmp_path, capsys):
+    import json
+
+    script = {
+        "expected_trips": 0,
+        "expected_probes": 0,
+        "expected_recoveries": 0,
+    }
+    script_path = tmp_path / "script.json"
+    script_path.write_text(json.dumps(script))
+    out_path = tmp_path / "BENCH_soak.json"
+    code = main([
+        "soak", "--insertions", "300",
+        "--subscriptions", "20",
+        "--script", str(script_path),
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "soak PASS" in out
+    assert "standing queries: 20 subs" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["passed"] is True
+    assert payload["subscriptions"]["dropped"] == 0
