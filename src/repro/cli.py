@@ -17,6 +17,8 @@
     python -m repro recover out.d            # replay the WAL, audit, report
     python -m repro faultcheck --stride 4    # crash-at-every-write matrix
     python -m repro soak                     # chaos soak: serve through faults
+    python -m repro soak --replica           # soak with failover to a replica
+    python -m repro replicate                # WAL-shipped replica + promotion
     python -m repro shards --workers 1 2 4   # process-parallel sharded index
     python -m repro top --workers 2 --once   # live observability dashboard
 
@@ -848,11 +850,31 @@ def cmd_soak(args: argparse.Namespace) -> int:
           f"(kill at write {script.kill_at_write}, "
           f"{len(script.transient_writes)} transient writes, "
           f"{args.subscriptions} standing queries) ...")
+    scenario = None
+    if args.replica:
+        from .experiments.soak import default_replica_scenario
+
+        scenario = default_replica_scenario()
+        print(f"  replication: poll every {scenario.poll_every} requests, "
+              f"WAL soft limit {scenario.wal_soft_limit} B, "
+              f"channel faults at transfers "
+              f"{list(scenario.channel_transients)} (transient) and "
+              f"{scenario.channel_torn_at} (torn)")
     report = run_soak(
         script, params=params, tracer=tracer,
-        subscriptions=args.subscriptions,
+        subscriptions=args.subscriptions, replica=scenario,
     )
     print(report.summary())
+    if report.replication:
+        r = report.replication
+        print(f"  replication: {r['promotions']:.0f} promotion(s), "
+              f"{r['applied_batches']:.0f}/{r['shipped_batches']:.0f} "
+              f"batches applied, staleness max {r['max_staleness']:.2f}s "
+              f"(budget {r['staleness_budget']:.0f}s), "
+              f"{r['truncation_cycles']:.0f} truncation cycles, "
+              f"{r['spills']:.0f} spills, "
+              f"{r['channel_faults']:.0f} channel faults, "
+              f"footprint high water {r['footprint_high_water']:.0f} B")
     if report.subscriptions:
         s = report.subscriptions
         print(f"  standing queries: {s['subscriptions']} subs, "
@@ -867,6 +889,125 @@ def cmd_soak(args: argparse.Namespace) -> int:
         count = tracer.export_jsonl(args.trace)
         print(f"wrote {args.trace} ({count} records)")
     return 0 if report.passed else 1
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from .core.clock import SimulationClock
+    from .core.config import TreeConfig
+    from .core.tree import MovingObjectTree
+    from .replication import (
+        OnlineMaintainer,
+        Replica,
+        ReplicaLink,
+        ShippingChannel,
+        WalShipper,
+    )
+    from .storage.faults import FaultInjector
+    from .workloads.base import DeleteOp, InsertOp, QueryOp, UpdateOp
+
+    params = NetworkParams(
+        target_population=max(args.insertions // 4, 16),
+        insertions=args.insertions,
+        seed=args.seed,
+    )
+    workload = generate_network_workload(params)
+    config = TreeConfig(
+        page_size=args.page_size, buffer_pages=args.buffer_pages
+    )
+    registry = MetricsRegistry()
+    base = tempfile.mkdtemp(prefix="repro-replicate-")
+    try:
+        tree = MovingObjectTree.create_durable(
+            os.path.join(base, "primary"), config, SimulationClock()
+        )
+        shipper = WalShipper(tree.disk.directory, registry=registry)
+        follower = Replica.bootstrap(
+            tree.disk, shipper, os.path.join(base, "replica"),
+            registry=registry,
+        )
+        channel_injector = None
+        if args.torn_at or args.transients:
+            channel_injector = FaultInjector(
+                crash_at_write=args.torn_at or None, mode="torn",
+                seed=args.seed + 77,
+                transient_writes=tuple(args.transients),
+            )
+        channel = ShippingChannel(
+            shipper, injector=channel_injector, registry=registry
+        )
+        maintainer = OnlineMaintainer(
+            tree.disk, wal_soft_limit=args.wal_soft_limit, registry=registry
+        )
+        link = ReplicaLink(
+            channel, follower, maintainer,
+            promote_config=config, registry=registry,
+            poll_every=args.poll_every,
+        )
+        print(f"replicating {len(workload.ops)} ops "
+              f"({args.insertions} insertions, poll every "
+              f"{args.poll_every} ops) ...")
+        queries = []
+        for op in workload.ops:
+            tree.clock.advance_to(op.time)
+            if isinstance(op, InsertOp):
+                tree.insert(op.oid, op.point)
+            elif isinstance(op, UpdateOp):
+                tree.update(op.oid, op.old_point, op.new_point)
+            elif isinstance(op, DeleteOp):
+                tree.delete(op.oid, op.point)
+            elif isinstance(op, QueryOp):
+                queries.append(op.query)
+            link.tick()
+        link.tick(force=True)
+
+        answers = [sorted(tree.query(q)) for q in queries]
+        mismatches = sum(
+            1 for q, want in zip(queries, answers)
+            if follower.query(q) != want
+        )
+        batched = follower.query_batch(queries)
+        mismatches += sum(
+            1 for got, want in zip(batched, answers) if got != want
+        )
+        centre = (params.space / 2.0, params.space / 2.0)
+        knn_want = tree.query_knn(centre, tree.clock.time, 8)
+        if follower.knn(centre, tree.clock.time, 8) != knn_want:
+            mismatches += 1
+        print(f"  parity: {len(queries)} queries + batch + knn, "
+              f"{mismatches} mismatches")
+        print(f"  shipping: cursor {shipper.acked}, lag "
+              f"{shipper.lag_batches()} batches, "
+              f"{registry.value('replication.channel_faults'):.0f} channel "
+              f"faults, {registry.value('replication.spills'):.0f} spills")
+        print(f"  maintenance: {maintainer.cycles} truncation cycles, "
+              f"primary WAL {maintainer.wal_bytes()} B, footprint high "
+              f"water {link.footprint_high_water} B")
+        print(f"  staleness: max {link.max_staleness:.2f}s over "
+              f"{link.polls} polls")
+        failed = mismatches > 0
+        if not args.no_promote:
+            committed = tree.disk.op_seq
+            want_final = [sorted(tree.query(q)) for q in queries[-8:]]
+            tree.disk.abandon()
+            promoted, _injector = link.failover()
+            lost = committed - promoted.disk.op_seq
+            got_final = [sorted(promoted.query(q)) for q in queries[-8:]]
+            ok = lost == 0 and got_final == want_final
+            print(f"  failover: promoted at op_seq {promoted.disk.op_seq} "
+                  f"({lost} committed batches lost), answer parity "
+                  f"{'OK' if ok else 'FAILED'}")
+            promoted.close()
+            failed = failed or not ok
+        else:
+            tree.close()
+        if link.replica is not None:
+            link.replica.close()
+        return 1 if failed else 0
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
 
 
 def cmd_shards(args: argparse.Namespace) -> int:
@@ -1004,6 +1145,19 @@ def _render_top(records, registry, slo_statuses, heading) -> None:
             print(f"  buffer pool: hit rate {rate * 100:5.1f}%  "
                   f"(hits {hits:.0f}, misses {misses:.0f}, evictions "
                   f"{registry.value('buffer.evictions'):.0f})")
+        if registry.get("replication.polls") is not None:
+            promoted_at = registry.value("replication.last_promotion_time")
+            line = (
+                f"  replication: staleness "
+                f"{registry.value('replication.staleness_seconds'):.2f}s  "
+                f"cursor lag "
+                f"{registry.value('replication.cursor_lag_batches'):.0f} "
+                f"batches  promotions "
+                f"{registry.value('replication.promotions'):.0f}"
+            )
+            if promoted_at:
+                line += f"  last promoted at t={promoted_at:.1f}"
+            print(line)
     for status in slo_statuses:
         state = "OK  " if status["met"] else "MISS"
         print(f"  SLO {status['name']:<13} {state} "
@@ -1321,11 +1475,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--subscriptions", type=int, default=0,
                    help="standing queries maintained (and verified) "
                    "through the chaos run")
+    p.add_argument("--replica", action="store_true",
+                   help="run the replication chaos scenario: a WAL-shipped "
+                   "replica tails the primary and the kill is answered by "
+                   "promotion instead of reopen")
     p.add_argument("--out", default="BENCH_soak.json",
                    help="report JSON path")
     p.add_argument("--trace", default=None,
                    help="also write a JSONL trace of serving events")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "replicate",
+        help="WAL-shipped read replica: tail a live primary through a "
+        "faulty channel, verify parity, promote, verify zero loss",
+    )
+    p.add_argument("--insertions", type=int, default=400,
+                   help="insertions in the generated network workload")
+    p.add_argument("--poll-every", type=int, default=8,
+                   help="operations between replica shipping polls")
+    p.add_argument("--wal-soft-limit", type=int, default=16 * 1024,
+                   help="primary WAL bytes arming an online truncation")
+    p.add_argument("--torn-at", type=int, default=7,
+                   help="shipping transfer that dies mid-send (0 disables)")
+    p.add_argument("--transients", type=int, nargs="*", default=[3],
+                   help="1-based shipping transfers that fail transiently")
+    p.add_argument("--page-size", type=int, default=1024)
+    p.add_argument("--buffer-pages", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-promote", action="store_true",
+                   help="skip the final failover exercise")
+    p.set_defaults(func=cmd_replicate)
 
     p = sub.add_parser(
         "shards",

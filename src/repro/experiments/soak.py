@@ -26,15 +26,22 @@ It then asserts the serving SLOs:
 * degraded staleness stays under the script's bound.
 
 ``repro soak`` runs the seeded default script and writes
-``BENCH_soak.json``.
+``BENCH_soak.json``.  With ``--replica`` a :class:`ReplicaScenario`
+rides on top: the primary ships its WAL to a tailing replica through a
+faulty channel while online maintenance truncates the log, the kill is
+answered by promotion instead of a reopen (audited for zero committed-
+write loss), and the replication SLOs — bounded staleness, completed
+truncation cycles, bounded WAL footprint — are asserted alongside the
+serving ones.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.clock import SimulationClock
@@ -43,6 +50,13 @@ from ..core.tree import MovingObjectTree
 from ..geometry.intersection import region_matches_point
 from ..obs.metrics import MetricsRegistry
 from ..obs.slo import default_serve_slos
+from ..replication import (
+    OnlineMaintainer,
+    Replica,
+    ReplicaLink,
+    ShippingChannel,
+    WalShipper,
+)
 from ..serve.frontend import FrontendConfig, ServiceFrontend, ServiceReport
 from ..serve.retry import RetryPolicy
 from ..serve.subscriptions import SubscriptionIndex
@@ -186,6 +200,101 @@ def default_fault_script(seed: int = 0) -> FaultScript:
     )
 
 
+@dataclass(frozen=True)
+class ReplicaScenario:
+    """The replication chaos scenario riding on a soak's fault script.
+
+    When active, the soak's primary ships its WAL to a tailing replica
+    through a faulty channel while an online maintainer truncates the
+    log under it; the script's process kill is answered by *failover*
+    (promotion) instead of a reopen, with a fresh follower re-seeded
+    from the promoted primary.  The scenario's own SLOs are asserted on
+    top of the serving ones.
+
+    Attributes
+    ----------
+    poll_every : int
+        Served requests between replica shipping polls.
+    wal_soft_limit : int
+        Primary WAL bytes that arm an online truncation cycle.
+    chain_budget : int
+        Free-chain slot writes per maintenance step.
+    staleness_budget : float
+        Maximum tolerated replica lag (index-clock seconds) — both the
+        per-poll SLO budget and the run-level ``max_staleness`` bound.
+    slo_target : float
+        Target fraction of polls inside the budget.
+    channel_transients : tuple of int
+        1-based shipping-channel transfer indices that fail
+        transiently (the transfer never happened; retried).
+    channel_torn_at : int, optional
+        Transfer at which the shipping connection dies mid-send,
+        delivering torn bytes; ``None`` for no torn fault.
+    min_truncations : int
+        Truncation cycles the run must complete (across incarnations)
+        for the WAL-footprint measurement to mean anything.
+    footprint_bound : int
+        Bound on the replication disk high-water mark (live primary
+        WAL + archive segments + replica WAL), in bytes.
+    expected_trips, expected_probes, expected_recoveries : int, optional
+        Breaker pins for the *replicated* run (maintenance writes share
+        the injector's write counter, so the script's own pins do not
+        transfer); ``None`` skips, as in :class:`FaultScript`.
+    """
+
+    poll_every: int = 4
+    wal_soft_limit: int = 24 * 1024
+    chain_budget: int = 8
+    staleness_budget: float = 30.0
+    slo_target: float = 0.9
+    channel_transients: Tuple[int, ...] = (3,)
+    channel_torn_at: Optional[int] = 9
+    min_truncations: int = 3
+    footprint_bound: int = 1 << 20
+    expected_trips: Optional[int] = None
+    expected_probes: Optional[int] = None
+    expected_recoveries: Optional[int] = None
+
+    def to_json(self) -> dict:
+        """A JSON-serializable form, symmetric with :meth:`from_json`."""
+        payload = asdict(self)
+        payload["channel_transients"] = list(self.channel_transients)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ReplicaScenario":
+        """Rebuild a scenario from its :meth:`to_json` form."""
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        kwargs["channel_transients"] = tuple(
+            kwargs.get("channel_transients", ())
+        )
+        return cls(**kwargs)
+
+
+def default_replica_scenario() -> ReplicaScenario:
+    """The pinned replication scenario ``repro soak --replica`` runs.
+
+    A transient shipping fault and a torn mid-transfer connection death
+    early in the run, aggressive truncation (small soft limit) so log
+    compaction races shipment many times, and the default script's kill
+    answered by promotion.  Breaker pins recorded from the
+    deterministic run.
+    """
+    return ReplicaScenario(
+        poll_every=4,
+        wal_soft_limit=24 * 1024,
+        staleness_budget=30.0,
+        channel_transients=(3,),
+        channel_torn_at=9,
+        min_truncations=3,
+        footprint_bound=1 << 20,
+        expected_trips=1,
+        expected_probes=1,
+        expected_recoveries=1,
+    )
+
+
 def default_soak_params(seed: int = 0, insertions: int = 2000) -> NetworkParams:
     """The small Section 5.1 network workload the soak drives."""
     return NetworkParams(
@@ -230,6 +339,9 @@ class SoakReport:
     #: Standing-query counters (adds/removes/expirations/delivered/
     #: dropped), present only when the soak ran with subscriptions.
     subscriptions: Dict[str, int] = field(default_factory=dict)
+    #: Replication scenario measurements (shipping, staleness, failover,
+    #: truncation), present only when the soak ran with a replica.
+    replication: Dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -264,6 +376,7 @@ class SoakReport:
             "script": self.script,
             "slos": self.slos,
             "subscriptions": self.subscriptions,
+            "replication": self.replication,
         }
 
 
@@ -366,6 +479,7 @@ def _check_slos(
     ops: Sequence,
     oracle_answers: Dict[int, set],
     history: Dict[int, list],
+    replicated: bool = False,
 ) -> List[str]:
     """Assert every serving SLO; return the violations found."""
     violations: List[str] = []
@@ -406,7 +520,20 @@ def _check_slos(
             f"{report.failed_queries} queries failed terminally"
         )
     expected_kills = 1 if script.kill_at_write is not None else 0
-    if report.kills != expected_kills or report.reopens != expected_kills:
+    if replicated:
+        # A ready follower turns every kill into a promotion; a reopen
+        # would mean the failover path was silently bypassed.
+        if report.kills != expected_kills or \
+                report.promotions != expected_kills:
+            violations.append(
+                f"kills/promotions {report.kills}/{report.promotions} != "
+                f"expected {expected_kills}"
+            )
+        if report.reopens:
+            violations.append(
+                f"{report.reopens} reopens despite a promotable replica"
+            )
+    elif report.kills != expected_kills or report.reopens != expected_kills:
         violations.append(
             f"kills/reopens {report.kills}/{report.reopens} != "
             f"expected {expected_kills}"
@@ -534,6 +661,7 @@ def run_soak(
     registry=None,
     tracer=None,
     subscriptions: int = 0,
+    replica: Optional[ReplicaScenario] = None,
 ) -> SoakReport:
     """Run the chaos soak and verify every SLO.
 
@@ -561,6 +689,13 @@ def run_soak(
         replay.  After the run, every subscription's delta stream must
         replay to exactly its re-evaluated answer set (see
         :func:`_check_subscriptions`); 0 disables the scenario.
+    replica : ReplicaScenario, optional
+        Runs the replication chaos scenario: a WAL-shipped read
+        replica tails the primary through a faulty channel, online
+        maintenance truncates the primary's log mid-run, and the
+        script's kill is answered by promoting the replica (zero
+        committed writes lost, audited bit-for-bit against the dead
+        primary's committed prefix).  ``None`` disables the scenario.
 
     Returns
     -------
@@ -616,6 +751,99 @@ def run_soak(
             reopened.disk.arm_injector(fresh)
             return reopened, fresh
 
+        link: Optional[ReplicaLink] = None
+        maintainers: List[OnlineMaintainer] = []
+        audit_violations: List[str] = []
+        if replica is not None:
+            primary_dirs = [directory]
+            follower_seq = [0]
+
+            def build_follower(primary_tree, channel_injector=None):
+                n = follower_seq[0]
+                follower_seq[0] += 1
+                shipper = WalShipper(
+                    primary_tree.disk.directory, registry=registry
+                )
+                follower = Replica.bootstrap(
+                    primary_tree.disk, shipper,
+                    os.path.join(tmp, f"replica{n}"), registry=registry,
+                )
+                channel = ShippingChannel(
+                    shipper, injector=channel_injector, registry=registry
+                )
+                maintainer = OnlineMaintainer(
+                    primary_tree.disk,
+                    wal_soft_limit=replica.wal_soft_limit,
+                    chain_budget=replica.chain_budget,
+                    registry=registry,
+                )
+                maintainers.append(maintainer)
+                return channel, follower, maintainer
+
+            def audit_promotion(promoted) -> None:
+                # Zero-loss check: recover a copy of the dead primary's
+                # directory (its durable committed prefix, exactly what
+                # a plain reopen would serve) and demand the promoted
+                # tree matches it bit for bit — same commit sequence,
+                # identical unexpired entries.
+                ground_dir = os.path.join(tmp, f"audit{len(injectors)}")
+                shutil.copytree(primary_dirs[-1], ground_dir)
+                ground = MovingObjectTree.open_from(
+                    ground_dir, tree_config, SimulationClock()
+                )
+                now = promoted.clock.time
+
+                def unexpired(t):
+                    return sorted(
+                        (oid, tuple(p.pos), tuple(p.vel), p.t_ref, p.t_exp)
+                        for p, oid in t.snapshot().leaf_entries()
+                        if not p.t_exp < now
+                    )
+
+                if ground.disk.op_seq != promoted.disk.op_seq:
+                    audit_violations.append(
+                        f"promotion lost commits: op_seq "
+                        f"{promoted.disk.op_seq} != committed prefix "
+                        f"{ground.disk.op_seq}"
+                    )
+                elif unexpired(ground) != unexpired(promoted):
+                    audit_violations.append(
+                        "promoted state is not bit-identical to the dead "
+                        "primary's committed prefix"
+                    )
+                ground.close()
+
+            def on_promote(promoted):
+                audit_promotion(promoted)
+                primary_dirs.append(promoted.disk.directory)
+                fresh = script.injector(len(injectors))
+                injectors.append(fresh)
+                promoted.disk.arm_injector(fresh)
+                return fresh
+
+            channel_injector = None
+            if replica.channel_torn_at or replica.channel_transients:
+                channel_injector = FaultInjector(
+                    crash_at_write=replica.channel_torn_at,
+                    mode="torn",
+                    seed=script.seed + 77,
+                    transient_writes=replica.channel_transients,
+                )
+            first_channel, first_follower, first_maint = build_follower(
+                tree, channel_injector
+            )
+            link = ReplicaLink(
+                first_channel, first_follower, first_maint,
+                promote_config=tree_config,
+                registry=registry,
+                staleness_budget=replica.staleness_budget,
+                slo_target=replica.slo_target,
+                poll_every=replica.poll_every,
+                reseed=build_follower,
+                on_promote=on_promote,
+                tracer=tracer,
+            )
+
         # The chaos script *deliberately* sheds and times out queries
         # (the pinned default burns ~15% of them), so the soak asserts
         # chaos-mode error budgets rather than the production serving
@@ -631,6 +859,7 @@ def run_soak(
                 availability_target=0.75, freshness_target=0.70
             ),
             subscriptions=subs,
+            replication=link,
         )
         served = frontend.run(
             ops, pacer=ArrivalPacer(script.bursts())
@@ -641,8 +870,67 @@ def run_soak(
         if subs is not None:
             final_entries = list(frontend.index.snapshot().leaf_entries())
         frontend.index.close()
+        if link is not None and link.replica is not None:
+            link.replica.close()
 
-    violations = _check_slos(script, served, ops, oracle_answers, history)
+    if replica is not None:
+        script = replace(
+            script,
+            expected_trips=replica.expected_trips,
+            expected_probes=replica.expected_probes,
+            expected_recoveries=replica.expected_recoveries,
+        )
+    violations = _check_slos(
+        script, served, ops, oracle_answers, history,
+        replicated=replica is not None,
+    )
+    replication_stats: Dict[str, float] = {}
+    if link is not None:
+        violations.extend(audit_violations)
+        truncations = sum(m.cycles for m in maintainers)
+        if link.max_staleness > replica.staleness_budget:
+            violations.append(
+                f"replica staleness {link.max_staleness:.1f}s exceeds "
+                f"budget {replica.staleness_budget:.1f}s"
+            )
+        if truncations < replica.min_truncations:
+            violations.append(
+                f"only {truncations} online truncation cycles completed "
+                f"(need >= {replica.min_truncations} for a meaningful "
+                f"footprint bound)"
+            )
+        if link.footprint_high_water > replica.footprint_bound:
+            violations.append(
+                f"replication WAL footprint high water "
+                f"{link.footprint_high_water} bytes exceeds bound "
+                f"{replica.footprint_bound}"
+            )
+        expected_faults = len(replica.channel_transients) + (
+            1 if replica.channel_torn_at else 0
+        )
+        observed_faults = registry.value("replication.channel_faults")
+        if observed_faults < expected_faults:
+            violations.append(
+                f"shipping channel saw {observed_faults} faults, "
+                f"scheduled {expected_faults}"
+            )
+        replication_stats = {
+            "promotions": served.promotions,
+            "replica_answers": served.replica_answers,
+            "max_staleness": link.max_staleness,
+            "staleness_budget": replica.staleness_budget,
+            "polls": link.polls,
+            "shipped_batches": registry.value("replication.shipped_batches"),
+            "applied_batches": registry.value("replication.applied_batches"),
+            "channel_faults": observed_faults,
+            "spills": registry.value("replication.spills"),
+            "truncation_cycles": truncations,
+            "truncations_deferred": registry.value(
+                "replication.truncation_deferred"
+            ),
+            "footprint_high_water": link.footprint_high_water,
+            "footprint_bound": replica.footprint_bound,
+        }
     sub_stats: Dict[str, int] = {}
     if subs is not None:
         violations.extend(_check_subscriptions(
@@ -664,8 +952,8 @@ def run_soak(
             "deadline_timeouts", "trips", "probes", "probe_failures",
             "recoveries", "degraded_answers", "backlog_enqueued",
             "backlog_replayed", "backlog_peak", "backlog_remaining",
-            "kills", "reopens", "checkpoints", "failed_queries",
-            "max_staleness",
+            "kills", "reopens", "promotions", "replica_answers",
+            "checkpoints", "failed_queries", "max_staleness",
         )
     }
     return SoakReport(
@@ -677,6 +965,7 @@ def run_soak(
         script=script.to_json(),
         slos=slo_statuses,
         subscriptions=sub_stats,
+        replication=replication_stats,
     )
 
 

@@ -1,0 +1,57 @@
+"""WAL-shipped read replicas, primary failover, online WAL maintenance.
+
+This package turns the durable single-process store of
+:mod:`repro.storage` into a small replicated serving cell:
+
+* :class:`~repro.replication.shipper.WalShipper` sits on the primary and
+  exposes committed WAL batches past a durable shipping cursor, spilling
+  batches to archive segments whenever a checkpoint would otherwise
+  truncate them out from under a tailing replica.
+* :class:`~repro.replication.channel.ShippingChannel` moves encoded
+  batches across a (deliberately unreliable) transport; torn and
+  transient transfers surface as retryable
+  :class:`~repro.storage.faults.TransientIOError`.
+* :class:`~repro.replication.replica.Replica` applies shipped batches
+  through the existing :func:`repro.storage.wal.recover` machinery onto
+  its own page store — honoring the TR-82 expired-page skip — serves all
+  five query classes from the applied state, and can
+  :meth:`~repro.replication.replica.Replica.promote` itself to a full
+  primary with zero committed writes lost.
+* :class:`~repro.replication.maintenance.OnlineMaintainer` keeps the
+  primary's WAL footprint bounded with incremental checkpoints that
+  never block serving.
+* :class:`~repro.replication.link.ReplicaLink` bundles the above for the
+  :class:`~repro.serve.frontend.ServiceFrontend`: paced polling, lag
+  gauges and SLO counters, freshest-wins degraded reads and crash
+  failover.
+
+See DESIGN.md §14 for the ship/apply/promote protocol and the
+truncation-vs-shipping rule.
+"""
+
+from .channel import ShippingChannel
+from .link import ReplicaLink, replication_slos
+from .maintenance import OnlineMaintainer
+from .replica import PromotionError, Replica, ReplicaSnapshot
+from .shipper import (
+    ReplicationError,
+    ShippedBatch,
+    ShippingGapError,
+    ShippingLagError,
+    WalShipper,
+)
+
+__all__ = [
+    "OnlineMaintainer",
+    "PromotionError",
+    "Replica",
+    "ReplicaLink",
+    "ReplicaSnapshot",
+    "ReplicationError",
+    "ShippedBatch",
+    "ShippingChannel",
+    "ShippingGapError",
+    "ShippingLagError",
+    "WalShipper",
+    "replication_slos",
+]

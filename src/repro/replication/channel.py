@@ -1,0 +1,140 @@
+"""The shipping transport: encoded batches over an unreliable channel.
+
+Batches cross the channel in the WAL wire format itself (dense LSNs
+from 0, one COMMIT per batch), so the receiving side validates them
+with the same CRC-checked scan the log uses.  The channel routes every
+transfer through an optional
+:class:`~repro.storage.faults.FaultInjector`, mapping its failure modes
+onto transport semantics:
+
+* a scheduled transient write fault → the transfer never happened
+  (:class:`~repro.storage.faults.TransientIOError`, retryable);
+* ``torn`` mode at the crash point → the connection died mid-transfer
+  and the *truncated* bytes were delivered; the CRC scan detects the
+  torn tail and the receiver retries;
+* ``kill`` mode → the connection died before any byte made it out.
+
+After a simulated connection death the channel drops the spent injector
+("reconnects"), because a dead :class:`FaultInjector` fails every
+subsequent call — the transport recovered even though that one process
+did not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..storage.faults import SimulatedCrash, TransientIOError
+from ..storage.wal import _COMMIT, COMMIT_RECORD, encode_record, scan_wal_bytes
+from .shipper import ShippedBatch, WalShipper, batches_of
+
+
+def encode_batch(batch: ShippedBatch) -> bytes:
+    """Serialize one batch in WAL wire format (fresh LSNs from 0)."""
+    lsn = 0
+    blob = bytearray()
+    for record in batch.records:
+        blob += encode_record(record.kind, lsn, record.payload)
+        lsn += 1
+    blob += encode_record(
+        COMMIT_RECORD, lsn, _COMMIT.pack(batch.op_seq, batch.clock_time)
+    )
+    return bytes(blob)
+
+
+def decode_batch(data: bytes) -> ShippedBatch:
+    """Validate and decode one shipped batch.
+
+    Raises
+    ------
+    TransientIOError
+        On a torn tail, CRC mismatch, or a missing closing COMMIT —
+        all the signatures of a transfer cut short, and all retryable.
+    """
+    records, _valid, torn = scan_wal_bytes(data)
+    if torn:
+        raise TransientIOError(f"torn shipment: {torn} trailing bytes")
+    if not records or records[-1].kind != COMMIT_RECORD:
+        raise TransientIOError("shipment missing its commit record")
+    _base, _clock, batches = batches_of(records)
+    if len(batches) != 1:
+        raise TransientIOError(
+            f"shipment decoded to {len(batches)} batches, expected 1"
+        )
+    return batches[0]
+
+
+class ShippingChannel:
+    """Deliver batches from a :class:`WalShipper` through injected faults.
+
+    Parameters
+    ----------
+    shipper : WalShipper
+        The primary-side source of committed batches.
+    injector : FaultInjector, optional
+        Deterministic fault schedule applied to each batch transfer.
+    registry : MetricsRegistry, optional
+        Receives ``replication.shipped_bytes`` and
+        ``replication.channel_faults`` counters.
+    """
+
+    def __init__(self, shipper: WalShipper, injector=None, registry=None):
+        self.shipper = shipper
+        self._injector = injector
+        if registry is not None:
+            self._bytes = registry.counter("replication.shipped_bytes")
+            self._faults = registry.counter("replication.channel_faults")
+        else:
+            self._bytes = None
+            self._faults = None
+
+    def _transfer(self, data: bytes) -> ShippedBatch:
+        delivered: Optional[bytes] = None
+        injector = self._injector
+        if injector is not None:
+            try:
+                delivered = injector.before_write(data)
+                injector.after_write()
+                data = delivered
+            except TransientIOError:
+                if self._faults is not None:
+                    self._faults.inc()
+                raise
+            except SimulatedCrash:
+                # The connection died.  Whatever before_write handed
+                # back (torn mode truncates it) made it onto the wire;
+                # a death before that delivered nothing at all.  Either
+                # way this injector is spent — reconnect without it.
+                self._injector = None
+                if self._faults is not None:
+                    self._faults.inc()
+                if delivered is None:
+                    raise TransientIOError(
+                        "shipping connection lost before transfer"
+                    ) from None
+                data = delivered
+        batch = decode_batch(data)
+        if self._bytes is not None:
+            self._bytes.inc(len(data))
+        return batch
+
+    def poll(self, limit: Optional[int] = None) -> List[ShippedBatch]:
+        """Fetch and deliver pending batches, oldest first.
+
+        Raises
+        ------
+        TransientIOError
+            A transfer faulted; nothing was acknowledged, so a retry
+            re-fetches the same batches.
+        ShippingGapError
+            Batches past the cursor are gone — re-bootstrap territory,
+            never retryable.
+        """
+        return [
+            self._transfer(encode_batch(batch))
+            for batch in self.shipper.fetch(limit)
+        ]
+
+    def ack(self, op_seq: int) -> None:
+        """Acknowledge application through ``op_seq`` on the shipper."""
+        self.shipper.ack(op_seq)

@@ -73,6 +73,21 @@ class DegradedReader:
         #: oid -> latest post-snapshot point, or None once deleted.
         self.overlay: Dict[int, Optional[MovingPoint]] = {}
 
+    def rebase(self, snapshot, snapshot_op_index: int) -> None:
+        """Swap in a fresher committed base, keeping the overlay.
+
+        The overlay holds strictly newer per-oid information than any
+        committed base, so it shadows the new snapshot exactly as it
+        shadowed the old one: a base entry for an overlaid oid is
+        ignored whether the base predates the overlay write (stale) or
+        already contains it (identical).  This is how the breaker's
+        degraded-read path generalizes from "last checkpoint" to "live
+        follower" — the frontend rebases whenever a replica has applied
+        past the checkpoint snapshot.
+        """
+        self.snapshot = snapshot
+        self.snapshot_op_index = snapshot_op_index
+
     def apply(self, atom: tuple) -> None:
         """Fold one backlogged write atom into the overlay.
 

@@ -136,6 +136,11 @@ class QueryOutcome:
         Oids answered from the post-snapshot overlay (degraded only).
     evidence : dict
         Degraded answers: the motion point that matched, per oid.
+    source : str
+        Where the answer's base state came from: ``live`` for healthy
+        index answers, ``snapshot`` for checkpoint-backed degraded
+        answers, ``replica`` when the degraded reader was rebased onto
+        a fresher live-follower state.
     """
 
     index: int
@@ -147,6 +152,7 @@ class QueryOutcome:
     snapshot_op_index: int = 0
     overlay_oids: Tuple[int, ...] = ()
     evidence: Dict[int, object] = field(default_factory=dict)
+    source: str = "live"
 
 
 @dataclass
@@ -177,6 +183,8 @@ class ServiceReport:
     backlog_remaining: int = 0
     kills: int = 0
     reopens: int = 0
+    promotions: int = 0
+    replica_answers: int = 0
     checkpoints: int = 0
     failed_queries: int = 0
     max_staleness: float = 0.0
@@ -244,6 +252,14 @@ class ServiceFrontend:
         additionally watches the
         :func:`~repro.serve.subscriptions.subscription_slo` delivery
         objective.
+    replication : ReplicaLink, optional
+        A :class:`~repro.replication.link.ReplicaLink` ticked once per
+        served request (shipping poll, staleness accounting, online
+        WAL maintenance).  When present it upgrades two paths: degraded
+        reads rebase onto the follower's state whenever it is fresher
+        than the last checkpoint snapshot (freshest wins), and a crash
+        prefers promoting the follower over reopening the dead store —
+        ``reopen`` becomes the fallback for when no follower is ready.
     """
 
     def __init__(
@@ -257,6 +273,7 @@ class ServiceFrontend:
         reopen=None,
         slos=None,
         subscriptions=None,
+        replication=None,
     ):
         self.index = index
         self.config = config if config is not None else FrontendConfig()
@@ -291,7 +308,8 @@ class ServiceFrontend:
                 "retry_exhausted", "deadline_timeouts", "breaker_trips",
                 "breaker_probes", "breaker_recoveries", "degraded_answers",
                 "backlog_enqueued", "backlog_replayed", "kills", "reopens",
-                "queries_ok", "failed_queries",
+                "queries_ok", "failed_queries", "promotions",
+                "replica_answers",
             )
         }
         self._queue_depth = reg.histogram("serve.queue_depth")
@@ -306,6 +324,7 @@ class ServiceFrontend:
         # tracker reads the serve.* counters straight off it, and the
         # registry-less path stays the zero-overhead no-op.
         self._subs = subscriptions
+        self._replication = replication
         self._slo: Optional[SLOTracker] = None
         if registry is not None:
             slos = list(
@@ -313,6 +332,8 @@ class ServiceFrontend:
             )
             if subscriptions is not None:
                 slos.append(subscription_slo())
+            if replication is not None:
+                slos.extend(replication.slos())
             self._slo = SLOTracker(registry, slos)
 
     # -- plumbing -----------------------------------------------------------
@@ -342,6 +363,23 @@ class ServiceFrontend:
         """Advance the SLO burn window by one served-request checkpoint."""
         if self._slo is not None:
             self._slo.checkpoint()
+
+    def _maintain(self, serving_now: float, force: bool = False) -> None:
+        """Tick the replication link between requests.
+
+        The tick interleaves shipping polls and one online-maintenance
+        step with serving; a simulated kill during maintenance (the
+        injector counts those writes like any others) is a primary
+        death and goes through the normal crash path — which, with a
+        ready follower, means failover.
+        """
+        link = self._replication
+        if link is None:
+            return
+        try:
+            link.tick(force=force)
+        except SimulatedCrash:
+            self._handle_crash(serving_now)
 
     @property
     def _is_open(self) -> bool:
@@ -469,19 +507,36 @@ class ServiceFrontend:
         self._pending.clear()
 
     def _handle_crash(self, serving_now: float) -> None:
-        """Reopen after a simulated kill and re-drive lost atoms."""
+        """Take over after a simulated kill and re-drive lost atoms.
+
+        With a ready replica attached, failover wins: the follower is
+        promoted into the primary role (zero committed writes lost —
+        the promotion path drains and verifies the committed prefix)
+        and ``reopen`` is never consulted.  Otherwise the dead store is
+        reopened through the caller's callback, as before.  Either way
+        the atoms whose commits did not survive are re-driven against
+        the new incarnation.
+        """
         self.report.kills += 1
         self._c["kills"].inc()
         self._tracer.event("serve.kill", at=serving_now)
-        if self._reopen is None:
+        link = self._replication
+        failing_over = link is not None and link.can_failover
+        if not failing_over and self._reopen is None:
             raise SimulatedCrash("no reopen callback configured")
         for store in self._stores():
             if isinstance(store, FilePageStore):
                 store.abandon()
-        self.index, self._injector = self._reopen()
+        if failing_over:
+            self.index, self._injector = link.failover()
+            self.report.promotions += 1
+            self._c["promotions"].inc()
+            self._tracer.event("serve.failover", at=serving_now)
+        else:
+            self.index, self._injector = self._reopen()
+            self.report.reopens += 1
+            self._c["reopens"].inc()
         self._disarm_reads()
-        self.report.reopens += 1
-        self._c["reopens"].inc()
         recovered = self._op_seq_mark()
         redo = [(atom, m) for atom, m in self._pending if recovered <= m]
         self._pending = []
@@ -669,6 +724,7 @@ class ServiceFrontend:
                     )
         for request in batch:
             self._served = max(self._served, request.index + 1)
+        self._maintain(start)
         self._tick_slo()
         if (
             not self._is_open
@@ -710,6 +766,13 @@ class ServiceFrontend:
         else:
             self._serve_write(request, start)
         self._served = max(self._served, request.index + 1)
+        if self._replication is not None and not request.is_query:
+            # Same convention as _refresh_snapshot: the store's commit
+            # sequence as of this write is current through the number
+            # of requests served so far.  stream_mark() inverts this
+            # when a degraded read rebases onto the replica.
+            self._replication.note_write(self._op_seq_mark(), self._served)
+        self._maintain(start)
         self._tick_slo()
         if (
             not self._is_open
@@ -833,10 +896,19 @@ class ServiceFrontend:
     def _write_atom(self, atom: tuple, cur: float) -> float:
         """Apply one write atom with retries; return the serving time."""
         attempt = 1
+        applied = False
         while True:
             try:
-                self._apply_atom(atom, cur)
+                if applied:
+                    # The first fault left the atom applied in memory
+                    # with its commit pending (the TransientIOError
+                    # contract of _apply_atom); re-driving it would
+                    # apply it twice, so retries land the commit only.
+                    self._commit_pending(cur)
+                else:
+                    self._apply_atom(atom, cur)
             except TransientIOError:
+                applied = True
                 self.health.record(False)
                 tripped = self._breaker.record_failure(cur)
                 exhausted = (
@@ -897,11 +969,35 @@ class ServiceFrontend:
             self._reader.apply(atom)
 
     def _answer_degraded(self, request: Request, cur: float) -> None:
-        """Answer a query from the snapshot path (zero service cost)."""
+        """Answer a query from the freshest committed base available.
+
+        Zero service cost either way.  The base is the last checkpoint
+        snapshot unless a replication link holds a follower state that
+        is strictly fresher *and* whose stream mark has caught up —
+        then the reader rebases onto the follower (freshest wins),
+        keeping its overlay: the overlay holds strictly newer per-oid
+        information than any committed base.
+        """
         now = request.op.time
-        answer = self._reader.query(request.op.query, now)
+        reader = self._reader
+        if self._replication is not None:
+            base = self._replication.fresher_base(reader.snapshot.taken_at)
+            if (
+                base is not None
+                and self._replication.stream_mark() >= reader.snapshot_op_index
+            ):
+                reader.rebase(base, self._replication.stream_mark())
+        source = (
+            "replica"
+            if getattr(reader.snapshot, "applied_op_seq", None) is not None
+            else "snapshot"
+        )
+        answer = reader.query(request.op.query, now)
         self.report.degraded_answers += 1
         self._c["degraded_answers"].inc()
+        if source == "replica":
+            self.report.replica_answers += 1
+            self._c["replica_answers"].inc()
         self.report.served_queries += 1
         self._since_checkpoint += 1
         self.report.max_staleness = max(
@@ -917,6 +1013,7 @@ class ServiceFrontend:
                 snapshot_op_index=answer.snapshot_op_index,
                 overlay_oids=answer.overlay_oids,
                 evidence=answer.evidence,
+                source=source,
             )
         )
 
@@ -949,4 +1046,7 @@ class ServiceFrontend:
                 continue
         if self._durable:
             self._refresh_snapshot()
+        # Let the replica catch up to the final committed state so the
+        # run ends with a measured (not merely scheduled) staleness.
+        self._maintain(self._vfree, force=True)
         self.report.backlog_remaining = len(self._backlog)

@@ -449,6 +449,7 @@ class FilePageStore:
         self._closed = False
         self.opened_clock_time = 0.0
         self.recovery: Optional[RecoveryReport] = None
+        self._shipper = None
 
     # -- construction -------------------------------------------------------
 
@@ -651,6 +652,11 @@ class FilePageStore:
     # -- introspection ------------------------------------------------------
 
     @property
+    def directory(self) -> str:
+        """Directory holding the store's page file and write-ahead log."""
+        return os.path.dirname(self._file.path)
+
+    @property
     def allocated_pages(self) -> int:
         """Number of live pages (the index-size metric of Figure 15)."""
         return len(self._pages)
@@ -748,32 +754,95 @@ class FilePageStore:
         self._pending_commit = None
         self._op_seq = op_seq
 
+    def attach_shipper(self, shipper) -> None:
+        """Register a WAL shipper to be consulted before log truncation.
+
+        Once attached, every checkpoint's log reset first passes through
+        ``shipper.before_truncate(wal, op_seq)``, which may spill not yet
+        shipped committed batches to an archive segment or refuse the
+        truncation outright (``ShippingLagError``) — truncating the live
+        log would otherwise silently destroy batches a tailing replica
+        still needs.  Pass ``None`` to detach.
+        """
+        self._shipper = shipper
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether no changes are staged and no commit is pending.
+
+        Only at a quiescent point does the page file hold every
+        committed image (commits apply images immediately after
+        logging), so only then may the log be truncated out from under
+        it — the gate for each incremental-checkpoint finalization.
+        """
+        return not self._staged and self._pending_commit is None
+
+    def _truncate_wal(self, clock_time: float) -> None:
+        """Reset the log, giving an attached shipper its say first."""
+        if self.wal is None:
+            return
+        if self._shipper is not None:
+            self._shipper.before_truncate(self.wal, self._op_seq)
+        self.wal.reset(self._op_seq, clock_time)
+
+    def link_free_slots(self, pids: List[PageId], prev: PageId) -> PageId:
+        """Persist free-chain links for ``pids``, continuing from ``prev``.
+
+        One physical write per slot.  Returns the new chain head (the
+        last pid written, or ``prev`` unchanged when ``pids`` is empty).
+        Used by the online maintainer to spread the free-chain rewrite
+        of a checkpoint across many small steps; a stale or partially
+        written chain is benign — readers scan slot states and recovery
+        rebuilds the chain from scratch.
+        """
+        for pid in pids:
+            self._file.mark_free(pid, prev)
+            prev = pid
+        return prev
+
+    def finish_checkpoint(self, free_head: PageId, free_count: int) -> None:
+        """Finalize a checkpoint whose free chain was written elsewhere.
+
+        Writes the header (allocation watermark, root, clock, the given
+        free-chain head/length), fsyncs the page file, and truncates the
+        log through the shipping gate.  The caller must hold the store
+        at a quiescent point (:attr:`quiescent`); anything staged or
+        pending would be destroyed with the log.
+
+        Raises
+        ------
+        PageFileError
+            If the store is not quiescent.
+        """
+        if not self.quiescent:
+            raise PageFileError(
+                "finish_checkpoint outside a quiescent point"
+            )
+        header = self._file.read_header()
+        header.next_id = self._next_id
+        header.root_pid = self._root_pid
+        header.clock_time = self._now()
+        header.free_head = free_head
+        header.free_count = free_count
+        self._file.write_header(header)
+        self._file.sync()
+        self._truncate_wal(header.clock_time)
+
     def checkpoint(self) -> None:
         """Make the page file self-contained and truncate the log.
 
         Commits any staged changes, rewrites the free chain and header
         (root, clock, allocation watermark), fsyncs the page file, and
-        atomically resets the log to a single checkpoint record.
-        A no-op on a closed store, so shutdown paths may call it
-        unconditionally.
+        atomically resets the log to a single checkpoint record (an
+        attached shipper may first spill unshipped batches, or refuse —
+        see :meth:`attach_shipper`).  A no-op on a closed store, so
+        shutdown paths may call it unconditionally.
         """
         if self._closed:
             return
         self.commit()
-        header = self._file.read_header()
-        header.next_id = self._next_id
-        header.root_pid = self._root_pid
-        header.clock_time = self._now()
-        prev = -1
-        for pid in self._free:
-            self._file.mark_free(pid, prev)
-            prev = pid
-        header.free_head = prev
-        header.free_count = len(self._free)
-        self._file.write_header(header)
-        self._file.sync()
-        if self.wal is not None:
-            self.wal.reset(self._op_seq, header.clock_time)
+        free_head = self.link_free_slots(self._free, -1)
+        self.finish_checkpoint(free_head, len(self._free))
 
     @property
     def closed(self) -> bool:

@@ -114,6 +114,17 @@ def _encode_record(kind: int, lsn: int, payload: bytes) -> bytes:
     return head + _CRC.pack(zlib.crc32(head))
 
 
+def encode_record(kind: int, lsn: int, payload: bytes) -> bytes:
+    """Encode one record in the WAL wire format.
+
+    Public entry point for code that writes WAL-formatted byte streams
+    outside the log itself — archive segments and the replication
+    shipping channel both reuse the record framing (and therefore its
+    CRC protection) so that :func:`scan_wal_bytes` can validate them.
+    """
+    return _encode_record(kind, lsn, payload)
+
+
 def scan_wal(path: str) -> Tuple[List[WalRecord], int, int]:
     """Scan a WAL file, stopping at the first torn or corrupt record.
 
@@ -134,6 +145,17 @@ def scan_wal(path: str) -> Tuple[List[WalRecord], int, int]:
     if not os.path.exists(path):
         return [], 0, 0
     data = open(path, "rb").read()
+    return scan_wal_bytes(data)
+
+
+def scan_wal_bytes(data: bytes) -> Tuple[List[WalRecord], int, int]:
+    """Scan an in-memory byte string in WAL wire format.
+
+    Same contract as :func:`scan_wal` but over bytes already in hand —
+    the shipping channel uses it to validate batches that crossed a
+    faulty transport, where a short read must surface as a torn tail
+    rather than an exception.
+    """
     records: List[WalRecord] = []
     offset = 0
     while offset < len(data):
@@ -194,11 +216,19 @@ class WriteAheadLog:
         self.stats = stats if stats is not None else IOStats()
         self.fsync = fsync
         self._injector = injector
-        records, valid, _torn = scan_wal(path)
+        records, valid, torn = scan_wal(path)
         self._next_lsn = records[-1].lsn + 1 if records else 0
         self._file = open(path, "r+b" if os.path.exists(path) else "w+b")
         self._file.seek(valid)
         self._file.truncate(valid)
+        if torn:
+            # The truncate above cut off a torn tail, but only in the
+            # kernel's page cache.  A crash before the next flush could
+            # resurrect the torn bytes on media, and the records appended
+            # after them would then sit past a corrupt region — so the
+            # cut itself must be durable before any append.
+            self._file.flush()
+            os.fsync(self._file.fileno())
         self.records_appended = 0
         self.bytes_appended = 0
 
@@ -229,6 +259,15 @@ class WriteAheadLog:
     def append_commit(self, op_seq: int, clock_time: float) -> int:
         """Append a COMMIT record and return its LSN."""
         return self._append(COMMIT_RECORD, _COMMIT.pack(op_seq, clock_time))
+
+    def append_raw(self, kind: int, payload: bytes) -> int:
+        """Append an already-encoded payload under ``kind``; return the LSN.
+
+        The replication applier uses this to replay shipped records —
+        whose payloads arrive exactly as the primary logged them — into
+        the replica's own log without a decode/re-encode round trip.
+        """
+        return self._append(kind, payload)
 
     def flush(self) -> None:
         """Flush buffered appends to the operating system (and media)."""

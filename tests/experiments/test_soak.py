@@ -119,3 +119,28 @@ def test_report_exports_slo_budget_statuses(small_soak):
         assert status["good"] + status["bad"] > 0
         assert status["burn_rate"] < 1.0
         assert 0.0 < status["target"] < 1.0
+
+
+def test_replicated_soak_passes_replication_slos():
+    from repro.experiments.soak import default_replica_scenario
+
+    report = run_soak(
+        default_fault_script(seed=0),
+        params=default_soak_params(seed=0),
+        replica=default_replica_scenario(),
+    )
+    assert report.passed, report.violations
+    c = report.counters
+    # The script's kill is answered by promotion, never by reopening
+    # the dead store.
+    assert c["kills"] == 1 and c["reopens"] == 0
+    r = report.replication
+    assert r["promotions"] == 1
+    assert r["truncation_cycles"] >= 3
+    assert r["footprint_high_water"] <= r["footprint_bound"]
+    assert r["max_staleness"] <= r["staleness_budget"]
+    assert r["applied_batches"] <= r["shipped_batches"]
+    assert r["channel_faults"] >= 1, "the chaos channel never faulted"
+    assert set(report.slos) >= {
+        "availability", "freshness", "replica_staleness",
+    }

@@ -11,9 +11,11 @@ from repro.rstar.node import Node
 from repro.storage.layout import EntryLayout
 from repro.storage.pagefile import FilePageStore
 from repro.storage.wal import (
+    _COMMIT,
     CHECKPOINT_RECORD,
     COMMIT_RECORD,
     PAGE_RECORD,
+    WalError,
     WriteAheadLog,
     _skippable,
     scan_wal,
@@ -291,3 +293,122 @@ def test_skippable_assertion_errors_propagate():
 
     with pytest.raises(AssertionError):
         _skippable(None, 0, b"\x00" * 16, 0.0, asserting)
+
+
+# -- torn-tail truncation durability ------------------------------------------
+
+
+def test_reopen_fsyncs_the_truncated_torn_tail(tmp_path, monkeypatch):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(1, b"x" * 32)
+    wal.append_commit(1, 0.0)
+    wal.flush()
+    wal.close()
+    with open(path, "ab") as handle:
+        handle.write(b"\x01torn-garbage")
+
+    synced = []
+    real_fsync = os.fsync
+
+    def spy(fd):
+        synced.append(fd)
+        real_fsync(fd)
+
+    monkeypatch.setattr("repro.storage.wal.os.fsync", spy)
+    # Reopening truncates the torn tail; the cut must reach media
+    # before any append, or a crash could resurrect the garbage bytes
+    # underneath freshly appended records.
+    wal2 = WriteAheadLog(path)
+    assert synced, "torn-tail truncation was not fsynced at reopen"
+    wal2.append_page(2, b"y" * 32)
+    wal2.flush()
+    wal2.close()
+    records, _, torn = scan_wal(path)
+    assert torn == 0
+    assert [r.lsn for r in records] == [0, 1, 2]
+
+
+def test_clean_reopen_skips_the_truncate_fsync(tmp_path, monkeypatch):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append_page(1, b"x" * 32)
+    wal.append_commit(1, 0.0)
+    wal.flush()
+    wal.close()
+
+    synced = []
+    monkeypatch.setattr("repro.storage.wal.os.fsync", synced.append)
+    WriteAheadLog(path).close()
+    # No torn bytes were cut, so there is nothing to make durable: the
+    # fsync is gated on an actual tear, not issued on every open.
+    assert synced == []
+
+
+# -- recovery edge cases ------------------------------------------------------
+
+
+def test_recovery_rejects_checkpoint_inside_open_batch(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 100.0))
+    store.set_root(a)
+    store.commit()
+    # Corrupt the protocol: a checkpoint record lands between a page
+    # record and its commit.  Recovery must refuse to guess.
+    store.wal.append_page(a, store.codec.encode(leaf(0.0, 100.0), 0.0))
+    store.wal.append_raw(CHECKPOINT_RECORD, _COMMIT.pack(9, 1.0))
+    store.wal.flush()
+    store.abandon()
+    with pytest.raises(WalError):
+        reopen(tmp_path, SimulationClock())
+
+
+def test_checkpoint_only_log_restores_op_seq_and_clock(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 100.0))
+    store.set_root(a)
+    store.commit()
+    clock.advance_to(12.5)
+    store.checkpoint()
+    committed = store.op_seq
+    store.abandon()  # crash right after the checkpoint
+
+    recovered = reopen(tmp_path, SimulationClock())
+    # The log holds nothing but the checkpoint record, which alone
+    # asserts how far history reached and when.
+    assert recovered.recovery.commits_applied == 0
+    assert recovered.recovery.checkpoint_seen
+    assert recovered.op_seq == committed
+    assert recovered.opened_clock_time == 12.5
+    assert recovered.peek(a).entries[0][1] == 1
+    recovered.abandon()
+
+
+def test_commit_record_torn_mid_write_discards_the_batch(tmp_path):
+    clock = SimulationClock()
+    store = make_store(tmp_path, clock)
+    a = store.allocate()
+    store.write(a, leaf(0.0, 100.0, oid=1))
+    store.set_root(a)
+    store.commit()
+    store.write(a, leaf(0.0, 100.0, oid=2))
+    store.commit()
+    wal_path = store.wal.path
+    store.abandon()
+    size = os.path.getsize(wal_path)
+    with open(wal_path, "r+b") as handle:
+        handle.truncate(size - 4)  # tear inside the second COMMIT record
+
+    records, _valid, torn = scan_wal(wal_path)
+    assert torn > 0
+    assert records[-1].kind == PAGE_RECORD  # the half commit is gone
+    recovered = reopen(tmp_path, SimulationClock())
+    # A batch whose commit record did not fully reach the log never
+    # happened: the first committed image wins.
+    assert recovered.recovery.commits_applied == 1
+    assert recovered.peek(a).entries[0][1] == 1
+    recovered.abandon()

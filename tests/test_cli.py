@@ -267,3 +267,54 @@ def test_soak_cli_reports_subscription_stats(tmp_path, capsys):
     payload = json.loads(out_path.read_text())
     assert payload["passed"] is True
     assert payload["subscriptions"]["dropped"] == 0
+
+
+def test_replicate_cli_parity_and_promotion(capsys):
+    code = main([
+        "replicate", "--insertions", "150",
+        "--poll-every", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 mismatches" in out
+    assert "promoted" in out
+    assert "0 committed batches lost" in out
+
+
+def test_soak_cli_replica(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_soak.json"
+    code = main([
+        "soak", "--replica",
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "soak PASS" in out
+    assert "replication" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["passed"] is True
+    assert payload["replication"]["promotions"] == 1
+
+
+def test_top_from_metrics_renders_replication_health(tmp_path, capsys):
+    from repro.obs import MetricsRegistry
+    from repro.obs.export import MetricsSnapshotter
+
+    registry = MetricsRegistry()
+    registry.counter("replication.polls").inc(12)
+    registry.counter("replication.promotions").inc(1)
+    registry.gauge("replication.staleness_seconds").set(2.5)
+    registry.gauge("replication.cursor_lag_batches").set(3)
+    registry.gauge("replication.last_promotion_time").set(41.0)
+    snapshots = str(tmp_path / "m.jsonl")
+    MetricsSnapshotter(registry, snapshots, interval_s=1e-9).snapshot()
+
+    code = main(["top", "--from-metrics", snapshots])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replication: staleness 2.50s" in out
+    assert "cursor lag 3 batches" in out
+    assert "promotions 1" in out
+    assert "last promoted at t=41.0" in out

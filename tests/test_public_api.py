@@ -27,6 +27,7 @@ def test_top_level_exports():
     "repro.serve",
     "repro.obs",
     "repro.shard",
+    "repro.replication",
 ])
 def test_subpackage_all_exports_resolve(module):
     mod = importlib.import_module(module)
